@@ -1,0 +1,67 @@
+//! Adapter wiring an [`LdcDb`] store into the workload runner.
+
+use ldc_core::LdcDb;
+use ldc_workload::KvInterface;
+
+/// Drives an [`LdcDb`] through the [`KvInterface`] the runner expects.
+pub struct DbAdapter {
+    db: LdcDb,
+}
+
+impl DbAdapter {
+    /// Wraps a store.
+    pub fn new(db: LdcDb) -> Self {
+        Self { db }
+    }
+
+    /// Borrow the store for inspection.
+    pub fn db(&self) -> &LdcDb {
+        &self.db
+    }
+
+    /// Mutable access to the store.
+    pub fn db_mut(&mut self) -> &mut LdcDb {
+        &mut self.db
+    }
+
+    /// Unwraps back into the store.
+    pub fn into_inner(self) -> LdcDb {
+        self.db
+    }
+}
+
+impl KvInterface for DbAdapter {
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), String> {
+        self.db.put(key, value).map_err(|e| e.to_string())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, String> {
+        self.db.get(key).map_err(|e| e.to_string())
+    }
+
+    fn scan(&mut self, start: &[u8], limit: usize) -> Result<usize, String> {
+        self.db
+            .scan(start, limit)
+            .map(|rows| rows.len())
+            .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldc_lsm::Options;
+
+    #[test]
+    fn adapter_roundtrip() {
+        let db = LdcDb::builder()
+            .options(Options::small_for_tests())
+            .build()
+            .unwrap();
+        let mut a = DbAdapter::new(db);
+        a.insert(b"k", b"v").unwrap();
+        assert_eq!(a.get(b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(a.scan(b"", 10).unwrap(), 1);
+        assert_eq!(a.db().policy_name(), "ldc");
+    }
+}

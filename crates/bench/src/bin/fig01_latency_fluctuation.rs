@@ -1,0 +1,114 @@
+//! Fig 1 — "Serious latency fluctuations caused by batched writing."
+//!
+//! The paper runs a mixed YCSB workload on stock LevelDB (UDC) and plots
+//! the per-second average latency, observing write-latency fluctuation up
+//! to ~49x between quiet and compaction-heavy intervals. We regenerate the
+//! trace under the write-heavy mix (the compaction-bound regime at laptop
+//! scale) with 100 ms buckets, for UDC and — for contrast — LDC.
+
+use ldc_bench::prelude::*;
+use ldc_workload::{preload_workload, KvInterface};
+
+const BUCKET_NS: u64 = 100_000_000; // 100 ms
+
+fn main() {
+    let args = CommonArgs::parse(60_000);
+    for system in [System::Udc, System::Ldc] {
+        let spec = WorkloadSpec::write_heavy(args.ops)
+            .with_codec(args.codec())
+            .with_seed(args.seed);
+        let config = StoreConfig::new(system);
+        let db = match system {
+            System::Ldc => LdcDb::builder().options(config.options.clone()).build(),
+            System::Udc => LdcDb::builder()
+                .options(config.options.clone())
+                .udc_baseline()
+                .build(),
+        }
+        .unwrap();
+        let clock = db.device().clock().clone();
+        let mut adapter = DbAdapter::new(db);
+        preload_workload(&spec, &mut adapter).unwrap();
+        adapter.db_mut().drain_background();
+
+        // Drive the mixed stream by hand so we can bucket write latencies
+        // at 100 ms of virtual time.
+        let codec = spec.codec.clone();
+        let window_start = clock.now();
+        let mut buckets: Vec<(u128, u64, u64)> = Vec::new(); // (sum, count, max)
+        for i in 0..spec.ops {
+            let t0 = clock.now();
+            if i % 10 < 7 {
+                adapter
+                    .insert(&codec.key(i % spec.key_space), &codec.value(i, 1))
+                    .unwrap();
+            } else {
+                adapter.get(&codec.key(i % spec.key_space)).unwrap();
+            }
+            let latency = clock.now() - t0;
+            let bucket = ((clock.now() - window_start) / BUCKET_NS) as usize;
+            if buckets.len() <= bucket {
+                buckets.resize(bucket + 1, (0, 0, 0));
+            }
+            buckets[bucket].0 += u128::from(latency);
+            buckets[bucket].1 += 1;
+            buckets[bucket].2 = buckets[bucket].2.max(latency);
+        }
+
+        let rows: Vec<Vec<String>> = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, n, _))| *n > 0)
+            .map(|(i, (sum, n, max))| {
+                vec![
+                    format!("{:.1}", i as f64 * 0.1),
+                    format!("{:.1}", *sum as f64 / *n as f64 / 1e3),
+                    format!("{:.1}", *max as f64 / 1e3),
+                    n.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            args.csv,
+            &format!(
+                "Fig 1 [{}]: latency per 100ms of virtual time (WH, {} ops)",
+                system.label(),
+                args.ops
+            ),
+            &["virtual second", "mean latency (us)", "max latency (us)", "ops"],
+            &rows,
+        );
+        let means: Vec<f64> = buckets
+            .iter()
+            .filter(|(_, n, _)| *n > 0)
+            .map(|(sum, n, _)| *sum as f64 / *n as f64)
+            .collect();
+        let max = means.iter().cloned().fold(0.0f64, f64::max);
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst_op = buckets.iter().map(|(_, _, m)| *m).max().unwrap_or(0);
+        let calm_op = buckets
+            .iter()
+            .filter(|(_, n, _)| *n > 0)
+            .map(|(_, _, m)| *m)
+            .min()
+            .unwrap_or(0);
+        println!(
+            "\n{}: fluctuation extent (max/min bucket mean) = {:.1}x; \
+             worst single op {:.1} us vs calmest bucket's worst {:.1} us = {:.0}x  \
+             (paper observes up to 49.1x mean fluctuation for stock LevelDB; \
+             our scaled memtables bound stalls at ~tens of ms, so the mean \
+             dilutes less than at paper scale — the per-op spread carries \
+             the signal)\n",
+            system.label(),
+            if min > 0.0 { max / min } else { f64::NAN },
+            worst_op as f64 / 1e3,
+            calm_op as f64 / 1e3,
+            worst_op as f64 / calm_op.max(1) as f64,
+        );
+    }
+    println!(
+        "Expectation: UDC's trace spikes whenever compaction blocks the \
+         writer; LDC's trace stays flat because each merge moves O(1) \
+         SSTables instead of O(k)."
+    );
+}

@@ -1,0 +1,46 @@
+//! Fig 10(a) — total throughput on point-lookup mixes, UDC vs LDC.
+//!
+//! Paper: LDC beats UDC by 78.0% (WO), 73.7% (WH), 80.2% (RWB), 16% (RH)
+//! and is on par for RO; 56.7% average across WH/RWB/RH.
+
+use ldc_bench::prelude::*;
+
+fn main() {
+    let args = CommonArgs::parse(50_000);
+    let specs = [
+        WorkloadSpec::write_only(args.ops),
+        WorkloadSpec::write_heavy(args.ops),
+        WorkloadSpec::read_write_balanced(args.ops),
+        WorkloadSpec::read_heavy(args.ops),
+        WorkloadSpec::read_only(args.ops),
+    ];
+    let paper = [78.0, 73.7, 80.2, 16.0, 0.0];
+    let mut rows = Vec::new();
+    let mut improvements = Vec::new();
+    for (spec, paper_gain) in specs.into_iter().zip(paper) {
+        let spec = spec.with_codec(args.codec()).with_seed(args.seed);
+        let (udc, ldc) = run_both(&paper_scaled_options(), &SsdConfig::default(), &spec);
+        let gain = 100.0 * (ldc.throughput() / udc.throughput() - 1.0);
+        if spec.name != "WO" && spec.name != "RO" {
+            improvements.push(gain);
+        }
+        rows.push(vec![
+            spec.name.clone(),
+            format!("{:.0}", udc.throughput()),
+            format!("{:.0}", ldc.throughput()),
+            format!("{gain:+.1}%"),
+            format!("{paper_gain:+.1}%"),
+        ]);
+    }
+    print_table(
+        args.csv,
+        &format!("Fig 10a: throughput (ops/s), {} ops per workload", args.ops),
+        &["workload", "UDC", "LDC", "LDC gain", "paper gain"],
+        &rows,
+    );
+    let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    println!(
+        "\nAverage LDC gain over WH/RWB/RH: {avg:+.1}% (paper: +56.7%). \
+         Expectation: big wins on write-containing mixes, parity on RO."
+    );
+}

@@ -1,0 +1,45 @@
+//! Fig 10(b) — total throughput on range-query mixes, UDC vs LDC.
+//!
+//! Paper: LDC beats UDC by 86.2% (SCN-WH), 81.1% (SCN-RWB), 49.1% (SCN-RH);
+//! 72.3% on average. Scans cover ~100 key-value pairs each, so ops/s is
+//! lower than Fig 10(a) by construction.
+
+use ldc_bench::prelude::*;
+
+fn main() {
+    let args = CommonArgs::parse(20_000);
+    let specs = [
+        WorkloadSpec::scan_write_heavy(args.ops),
+        WorkloadSpec::scan_read_write_balanced(args.ops),
+        WorkloadSpec::scan_read_heavy(args.ops),
+    ];
+    let paper = [86.2, 81.1, 49.1];
+    let mut rows = Vec::new();
+    let mut gains = Vec::new();
+    for (spec, paper_gain) in specs.into_iter().zip(paper) {
+        let spec = spec.with_codec(args.codec()).with_seed(args.seed);
+        let (udc, ldc) = run_both(&paper_scaled_options(), &SsdConfig::default(), &spec);
+        let gain = 100.0 * (ldc.throughput() / udc.throughput() - 1.0);
+        gains.push(gain);
+        rows.push(vec![
+            spec.name.clone(),
+            format!("{:.0}", udc.throughput()),
+            format!("{:.0}", ldc.throughput()),
+            format!("{gain:+.1}%"),
+            format!("{paper_gain:+.1}%"),
+        ]);
+    }
+    print_table(
+        args.csv,
+        &format!(
+            "Fig 10b: throughput with range queries (ops/s), {} ops per workload",
+            args.ops
+        ),
+        &["workload", "UDC", "LDC", "LDC gain", "paper gain"],
+        &rows,
+    );
+    println!(
+        "\nAverage LDC gain: {:+.1}% (paper: +72.3%).",
+        gains.iter().sum::<f64>() / gains.len() as f64
+    );
+}

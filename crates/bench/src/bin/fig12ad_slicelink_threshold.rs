@@ -1,0 +1,47 @@
+//! Fig 12(a)/(d) — impact of the SliceLink threshold `T_s`.
+//!
+//! Paper: the best threshold equals the fan-out (10). Small thresholds
+//! merge too early (extra lower-level I/O per round); very large ones
+//! fragment reads across many linked slices.
+
+use ldc_bench::prelude::*;
+
+fn main() {
+    let args = CommonArgs::parse(30_000);
+    let thresholds = [2usize, 5, 10, 15, 20, 30];
+    let mut rows = Vec::new();
+    for &t in &thresholds {
+        let spec = WorkloadSpec::read_write_balanced(args.ops)
+            .with_codec(args.codec())
+            .with_seed(args.seed);
+        let mut config = StoreConfig::new(System::Ldc);
+        config.slice_link_threshold = Some(t);
+        let result = run_experiment(&config, &spec);
+        rows.push(vec![
+            t.to_string(),
+            format!("{:.0}", result.throughput()),
+            mib(result.io.compaction_read_bytes()),
+            mib(result.io.compaction_write_bytes()),
+            result.db_stats.ldc_merges.to_string(),
+        ]);
+    }
+    print_table(
+        args.csv,
+        &format!(
+            "Fig 12a/d: SliceLink threshold sweep (RWB, {} ops, fan-out 10)",
+            args.ops
+        ),
+        &[
+            "T_s",
+            "throughput (ops/s)",
+            "compaction read (MiB)",
+            "compaction write (MiB)",
+            "ldc merges",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpectation: compaction I/O falls monotonically as T_s grows \
+         (Fig 12d), while throughput peaks near T_s = fan-out = 10 (Fig 12a)."
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig 15 — space overhead of LDC's delayed slice garbage collection.
+//!
+//! Paper: LDC's frozen region keeps some already-merged slices around, but
+//! total space lands only 3.37–10.0% above UDC (6.78% average) — far below
+//! the 25% worst-case bound of §III-D.
+
+use ldc_bench::prelude::*;
+
+fn main() {
+    let args = CommonArgs::parse(20_000);
+    let multipliers = [1u64, 2, 3, 4, 5, 6];
+    let mut rows = Vec::new();
+    for &m in &multipliers {
+        let ops = args.ops * m;
+        let spec = WorkloadSpec::read_write_balanced(ops)
+            .with_codec(args.codec())
+            .with_seed(args.seed);
+        // Finer geometry so several levels are genuinely full: the paper's
+        // 3-10% overhead is a deep-tree property (pending frozen data is
+        // ~one upper level's worth, i.e. ~1/k of the store).
+        let mut options = paper_scaled_options();
+        options.memtable_bytes = 128 << 10;
+        options.sstable_bytes = 128 << 10;
+        options.l1_capacity_bytes = 512 << 10;
+        let (udc, ldc) = run_both(&options, &SsdConfig::default(), &spec);
+        // A second LDC run with a tight frozen-region budget: trades some
+        // reclaimed I/O savings for the paper's single-digit space overhead.
+        let mut tight = StoreConfig::new(System::Ldc);
+        tight.options = options.clone();
+        tight.space_gc_ratio = Some(0.10);
+        let ldc_tight = run_experiment(&tight, &spec);
+        let overhead = ldc.space_bytes as f64 / udc.space_bytes.max(1) as f64 - 1.0;
+        let overhead_tight = ldc_tight.space_bytes as f64 / udc.space_bytes.max(1) as f64 - 1.0;
+        rows.push(vec![
+            ops.to_string(),
+            mib(udc.space_bytes),
+            mib(ldc.space_bytes),
+            format!("{:+.2}%", overhead * 100.0),
+            mib(ldc.frozen_bytes),
+            format!("{:+.2}%", overhead_tight * 100.0),
+        ]);
+    }
+    print_table(
+        args.csv,
+        "Fig 15: final space consumption (RWB)",
+        &["requests", "UDC (MiB)", "LDC (MiB)", "LDC overhead", "LDC frozen", "tight-GC overhead"],
+        &rows,
+    );
+    println!(
+        "\nPaper reference: +3.37%..+10.0% (avg +6.78%). The default GC \
+         budget caps the frozen region at the paper's 25% worst-case bound \
+         (S III-D); the tight budget (0.10) lands in the paper's measured \
+         single-digit range at the cost of some reclaimed-I/O savings — \
+         see EXPERIMENTS.md for the tradeoff discussion."
+    );
+}

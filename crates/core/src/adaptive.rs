@@ -1,0 +1,156 @@
+//! Self-adaptation of the SliceLink threshold (paper §III-B4).
+//!
+//! A small threshold merges early: fewer linked slices to consult on reads
+//! (better read performance) but more lower-level rewriting per upper-level
+//! byte (worse write performance). A large threshold is the reverse. The
+//! paper therefore tunes `T_s` to the workload's read/write mix: larger for
+//! write-dominated workloads, smaller for read-dominated ones.
+//!
+//! This controller observes the foreground mix over fixed-size windows and
+//! steps the threshold one unit per window toward a target interpolated
+//! between 1 (read-only) and `2 * fan_out` (write-only), passing through
+//! `fan_out` at a balanced mix — the paper's measured optimum (Fig 12).
+
+/// Workload-driven `T_s` controller.
+#[derive(Debug)]
+pub struct AdaptiveThreshold {
+    fan_out: u64,
+    window: u64,
+    writes: u64,
+    reads: u64,
+    current: usize,
+}
+
+impl AdaptiveThreshold {
+    /// Creates a controller starting at the paper's default (`T_s = k`).
+    pub fn new(fan_out: u64, window: u64) -> Self {
+        Self {
+            fan_out: fan_out.max(1),
+            window: window.max(1),
+            writes: 0,
+            reads: 0,
+            current: fan_out.max(1) as usize,
+        }
+    }
+
+    /// Smallest allowed threshold.
+    pub fn min_threshold(&self) -> usize {
+        1
+    }
+
+    /// Largest allowed threshold.
+    pub fn max_threshold(&self) -> usize {
+        (2 * self.fan_out) as usize
+    }
+
+    /// The currently effective threshold.
+    pub fn threshold(&self) -> usize {
+        self.current
+    }
+
+    /// Records one foreground operation; may close a window and adjust.
+    pub fn observe(&mut self, is_write: bool) {
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+        if self.writes + self.reads >= self.window {
+            self.adjust();
+            self.writes = 0;
+            self.reads = 0;
+        }
+    }
+
+    /// Target threshold for a write ratio: linear between the read-only
+    /// optimum (1) and the write-only optimum (2k), hitting exactly k at a
+    /// balanced mix.
+    fn target_for(&self, write_ratio: f64) -> usize {
+        let t = 2.0 * self.fan_out as f64 * write_ratio;
+        (t.round() as usize).clamp(self.min_threshold(), self.max_threshold())
+    }
+
+    fn adjust(&mut self) {
+        let total = self.writes + self.reads;
+        if total == 0 {
+            return;
+        }
+        let ratio = self.writes as f64 / total as f64;
+        let target = self.target_for(ratio);
+        // One step per window: conservative hill-climbing, so a transient
+        // burst does not whipsaw the compaction shape.
+        self.current = match self.current.cmp(&target) {
+            std::cmp::Ordering::Less => self.current + 1,
+            std::cmp::Ordering::Greater => self.current - 1,
+            std::cmp::Ordering::Equal => self.current,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_fan_out() {
+        let a = AdaptiveThreshold::new(10, 100);
+        assert_eq!(a.threshold(), 10);
+        assert_eq!(a.min_threshold(), 1);
+        assert_eq!(a.max_threshold(), 20);
+    }
+
+    #[test]
+    fn write_heavy_workload_raises_threshold() {
+        let mut a = AdaptiveThreshold::new(10, 10);
+        for _ in 0..200 {
+            a.observe(true);
+        }
+        assert!(a.threshold() > 10, "got {}", a.threshold());
+        assert!(a.threshold() <= 20);
+    }
+
+    #[test]
+    fn read_heavy_workload_lowers_threshold() {
+        let mut a = AdaptiveThreshold::new(10, 10);
+        for _ in 0..200 {
+            a.observe(false);
+        }
+        assert!(a.threshold() < 10, "got {}", a.threshold());
+        assert!(a.threshold() >= 1);
+    }
+
+    #[test]
+    fn balanced_workload_stays_at_fan_out() {
+        let mut a = AdaptiveThreshold::new(10, 10);
+        for i in 0..500 {
+            a.observe(i % 2 == 0);
+        }
+        assert_eq!(a.threshold(), 10);
+    }
+
+    #[test]
+    fn converges_to_extremes_and_saturates() {
+        let mut a = AdaptiveThreshold::new(10, 10);
+        for _ in 0..1000 {
+            a.observe(true);
+        }
+        assert_eq!(a.threshold(), 20);
+        for _ in 0..1000 {
+            a.observe(false);
+        }
+        assert_eq!(a.threshold(), 1);
+    }
+
+    #[test]
+    fn shifting_mix_moves_one_step_per_window() {
+        let mut a = AdaptiveThreshold::new(10, 10);
+        for _ in 0..10 {
+            a.observe(true);
+        }
+        assert_eq!(a.threshold(), 11);
+        for _ in 0..10 {
+            a.observe(false);
+        }
+        assert_eq!(a.threshold(), 10);
+    }
+}

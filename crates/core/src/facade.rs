@@ -1,0 +1,297 @@
+//! High-level entry points: build an LDC (or baseline UDC) store in a few
+//! lines.
+//!
+//! ```
+//! use ldc_core::LdcDb;
+//!
+//! let mut db = LdcDb::builder().build().unwrap();
+//! db.put(b"user:42", b"ada").unwrap();
+//! assert_eq!(db.get(b"user:42").unwrap(), Some(b"ada".to_vec()));
+//! ```
+
+use std::sync::Arc;
+
+use ldc_lsm::compaction::{CompactionPolicy, UdcPolicy};
+use ldc_lsm::db::{Db, DbStats};
+use ldc_lsm::{Options, Result};
+use ldc_ssd::{MemStorage, SsdConfig, SsdDevice, StorageBackend};
+
+use crate::policy::{LdcConfig, LdcPolicy};
+
+/// Which compaction mechanism a store runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompactionMode {
+    /// Lower-level driven compaction (the paper's contribution).
+    Ldc(LdcConfig),
+    /// Traditional upper-level driven compaction (the LevelDB baseline).
+    Udc,
+    /// Size-tiered compaction (the lazy baseline, paper §V): better write
+    /// amplification than UDC, far worse tail latency.
+    SizeTiered,
+}
+
+/// Configures and opens an [`LdcDb`].
+pub struct LdcDbBuilder {
+    options: Options,
+    ssd: SsdConfig,
+    mode: CompactionMode,
+    storage: Option<Arc<dyn StorageBackend>>,
+}
+
+impl LdcDbBuilder {
+    fn new() -> Self {
+        Self {
+            options: Options::default(),
+            ssd: SsdConfig::default(),
+            mode: CompactionMode::Ldc(LdcConfig::default()),
+            storage: None,
+        }
+    }
+
+    /// Replaces the engine options wholesale.
+    pub fn options(mut self, options: Options) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the simulated-SSD profile.
+    pub fn ssd_config(mut self, ssd: SsdConfig) -> Self {
+        self.ssd = ssd;
+        self
+    }
+
+    /// Selects the compaction mechanism.
+    pub fn mode(mut self, mode: CompactionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Runs the UDC baseline instead of LDC.
+    pub fn udc_baseline(mut self) -> Self {
+        self.mode = CompactionMode::Udc;
+        self
+    }
+
+    /// Runs the lazy size-tiered baseline instead of LDC. Raises the
+    /// engine's Level-0 gates (tiered stores keep many L0 runs by design).
+    pub fn size_tiered(mut self) -> Self {
+        self.mode = CompactionMode::SizeTiered;
+        self.options.l0_compaction_trigger = 4;
+        self.options.l0_slowdown_threshold = 60;
+        self.options.l0_stop_threshold = 100;
+        self
+    }
+
+    /// Fixes the SliceLink threshold (implies LDC mode).
+    pub fn slice_link_threshold(mut self, threshold: usize) -> Self {
+        self.mode = CompactionMode::Ldc(LdcConfig {
+            slice_link_threshold: Some(threshold),
+            ..LdcConfig::default()
+        });
+        self
+    }
+
+    /// Enables the self-adaptive threshold controller (implies LDC mode).
+    pub fn adaptive_threshold(mut self) -> Self {
+        self.mode = CompactionMode::Ldc(LdcConfig {
+            adaptive: true,
+            ..LdcConfig::default()
+        });
+        self
+    }
+
+    /// Uses an existing storage backend (e.g. to reopen a store, or to share
+    /// a device between experiments).
+    pub fn storage(mut self, storage: Arc<dyn StorageBackend>) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Opens the store.
+    pub fn build(self) -> Result<LdcDb> {
+        let storage = match self.storage {
+            Some(s) => s,
+            None => {
+                let device = SsdDevice::new(self.ssd.clone());
+                MemStorage::new(device) as Arc<dyn StorageBackend>
+            }
+        };
+        let policy: Box<dyn CompactionPolicy> = match &self.mode {
+            CompactionMode::Ldc(config) => Box::new(LdcPolicy::with_config(config.clone())),
+            CompactionMode::Udc => Box::new(UdcPolicy::new()),
+            CompactionMode::SizeTiered => {
+                Box::new(ldc_lsm::compaction::SizeTieredPolicy::new())
+            }
+        };
+        let inner = Db::open(Arc::clone(&storage), self.options, policy)?;
+        Ok(LdcDb { inner, storage })
+    }
+}
+
+/// An SSD-oriented key-value store running lower-level driven compaction
+/// (or, for comparison, the UDC baseline).
+pub struct LdcDb {
+    inner: Db,
+    storage: Arc<dyn StorageBackend>,
+}
+
+impl LdcDb {
+    /// Starts configuring a store.
+    pub fn builder() -> LdcDbBuilder {
+        LdcDbBuilder::new()
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.inner.put(key, value)
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get(key)
+    }
+
+    /// Deletes a key.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.inner.delete(key)
+    }
+
+    /// Range scan: up to `limit` live entries with key >= `start`.
+    pub fn scan(&mut self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.inner.scan(start, limit)
+    }
+
+    /// Applies a write batch atomically.
+    pub fn write(&mut self, batch: ldc_lsm::WriteBatch) -> Result<()> {
+        self.inner.write(batch)
+    }
+
+    /// Pins the current state for repeatable reads (release with
+    /// [`LdcDb::release_snapshot`]).
+    pub fn snapshot(&mut self) -> ldc_lsm::db::Snapshot {
+        self.inner.snapshot()
+    }
+
+    /// Releases a pinned snapshot.
+    pub fn release_snapshot(&mut self, snapshot: ldc_lsm::db::Snapshot) {
+        self.inner.release_snapshot(snapshot)
+    }
+
+    /// Point lookup as of a pinned snapshot.
+    pub fn get_at(
+        &mut self,
+        key: &[u8],
+        snapshot: &ldc_lsm::db::Snapshot,
+    ) -> Result<Option<Vec<u8>>> {
+        self.inner.get_at(key, snapshot)
+    }
+
+    /// Range scan as of a pinned snapshot.
+    pub fn scan_at(
+        &mut self,
+        start: &[u8],
+        limit: usize,
+        snapshot: &ldc_lsm::db::Snapshot,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.inner.scan_at(start, limit, snapshot)
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> DbStats {
+        self.inner.stats()
+    }
+
+    /// The simulated device (clock, I/O stats, wear).
+    pub fn device(&self) -> &Arc<SsdDevice> {
+        self.inner.device()
+    }
+
+    /// The storage backend (space accounting, file listing).
+    pub fn storage(&self) -> &Arc<dyn StorageBackend> {
+        &self.storage
+    }
+
+    /// Name of the active compaction policy ("ldc" or "udc").
+    pub fn policy_name(&self) -> String {
+        self.inner.policy_name()
+    }
+
+    /// Live on-device bytes (Fig 15's space metric).
+    pub fn space_bytes(&self) -> u64 {
+        self.inner.space_bytes()
+    }
+
+    /// Block-cache `(hits, misses)`.
+    pub fn block_cache_counters(&self) -> (u64, u64) {
+        self.inner.block_cache_counters()
+    }
+
+    /// Verifies every SSTable's checksums and ordering; returns entries
+    /// scanned.
+    pub fn verify_integrity(&mut self) -> Result<u64> {
+        self.inner.verify_integrity()
+    }
+
+    /// Waits out any pending background flush/compaction debt, returning
+    /// the virtual nanoseconds waited. Call at measurement boundaries.
+    pub fn drain_background(&mut self) -> u64 {
+        self.inner.drain_background()
+    }
+
+    /// Mutable access to the underlying engine (experiments, tests).
+    pub fn engine(&mut self) -> &mut Db {
+        &mut self.inner
+    }
+
+    /// Read-only access to the underlying engine.
+    pub fn engine_ref(&self) -> &Db {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_selects_policy() {
+        let ldc = LdcDb::builder().build().unwrap();
+        assert_eq!(ldc.policy_name(), "ldc");
+        let udc = LdcDb::builder().udc_baseline().build().unwrap();
+        assert_eq!(udc.policy_name(), "udc");
+    }
+
+    #[test]
+    fn basic_crud() {
+        let mut db = LdcDb::builder()
+            .options(Options::small_for_tests())
+            .build()
+            .unwrap();
+        db.put(b"a", b"1").unwrap();
+        db.put(b"b", b"2").unwrap();
+        db.delete(b"a").unwrap();
+        assert_eq!(db.get(b"a").unwrap(), None);
+        assert_eq!(db.get(b"b").unwrap(), Some(b"2".to_vec()));
+        let scan = db.scan(b"", 10).unwrap();
+        assert_eq!(scan, vec![(b"b".to_vec(), b"2".to_vec())]);
+    }
+
+    #[test]
+    fn reopen_via_shared_storage() {
+        let storage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::with_defaults());
+        {
+            let mut db = LdcDb::builder()
+                .options(Options::small_for_tests())
+                .storage(Arc::clone(&storage))
+                .build()
+                .unwrap();
+            db.put(b"persisted", b"yes").unwrap();
+        }
+        let mut db = LdcDb::builder()
+            .options(Options::small_for_tests())
+            .storage(storage)
+            .build()
+            .unwrap();
+        assert_eq!(db.get(b"persisted").unwrap(), Some(b"yes".to_vec()));
+    }
+}

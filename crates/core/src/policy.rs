@@ -1,0 +1,474 @@
+//! The Lower-level Driven Compaction policy (paper §III, Algorithm 1).
+//!
+//! LDC splits the traditional compaction into two phases:
+//!
+//! * **link** — when a level overflows, the selected upper SSTable is not
+//!   merged; it is *frozen* and its key range is sliced across the
+//!   overlapping lower-level SSTables as metadata-only `SliceLink`s.
+//! * **merge** — a lower-level SSTable that has accumulated at least `T_s`
+//!   slice links (the *SliceLink threshold*) triggers the actual I/O: it is
+//!   rewritten together with the linked slices, in place at its own level.
+//!
+//! Because the merge fires only once roughly a table's worth of upper-level
+//! data has accumulated, each round of compaction rewrites O(1) lower-level
+//! bytes per upper-level byte instead of O(k) — Theorems 3.1/2.1.
+//!
+//! Picking order:
+//! 1. any file at or past the threshold → `LdcMerge` (most-linked first);
+//! 2. otherwise, the most overfull level links one file down (`Link`), or
+//!    trivially moves it if the next level is empty;
+//! 3. liveness guard: if every candidate in the overfull level already
+//!    carries slices (so it cannot be frozen), force-merge the most-linked
+//!    file of that level even below the threshold.
+//!
+//! Level-0 files are always frozen **oldest first** — the engine's read
+//! path relies on frozen L0 data being older than any active L0 file.
+
+use ldc_lsm::compaction::{
+    pick_overfull_level, CompactionPolicy, CompactionTask, PickContext,
+};
+use ldc_lsm::version::{FileMeta, Version};
+
+use crate::adaptive::AdaptiveThreshold;
+
+/// Configuration for [`LdcPolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdcConfig {
+    /// SliceLink threshold `T_s`; `None` derives it from the fan-out (the
+    /// paper's best setting, §IV-F).
+    pub slice_link_threshold: Option<usize>,
+    /// Enable workload-driven self-adaptation of `T_s` (§III-B4).
+    pub adaptive: bool,
+    /// Window size (in observed ops) for the adaptive controller.
+    pub adaptive_window: u64,
+    /// Space-reclamation budget for the delayed garbage collection of
+    /// frozen files (§III-D, §IV-J): when the *useless* frozen bytes
+    /// (already-merged slices still pinned by their files' remaining live
+    /// slices) exceed this fraction of the store, the policy spends idle
+    /// background time merging the lower files that release the most
+    /// frozen data. `1.0` disables reclamation.
+    pub space_gc_ratio: f64,
+}
+
+impl Default for LdcConfig {
+    fn default() -> Self {
+        Self {
+            slice_link_threshold: None,
+            adaptive: false,
+            adaptive_window: 10_000,
+            space_gc_ratio: 0.25,
+        }
+    }
+}
+
+/// Lower-level driven compaction.
+pub struct LdcPolicy {
+    config: LdcConfig,
+    adaptive: Option<AdaptiveThreshold>,
+    /// Resolved threshold once the fan-out is known.
+    resolved_threshold: Option<usize>,
+}
+
+impl LdcPolicy {
+    /// Creates the policy with explicit configuration.
+    pub fn with_config(config: LdcConfig) -> Self {
+        Self {
+            adaptive: None,
+            resolved_threshold: config.slice_link_threshold,
+            config,
+        }
+    }
+
+    /// Policy with the paper's default threshold (`T_s = fan-out`).
+    pub fn new() -> Self {
+        Self::with_config(LdcConfig::default())
+    }
+
+    /// Policy with a fixed threshold (Fig 12a/d sweeps).
+    pub fn with_threshold(threshold: usize) -> Self {
+        Self::with_config(LdcConfig {
+            slice_link_threshold: Some(threshold),
+            ..LdcConfig::default()
+        })
+    }
+
+    /// Policy with the self-adaptive controller enabled.
+    pub fn adaptive() -> Self {
+        Self::with_config(LdcConfig {
+            adaptive: true,
+            ..LdcConfig::default()
+        })
+    }
+
+    /// The currently effective SliceLink threshold (for introspection).
+    pub fn current_threshold(&self, fan_out: u64) -> usize {
+        if let Some(a) = &self.adaptive {
+            return a.threshold();
+        }
+        self.resolved_threshold
+            .unwrap_or_else(|| fan_out.max(1) as usize)
+    }
+
+    fn threshold(&mut self, ctx: &PickContext<'_>) -> usize {
+        let fan_out = ctx.options.fan_out;
+        if self.config.adaptive {
+            let a = self
+                .adaptive
+                .get_or_insert_with(|| AdaptiveThreshold::new(fan_out, self.config.adaptive_window));
+            return a.threshold();
+        }
+        *self
+            .resolved_threshold
+            .get_or_insert(fan_out.max(1) as usize)
+    }
+}
+
+impl Default for LdcPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompactionPolicy for LdcPolicy {
+    fn name(&self) -> &str {
+        "ldc"
+    }
+
+    fn pick(&mut self, ctx: &PickContext<'_>) -> Option<CompactionTask> {
+        let threshold = self.threshold(ctx);
+        let version = ctx.version;
+
+        // Relieve overfull levels first: links are metadata-only and keep
+        // Level 0 from ever hitting the write gates (that cheapness is the
+        // whole point of the link phase). Threshold-triggered merges run
+        // right after, in the gaps.
+        if let Some(task) = self.pick_for_overfull_level(ctx) {
+            return Some(task);
+        }
+
+        // Merge any file that reached the SliceLink threshold (Algorithm 1,
+        // lines 8-9). The byte trigger covers the case where slices are
+        // whole files (young trees): the paper's condition is "accumulated
+        // nearly the same amount of data as itself", for which the count
+        // `T_s` is the steady-state proxy.
+        let byte_threshold =
+            (threshold as u64).saturating_mul(ctx.options.sstable_bytes as u64)
+                / ctx.options.fan_out.max(1);
+        if let Some((level, file)) = most_linked_file(version, threshold, byte_threshold) {
+            return Some(CompactionTask::LdcMerge { level, file });
+        }
+
+        // Space reclamation (§III-D): frozen files whose slices are mostly
+        // merged already still pin their full size. When that dead weight
+        // exceeds the budget, spend idle time merging the lower file that
+        // releases the most frozen bytes.
+        self.pick_space_reclamation(ctx)
+    }
+
+    fn observe_op(&mut self, is_write: bool) {
+        if let Some(a) = &mut self.adaptive {
+            a.observe(is_write);
+        }
+    }
+}
+
+impl LdcPolicy {
+    /// Link (or, when blocked, force-merge) one file out of the most
+    /// overfull level, if any.
+    fn pick_for_overfull_level(&mut self, ctx: &PickContext<'_>) -> Option<CompactionTask> {
+        let version = ctx.version;
+        let level = pick_overfull_level(version, ctx.options)?;
+        let files = &version.levels[level];
+
+        if version.levels[level + 1].is_empty() {
+            // Nothing below to link against: move the pick down. Level 0
+            // must move its oldest file to preserve read ordering, and a
+            // file carrying slices cannot move (its slices' data belongs at
+            // this level) — fall through to the force-merge guard instead.
+            let file = if level == 0 {
+                files.iter().find(|f| f.slices.is_empty()).map(|f| f.number)
+            } else {
+                round_robin_pick(files, &ctx.compact_pointers[level], |f| {
+                    f.slices.is_empty()
+                })
+            };
+            if let Some(file) = file {
+                return Some(CompactionTask::TrivialMove { level, file });
+            }
+        } else {
+
+            // Link a slice-free file (a file with SliceLinks cannot be
+            // chosen, §III-D). Level 0: oldest first (read-path contract).
+            let linkable = if level == 0 {
+                files.iter().find(|f| f.slices.is_empty()).map(|f| f.number)
+            } else {
+                round_robin_pick(files, &ctx.compact_pointers[level], |f| {
+                    f.slices.is_empty()
+                })
+            };
+            if let Some(file) = linkable {
+                return Some(CompactionTask::Link { level, file });
+            }
+        }
+
+        // Phase 3 (liveness): every candidate carries slices; force-merge
+        // the most-linked one so a slice-free file appears next round.
+        let forced = files
+            .iter()
+            .max_by_key(|f| (f.slices.len(), std::cmp::Reverse(f.number)))?;
+        Some(CompactionTask::LdcMerge {
+            level,
+            file: forced.number,
+        })
+    }
+
+    /// Delayed GC of the frozen region: once the frozen region exceeds
+    /// `space_gc_ratio` of the live level bytes, merge the lower file whose
+    /// slices *expect* to release the most frozen bytes. A frozen source
+    /// referenced by `r` files contributes `size / r` per merged reference,
+    /// so repeated reclamation merges drain even widely shared sources.
+    fn pick_space_reclamation(&self, ctx: &PickContext<'_>) -> Option<CompactionTask> {
+        if self.config.space_gc_ratio >= 1.0 {
+            return None;
+        }
+        let version = ctx.version;
+        let frozen_bytes = version.frozen_bytes();
+        if frozen_bytes == 0 {
+            return None;
+        }
+        let level_bytes: u64 = (0..version.num_levels())
+            .map(|l| version.level_bytes(l))
+            .sum();
+        if frozen_bytes <= (self.config.space_gc_ratio * level_bytes as f64) as u64 {
+            return None;
+        }
+        let mut best: Option<(u64, usize, u64)> = None; // (score, level, file)
+        for (level, files) in version.levels.iter().enumerate() {
+            for f in files {
+                if f.slices.is_empty() {
+                    continue;
+                }
+                let score: u64 = f
+                    .slices
+                    .iter()
+                    .filter_map(|s| {
+                        let frozen = version.frozen.get(&s.source_file)?;
+                        Some(frozen.size / u64::from(frozen.refcount.max(1)))
+                    })
+                    .sum();
+                if score > 0 && best.is_none_or(|(b, _, _)| score > b) {
+                    best = Some((score, level, f.number));
+                }
+            }
+        }
+        best.map(|(_, level, file)| CompactionTask::LdcMerge { level, file })
+    }
+}
+
+/// The file with the most linked data at or past either trigger (slice
+/// count or accumulated slice bytes), if any. Deeper levels win ties so
+/// data keeps flowing toward the bottom.
+fn most_linked_file(
+    version: &Version,
+    count_threshold: usize,
+    byte_threshold: u64,
+) -> Option<(usize, u64)> {
+    let mut best: Option<(u64, usize, u64)> = None; // (bytes, level, file)
+    for (level, files) in version.levels.iter().enumerate() {
+        for f in files {
+            let bytes = f.slice_bytes();
+            if (f.slice_count() >= count_threshold || bytes >= byte_threshold)
+                && best.is_none_or(|(bb, bl, _)| bytes > bb || (bytes == bb && level > bl))
+            {
+                best = Some((bytes, level, f.number));
+            }
+        }
+    }
+    best.map(|(_, level, file)| (level, file))
+}
+
+/// LevelDB-style round-robin: the first eligible file whose largest key is
+/// past the cursor, wrapping to the first eligible file.
+fn round_robin_pick(
+    files: &[FileMeta],
+    cursor: &[u8],
+    eligible: impl Fn(&FileMeta) -> bool,
+) -> Option<u64> {
+    files
+        .iter()
+        .find(|f| eligible(f) && (cursor.is_empty() || f.largest_ukey() > cursor))
+        .or_else(|| files.iter().find(|f| eligible(f)))
+        .map(|f| f.number)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldc_lsm::types::{encode_internal_key, KeyRange, ValueType};
+    use ldc_lsm::version::SliceLink;
+    use ldc_lsm::Options;
+
+    fn meta(number: u64, lo: &[u8], hi: &[u8], size: u64) -> FileMeta {
+        FileMeta {
+            number,
+            size,
+            smallest: encode_internal_key(lo, 1, ValueType::Value),
+            largest: encode_internal_key(hi, 1, ValueType::Value),
+            slices: Vec::new(),
+        }
+    }
+
+    fn link(source: u64, seq: u64) -> SliceLink {
+        SliceLink {
+            source_file: source,
+            range: KeyRange::all(),
+            link_seq: seq,
+            // Steady-state-sized slice: 1/k of a default SSTable, so count
+            // and byte triggers coincide in tests.
+            approx_bytes: (2 << 20) / 10,
+        }
+    }
+
+    fn ctx<'a>(
+        version: &'a Version,
+        options: &'a Options,
+        pointers: &'a [Vec<u8>],
+    ) -> PickContext<'a> {
+        PickContext {
+            version,
+            options,
+            compact_pointers: pointers,
+        }
+    }
+
+    #[test]
+    fn threshold_defaults_to_fan_out() {
+        let mut policy = LdcPolicy::new();
+        let options = Options::default();
+        let v = Version::new(4);
+        let pointers = vec![Vec::new(); 4];
+        let _ = policy.pick(&ctx(&v, &options, &pointers));
+        assert_eq!(policy.current_threshold(options.fan_out), 10);
+        let fixed = LdcPolicy::with_threshold(5);
+        assert_eq!(fixed.current_threshold(10), 5);
+    }
+
+    #[test]
+    fn overfull_l0_links_oldest_file() {
+        let options = Options::default();
+        let pointers = vec![Vec::new(); 4];
+        let mut v = Version::new(4);
+        for i in 1..=4 {
+            v.levels[0].push(meta(i, b"a", b"z", 1000));
+        }
+        v.levels[1].push(meta(10, b"a", b"z", 1000));
+        let mut policy = LdcPolicy::new();
+        let task = policy.pick(&ctx(&v, &options, &pointers)).unwrap();
+        assert_eq!(task, CompactionTask::Link { level: 0, file: 1 });
+    }
+
+    #[test]
+    fn empty_lower_level_moves_instead_of_linking() {
+        let options = Options::default();
+        let pointers = vec![Vec::new(); 4];
+        let mut v = Version::new(4);
+        for i in 1..=4 {
+            v.levels[0].push(meta(i, b"a", b"z", 1000));
+        }
+        let mut policy = LdcPolicy::new();
+        let task = policy.pick(&ctx(&v, &options, &pointers)).unwrap();
+        assert_eq!(task, CompactionTask::TrivialMove { level: 0, file: 1 });
+    }
+
+    #[test]
+    fn threshold_reach_triggers_ldc_merge() {
+        let options = Options::default();
+        let pointers = vec![Vec::new(); 4];
+        let mut v = Version::new(4);
+        let mut f = meta(10, b"a", b"m", 1000);
+        for i in 0..10 {
+            f.slices.push(link(100 + i, i));
+        }
+        v.levels[1].push(f);
+        let mut policy = LdcPolicy::new();
+        let task = policy.pick(&ctx(&v, &options, &pointers)).unwrap();
+        assert_eq!(task, CompactionTask::LdcMerge { level: 1, file: 10 });
+    }
+
+    #[test]
+    fn overfull_level_relief_precedes_threshold_merges() {
+        // Links are metadata-only, so draining an overfull L0 always comes
+        // before threshold-triggered merges — that keeps writers away from
+        // the L0 gates.
+        let options = Options::default();
+        let pointers = vec![Vec::new(); 4];
+        let mut v = Version::new(4);
+        let mut f = meta(10, b"a", b"m", 1000);
+        for i in 0..10 {
+            f.slices.push(link(100 + i, i));
+        }
+        v.levels[1].push(f);
+        for i in 1..=4 {
+            v.levels[0].push(meta(i, b"a", b"z", 1000));
+        }
+        let mut policy = LdcPolicy::new();
+        let task = policy.pick(&ctx(&v, &options, &pointers)).unwrap();
+        assert_eq!(task, CompactionTask::Link { level: 0, file: 1 });
+    }
+
+    #[test]
+    fn below_threshold_does_not_merge() {
+        let options = Options::default();
+        let pointers = vec![Vec::new(); 4];
+        let mut v = Version::new(4);
+        let mut f = meta(10, b"a", b"m", 1000);
+        for i in 0..9 {
+            f.slices.push(link(100 + i, i));
+        }
+        v.levels[1].push(f);
+        let mut policy = LdcPolicy::new();
+        assert!(policy.pick(&ctx(&v, &options, &pointers)).is_none());
+    }
+
+    #[test]
+    fn blocked_level_force_merges_most_linked_file() {
+        let options = Options { l1_capacity_bytes: 1000, ..Options::default() }; // L1 overfull
+        let pointers = vec![Vec::new(); 4];
+        let mut v = Version::new(4);
+        let mut f1 = meta(10, b"a", b"m", 2000);
+        f1.slices.push(link(100, 0));
+        let mut f2 = meta(11, b"n", b"z", 2000);
+        f2.slices.push(link(101, 1));
+        f2.slices.push(link(102, 2));
+        v.levels[1].push(f1);
+        v.levels[1].push(f2);
+        v.levels[2].push(meta(20, b"a", b"z", 1000));
+        let mut policy = LdcPolicy::new();
+        // No slice-free file at L1 -> force LdcMerge of the most linked (11).
+        let task = policy.pick(&ctx(&v, &options, &pointers)).unwrap();
+        assert_eq!(task, CompactionTask::LdcMerge { level: 1, file: 11 });
+    }
+
+    #[test]
+    fn deeper_level_round_robin_respects_cursor() {
+        let options = Options { l1_capacity_bytes: 1000, ..Options::default() };
+        let mut pointers = vec![Vec::new(); 4];
+        pointers[1] = b"bb".to_vec();
+        let mut v = Version::new(4);
+        v.levels[1].push(meta(1, b"aa", b"bb", 2000));
+        v.levels[1].push(meta(2, b"dd", b"ee", 2000));
+        v.levels[2].push(meta(20, b"a", b"z", 1000));
+        let mut policy = LdcPolicy::new();
+        let task = policy.pick(&ctx(&v, &options, &pointers)).unwrap();
+        assert_eq!(task, CompactionTask::Link { level: 1, file: 2 });
+    }
+
+    #[test]
+    fn healthy_tree_picks_nothing() {
+        let options = Options::default();
+        let pointers = vec![Vec::new(); 4];
+        let v = Version::new(4);
+        let mut policy = LdcPolicy::new();
+        assert!(policy.pick(&ctx(&v, &options, &pointers)).is_none());
+    }
+}

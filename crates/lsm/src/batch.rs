@@ -1,0 +1,239 @@
+//! Write batches: the unit of atomic application and the WAL payload.
+//!
+//! Wire format matches LevelDB: an 8-byte starting sequence number, a 4-byte
+//! record count, then per record a type byte followed by length-prefixed key
+//! (and value for puts).
+
+use crate::encoding::{get_fixed32, get_fixed64, get_length_prefixed, put_fixed32, put_length_prefixed};
+use crate::error::{corruption, Result};
+use crate::types::{SequenceNumber, ValueType};
+
+const HEADER: usize = 12;
+
+/// An atomic group of puts/deletes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteBatch {
+    rep: Vec<u8>,
+}
+
+impl WriteBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        Self { rep: vec![0; HEADER] }
+    }
+
+    /// Queues a put.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.bump_count();
+        self.rep.push(ValueType::Value as u8);
+        put_length_prefixed(&mut self.rep, key);
+        put_length_prefixed(&mut self.rep, value);
+    }
+
+    /// Queues a delete.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.bump_count();
+        self.rep.push(ValueType::Deletion as u8);
+        put_length_prefixed(&mut self.rep, key);
+    }
+
+    /// Number of queued operations.
+    pub fn count(&self) -> u32 {
+        get_fixed32(&self.rep, 8)
+    }
+
+    /// Whether no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Starting sequence number (assigned by the engine at commit).
+    pub fn sequence(&self) -> SequenceNumber {
+        get_fixed64(&self.rep, 0)
+    }
+
+    /// Stamps the starting sequence number.
+    pub fn set_sequence(&mut self, seq: SequenceNumber) {
+        self.rep[0..8].copy_from_slice(&seq.to_le_bytes());
+    }
+
+    /// Serialized length in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// Payload bytes written to the WAL.
+    pub fn encoded(&self) -> &[u8] {
+        &self.rep
+    }
+
+    /// Parses a WAL payload back into a batch.
+    pub fn decode(data: &[u8]) -> Result<WriteBatch> {
+        if data.len() < HEADER {
+            return Err(corruption("write batch shorter than header"));
+        }
+        let batch = WriteBatch { rep: data.to_vec() };
+        // Validate structure eagerly so corrupt batches fail loudly.
+        batch.iter().collect::<Result<Vec<_>>>()?;
+        Ok(batch)
+    }
+
+    /// Iterates `(offset_in_batch, op)`; each op gets `sequence() + offset`.
+    pub fn iter(&self) -> BatchIter<'_> {
+        BatchIter {
+            data: &self.rep[HEADER..],
+            remaining: self.count(),
+            emitted: 0,
+        }
+    }
+
+    fn bump_count(&mut self) {
+        let c = self.count() + 1;
+        let mut buf = Vec::with_capacity(4);
+        put_fixed32(&mut buf, c);
+        self.rep[8..12].copy_from_slice(&buf);
+    }
+
+    /// Sum of key+value payload bytes (the "user bytes" metric for write
+    /// amplification accounting).
+    pub fn user_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for op in self.iter().flatten() {
+            total += match op.1 {
+                BatchOp::Put { key, value } => (key.len() + value.len()) as u64,
+                BatchOp::Delete { key } => key.len() as u64,
+            };
+        }
+        total
+    }
+}
+
+/// One decoded operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp<'a> {
+    /// Insert/overwrite.
+    Put {
+        /// User key.
+        key: &'a [u8],
+        /// Value payload.
+        value: &'a [u8],
+    },
+    /// Tombstone.
+    Delete {
+        /// User key.
+        key: &'a [u8],
+    },
+}
+
+/// Iterator over a batch's operations.
+pub struct BatchIter<'a> {
+    data: &'a [u8],
+    remaining: u32,
+    emitted: u32,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Poisons the iterator so a decode error is yielded exactly once.
+    fn fail(&mut self, msg: &str) -> Option<Result<(u32, BatchOp<'a>)>> {
+        self.remaining = 0;
+        self.data = &[];
+        Some(Err(corruption(msg.to_string())))
+    }
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = Result<(u32, BatchOp<'a>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            if self.data.is_empty() {
+                return None;
+            }
+            return self.fail("trailing bytes after last batch record");
+        }
+        let tag = match self.data.first() {
+            Some(&t) => t,
+            None => return self.fail("truncated batch record"),
+        };
+        self.data = &self.data[1..];
+        let key = match get_length_prefixed(self.data) {
+            Some((k, n)) => {
+                self.data = &self.data[n..];
+                k
+            }
+            None => return self.fail("truncated batch key"),
+        };
+        let op = match ValueType::from_u8(tag) {
+            Some(ValueType::Value) => match get_length_prefixed(self.data) {
+                Some((v, n)) => {
+                    self.data = &self.data[n..];
+                    BatchOp::Put { key, value: v }
+                }
+                None => return self.fail("truncated batch value"),
+            },
+            Some(ValueType::Deletion) => BatchOp::Delete { key },
+            None => return self.fail("bad batch tag"),
+        };
+        self.remaining -= 1;
+        let index = self.emitted;
+        self.emitted += 1;
+        Some(Ok((index, op)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_roundtrip() {
+        let mut b = WriteBatch::new();
+        b.put(b"k1", b"v1");
+        b.delete(b"k2");
+        b.put(b"k3", b"");
+        b.set_sequence(42);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.sequence(), 42);
+
+        let decoded = WriteBatch::decode(b.encoded()).unwrap();
+        let ops: Vec<BatchOp> = decoded.iter().map(|r| r.unwrap().1).collect();
+        assert_eq!(
+            ops,
+            vec![
+                BatchOp::Put { key: b"k1", value: b"v1" },
+                BatchOp::Delete { key: b"k2" },
+                BatchOp::Put { key: b"k3", value: b"" },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = WriteBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(b.iter().count(), 0);
+        assert_eq!(b.user_bytes(), 0);
+    }
+
+    #[test]
+    fn user_bytes_counts_payload() {
+        let mut b = WriteBatch::new();
+        b.put(b"abc", b"defg"); // 7
+        b.delete(b"xy"); // 2
+        assert_eq!(b.user_bytes(), 9);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(WriteBatch::decode(b"short").is_err());
+        let mut b = WriteBatch::new();
+        b.put(b"k", b"v");
+        let mut bytes = b.encoded().to_vec();
+        bytes.truncate(bytes.len() - 1);
+        assert!(WriteBatch::decode(&bytes).is_err());
+        // Bad tag byte.
+        let mut bytes = b.encoded().to_vec();
+        bytes[HEADER] = 99;
+        assert!(WriteBatch::decode(&bytes).is_err());
+    }
+}

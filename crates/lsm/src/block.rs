@@ -1,0 +1,398 @@
+//! Data blocks: prefix-compressed, restart-pointed key/value runs.
+//!
+//! Format matches LevelDB. Entries are `varint(shared) varint(non_shared)
+//! varint(value_len) key_delta value`; every `restart_interval`-th key is
+//! stored whole and its offset recorded in a trailer of fixed32 restart
+//! offsets followed by their count. Restarts give binary-searchable seeks.
+
+use std::cmp::Ordering;
+
+use bytes::Bytes;
+
+use crate::encoding::{get_fixed32, get_varint32, put_fixed32, put_varint32};
+use crate::error::{corruption, Result};
+use crate::types::compare_internal_keys;
+
+/// Builds one block. Keys must be appended in sorted order.
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    restarts: Vec<u32>,
+    counter: usize,
+    restart_interval: usize,
+    last_key: Vec<u8>,
+    entries: usize,
+}
+
+impl BlockBuilder {
+    /// Creates a builder storing a whole key every `restart_interval`
+    /// entries.
+    pub fn new(restart_interval: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            restarts: vec![0],
+            counter: 0,
+            restart_interval: restart_interval.max(1),
+            last_key: Vec::new(),
+            entries: 0,
+        }
+    }
+
+    /// Appends an entry. `key` must sort after every previously added key.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+        debug_assert!(
+            self.entries == 0 || compare_internal_keys(&self.last_key, key) == Ordering::Less,
+            "block keys must be added in strictly increasing order"
+        );
+        let shared = if self.counter < self.restart_interval {
+            common_prefix_len(&self.last_key, key)
+        } else {
+            self.restarts.push(self.buf.len() as u32);
+            self.counter = 0;
+            0
+        };
+        let non_shared = key.len() - shared;
+        put_varint32(&mut self.buf, shared as u32);
+        put_varint32(&mut self.buf, non_shared as u32);
+        put_varint32(&mut self.buf, value.len() as u32);
+        self.buf.extend_from_slice(&key[shared..]);
+        self.buf.extend_from_slice(value);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.counter += 1;
+        self.entries += 1;
+    }
+
+    /// Bytes the finished block will occupy (approximately, pre-trailer).
+    pub fn size_estimate(&self) -> usize {
+        self.buf.len() + self.restarts.len() * 4 + 4
+    }
+
+    /// Number of entries added.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Serializes the block and resets the builder.
+    pub fn finish(&mut self) -> Vec<u8> {
+        let mut out = std::mem::take(&mut self.buf);
+        for &r in &self.restarts {
+            put_fixed32(&mut out, r);
+        }
+        put_fixed32(&mut out, self.restarts.len() as u32);
+        self.restarts.clear();
+        self.restarts.push(0);
+        self.counter = 0;
+        self.last_key.clear();
+        self.entries = 0;
+        out
+    }
+}
+
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// An immutable, parsed block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    data: Bytes,
+    restarts_offset: usize,
+    num_restarts: usize,
+}
+
+impl Block {
+    /// Validates the trailer and wraps `data`.
+    pub fn new(data: Bytes) -> Result<Self> {
+        if data.len() < 4 {
+            return Err(corruption("block too small for restart count"));
+        }
+        let num_restarts = get_fixed32(&data, data.len() - 4) as usize;
+        let trailer = num_restarts
+            .checked_mul(4)
+            .and_then(|n| n.checked_add(4))
+            .ok_or_else(|| corruption("restart count overflow"))?;
+        if trailer > data.len() {
+            return Err(corruption("block restart array out of bounds"));
+        }
+        Ok(Self {
+            restarts_offset: data.len() - trailer,
+            data,
+            num_restarts,
+        })
+    }
+
+    /// Size of the raw block, for cache accounting.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    fn restart_point(&self, i: usize) -> usize {
+        get_fixed32(&self.data, self.restarts_offset + 4 * i) as usize
+    }
+
+    /// Creates an unpositioned iterator.
+    pub fn iter(&self) -> BlockIter {
+        BlockIter {
+            block: self.clone(),
+            offset: 0,
+            key: Vec::new(),
+            value_range: (0, 0),
+            valid: false,
+        }
+    }
+}
+
+/// Cursor over a [`Block`].
+pub struct BlockIter {
+    block: Block,
+    /// Offset of the *next* entry to decode.
+    offset: usize,
+    key: Vec<u8>,
+    value_range: (usize, usize),
+    valid: bool,
+}
+
+impl BlockIter {
+    /// Whether positioned at an entry.
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Current internal key.
+    pub fn key(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.key
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.block.data[self.value_range.0..self.value_range.1]
+    }
+
+    /// Positions at the first entry.
+    pub fn seek_to_first(&mut self) {
+        self.offset = 0;
+        self.key.clear();
+        self.valid = false;
+        self.parse_next();
+    }
+
+    /// Positions at the first entry with key >= `target`.
+    pub fn seek(&mut self, target: &[u8]) {
+        // Binary search restarts for the last restart whose key < target.
+        let (mut lo, mut hi) = (0usize, self.block.num_restarts.saturating_sub(1));
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            let key = self.restart_key(mid);
+            if compare_internal_keys(&key, target) == Ordering::Less {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        if self.block.num_restarts == 0 {
+            self.valid = false;
+            return;
+        }
+        self.offset = self.block.restart_point(lo);
+        self.key.clear();
+        self.valid = false;
+        loop {
+            if !self.parse_next() {
+                return;
+            }
+            if compare_internal_keys(&self.key, target) != Ordering::Less {
+                return;
+            }
+        }
+    }
+
+    /// Advances; becomes invalid at the end.
+    pub fn next(&mut self) {
+        debug_assert!(self.valid);
+        self.parse_next();
+    }
+
+    fn restart_key(&self, i: usize) -> Vec<u8> {
+        let mut offset = self.block.restart_point(i);
+        let data = &self.block.data[..self.block.restarts_offset];
+        // Restart entries have shared == 0.
+        let (_, n) = get_varint32(&data[offset..]).expect("valid restart entry");
+        offset += n;
+        let (non_shared, n) = get_varint32(&data[offset..]).expect("valid restart entry");
+        offset += n;
+        let (_, n) = get_varint32(&data[offset..]).expect("valid restart entry");
+        offset += n;
+        data[offset..offset + non_shared as usize].to_vec()
+    }
+
+    fn parse_next(&mut self) -> bool {
+        let data_end = self.block.restarts_offset;
+        if self.offset >= data_end {
+            self.valid = false;
+            return false;
+        }
+        let data = &self.block.data[..data_end];
+        let mut off = self.offset;
+        let (shared, n) = match get_varint32(&data[off..]) {
+            Some(v) => v,
+            None => {
+                self.valid = false;
+                return false;
+            }
+        };
+        off += n;
+        let (non_shared, n) = match get_varint32(&data[off..]) {
+            Some(v) => v,
+            None => {
+                self.valid = false;
+                return false;
+            }
+        };
+        off += n;
+        let (value_len, n) = match get_varint32(&data[off..]) {
+            Some(v) => v,
+            None => {
+                self.valid = false;
+                return false;
+            }
+        };
+        off += n;
+        let key_end = off + non_shared as usize;
+        let value_end = key_end + value_len as usize;
+        if value_end > data_end || shared as usize > self.key.len() {
+            self.valid = false;
+            return false;
+        }
+        self.key.truncate(shared as usize);
+        self.key.extend_from_slice(&data[off..key_end]);
+        self.value_range = (key_end, value_end);
+        self.offset = value_end;
+        self.valid = true;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{encode_internal_key, user_key, ValueType};
+
+    fn ik(key: &[u8], seq: u64) -> Vec<u8> {
+        encode_internal_key(key, seq, ValueType::Value)
+    }
+
+    fn build(entries: &[(Vec<u8>, Vec<u8>)], restart_interval: usize) -> Block {
+        let mut b = BlockBuilder::new(restart_interval);
+        for (k, v) in entries {
+            b.add(k, v);
+        }
+        Block::new(Bytes::from(b.finish())).unwrap()
+    }
+
+    fn sample_entries(n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                (
+                    ik(format!("key{i:05}").as_bytes(), 1),
+                    format!("value{i}").into_bytes(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_block_iterates_nothing() {
+        let block = build(&[], 16);
+        let mut it = block.iter();
+        it.seek_to_first();
+        assert!(!it.valid());
+        it.seek(&ik(b"anything", 1));
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn full_scan_returns_everything_in_order() {
+        for interval in [1, 2, 16] {
+            let entries = sample_entries(100);
+            let block = build(&entries, interval);
+            let mut it = block.iter();
+            it.seek_to_first();
+            for (k, v) in &entries {
+                assert!(it.valid());
+                assert_eq!(it.key(), k.as_slice());
+                assert_eq!(it.value(), v.as_slice());
+                it.next();
+            }
+            assert!(!it.valid());
+        }
+    }
+
+    #[test]
+    fn seek_lands_on_first_at_or_after() {
+        let entries = sample_entries(100);
+        let block = build(&entries, 4);
+        let mut it = block.iter();
+        // Exact hit.
+        it.seek(&ik(b"key00042", 1));
+        assert_eq!(user_key(it.key()), b"key00042");
+        // Between keys: key00042x -> key00043.
+        it.seek(&ik(b"key00042x", 1));
+        assert_eq!(user_key(it.key()), b"key00043");
+        // Before everything.
+        it.seek(&ik(b"a", 1));
+        assert_eq!(user_key(it.key()), b"key00000");
+        // After everything.
+        it.seek(&ik(b"z", 1));
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn seek_respects_sequence_ordering() {
+        // Same user key at different sequences: newest (highest seq) first.
+        let entries = vec![
+            (ik(b"k", 9), b"new".to_vec()),
+            (ik(b"k", 3), b"old".to_vec()),
+        ];
+        let block = build(&entries, 16);
+        let mut it = block.iter();
+        it.seek(&ik(b"k", 100)); // snapshot above both
+        assert_eq!(it.value(), b"new");
+        it.seek(&ik(b"k", 5)); // snapshot between
+        assert_eq!(it.value(), b"old");
+    }
+
+    #[test]
+    fn prefix_compression_shrinks_blocks() {
+        let entries = sample_entries(1000);
+        let compressed = build(&entries, 16);
+        let uncompressed = build(&entries, 1);
+        assert!(compressed.size() < uncompressed.size());
+    }
+
+    #[test]
+    fn corrupt_trailer_is_rejected() {
+        assert!(Block::new(Bytes::from_static(&[1, 2])).is_err());
+        // Restart count claiming more restarts than the block can hold.
+        let mut data = vec![0u8; 8];
+        data.extend_from_slice(&1000u32.to_le_bytes());
+        assert!(Block::new(Bytes::from(data)).is_err());
+    }
+
+    #[test]
+    fn builder_resets_after_finish() {
+        let mut b = BlockBuilder::new(4);
+        b.add(&ik(b"a", 1), b"1");
+        let first = b.finish();
+        assert!(b.is_empty());
+        b.add(&ik(b"a", 1), b"1");
+        let second = b.finish();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,220 @@
+//! Block cache.
+//!
+//! An LRU cache of decoded data blocks keyed by `(file number, offset)`,
+//! bounded by a byte budget. The paper assumes "the cached indexes and Bloom
+//! filters of active SSTables" avoid most slice-read I/O (§III-B3); in this
+//! engine, index and filter blocks are pinned per open table while data
+//! blocks flow through this cache. Hit/miss counters feed Fig 13.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::block::Block;
+use crate::error::Result;
+
+/// Cache key: file number + block offset within the file.
+pub type BlockKey = (u64, u64);
+
+struct CacheEntry {
+    block: Block,
+    tick: u64,
+}
+
+struct CacheInner {
+    map: HashMap<BlockKey, CacheEntry>,
+    lru: BTreeMap<u64, BlockKey>,
+    used_bytes: usize,
+    next_tick: u64,
+}
+
+/// Byte-bounded LRU cache of data blocks.
+pub struct BlockCache {
+    capacity_bytes: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most `capacity_bytes` of block data.
+    /// A capacity of 0 disables caching (every lookup is a miss).
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            capacity_bytes,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                used_bytes: 0,
+                next_tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetches the block, calling `load` on a miss and caching the result.
+    pub fn get_or_load(
+        &self,
+        key: BlockKey,
+        load: impl FnOnce() -> Result<Block>,
+    ) -> Result<Block> {
+        if self.capacity_bytes > 0 {
+            let mut inner = self.inner.lock();
+            if let Some(entry) = inner.map.get(&key) {
+                let old_tick = entry.tick;
+                let tick = inner.next_tick;
+                inner.next_tick += 1;
+                inner.lru.remove(&old_tick);
+                inner.lru.insert(tick, key);
+                let block = {
+                    let entry = inner.map.get_mut(&key).expect("present");
+                    entry.tick = tick;
+                    entry.block.clone()
+                };
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(block);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let block = load()?;
+        if self.capacity_bytes > 0 {
+            let mut inner = self.inner.lock();
+            let tick = inner.next_tick;
+            inner.next_tick += 1;
+            inner.used_bytes += block.size();
+            inner.map.insert(
+                key,
+                CacheEntry {
+                    block: block.clone(),
+                    tick,
+                },
+            );
+            inner.lru.insert(tick, key);
+            while inner.used_bytes > self.capacity_bytes && inner.map.len() > 1 {
+                let (&oldest_tick, &oldest_key) =
+                    inner.lru.iter().next().expect("nonempty lru");
+                inner.lru.remove(&oldest_tick);
+                if let Some(evicted) = inner.map.remove(&oldest_key) {
+                    inner.used_bytes -= evicted.block.size();
+                }
+            }
+        }
+        Ok(block)
+    }
+
+    /// Drops all blocks belonging to `file_number` (called on file delete).
+    pub fn evict_file(&self, file_number: u64) {
+        let mut inner = self.inner.lock();
+        let doomed: Vec<(u64, BlockKey)> = inner
+            .map
+            .iter()
+            .filter(|((f, _), _)| *f == file_number)
+            .map(|(k, e)| (e.tick, *k))
+            .collect();
+        for (tick, key) in doomed {
+            inner.lru.remove(&tick);
+            if let Some(e) = inner.map.remove(&key) {
+                inner.used_bytes -= e.block.size();
+            }
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far — each miss is one data-block read from the
+    /// device (Fig 13's y-axis).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockBuilder;
+    use crate::types::{encode_internal_key, ValueType};
+    use bytes::Bytes;
+
+    fn make_block(tag: u8, bytes: usize) -> Block {
+        let mut b = BlockBuilder::new(16);
+        let key = encode_internal_key(&[tag], 1, ValueType::Value);
+        b.add(&key, &vec![tag; bytes]);
+        Block::new(Bytes::from(b.finish())).unwrap()
+    }
+
+    #[test]
+    fn caches_loaded_blocks() {
+        let cache = BlockCache::new(1 << 20);
+        let mut loads = 0;
+        for _ in 0..3 {
+            cache
+                .get_or_load((1, 0), || {
+                    loads += 1;
+                    Ok(make_block(1, 100))
+                })
+                .unwrap();
+        }
+        assert_eq!(loads, 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert!(cache.used_bytes() > 0);
+    }
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let cache = BlockCache::new(0);
+        for _ in 0..3 {
+            cache.get_or_load((1, 0), || Ok(make_block(1, 10))).unwrap();
+        }
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_under_pressure() {
+        // Each block ~1000 bytes; capacity for ~3.
+        let cache = BlockCache::new(3200);
+        for i in 0..3u8 {
+            cache
+                .get_or_load((i as u64, 0), || Ok(make_block(i, 1000)))
+                .unwrap();
+        }
+        // Touch block 0 so block 1 is the LRU.
+        cache.get_or_load((0, 0), || panic!("should hit")).unwrap();
+        // Insert block 3, evicting block 1.
+        cache
+            .get_or_load((3, 0), || Ok(make_block(3, 1000)))
+            .unwrap();
+        let miss_before = cache.misses();
+        cache.get_or_load((0, 0), || panic!("0 evicted")).unwrap();
+        assert_eq!(cache.misses(), miss_before);
+        cache
+            .get_or_load((1, 0), || Ok(make_block(1, 1000)))
+            .unwrap();
+        assert_eq!(cache.misses(), miss_before + 1, "1 should have been evicted");
+    }
+
+    #[test]
+    fn evict_file_drops_all_its_blocks() {
+        let cache = BlockCache::new(1 << 20);
+        cache.get_or_load((7, 0), || Ok(make_block(1, 10))).unwrap();
+        cache.get_or_load((7, 100), || Ok(make_block(2, 10))).unwrap();
+        cache.get_or_load((8, 0), || Ok(make_block(3, 10))).unwrap();
+        cache.evict_file(7);
+        let misses = cache.misses();
+        cache.get_or_load((8, 0), || panic!("should hit")).unwrap();
+        cache.get_or_load((7, 0), || Ok(make_block(1, 10))).unwrap();
+        assert_eq!(cache.misses(), misses + 1);
+    }
+}

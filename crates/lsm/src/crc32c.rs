@@ -1,0 +1,93 @@
+//! CRC32C (Castagnoli) with LevelDB-style masking.
+//!
+//! Implemented in-repo (software, table-driven) to stay within the
+//! pre-approved dependency set. The mask makes CRCs of CRC-bearing data
+//! (e.g. a log record embedded in another log) not look like valid CRCs.
+
+const POLY: u32 = 0x82f6_3b78; // reflected CRC32C polynomial
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    extend(0, data)
+}
+
+/// Extends a running CRC with more data.
+pub fn extend(crc: u32, data: &[u8]) -> u32 {
+    let mut crc = !crc;
+    for &b in data {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+const MASK_DELTA: u32 = 0xa282_ead8;
+
+/// LevelDB's CRC mask: rotate right 15 bits and add a constant.
+pub fn mask(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(MASK_DELTA)
+}
+
+/// Inverse of [`mask`].
+pub fn unmask(masked: u32) -> u32 {
+    let rot = masked.wrapping_sub(MASK_DELTA);
+    rot.rotate_left(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32C test vectors (RFC 3720 appendix B.4 et al.).
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62a8_ab43);
+        let ascending: Vec<u8> = (0..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46dd_794e);
+    }
+
+    #[test]
+    fn extend_equals_whole() {
+        let data = b"hello world";
+        let partial = extend(crc32c(b"hello"), b" world");
+        assert_eq!(partial, crc32c(data));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_crcs() {
+        assert_ne!(crc32c(b"a"), crc32c(b"b"));
+        assert_ne!(crc32c(b""), crc32c(b"a"));
+    }
+
+    #[test]
+    fn mask_roundtrip() {
+        for data in [&b"foo"[..], b"bar", b"", b"\x00\x01\x02"] {
+            let crc = crc32c(data);
+            assert_eq!(unmask(mask(crc)), crc);
+            assert_ne!(mask(crc), crc, "mask must change the value");
+        }
+    }
+}

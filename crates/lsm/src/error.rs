@@ -1,0 +1,64 @@
+//! Engine error type.
+
+use std::fmt;
+
+use ldc_ssd::SsdError;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the LSM engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Underlying storage/device error.
+    Storage(SsdError),
+    /// On-disk data failed validation (bad CRC, malformed block, ...).
+    Corruption(String),
+    /// The database is in a state that forbids the operation.
+    InvalidState(String),
+    /// Caller error (bad options, empty key, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Storage(e) => write!(f, "storage: {e}"),
+            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SsdError> for Error {
+    fn from(e: SsdError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+/// Shorthand for corruption errors.
+pub fn corruption(msg: impl Into<String>) -> Error {
+    Error::Corruption(msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let e: Error = SsdError::DeviceFull.into();
+        assert!(e.to_string().contains("full"));
+        assert!(corruption("bad crc").to_string().contains("bad crc"));
+    }
+}

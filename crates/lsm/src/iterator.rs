@@ -1,0 +1,303 @@
+//! Internal iterators and k-way merging.
+//!
+//! Everything below the user API iterates *internal* entries: `(internal
+//! key, value)` pairs including every version and tombstone, ordered by
+//! [`compare_internal_keys`]. A [`MergingIterator`] combines children from
+//! the memtable, Level-0 tables, per-level file chains, and LDC slice
+//! ranges; the user-visible collapse (visibility, shadowing, tombstones)
+//! happens in `db`.
+
+use crate::error::Result;
+use crate::memtable::MemTableIter;
+use crate::table::TableIter;
+use crate::types::compare_internal_keys;
+
+/// Common interface over internal-entry cursors.
+pub trait InternalIterator {
+    /// Whether positioned at an entry.
+    fn valid(&self) -> bool;
+    /// Positions at the first entry.
+    fn seek_to_first(&mut self);
+    /// Positions at the first entry with internal key >= `target`.
+    fn seek(&mut self, target: &[u8]);
+    /// Advances by one entry.
+    fn next(&mut self);
+    /// Current internal key (valid only when `valid()`).
+    fn key(&self) -> &[u8];
+    /// Current value.
+    fn value(&self) -> &[u8];
+    /// First error encountered, if any.
+    fn status(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl InternalIterator for MemTableIter<'_> {
+    fn valid(&self) -> bool {
+        MemTableIter::valid(self)
+    }
+    fn seek_to_first(&mut self) {
+        MemTableIter::seek_to_first(self)
+    }
+    fn seek(&mut self, target: &[u8]) {
+        MemTableIter::seek(self, target)
+    }
+    fn next(&mut self) {
+        MemTableIter::next(self)
+    }
+    fn key(&self) -> &[u8] {
+        MemTableIter::key(self)
+    }
+    fn value(&self) -> &[u8] {
+        MemTableIter::value(self)
+    }
+}
+
+impl InternalIterator for TableIter {
+    fn valid(&self) -> bool {
+        TableIter::valid(self)
+    }
+    fn seek_to_first(&mut self) {
+        TableIter::seek_to_first(self)
+    }
+    fn seek(&mut self, target: &[u8]) {
+        TableIter::seek(self, target)
+    }
+    fn next(&mut self) {
+        TableIter::next(self)
+    }
+    fn key(&self) -> &[u8] {
+        TableIter::key(self)
+    }
+    fn value(&self) -> &[u8] {
+        TableIter::value(self)
+    }
+    fn status(&self) -> Result<()> {
+        TableIter::status(self)
+    }
+}
+
+/// An in-memory iterator over pre-sorted `(internal key, value)` pairs.
+///
+/// Used by compaction tests and as a cheap adapter in experiments.
+pub struct VecIterator {
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    pos: usize,
+    positioned: bool,
+}
+
+impl VecIterator {
+    /// Wraps `entries`, which must already be sorted by internal key.
+    pub fn new(entries: Vec<(Vec<u8>, Vec<u8>)>) -> Self {
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| compare_internal_keys(&w[0].0, &w[1].0).is_lt()));
+        Self {
+            entries,
+            pos: 0,
+            positioned: false,
+        }
+    }
+}
+
+impl InternalIterator for VecIterator {
+    fn valid(&self) -> bool {
+        self.positioned && self.pos < self.entries.len()
+    }
+    fn seek_to_first(&mut self) {
+        self.pos = 0;
+        self.positioned = true;
+    }
+    fn seek(&mut self, target: &[u8]) {
+        self.pos = self
+            .entries
+            .partition_point(|(k, _)| compare_internal_keys(k, target).is_lt());
+        self.positioned = true;
+    }
+    fn next(&mut self) {
+        debug_assert!(self.valid());
+        self.pos += 1;
+    }
+    fn key(&self) -> &[u8] {
+        &self.entries[self.pos].0
+    }
+    fn value(&self) -> &[u8] {
+        &self.entries[self.pos].1
+    }
+}
+
+/// K-way merge over child iterators.
+///
+/// Children may contain the same user key at different sequences (or even
+/// byte-identical internal keys from pathological inputs); merge order is by
+/// internal key with child index as the tiebreak, so output is
+/// deterministic. The child count is small (a handful of levels plus L0
+/// files plus slices), so a linear minimum scan beats a heap in practice.
+pub struct MergingIterator<'a> {
+    children: Vec<Box<dyn InternalIterator + 'a>>,
+    current: Option<usize>,
+}
+
+impl<'a> MergingIterator<'a> {
+    /// Builds a merge over `children` (unpositioned).
+    pub fn new(children: Vec<Box<dyn InternalIterator + 'a>>) -> Self {
+        Self {
+            children,
+            current: None,
+        }
+    }
+
+    fn find_smallest(&mut self) {
+        let mut smallest: Option<usize> = None;
+        for (i, child) in self.children.iter().enumerate() {
+            if !child.valid() {
+                continue;
+            }
+            smallest = match smallest {
+                None => Some(i),
+                Some(s) => {
+                    if compare_internal_keys(child.key(), self.children[s].key()).is_lt() {
+                        Some(i)
+                    } else {
+                        Some(s)
+                    }
+                }
+            };
+        }
+        self.current = smallest;
+    }
+}
+
+impl InternalIterator for MergingIterator<'_> {
+    fn valid(&self) -> bool {
+        self.current.is_some()
+    }
+
+    fn seek_to_first(&mut self) {
+        for child in &mut self.children {
+            child.seek_to_first();
+        }
+        self.find_smallest();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        for child in &mut self.children {
+            child.seek(target);
+        }
+        self.find_smallest();
+    }
+
+    fn next(&mut self) {
+        let cur = self.current.expect("next on invalid merging iterator");
+        self.children[cur].next();
+        self.find_smallest();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.children[self.current.expect("valid")].key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.children[self.current.expect("valid")].value()
+    }
+
+    fn status(&self) -> Result<()> {
+        for child in &self.children {
+            child.status()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{encode_internal_key, user_key, ValueType};
+
+    fn ik(key: &[u8], seq: u64) -> Vec<u8> {
+        encode_internal_key(key, seq, ValueType::Value)
+    }
+
+    fn entries(keys: &[(&[u8], u64)]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        keys.iter()
+            .map(|(k, s)| (ik(k, *s), format!("{}@{s}", String::from_utf8_lossy(k)).into_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn vec_iterator_seeks() {
+        let mut it = VecIterator::new(entries(&[(b"a", 1), (b"c", 1), (b"e", 1)]));
+        it.seek_to_first();
+        assert_eq!(user_key(it.key()), b"a");
+        it.seek(&ik(b"b", 100));
+        assert_eq!(user_key(it.key()), b"c");
+        it.seek(&ik(b"z", 100));
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn merge_interleaves_sorted_children() {
+        let a = VecIterator::new(entries(&[(b"a", 1), (b"d", 1), (b"g", 1)]));
+        let b = VecIterator::new(entries(&[(b"b", 1), (b"e", 1)]));
+        let c = VecIterator::new(entries(&[(b"c", 1), (b"f", 1), (b"h", 1)]));
+        let mut m = MergingIterator::new(vec![Box::new(a), Box::new(b), Box::new(c)]);
+        m.seek_to_first();
+        let mut seen = Vec::new();
+        while m.valid() {
+            seen.push(user_key(m.key()).to_vec());
+            m.next();
+        }
+        let expect: Vec<Vec<u8>> = [b"a", b"b", b"c", b"d", b"e", b"f", b"g", b"h"]
+            .iter()
+            .map(|k| k.to_vec())
+            .collect();
+        assert_eq!(seen, expect);
+        m.status().unwrap();
+    }
+
+    #[test]
+    fn merge_orders_same_user_key_by_sequence() {
+        // Newer versions (higher seq) must come out first.
+        let newer = VecIterator::new(entries(&[(b"k", 9)]));
+        let older = VecIterator::new(entries(&[(b"k", 3)]));
+        let mut m = MergingIterator::new(vec![Box::new(older), Box::new(newer)]);
+        m.seek_to_first();
+        assert_eq!(m.value(), b"k@9");
+        m.next();
+        assert_eq!(m.value(), b"k@3");
+        m.next();
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn merge_seek_positions_all_children() {
+        let a = VecIterator::new(entries(&[(b"a", 1), (b"m", 1)]));
+        let b = VecIterator::new(entries(&[(b"c", 1), (b"x", 1)]));
+        let mut m = MergingIterator::new(vec![Box::new(a), Box::new(b)]);
+        m.seek(&ik(b"d", 100));
+        assert_eq!(user_key(m.key()), b"m");
+        m.next();
+        assert_eq!(user_key(m.key()), b"x");
+        m.next();
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn merge_with_empty_children() {
+        let a = VecIterator::new(Vec::new());
+        let b = VecIterator::new(entries(&[(b"only", 1)]));
+        let c = VecIterator::new(Vec::new());
+        let mut m = MergingIterator::new(vec![Box::new(a), Box::new(b), Box::new(c)]);
+        m.seek_to_first();
+        assert_eq!(user_key(m.key()), b"only");
+        m.next();
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn merge_of_nothing_is_invalid() {
+        let mut m = MergingIterator::new(Vec::new());
+        m.seek_to_first();
+        assert!(!m.valid());
+    }
+}

@@ -1,0 +1,43 @@
+//! # ldc-lsm — a LevelDB-class LSM-tree engine
+//!
+//! A from-scratch reproduction of the LevelDB architecture the LDC paper
+//! (ICDE 2019) modifies: skiplist memtable, write-ahead log, leveled
+//! SSTables with prefix-compressed blocks and SSTable-level Bloom filters,
+//! a versioned manifest, and a pluggable compaction policy.
+//!
+//! The engine natively understands the two *metadata* primitives LDC needs —
+//! **frozen files** and **slice links** (see [`version`]) — and exposes the
+//! execution of `Link` / `LdcMerge` tasks alongside classic merges; the
+//! baseline [`compaction::UdcPolicy`] never uses them, so the baseline is
+//! exactly upper-level driven LevelDB compaction. The LDC policy itself
+//! lives in the `ldc-core` crate.
+//!
+//! All I/O goes through [`ldc_ssd::StorageBackend`], so every run is charged
+//! to the simulated SSD's virtual clock and traffic counters.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod block;
+pub mod cache;
+pub mod compaction;
+pub mod crc32c;
+pub mod db;
+pub mod encoding;
+pub mod error;
+pub mod filter;
+pub mod iterator;
+pub mod memtable;
+pub mod options;
+pub mod skiplist;
+pub mod table;
+pub mod types;
+pub mod version;
+pub mod wal;
+
+pub use batch::{BatchOp, WriteBatch};
+pub use db::{Db, DbStats, Snapshot};
+pub use error::{Error, Result};
+pub use options::Options;
+pub use types::{KeyRange, SequenceNumber, ValueType};

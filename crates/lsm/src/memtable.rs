@@ -1,0 +1,190 @@
+//! The in-memory write buffer (`C_0` in the paper's Definition 2.2).
+
+use crate::skiplist::{SkipList, SkipListIter};
+use crate::types::{
+    compare_internal_keys, encode_internal_key, parse_trailer, user_key, SequenceNumber,
+    ValueType, TYPE_FOR_SEEK,
+};
+
+/// Outcome of a memtable point lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The key is live with this value.
+    Found(Vec<u8>),
+    /// The key was deleted (tombstone) — stop searching older levels.
+    Deleted,
+    /// The memtable knows nothing about this key.
+    NotFound,
+}
+
+/// Ordered in-memory buffer of recent writes.
+pub struct MemTable {
+    list: SkipList,
+}
+
+impl MemTable {
+    /// Creates an empty memtable; `seed` determinizes skiplist heights.
+    pub fn new(seed: u64) -> Self {
+        Self { list: SkipList::new(seed) }
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Approximate memory footprint, compared against the flush threshold.
+    pub fn approximate_bytes(&self) -> usize {
+        self.list.approximate_bytes()
+    }
+
+    /// Records a put or delete at sequence `seq`.
+    pub fn add(&mut self, seq: SequenceNumber, vt: ValueType, key: &[u8], value: &[u8]) {
+        let ikey = encode_internal_key(key, seq, vt);
+        self.list.insert(ikey, value.to_vec());
+    }
+
+    /// Looks up `key` as of `snapshot` (inclusive).
+    pub fn get(&self, key: &[u8], snapshot: SequenceNumber) -> LookupResult {
+        let probe = encode_internal_key(key, snapshot, TYPE_FOR_SEEK);
+        let mut it = self.list.iter();
+        it.seek(&probe);
+        if !it.valid() || user_key(it.key()) != key {
+            return LookupResult::NotFound;
+        }
+        let (_, vt) = parse_trailer(it.key());
+        match vt {
+            ValueType::Value => LookupResult::Found(it.value().to_vec()),
+            ValueType::Deletion => LookupResult::Deleted,
+        }
+    }
+
+    /// Iterator over internal entries in sorted order.
+    pub fn iter(&self) -> MemTableIter<'_> {
+        MemTableIter { inner: self.list.iter() }
+    }
+}
+
+/// Iterator over a memtable's internal entries.
+pub struct MemTableIter<'a> {
+    inner: SkipListIter<'a>,
+}
+
+impl MemTableIter<'_> {
+    /// Whether positioned at an entry.
+    pub fn valid(&self) -> bool {
+        self.inner.valid()
+    }
+
+    /// Positions at the first entry.
+    pub fn seek_to_first(&mut self) {
+        self.inner.seek_to_first();
+    }
+
+    /// Positions at the first entry with internal key >= `target`.
+    pub fn seek(&mut self, target: &[u8]) {
+        self.inner.seek(target);
+    }
+
+    /// Advances.
+    pub fn next(&mut self) {
+        self.inner.next();
+    }
+
+    /// Current internal key.
+    pub fn key(&self) -> &[u8] {
+        self.inner.key()
+    }
+
+    /// Current value (empty for tombstones).
+    pub fn value(&self) -> &[u8] {
+        self.inner.value()
+    }
+}
+
+/// Checks memtable iteration order in tests and debug assertions.
+pub fn assert_sorted(mem: &MemTable) {
+    let mut it = mem.iter();
+    it.seek_to_first();
+    let mut prev: Option<Vec<u8>> = None;
+    while it.valid() {
+        if let Some(p) = &prev {
+            assert!(
+                compare_internal_keys(p, it.key()).is_lt(),
+                "memtable out of order"
+            );
+        }
+        prev = Some(it.key().to_vec());
+        it.next();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_returns_latest_visible_version() {
+        let mut mem = MemTable::new(1);
+        mem.add(1, ValueType::Value, b"k", b"v1");
+        mem.add(5, ValueType::Value, b"k", b"v2");
+        assert_eq!(mem.get(b"k", 100), LookupResult::Found(b"v2".to_vec()));
+        // A snapshot between the two versions sees the old value.
+        assert_eq!(mem.get(b"k", 3), LookupResult::Found(b"v1".to_vec()));
+        // A snapshot before the first write sees nothing.
+        assert_eq!(mem.get(b"k", 0), LookupResult::NotFound);
+    }
+
+    #[test]
+    fn tombstones_shadow_older_values() {
+        let mut mem = MemTable::new(1);
+        mem.add(1, ValueType::Value, b"k", b"v");
+        mem.add(2, ValueType::Deletion, b"k", b"");
+        assert_eq!(mem.get(b"k", 100), LookupResult::Deleted);
+        assert_eq!(mem.get(b"k", 1), LookupResult::Found(b"v".to_vec()));
+    }
+
+    #[test]
+    fn unknown_key_is_not_found() {
+        let mut mem = MemTable::new(1);
+        mem.add(1, ValueType::Value, b"a", b"v");
+        assert_eq!(mem.get(b"b", 100), LookupResult::NotFound);
+        // Prefix of an existing key is a different key.
+        assert_eq!(mem.get(b"", 100), LookupResult::NotFound);
+    }
+
+    #[test]
+    fn iterator_walks_all_versions_sorted() {
+        let mut mem = MemTable::new(1);
+        mem.add(3, ValueType::Value, b"b", b"b3");
+        mem.add(1, ValueType::Value, b"a", b"a1");
+        mem.add(2, ValueType::Deletion, b"a", b"");
+        assert_sorted(&mem);
+        let mut it = mem.iter();
+        it.seek_to_first();
+        // a@2 (deletion, newer) precedes a@1, then b@3.
+        assert_eq!(user_key(it.key()), b"a");
+        assert_eq!(parse_trailer(it.key()), (2, ValueType::Deletion));
+        it.next();
+        assert_eq!(parse_trailer(it.key()), (1, ValueType::Value));
+        it.next();
+        assert_eq!(user_key(it.key()), b"b");
+        it.next();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn approximate_bytes_grows() {
+        let mut mem = MemTable::new(1);
+        let before = mem.approximate_bytes();
+        mem.add(1, ValueType::Value, b"key", &vec![0u8; 1000]);
+        assert!(mem.approximate_bytes() >= before + 1000);
+        assert_eq!(mem.len(), 1);
+        assert!(!mem.is_empty());
+    }
+}

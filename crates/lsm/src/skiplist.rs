@@ -1,0 +1,283 @@
+//! An arena-backed skiplist keyed by internal keys.
+//!
+//! This is the memtable's core ordered structure. It is insert-only (the
+//! memtable never deletes in place; tombstones are ordinary entries) which
+//! lets us use a simple index-based arena with no `unsafe`.
+
+use std::cmp::Ordering;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::compare_internal_keys;
+
+const MAX_HEIGHT: usize = 12;
+const BRANCHING: u32 = 4;
+/// Sentinel "null pointer" in the arena.
+const NIL: u32 = u32::MAX;
+
+struct Node {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    /// next[h] = arena index of the successor at height h.
+    next: Vec<u32>,
+}
+
+/// Insert-only skiplist ordered by [`compare_internal_keys`].
+pub struct SkipList {
+    /// `arena[0]` is the head sentinel (empty key, full height).
+    arena: Vec<Node>,
+    height: usize,
+    rng: SmallRng,
+    len: usize,
+    approximate_bytes: usize,
+}
+
+impl SkipList {
+    /// Creates an empty list. `seed` keeps runs deterministic.
+    pub fn new(seed: u64) -> Self {
+        let head = Node {
+            key: Vec::new(),
+            value: Vec::new(),
+            next: vec![NIL; MAX_HEIGHT],
+        };
+        Self {
+            arena: vec![head],
+            height: 1,
+            rng: SmallRng::seed_from_u64(seed),
+            len: 0,
+            approximate_bytes: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rough memory footprint of stored keys+values plus per-node overhead;
+    /// used for the memtable flush threshold.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approximate_bytes
+    }
+
+    fn random_height(&mut self) -> usize {
+        let mut h = 1;
+        while h < MAX_HEIGHT && self.rng.gen_ratio(1, BRANCHING) {
+            h += 1;
+        }
+        h
+    }
+
+    fn key_is_after_node(&self, key: &[u8], node: u32) -> bool {
+        node != NIL && compare_internal_keys(&self.arena[node as usize].key, key) == Ordering::Less
+    }
+
+    /// Finds the node >= `key`, filling `prev` with the predecessor at every
+    /// height. Returns the arena index or `NIL`.
+    fn find_greater_or_equal(&self, key: &[u8], mut prev: Option<&mut [u32; MAX_HEIGHT]>) -> u32 {
+        let mut x = 0u32; // head
+        let mut level = self.height - 1;
+        loop {
+            let next = self.arena[x as usize].next[level];
+            if self.key_is_after_node(key, next) {
+                x = next;
+            } else {
+                if let Some(prev) = prev.as_deref_mut() {
+                    prev[level] = x;
+                }
+                if level == 0 {
+                    return next;
+                }
+                level -= 1;
+            }
+        }
+    }
+
+    /// Inserts `key -> value`. Keys must be unique (internal keys carry a
+    /// unique sequence number, so the memtable guarantees this).
+    pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        let mut prev = [NIL; MAX_HEIGHT];
+        let found = self.find_greater_or_equal(&key, Some(&mut prev));
+        debug_assert!(
+            found == NIL
+                || compare_internal_keys(&self.arena[found as usize].key, &key) != Ordering::Equal,
+            "duplicate internal key inserted"
+        );
+        let height = self.random_height();
+        if height > self.height {
+            for p in prev.iter_mut().take(height).skip(self.height) {
+                *p = 0; // head
+            }
+            self.height = height;
+        }
+        self.approximate_bytes += key.len() + value.len() + 32;
+        let idx = self.arena.len() as u32;
+        let mut next = vec![NIL; height];
+        for (h, slot) in next.iter_mut().enumerate() {
+            *slot = self.arena[prev[h] as usize].next[h];
+        }
+        self.arena.push(Node { key, value, next });
+        // Indexing both `prev` and the per-node towers by height is the
+        // clearest form here.
+        #[allow(clippy::needless_range_loop)]
+        for h in 0..height {
+            self.arena[prev[h] as usize].next[h] = idx;
+        }
+        self.len += 1;
+    }
+
+    /// Iterator positioned before the first entry.
+    pub fn iter(&self) -> SkipListIter<'_> {
+        SkipListIter { list: self, node: NIL }
+    }
+}
+
+/// Cursor over a [`SkipList`].
+pub struct SkipListIter<'a> {
+    list: &'a SkipList,
+    node: u32,
+}
+
+impl<'a> SkipListIter<'a> {
+    /// Whether the cursor points at an entry.
+    pub fn valid(&self) -> bool {
+        self.node != NIL
+    }
+
+    /// Positions at the first entry.
+    pub fn seek_to_first(&mut self) {
+        self.node = self.list.arena[0].next[0];
+    }
+
+    /// Positions at the first entry with key >= `target` (internal key).
+    pub fn seek(&mut self, target: &[u8]) {
+        self.node = self.list.find_greater_or_equal(target, None);
+    }
+
+    /// Advances to the next entry.
+    pub fn next(&mut self) {
+        debug_assert!(self.valid());
+        self.node = self.list.arena[self.node as usize].next[0];
+    }
+
+    /// Current internal key.
+    pub fn key(&self) -> &'a [u8] {
+        debug_assert!(self.valid());
+        &self.list.arena[self.node as usize].key
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &'a [u8] {
+        debug_assert!(self.valid());
+        &self.list.arena[self.node as usize].value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{encode_internal_key, ValueType};
+
+    fn ik(key: &[u8], seq: u64) -> Vec<u8> {
+        encode_internal_key(key, seq, ValueType::Value)
+    }
+
+    #[test]
+    fn empty_list() {
+        let list = SkipList::new(7);
+        assert!(list.is_empty());
+        assert_eq!(list.len(), 0);
+        let mut it = list.iter();
+        it.seek_to_first();
+        assert!(!it.valid());
+        it.seek(&ik(b"x", 1));
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn insert_and_scan_in_order() {
+        let mut list = SkipList::new(7);
+        // Insert in shuffled order; iteration must be sorted.
+        for (i, k) in [b"d", b"a", b"c", b"e", b"b"].iter().enumerate() {
+            list.insert(ik(*k, i as u64 + 1), k.to_vec());
+        }
+        assert_eq!(list.len(), 5);
+        let mut it = list.iter();
+        it.seek_to_first();
+        let mut seen = Vec::new();
+        while it.valid() {
+            seen.push(crate::types::user_key(it.key()).to_vec());
+            it.next();
+        }
+        assert_eq!(seen, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec(), b"e".to_vec()]);
+    }
+
+    #[test]
+    fn same_user_key_orders_by_descending_sequence() {
+        let mut list = SkipList::new(7);
+        list.insert(ik(b"k", 1), b"old".to_vec());
+        list.insert(ik(b"k", 9), b"new".to_vec());
+        list.insert(ik(b"k", 5), b"mid".to_vec());
+        let mut it = list.iter();
+        it.seek_to_first();
+        assert_eq!(it.value(), b"new");
+        it.next();
+        assert_eq!(it.value(), b"mid");
+        it.next();
+        assert_eq!(it.value(), b"old");
+    }
+
+    #[test]
+    fn seek_finds_first_at_or_after() {
+        let mut list = SkipList::new(7);
+        for k in [b"b", b"d", b"f"] {
+            list.insert(ik(k, 1), vec![]);
+        }
+        let mut it = list.iter();
+        // Seek with a high sequence number: positions at (b,1) because higher
+        // seq sorts before lower seq for the same user key.
+        it.seek(&ik(b"b", 100));
+        assert!(it.valid());
+        assert_eq!(crate::types::user_key(it.key()), b"b");
+        it.seek(&ik(b"c", 100));
+        assert_eq!(crate::types::user_key(it.key()), b"d");
+        it.seek(&ik(b"g", 100));
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn large_insert_stays_sorted() {
+        let mut list = SkipList::new(42);
+        let mut keys: Vec<u64> = (0..2000).collect();
+        // Deterministic shuffle via multiplication by an odd constant.
+        keys.sort_by_key(|k| k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        for (seq, k) in keys.iter().enumerate() {
+            list.insert(ik(&k.to_be_bytes(), seq as u64 + 1), vec![0u8; 8]);
+        }
+        assert_eq!(list.len(), 2000);
+        let mut it = list.iter();
+        it.seek_to_first();
+        let mut prev: Option<Vec<u8>> = None;
+        let mut count = 0;
+        while it.valid() {
+            if let Some(p) = &prev {
+                assert_eq!(
+                    compare_internal_keys(p, it.key()),
+                    Ordering::Less,
+                    "out of order at {count}"
+                );
+            }
+            prev = Some(it.key().to_vec());
+            count += 1;
+            it.next();
+        }
+        assert_eq!(count, 2000);
+        assert!(list.approximate_bytes() > 2000 * 16);
+    }
+}

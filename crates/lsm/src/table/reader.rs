@@ -1,0 +1,549 @@
+//! SSTable reading.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use ldc_ssd::{IoClass, StorageBackend};
+
+use crate::block::{Block, BlockIter};
+use crate::cache::BlockCache;
+use crate::crc32c;
+use crate::error::{corruption, Error, Result};
+use crate::filter::BloomFilter;
+use crate::table::{decode_footer, BlockHandle, BLOCK_TRAILER_SIZE, FOOTER_SIZE};
+use crate::types::{
+    encode_internal_key, parse_trailer, user_key, KeyRange, SequenceNumber, ValueType,
+    MAX_SEQUENCE, TYPE_FOR_SEEK,
+};
+
+/// An open SSTable: pinned index + Bloom filter, data blocks via the cache.
+pub struct Table {
+    storage: Arc<dyn StorageBackend>,
+    name: String,
+    file_number: u64,
+    size: u64,
+    index: Block,
+    filter: BloomFilter,
+    cache: Arc<BlockCache>,
+}
+
+impl Table {
+    /// Opens `name`, reading footer, index, and filter (charged as
+    /// [`IoClass::Other`] metadata traffic).
+    pub fn open(
+        storage: Arc<dyn StorageBackend>,
+        name: impl Into<String>,
+        file_number: u64,
+        cache: Arc<BlockCache>,
+    ) -> Result<Arc<Table>> {
+        let name = name.into();
+        let size = storage.size(&name)?;
+        if size < FOOTER_SIZE as u64 {
+            return Err(corruption(format!("table {name} shorter than footer")));
+        }
+        let footer = storage.read(
+            &name,
+            size - FOOTER_SIZE as u64,
+            FOOTER_SIZE as u64,
+            IoClass::Other,
+        )?;
+        let (filter_handle, index_handle) = decode_footer(&footer)?;
+        let index_bytes =
+            read_verified_block(storage.as_ref(), &name, index_handle, IoClass::Other)?;
+        let index = Block::new(index_bytes)?;
+        let filter_bytes =
+            read_verified_block(storage.as_ref(), &name, filter_handle, IoClass::Other)?;
+        let filter = BloomFilter::from_bytes(filter_bytes.to_vec());
+        Ok(Arc::new(Table {
+            storage,
+            name,
+            file_number,
+            size,
+            index,
+            filter,
+            cache,
+        }))
+    }
+
+    /// File name backing this table.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// File number backing this table.
+    pub fn file_number(&self) -> u64 {
+        self.file_number
+    }
+
+    /// File size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Bloom filter check; `false` means the key is definitely absent.
+    pub fn may_contain(&self, ukey: &[u8]) -> bool {
+        self.filter.may_contain(ukey)
+    }
+
+    /// Size of the table's Bloom filter in bytes (Fig 13).
+    pub fn filter_size(&self) -> usize {
+        self.filter.size_bytes()
+    }
+
+    /// Point lookup: the newest version of `ukey` with sequence <=
+    /// `snapshot`, or `None`. The Bloom filter is consulted first.
+    pub fn get(
+        &self,
+        ukey: &[u8],
+        snapshot: SequenceNumber,
+        class: IoClass,
+    ) -> Result<Option<(SequenceNumber, ValueType, Vec<u8>)>> {
+        if !self.filter.may_contain(ukey) {
+            return Ok(None);
+        }
+        let probe = encode_internal_key(ukey, snapshot, TYPE_FOR_SEEK);
+        let mut index_iter = self.index.iter();
+        index_iter.seek(&probe);
+        if !index_iter.valid() {
+            return Ok(None);
+        }
+        let (handle, _) = BlockHandle::decode_from(index_iter.value())?;
+        let block = self.read_data_block(handle, class)?;
+        let mut it = block.iter();
+        it.seek(&probe);
+        if it.valid() && user_key(it.key()) == ukey {
+            let (seq, vt) = parse_trailer(it.key());
+            return Ok(Some((seq, vt, it.value().to_vec())));
+        }
+        Ok(None)
+    }
+
+    /// Iterator over the whole table.
+    pub fn iter(self: &Arc<Self>, class: IoClass) -> TableIter {
+        self.range_iter(KeyRange::all(), class)
+    }
+
+    /// Iterator restricted to a user-key range (the slice read path).
+    pub fn range_iter(self: &Arc<Self>, range: KeyRange, class: IoClass) -> TableIter {
+        TableIter {
+            table: Arc::clone(self),
+            class,
+            index_iter: self.index.iter(),
+            data_iter: None,
+            range,
+            error: None,
+            exhausted: false,
+        }
+    }
+
+    /// Integrity check: walks the index and re-reads every data block,
+    /// verifying each CRC and the key ordering inside and across blocks.
+    /// Returns the number of entries verified.
+    pub fn verify(&self, class: IoClass) -> Result<u64> {
+        let mut index_iter = self.index.iter();
+        index_iter.seek_to_first();
+        let mut entries = 0u64;
+        let mut prev: Option<Vec<u8>> = None;
+        while index_iter.valid() {
+            let (handle, _) = BlockHandle::decode_from(index_iter.value())?;
+            let block =
+                read_verified_block(self.storage.as_ref(), &self.name, handle, class)
+                    .and_then(Block::new)?;
+            let mut it = block.iter();
+            it.seek_to_first();
+            while it.valid() {
+                if let Some(p) = &prev {
+                    if crate::types::compare_internal_keys(p, it.key()).is_ge() {
+                        return Err(corruption(format!(
+                            "table {} keys out of order",
+                            self.name
+                        )));
+                    }
+                }
+                prev = Some(it.key().to_vec());
+                entries += 1;
+                it.next();
+            }
+            index_iter.next();
+        }
+        Ok(entries)
+    }
+
+    fn read_data_block(&self, handle: BlockHandle, class: IoClass) -> Result<Block> {
+        self.read_data_block_inner(handle, class, false)
+    }
+
+    fn read_data_block_inner(
+        &self,
+        handle: BlockHandle,
+        class: IoClass,
+        sequential: bool,
+    ) -> Result<Block> {
+        self.cache.get_or_load((self.file_number, handle.offset), || {
+            let bytes = read_block_bytes(self.storage.as_ref(), &self.name, handle, class, sequential)?;
+            Block::new(bytes)
+        })
+    }
+}
+
+/// Reads a block plus trailer and verifies its CRC.
+fn read_verified_block(
+    storage: &dyn StorageBackend,
+    name: &str,
+    handle: BlockHandle,
+    class: IoClass,
+) -> Result<Bytes> {
+    read_block_bytes(storage, name, handle, class, false)
+}
+
+/// Reads a block plus trailer (optionally as a sequential-stream
+/// continuation) and verifies its CRC.
+fn read_block_bytes(
+    storage: &dyn StorageBackend,
+    name: &str,
+    handle: BlockHandle,
+    class: IoClass,
+    sequential: bool,
+) -> Result<Bytes> {
+    let len = handle.size + BLOCK_TRAILER_SIZE as u64;
+    let raw = if sequential {
+        storage.read_sequential(name, handle.offset, len, class)?
+    } else {
+        storage.read(name, handle.offset, len, class)?
+    };
+    let payload = &raw[..handle.size as usize];
+    let trailer = &raw[handle.size as usize..];
+    let compression = trailer[0];
+    if compression != 0 {
+        return Err(corruption(format!("unsupported compression tag {compression}")));
+    }
+    let stored = u32::from_le_bytes(trailer[1..5].try_into().expect("4 bytes"));
+    let actual = crc32c::extend(crc32c::crc32c(payload), &[compression]);
+    if crc32c::unmask(stored) != actual {
+        return Err(corruption(format!("block crc mismatch in {name}")));
+    }
+    Ok(raw.slice(0..handle.size as usize))
+}
+
+/// Two-level iterator (index block -> data blocks), optionally bounded to a
+/// user-key range.
+pub struct TableIter {
+    table: Arc<Table>,
+    class: IoClass,
+    index_iter: BlockIter,
+    data_iter: Option<BlockIter>,
+    range: KeyRange,
+    error: Option<Error>,
+    /// Set once the exclusive upper bound is crossed; `next` is then a no-op.
+    exhausted: bool,
+}
+
+impl TableIter {
+    /// Whether positioned at an entry inside the range.
+    pub fn valid(&self) -> bool {
+        self.error.is_none()
+            && !self.exhausted
+            && self
+                .data_iter
+                .as_ref()
+                .map(|it| it.valid())
+                .unwrap_or(false)
+    }
+
+    /// Any I/O or corruption error hit while iterating.
+    pub fn status(&self) -> Result<()> {
+        match &self.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Positions at the first entry of the range.
+    pub fn seek_to_first(&mut self) {
+        self.exhausted = false;
+        if self.range.lo.is_empty() {
+            self.index_iter.seek_to_first();
+            self.init_data_block(false);
+            if let Some(it) = self.data_iter.as_mut() {
+                it.seek_to_first();
+            }
+            self.skip_empty_blocks_forward();
+            self.enforce_upper_bound();
+        } else {
+            let probe = encode_internal_key(&self.range.lo.clone(), MAX_SEQUENCE, TYPE_FOR_SEEK);
+            self.seek(&probe);
+        }
+    }
+
+    /// Positions at the first entry >= `target` (internal key) within range.
+    pub fn seek(&mut self, target: &[u8]) {
+        self.exhausted = false;
+        // A target at or past the exclusive upper bound cannot match: skip
+        // the index/block reads entirely (this keeps slice iterators whose
+        // range lies left of a scan's start from costing any I/O).
+        if let Some(hi) = self.range.hi.as_deref() {
+            if user_key(target) >= hi {
+                self.exhausted = true;
+                self.data_iter = None;
+                return;
+            }
+        }
+        // Clamp to the range's lower bound.
+        let lo_probe;
+        let target = if user_key(target) < self.range.lo.as_slice() {
+            lo_probe = encode_internal_key(&self.range.lo, MAX_SEQUENCE, TYPE_FOR_SEEK);
+            lo_probe.as_slice()
+        } else {
+            target
+        };
+        self.index_iter.seek(target);
+        self.init_data_block(false);
+        if let Some(it) = self.data_iter.as_mut() {
+            it.seek(target);
+        }
+        self.skip_empty_blocks_forward();
+        self.enforce_upper_bound();
+    }
+
+    /// Advances to the next entry within range.
+    pub fn next(&mut self) {
+        if self.exhausted || self.error.is_some() {
+            return;
+        }
+        if let Some(it) = self.data_iter.as_mut() {
+            if it.valid() {
+                it.next();
+            }
+        }
+        self.skip_empty_blocks_forward();
+        self.enforce_upper_bound();
+    }
+
+    /// Current internal key.
+    pub fn key(&self) -> &[u8] {
+        self.data_iter.as_ref().expect("valid iterator").key()
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &[u8] {
+        self.data_iter.as_ref().expect("valid iterator").value()
+    }
+
+    fn init_data_block(&mut self, sequential: bool) {
+        self.data_iter = None;
+        if !self.index_iter.valid() {
+            return;
+        }
+        match BlockHandle::decode_from(self.index_iter.value())
+            .and_then(|(h, _)| self.table.read_data_block_inner(h, self.class, sequential))
+        {
+            Ok(block) => self.data_iter = Some(block.iter()),
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// While the data iterator is exhausted, move to the next data block.
+    fn skip_empty_blocks_forward(&mut self) {
+        loop {
+            if self.error.is_some() {
+                return;
+            }
+            match self.data_iter.as_ref() {
+                Some(it) if it.valid() => return,
+                _ => {}
+            }
+            if !self.index_iter.valid() {
+                self.data_iter = None;
+                return;
+            }
+            self.index_iter.next();
+            if !self.index_iter.valid() {
+                self.data_iter = None;
+                return;
+            }
+            self.init_data_block(true);
+            if let Some(it) = self.data_iter.as_mut() {
+                it.seek_to_first();
+            }
+        }
+    }
+
+    /// Marks the iterator exhausted once it crosses the upper bound.
+    fn enforce_upper_bound(&mut self) {
+        if let (Some(hi), Some(it)) = (self.range.hi.as_deref(), self.data_iter.as_ref()) {
+            if it.valid() && user_key(it.key()) >= hi {
+                self.exhausted = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::builder::TableBuilder;
+    use ldc_ssd::{MemStorage, SsdConfig, SsdDevice};
+
+    fn ik(key: &[u8], seq: u64) -> Vec<u8> {
+        encode_internal_key(key, seq, ValueType::Value)
+    }
+
+    fn build_table(n: usize) -> (Arc<MemStorage>, Arc<Table>) {
+        let storage = MemStorage::new(SsdDevice::new(SsdConfig::tiny_for_tests()));
+        let mut b = TableBuilder::new(512, 4, 10);
+        for i in 0..n {
+            b.add(
+                &ik(format!("key{i:05}").as_bytes(), 1),
+                format!("value{i}").as_bytes(),
+            );
+        }
+        let finished = b.finish();
+        storage
+            .write_file("000001.sst", &finished.bytes, IoClass::FlushWrite)
+            .unwrap();
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        let table = Table::open(storage.clone(), "000001.sst", 1, cache).unwrap();
+        (storage, table)
+    }
+
+    #[test]
+    fn point_lookups_hit_and_miss() {
+        let (_s, table) = build_table(500);
+        let hit = table.get(b"key00042", MAX_SEQUENCE, IoClass::UserRead).unwrap();
+        let (seq, vt, value) = hit.unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(vt, ValueType::Value);
+        assert_eq!(value, b"value42");
+        assert!(table
+            .get(b"nokey", MAX_SEQUENCE, IoClass::UserRead)
+            .unwrap()
+            .is_none());
+        // Key beyond the table's range.
+        assert!(table
+            .get(b"zzz", MAX_SEQUENCE, IoClass::UserRead)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn snapshot_visibility_in_tables() {
+        let storage = MemStorage::new(SsdDevice::new(SsdConfig::tiny_for_tests()));
+        let mut b = TableBuilder::new(512, 4, 10);
+        // Newest first within a user key.
+        b.add(&encode_internal_key(b"k", 9, ValueType::Value), b"new");
+        b.add(&encode_internal_key(b"k", 4, ValueType::Deletion), b"");
+        b.add(&encode_internal_key(b"k", 2, ValueType::Value), b"old");
+        let finished = b.finish();
+        storage.write_file("t.sst", &finished.bytes, IoClass::FlushWrite).unwrap();
+        let table = Table::open(storage, "t.sst", 1, Arc::new(BlockCache::new(1 << 20))).unwrap();
+
+        let (seq, vt, v) = table.get(b"k", 100, IoClass::UserRead).unwrap().unwrap();
+        assert_eq!((seq, vt, v.as_slice()), (9, ValueType::Value, &b"new"[..]));
+        let (seq, vt, _) = table.get(b"k", 5, IoClass::UserRead).unwrap().unwrap();
+        assert_eq!((seq, vt), (4, ValueType::Deletion));
+        let (seq, _, v) = table.get(b"k", 2, IoClass::UserRead).unwrap().unwrap();
+        assert_eq!((seq, v.as_slice()), (2, &b"old"[..]));
+    }
+
+    #[test]
+    fn full_iteration_in_order() {
+        let (_s, table) = build_table(300);
+        let mut it = table.iter(IoClass::UserRead);
+        it.seek_to_first();
+        let mut count = 0;
+        let mut prev: Option<Vec<u8>> = None;
+        while it.valid() {
+            if let Some(p) = &prev {
+                assert!(crate::types::compare_internal_keys(p, it.key()).is_lt());
+            }
+            prev = Some(it.key().to_vec());
+            count += 1;
+            it.next();
+        }
+        assert_eq!(count, 300);
+        it.status().unwrap();
+    }
+
+    #[test]
+    fn seek_positions_across_blocks() {
+        let (_s, table) = build_table(300);
+        let mut it = table.iter(IoClass::UserRead);
+        it.seek(&encode_internal_key(b"key00150", MAX_SEQUENCE, TYPE_FOR_SEEK));
+        assert!(it.valid());
+        assert_eq!(user_key(it.key()), b"key00150");
+        it.seek(&ik(b"key00150x", MAX_SEQUENCE));
+        assert_eq!(user_key(it.key()), b"key00151");
+        it.seek(&ik(b"zzz", MAX_SEQUENCE));
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn range_iterator_honors_bounds() {
+        let (_s, table) = build_table(300);
+        let range = KeyRange::new(&b"key00100"[..], &b"key00110"[..]);
+        let mut it = table.range_iter(range, IoClass::UserRead);
+        it.seek_to_first();
+        let mut seen = Vec::new();
+        while it.valid() {
+            seen.push(user_key(it.key()).to_vec());
+            it.next();
+        }
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen.first().unwrap().as_slice(), b"key00100");
+        assert_eq!(seen.last().unwrap().as_slice(), b"key00109");
+    }
+
+    #[test]
+    fn range_iterator_clamps_seeks_below_lo() {
+        let (_s, table) = build_table(300);
+        let range = KeyRange::new(&b"key00100"[..], &b"key00110"[..]);
+        let mut it = table.range_iter(range, IoClass::UserRead);
+        it.seek(&ik(b"key00000", MAX_SEQUENCE));
+        assert!(it.valid());
+        assert_eq!(user_key(it.key()), b"key00100");
+    }
+
+    #[test]
+    fn bloom_filter_skips_block_reads() {
+        let (s, table) = build_table(300);
+        let reads_before = s.device().io_stats().total_read_bytes();
+        for i in 0..100 {
+            let key = format!("absent{i:05}");
+            let r = table
+                .get(key.as_bytes(), MAX_SEQUENCE, IoClass::UserRead)
+                .unwrap();
+            assert!(r.is_none());
+        }
+        let reads_after = s.device().io_stats().total_read_bytes();
+        // With ~1% fp rate, at most a couple of the 100 probes read a block.
+        assert!(
+            reads_after - reads_before < 5 * 512,
+            "bloom should avoid almost all reads: {}",
+            reads_after - reads_before
+        );
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let storage = MemStorage::new(SsdDevice::new(SsdConfig::tiny_for_tests()));
+        let mut b = TableBuilder::new(512, 4, 10);
+        for i in 0..50 {
+            b.add(&ik(format!("k{i:03}").as_bytes(), 1), b"v");
+        }
+        let finished = b.finish();
+        let mut bytes = finished.bytes;
+        // Corrupt a byte inside the first data block.
+        bytes[5] ^= 0xff;
+        storage.write_file("bad.sst", &bytes, IoClass::FlushWrite).unwrap();
+        let table =
+            Table::open(storage, "bad.sst", 1, Arc::new(BlockCache::new(0))).unwrap();
+        let err = table.get(b"k000", MAX_SEQUENCE, IoClass::UserRead);
+        assert!(matches!(err, Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn missing_file_fails_to_open() {
+        let storage = MemStorage::new(SsdDevice::new(SsdConfig::tiny_for_tests()));
+        assert!(Table::open(storage, "nope.sst", 1, Arc::new(BlockCache::new(0))).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Internal key representation.
+//!
+//! Identical to LevelDB's scheme: an *internal key* is the user key followed
+//! by an 8-byte little-endian trailer packing `(sequence << 8) | value_type`.
+//! Internal keys order by user key ascending, then sequence descending, then
+//! type descending — so the newest visible version of a key sorts first.
+
+use std::cmp::Ordering;
+
+/// Monotonically increasing write sequence number (56 usable bits).
+pub type SequenceNumber = u64;
+
+/// Largest representable sequence number.
+pub const MAX_SEQUENCE: SequenceNumber = (1 << 56) - 1;
+
+/// Kind of an internal entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ValueType {
+    /// A tombstone.
+    Deletion = 0,
+    /// A live value.
+    Value = 1,
+}
+
+impl ValueType {
+    /// Decodes from the trailer's low byte.
+    pub fn from_u8(v: u8) -> Option<ValueType> {
+        match v {
+            0 => Some(ValueType::Deletion),
+            1 => Some(ValueType::Value),
+            _ => None,
+        }
+    }
+}
+
+/// When seeking, we want all entries with sequence <= the snapshot; since
+/// sequences sort descending, the probe uses the highest type value.
+pub const TYPE_FOR_SEEK: ValueType = ValueType::Value;
+
+/// Builds an internal key: `user_key . fixed64(seq << 8 | type)`.
+pub fn encode_internal_key(user_key: &[u8], seq: SequenceNumber, vt: ValueType) -> Vec<u8> {
+    debug_assert!(seq <= MAX_SEQUENCE);
+    let mut out = Vec::with_capacity(user_key.len() + 8);
+    out.extend_from_slice(user_key);
+    out.extend_from_slice(&((seq << 8) | vt as u64).to_le_bytes());
+    out
+}
+
+/// The user-key prefix of an internal key.
+pub fn user_key(internal_key: &[u8]) -> &[u8] {
+    debug_assert!(internal_key.len() >= 8, "internal key too short");
+    &internal_key[..internal_key.len() - 8]
+}
+
+/// The `(sequence, type)` trailer of an internal key.
+pub fn parse_trailer(internal_key: &[u8]) -> (SequenceNumber, ValueType) {
+    let n = internal_key.len();
+    debug_assert!(n >= 8);
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&internal_key[n - 8..]);
+    let packed = u64::from_le_bytes(b);
+    let vt = ValueType::from_u8((packed & 0xff) as u8).expect("invalid value type in trailer");
+    (packed >> 8, vt)
+}
+
+/// Total order over internal keys (user key asc, seq desc, type desc).
+pub fn compare_internal_keys(a: &[u8], b: &[u8]) -> Ordering {
+    match user_key(a).cmp(user_key(b)) {
+        Ordering::Equal => {
+            let (seq_a, vt_a) = parse_trailer(a);
+            let (seq_b, vt_b) = parse_trailer(b);
+            // Higher sequence sorts first; ties broken by higher type first.
+            seq_b.cmp(&seq_a).then((vt_b as u8).cmp(&(vt_a as u8)))
+        }
+        ord => ord,
+    }
+}
+
+/// An inclusive-exclusive user-key range `[lo, hi)`; `hi = None` means +inf.
+///
+/// Slice links (the LDC mechanism) and range scans both use this shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Inclusive lower bound.
+    pub lo: Vec<u8>,
+    /// Exclusive upper bound; `None` = unbounded.
+    pub hi: Option<Vec<u8>>,
+}
+
+impl KeyRange {
+    /// Range covering every key.
+    pub fn all() -> Self {
+        KeyRange { lo: Vec::new(), hi: None }
+    }
+
+    /// `[lo, hi)` with a concrete upper bound.
+    pub fn new(lo: impl Into<Vec<u8>>, hi: impl Into<Vec<u8>>) -> Self {
+        KeyRange { lo: lo.into(), hi: Some(hi.into()) }
+    }
+
+    /// `[lo, +inf)`.
+    pub fn from(lo: impl Into<Vec<u8>>) -> Self {
+        KeyRange { lo: lo.into(), hi: None }
+    }
+
+    /// Whether `key` falls inside the range.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        key >= self.lo.as_slice() && self.hi.as_deref().is_none_or(|hi| key < hi)
+    }
+
+    /// Whether this range overlaps the *closed* key span `[smallest, largest]`.
+    pub fn overlaps(&self, smallest: &[u8], largest: &[u8]) -> bool {
+        if largest < self.lo.as_slice() {
+            return false;
+        }
+        match self.hi.as_deref() {
+            Some(hi) => smallest < hi,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_and_parse_roundtrip() {
+        let ik = encode_internal_key(b"user", 42, ValueType::Value);
+        assert_eq!(user_key(&ik), b"user");
+        assert_eq!(parse_trailer(&ik), (42, ValueType::Value));
+        let ik = encode_internal_key(b"", MAX_SEQUENCE, ValueType::Deletion);
+        assert_eq!(user_key(&ik), b"");
+        assert_eq!(parse_trailer(&ik), (MAX_SEQUENCE, ValueType::Deletion));
+    }
+
+    #[test]
+    fn ordering_user_key_dominates() {
+        let a = encode_internal_key(b"a", 1, ValueType::Value);
+        let b = encode_internal_key(b"b", 100, ValueType::Value);
+        assert_eq!(compare_internal_keys(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn ordering_newer_sequence_sorts_first() {
+        let new = encode_internal_key(b"k", 10, ValueType::Value);
+        let old = encode_internal_key(b"k", 5, ValueType::Value);
+        assert_eq!(compare_internal_keys(&new, &old), Ordering::Less);
+    }
+
+    #[test]
+    fn ordering_type_breaks_sequence_ties() {
+        let v = encode_internal_key(b"k", 7, ValueType::Value);
+        let d = encode_internal_key(b"k", 7, ValueType::Deletion);
+        assert_eq!(compare_internal_keys(&v, &d), Ordering::Less);
+        assert_eq!(compare_internal_keys(&d, &v), Ordering::Greater);
+        assert_eq!(compare_internal_keys(&v, &v), Ordering::Equal);
+    }
+
+    #[test]
+    fn value_type_decoding() {
+        assert_eq!(ValueType::from_u8(0), Some(ValueType::Deletion));
+        assert_eq!(ValueType::from_u8(1), Some(ValueType::Value));
+        assert_eq!(ValueType::from_u8(2), None);
+    }
+
+    #[test]
+    fn key_range_contains_and_overlaps() {
+        let r = KeyRange::new(&b"b"[..], &b"d"[..]);
+        assert!(!r.contains(b"a"));
+        assert!(r.contains(b"b"));
+        assert!(r.contains(b"c"));
+        assert!(!r.contains(b"d"));
+        assert!(r.overlaps(b"a", b"b")); // touches lo
+        assert!(r.overlaps(b"c", b"z"));
+        assert!(!r.overlaps(b"d", b"z")); // hi is exclusive
+        assert!(!r.overlaps(b"a", b"az"));
+
+        let unbounded = KeyRange::from(&b"m"[..]);
+        assert!(unbounded.contains(b"zzz"));
+        assert!(!unbounded.contains(b"a"));
+        assert!(unbounded.overlaps(b"a", b"m"));
+        assert!(!unbounded.overlaps(b"a", b"l"));
+
+        let all = KeyRange::all();
+        assert!(all.contains(b""));
+        assert!(all.contains(b"anything"));
+        assert!(all.overlaps(b"a", b"b"));
+    }
+}

@@ -1,0 +1,326 @@
+//! Write-ahead log, LevelDB record format.
+//!
+//! The log is a sequence of 32 KiB blocks. Each record carries a masked
+//! CRC32C, a 16-bit length, and a type byte (`FULL`, or `FIRST`/`MIDDLE`/
+//! `LAST` for records spanning blocks). A block's unusable tail (< 7 bytes)
+//! is zero-padded. The same format backs both the WAL and the manifest.
+
+use std::sync::Arc;
+
+use ldc_ssd::{IoClass, StorageBackend};
+
+use crate::crc32c;
+use crate::error::{corruption, Error, Result};
+
+/// Log block size.
+pub const BLOCK_SIZE: usize = 32 * 1024;
+/// Record header: crc(4) + length(2) + type(1).
+pub const HEADER_SIZE: usize = 7;
+
+const FULL: u8 = 1;
+const FIRST: u8 = 2;
+const MIDDLE: u8 = 3;
+const LAST: u8 = 4;
+
+/// Appends length-prefixed, checksummed records to a log file.
+pub struct LogWriter {
+    storage: Arc<dyn StorageBackend>,
+    name: String,
+    class: IoClass,
+    block_offset: usize,
+}
+
+impl LogWriter {
+    /// Creates a writer for `name` (created on first append). `class` tags
+    /// the traffic (WAL vs manifest).
+    pub fn new(storage: Arc<dyn StorageBackend>, name: impl Into<String>, class: IoClass) -> Self {
+        Self {
+            storage,
+            name: name.into(),
+            class,
+            block_offset: 0,
+        }
+    }
+
+    /// File this writer appends to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one record (atomically recoverable as a unit).
+    pub fn add_record(&mut self, payload: &[u8]) -> Result<()> {
+        let mut left = payload;
+        let mut begin = true;
+        // A zero-length record still emits one FULL header.
+        loop {
+            let leftover = BLOCK_SIZE - self.block_offset;
+            if leftover < HEADER_SIZE {
+                if leftover > 0 {
+                    let zeros = vec![0u8; leftover];
+                    self.storage.append(&self.name, &zeros, self.class)?;
+                }
+                self.block_offset = 0;
+            }
+            let avail = BLOCK_SIZE - self.block_offset - HEADER_SIZE;
+            let fragment_len = left.len().min(avail);
+            let end = fragment_len == left.len();
+            let record_type = match (begin, end) {
+                (true, true) => FULL,
+                (true, false) => FIRST,
+                (false, true) => LAST,
+                (false, false) => MIDDLE,
+            };
+            self.emit(record_type, &left[..fragment_len])?;
+            left = &left[fragment_len..];
+            begin = false;
+            if end {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Durably flushes buffered pages (an `fsync`).
+    pub fn sync(&self) -> Result<()> {
+        self.storage.sync(&self.name)?;
+        Ok(())
+    }
+
+    fn emit(&mut self, record_type: u8, data: &[u8]) -> Result<()> {
+        let mut buf = Vec::with_capacity(HEADER_SIZE + data.len());
+        let crc = crc32c::mask(crc32c::extend(crc32c::crc32c(&[record_type]), data));
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(&(data.len() as u16).to_le_bytes());
+        buf.push(record_type);
+        buf.extend_from_slice(data);
+        self.storage.append(&self.name, &buf, self.class)?;
+        self.block_offset += buf.len();
+        debug_assert!(self.block_offset <= BLOCK_SIZE);
+        if self.block_offset == BLOCK_SIZE {
+            self.block_offset = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Reads records back, tolerating a truncated tail (crash recovery).
+pub struct LogReader {
+    data: Vec<u8>,
+    offset: usize,
+}
+
+impl LogReader {
+    /// Opens `name` and buffers its contents for replay.
+    pub fn open(storage: &dyn StorageBackend, name: &str) -> Result<Self> {
+        let data = storage.read_all(name, IoClass::Other)?;
+        Ok(Self {
+            data: data.to_vec(),
+            offset: 0,
+        })
+    }
+
+    /// Builds a reader over raw bytes (testing).
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        Self { data, offset: 0 }
+    }
+
+    /// Returns the next record, `Ok(None)` at a clean end of log, or an
+    /// error for mid-log corruption. A torn final record (crash during
+    /// append) is treated as end-of-log, matching LevelDB recovery.
+    pub fn read_record(&mut self) -> Result<Option<Vec<u8>>> {
+        let mut assembled: Option<Vec<u8>> = None;
+        loop {
+            let fragment = match self.read_physical_record()? {
+                Some(f) => f,
+                None => {
+                    return if assembled.is_none() {
+                        Ok(None)
+                    } else {
+                        // Torn multi-fragment record at the tail.
+                        Ok(None)
+                    };
+                }
+            };
+            match fragment.record_type {
+                FULL => {
+                    if assembled.is_some() {
+                        return Err(corruption("FULL record inside fragmented record"));
+                    }
+                    return Ok(Some(fragment.data));
+                }
+                FIRST => {
+                    if assembled.is_some() {
+                        return Err(corruption("FIRST record inside fragmented record"));
+                    }
+                    assembled = Some(fragment.data);
+                }
+                MIDDLE => match assembled.as_mut() {
+                    Some(buf) => buf.extend_from_slice(&fragment.data),
+                    None => return Err(corruption("MIDDLE record without FIRST")),
+                },
+                LAST => match assembled.take() {
+                    Some(mut buf) => {
+                        buf.extend_from_slice(&fragment.data);
+                        return Ok(Some(buf));
+                    }
+                    None => return Err(corruption("LAST record without FIRST")),
+                },
+                t => return Err(corruption(format!("unknown record type {t}"))),
+            }
+        }
+    }
+
+    /// Replays every record through `f`.
+    pub fn for_each(&mut self, mut f: impl FnMut(&[u8]) -> Result<()>) -> Result<()> {
+        while let Some(record) = self.read_record()? {
+            f(&record)?;
+        }
+        Ok(())
+    }
+
+    fn read_physical_record(&mut self) -> Result<Option<PhysicalRecord>> {
+        loop {
+            let block_remaining = BLOCK_SIZE - (self.offset % BLOCK_SIZE);
+            if block_remaining < HEADER_SIZE {
+                // Padding zone; skip to next block.
+                self.offset += block_remaining;
+                continue;
+            }
+            if self.offset + HEADER_SIZE > self.data.len() {
+                return Ok(None); // truncated tail
+            }
+            let header = &self.data[self.offset..self.offset + HEADER_SIZE];
+            let stored_crc = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+            let len = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes")) as usize;
+            let record_type = header[6];
+            if record_type == 0 && len == 0 && stored_crc == 0 {
+                // Zero padding written by a block switch; move to next block.
+                self.offset += block_remaining;
+                if self.offset >= self.data.len() {
+                    return Ok(None);
+                }
+                continue;
+            }
+            let data_start = self.offset + HEADER_SIZE;
+            let data_end = data_start + len;
+            if data_end > self.data.len() {
+                return Ok(None); // torn record at tail
+            }
+            let data = &self.data[data_start..data_end];
+            let actual = crc32c::extend(crc32c::crc32c(&[record_type]), data);
+            if crc32c::unmask(stored_crc) != actual {
+                return Err(Error::Corruption("log record crc mismatch".into()));
+            }
+            let record = PhysicalRecord {
+                record_type,
+                data: data.to_vec(),
+            };
+            self.offset = data_end;
+            return Ok(Some(record));
+        }
+    }
+}
+
+struct PhysicalRecord {
+    record_type: u8,
+    data: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldc_ssd::{MemStorage, SsdConfig, SsdDevice};
+
+    fn storage() -> Arc<MemStorage> {
+        MemStorage::new(SsdDevice::new(SsdConfig::tiny_for_tests()))
+    }
+
+    fn roundtrip(records: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let s = storage();
+        let mut w = LogWriter::new(s.clone(), "test.log", IoClass::WalWrite);
+        for r in records {
+            w.add_record(r).unwrap();
+        }
+        w.sync().unwrap();
+        let mut reader = LogReader::open(s.as_ref(), "test.log").unwrap();
+        let mut out = Vec::new();
+        while let Some(r) = reader.read_record().unwrap() {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn small_records_roundtrip() {
+        let records = vec![b"one".to_vec(), b"two".to_vec(), Vec::new(), b"four".to_vec()];
+        assert_eq!(roundtrip(&records), records);
+    }
+
+    #[test]
+    fn large_record_spans_blocks() {
+        let big = vec![0xabu8; BLOCK_SIZE * 3 + 123];
+        let records = vec![b"before".to_vec(), big.clone(), b"after".to_vec()];
+        assert_eq!(roundtrip(&records), records);
+    }
+
+    #[test]
+    fn records_filling_block_boundary() {
+        // Craft records so a header lands exactly at the block edge.
+        let first = vec![1u8; BLOCK_SIZE - HEADER_SIZE - HEADER_SIZE - 3];
+        let records = vec![first, b"abc".to_vec(), b"def".to_vec()];
+        assert_eq!(roundtrip(&records), records);
+    }
+
+    #[test]
+    fn torn_tail_is_end_of_log() {
+        let s = storage();
+        let mut w = LogWriter::new(s.clone(), "test.log", IoClass::WalWrite);
+        w.add_record(b"complete").unwrap();
+        w.add_record(&vec![7u8; 1000]).unwrap();
+        w.sync().unwrap();
+        let bytes = s.read_all("test.log", IoClass::Other).unwrap().to_vec();
+        // Chop the second record in half.
+        let truncated = bytes[..bytes.len() - 500].to_vec();
+        let mut reader = LogReader::from_bytes(truncated);
+        assert_eq!(reader.read_record().unwrap().unwrap(), b"complete");
+        assert_eq!(reader.read_record().unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_crc_is_detected() {
+        let s = storage();
+        let mut w = LogWriter::new(s.clone(), "test.log", IoClass::WalWrite);
+        w.add_record(b"payload-payload").unwrap();
+        w.sync().unwrap();
+        let mut bytes = s.read_all("test.log", IoClass::Other).unwrap().to_vec();
+        // Flip a payload byte without touching the header.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        let mut reader = LogReader::from_bytes(bytes);
+        assert!(matches!(reader.read_record(), Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let s = storage();
+        let mut w = LogWriter::new(s.clone(), "log", IoClass::WalWrite);
+        for i in 0..10u8 {
+            w.add_record(&[i]).unwrap();
+        }
+        let mut reader = LogReader::open(s.as_ref(), "log").unwrap();
+        let mut sum = 0u32;
+        reader
+            .for_each(|r| {
+                sum += u32::from(r[0]);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn empty_log_reads_cleanly() {
+        let mut reader = LogReader::from_bytes(Vec::new());
+        assert_eq!(reader.read_record().unwrap(), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! Device configuration.
+
+use crate::error::{SsdError, SsdResult};
+
+/// Parameters of the simulated SSD.
+///
+/// The defaults model an enterprise PCIe NVMe drive of the class the paper
+/// evaluated on (Memblaze Q520): fast reads, writes roughly 5x slower, 4 KiB
+/// pages, 256-page erase blocks, 7% over-provisioning, and a few thousand
+/// program/erase cycles of endurance per block.
+#[derive(Debug, Clone)]
+pub struct SsdConfig {
+    /// Usable (logical) capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Flash page size in bytes; the unit of reads and programs.
+    pub page_bytes: u64,
+    /// Pages per erase block; the unit of erases.
+    pub pages_per_block: u64,
+    /// Extra physical capacity reserved for garbage collection, as a
+    /// fraction of logical capacity (e.g. `0.07` = 7%).
+    pub over_provisioning: f64,
+    /// Sequential read bandwidth, bytes per second.
+    pub read_bandwidth: u64,
+    /// Sequential write (program) bandwidth, bytes per second.
+    pub write_bandwidth: u64,
+    /// Fixed setup latency charged per random read call, nanoseconds.
+    pub read_latency_ns: u64,
+    /// Setup latency for *sequential* reads (next block of a stream the
+    /// device/OS readahead already fetched), nanoseconds.
+    pub seq_read_latency_ns: u64,
+    /// Fixed setup latency charged per write call, nanoseconds.
+    pub write_latency_ns: u64,
+    /// Modelled kernel/file-system overhead charged per file metadata
+    /// operation (create/sync/delete/rename), nanoseconds.
+    pub fs_op_latency_ns: u64,
+    /// Modelled kernel overhead charged per read/write call (the syscall +
+    /// page-cache path), nanoseconds; booked to the file-system time
+    /// category (Table I).
+    pub syscall_overhead_ns: u64,
+    /// Program/erase cycles each block endures before wearing out.
+    pub endurance_cycles: u64,
+    /// Number of free blocks below which garbage collection kicks in.
+    pub gc_free_block_threshold: usize,
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        Self {
+            capacity_bytes: 8 << 30, // 8 GiB keeps simulated runs light
+            page_bytes: 4 << 10,
+            pages_per_block: 256,
+            over_provisioning: 0.07,
+            read_bandwidth: 2_000 << 20, // 2.0 GiB/s
+            write_bandwidth: 400 << 20,  // 0.4 GiB/s — 5x asymmetry
+            read_latency_ns: 60_000,     // 60 us (random 4 KiB class)
+            seq_read_latency_ns: 4_000,  // 4 us (readahead hit)
+            write_latency_ns: 20_000,    // 20 us
+            fs_op_latency_ns: 50_000,    // 50 us per metadata op
+            syscall_overhead_ns: 3_000,  // 3 us per I/O call
+            endurance_cycles: 5_000,
+            gc_free_block_threshold: 4,
+        }
+    }
+}
+
+impl SsdConfig {
+    /// A small device for unit tests: 4 MiB logical, 4 KiB pages, 16-page
+    /// blocks — enough to exercise GC quickly.
+    pub fn tiny_for_tests() -> Self {
+        Self {
+            capacity_bytes: 4 << 20,
+            page_bytes: 4 << 10,
+            pages_per_block: 16,
+            over_provisioning: 0.25,
+            gc_free_block_threshold: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Number of logical pages exposed by the device.
+    pub fn logical_pages(&self) -> u64 {
+        self.capacity_bytes / self.page_bytes
+    }
+
+    /// Number of physical erase blocks (logical capacity plus
+    /// over-provisioning, rounded up to whole blocks, plus one spare so GC
+    /// always has an open block to relocate into).
+    pub fn physical_blocks(&self) -> u64 {
+        let physical_bytes =
+            (self.capacity_bytes as f64 * (1.0 + self.over_provisioning)).ceil() as u64;
+        let block_bytes = self.page_bytes * self.pages_per_block;
+        physical_bytes.div_ceil(block_bytes) + 1
+    }
+
+    /// Bytes in one erase block.
+    pub fn block_bytes(&self) -> u64 {
+        self.page_bytes * self.pages_per_block
+    }
+
+    /// Validates internal consistency; called by [`crate::SsdDevice::new`].
+    pub fn validate(&self) -> SsdResult<()> {
+        if self.page_bytes == 0 || self.pages_per_block == 0 {
+            return Err(SsdError::InvalidArgument(
+                "page_bytes and pages_per_block must be nonzero".into(),
+            ));
+        }
+        if self.capacity_bytes < self.block_bytes() {
+            return Err(SsdError::InvalidArgument(
+                "capacity must hold at least one erase block".into(),
+            ));
+        }
+        if self.read_bandwidth == 0 || self.write_bandwidth == 0 {
+            return Err(SsdError::InvalidArgument(
+                "bandwidths must be nonzero".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.over_provisioning) {
+            return Err(SsdError::InvalidArgument(
+                "over_provisioning must be within [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SsdConfig::default().validate().unwrap();
+        SsdConfig::tiny_for_tests().validate().unwrap();
+    }
+
+    #[test]
+    fn geometry_math() {
+        let cfg = SsdConfig::tiny_for_tests();
+        assert_eq!(cfg.logical_pages(), (4 << 20) / (4 << 10));
+        assert_eq!(cfg.block_bytes(), 16 * (4 << 10));
+        // 4 MiB * 1.25 = 5 MiB = 80 blocks of 64 KiB, plus one spare.
+        assert_eq!(cfg.physical_blocks(), 81);
+    }
+
+    #[test]
+    fn physical_exceeds_logical() {
+        let cfg = SsdConfig::default();
+        let physical_pages = cfg.physical_blocks() * cfg.pages_per_block;
+        assert!(physical_pages > cfg.logical_pages());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = SsdConfig::tiny_for_tests();
+        cfg.page_bytes = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SsdConfig::tiny_for_tests();
+        cfg.read_bandwidth = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SsdConfig::tiny_for_tests();
+        cfg.over_provisioning = 2.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SsdConfig::tiny_for_tests();
+        cfg.capacity_bytes = 1;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Real-filesystem storage backend.
+//!
+//! [`DiskStorage`] persists files under a root directory on the host file
+//! system while still charging transfer time and traffic counters to the
+//! simulated device (so experiments stay comparable). The FTL page model is
+//! not exercised — the host's own storage stack owns physical placement —
+//! which makes this backend suitable for durability testing and for using
+//! the store as an actual embedded database, not for wear studies.
+
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::device::SsdDevice;
+use crate::error::{SsdError, SsdResult};
+use crate::stats::IoClass;
+use crate::storage::StorageBackend;
+
+/// Storage backend over a host directory.
+pub struct DiskStorage {
+    device: Arc<SsdDevice>,
+    root: PathBuf,
+}
+
+impl DiskStorage {
+    /// Opens (creating if needed) a backend rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>, device: Arc<SsdDevice>) -> SsdResult<Arc<Self>> {
+        let root = root.into();
+        fs::create_dir_all(&root)
+            .map_err(|e| SsdError::InvalidArgument(format!("create root: {e}")))?;
+        Ok(Arc::new(Self { device, root }))
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> SsdResult<PathBuf> {
+        // Flat namespace: reject separators so callers cannot escape root.
+        if name.is_empty() || name.contains('/') || name.contains('\\') || name.contains("..") {
+            return Err(SsdError::InvalidArgument(format!("bad file name {name:?}")));
+        }
+        Ok(self.root.join(name))
+    }
+
+    fn io_err(name: &str, e: std::io::Error) -> SsdError {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            SsdError::NotFound(name.to_string())
+        } else {
+            SsdError::InvalidArgument(format!("{name}: {e}"))
+        }
+    }
+}
+
+impl StorageBackend for DiskStorage {
+    fn write_file(&self, name: &str, data: &[u8], class: IoClass) -> SsdResult<()> {
+        let path = self.path(name)?;
+        self.device.fs_op();
+        self.device.charge_write(data.len() as u64, class);
+        // Write-then-rename for atomic replacement.
+        let tmp = self.root.join(format!(".tmp.{name}"));
+        fs::write(&tmp, data).map_err(|e| Self::io_err(name, e))?;
+        fs::rename(&tmp, &path).map_err(|e| Self::io_err(name, e))?;
+        Ok(())
+    }
+
+    fn append(&self, name: &str, data: &[u8], class: IoClass) -> SsdResult<()> {
+        let path = self.path(name)?;
+        if !path.exists() {
+            self.device.fs_op();
+        }
+        self.device.charge_write(data.len() as u64, class);
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| Self::io_err(name, e))?;
+        file.write_all(data).map_err(|e| Self::io_err(name, e))?;
+        Ok(())
+    }
+
+    fn read(&self, name: &str, offset: u64, len: u64, class: IoClass) -> SsdResult<Bytes> {
+        let path = self.path(name)?;
+        let mut file = fs::File::open(&path).map_err(|e| Self::io_err(name, e))?;
+        let size = file
+            .metadata()
+            .map_err(|e| Self::io_err(name, e))?
+            .len();
+        if offset.checked_add(len).is_none_or(|end| end > size) {
+            return Err(SsdError::OutOfRange {
+                file: name.to_string(),
+                offset,
+                len,
+                size,
+            });
+        }
+        self.device.charge_read(len, class);
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| Self::io_err(name, e))?;
+        let mut buf = vec![0u8; len as usize];
+        file.read_exact(&mut buf).map_err(|e| Self::io_err(name, e))?;
+        Ok(Bytes::from(buf))
+    }
+
+    fn size(&self, name: &str) -> SsdResult<u64> {
+        let path = self.path(name)?;
+        fs::metadata(&path)
+            .map(|m| m.len())
+            .map_err(|e| Self::io_err(name, e))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).map(|p| p.exists()).unwrap_or(false)
+    }
+
+    fn delete(&self, name: &str) -> SsdResult<()> {
+        let path = self.path(name)?;
+        self.device.fs_op();
+        fs::remove_file(&path).map_err(|e| Self::io_err(name, e))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> SsdResult<()> {
+        let from_path = self.path(from)?;
+        let to_path = self.path(to)?;
+        if !from_path.exists() {
+            return Err(SsdError::NotFound(from.to_string()));
+        }
+        self.device.fs_op();
+        fs::rename(&from_path, &to_path).map_err(|e| Self::io_err(from, e))
+    }
+
+    fn sync(&self, name: &str) -> SsdResult<()> {
+        let path = self.path(name)?;
+        self.device.fs_op();
+        let file = fs::File::open(&path).map_err(|e| Self::io_err(name, e))?;
+        file.sync_all().map_err(|e| Self::io_err(name, e))
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(&self.root)
+            .map(|dir| {
+                dir.filter_map(|entry| {
+                    let entry = entry.ok()?;
+                    let name = entry.file_name().into_string().ok()?;
+                    (!name.starts_with(".tmp.")).then_some(name)
+                })
+                .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+
+    fn device(&self) -> Arc<SsdDevice> {
+        Arc::clone(&self.device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    struct TempRoot(PathBuf);
+
+    impl TempRoot {
+        fn new() -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "ldc-disk-test-{}-{}",
+                std::process::id(),
+                DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            TempRoot(dir)
+        }
+    }
+
+    impl Drop for TempRoot {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn storage(root: &TempRoot) -> Arc<DiskStorage> {
+        DiskStorage::open(root.0.clone(), SsdDevice::with_defaults()).unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip_on_disk() {
+        let root = TempRoot::new();
+        let s = storage(&root);
+        s.write_file("a.sst", b"hello disk", IoClass::FlushWrite).unwrap();
+        assert!(s.exists("a.sst"));
+        assert_eq!(s.size("a.sst").unwrap(), 10);
+        assert_eq!(
+            s.read("a.sst", 6, 4, IoClass::UserRead).unwrap().as_ref(),
+            b"disk"
+        );
+        assert!(matches!(
+            s.read("a.sst", 8, 10, IoClass::UserRead),
+            Err(SsdError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn append_sync_delete_rename() {
+        let root = TempRoot::new();
+        let s = storage(&root);
+        s.append("wal", b"one", IoClass::WalWrite).unwrap();
+        s.append("wal", b"two", IoClass::WalWrite).unwrap();
+        s.sync("wal").unwrap();
+        assert_eq!(s.read_all("wal", IoClass::Other).unwrap().as_ref(), b"onetwo");
+        s.rename("wal", "wal2").unwrap();
+        assert!(!s.exists("wal"));
+        s.delete("wal2").unwrap();
+        assert!(s.delete("wal2").is_err());
+    }
+
+    #[test]
+    fn list_skips_temp_files_and_sorts() {
+        let root = TempRoot::new();
+        let s = storage(&root);
+        for name in ["c", "a", "b"] {
+            s.write_file(name, b"x", IoClass::Other).unwrap();
+        }
+        assert_eq!(s.list(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn contents_survive_backend_reopen() {
+        let root = TempRoot::new();
+        {
+            let s = storage(&root);
+            s.write_file("persist", b"data", IoClass::Other).unwrap();
+        }
+        let s = storage(&root);
+        assert_eq!(s.read_all("persist", IoClass::Other).unwrap().as_ref(), b"data");
+    }
+
+    #[test]
+    fn rejects_path_escapes() {
+        let root = TempRoot::new();
+        let s = storage(&root);
+        assert!(s.write_file("../evil", b"x", IoClass::Other).is_err());
+        assert!(s.write_file("a/b", b"x", IoClass::Other).is_err());
+        assert!(s.write_file("", b"x", IoClass::Other).is_err());
+    }
+
+    #[test]
+    fn traffic_is_still_charged_to_the_device() {
+        let root = TempRoot::new();
+        let s = storage(&root);
+        let t0 = s.device().clock().now();
+        s.write_file("f", &vec![0u8; 100_000], IoClass::FlushWrite).unwrap();
+        s.read_all("f", IoClass::UserRead).unwrap();
+        assert!(s.device().clock().now() > t0);
+        let io = s.device().io_stats();
+        assert_eq!(io.write_bytes_for(IoClass::FlushWrite), 100_000);
+        assert_eq!(io.read_bytes_for(IoClass::UserRead), 100_000);
+    }
+}

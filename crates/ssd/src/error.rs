@@ -1,0 +1,74 @@
+//! Error type for the simulated storage stack.
+
+use std::fmt;
+
+/// Result alias for the SSD substrate.
+pub type SsdResult<T> = Result<T, SsdError>;
+
+/// Errors produced by the simulated device and storage backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsdError {
+    /// The named file does not exist.
+    NotFound(String),
+    /// A file with the given name already exists.
+    AlreadyExists(String),
+    /// The logical address space of the device is exhausted.
+    DeviceFull,
+    /// A read past the end of a file was requested.
+    OutOfRange {
+        /// File that was being read.
+        file: String,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual file size.
+        size: u64,
+    },
+    /// The file handle was already finished/closed.
+    Closed(String),
+    /// Catch-all for invalid arguments (zero-sized config values, etc.).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdError::NotFound(name) => write!(f, "file not found: {name}"),
+            SsdError::AlreadyExists(name) => write!(f, "file already exists: {name}"),
+            SsdError::DeviceFull => write!(f, "simulated device is full"),
+            SsdError::OutOfRange {
+                file,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "read out of range: {file} offset={offset} len={len} size={size}"
+            ),
+            SsdError::Closed(name) => write!(f, "file handle closed: {name}"),
+            SsdError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SsdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SsdError::OutOfRange {
+            file: "000001.sst".to_string(),
+            offset: 100,
+            len: 10,
+            size: 50,
+        };
+        let s = e.to_string();
+        assert!(s.contains("000001.sst"));
+        assert!(s.contains("offset=100"));
+        assert!(SsdError::DeviceFull.to_string().contains("full"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Traffic classification and byte counters.
+//!
+//! The paper's evaluation repeatedly distinguishes *why* bytes moved:
+//! Fig 10(c), Fig 12(d)–(f) and Fig 14 report compaction read/write volumes
+//! separately from user traffic. Every storage call in this reproduction is
+//! tagged with an [`IoClass`] so those figures can be regenerated exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a piece of I/O happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoClass {
+    /// Foreground point/range reads on behalf of user requests.
+    UserRead,
+    /// Write-ahead-log appends.
+    WalWrite,
+    /// Memtable flushes into Level-0 SSTables.
+    FlushWrite,
+    /// Reads performed by compaction (inputs).
+    CompactionRead,
+    /// Writes performed by compaction (outputs).
+    CompactionWrite,
+    /// Manifest / metadata writes.
+    ManifestWrite,
+    /// Everything else (recovery reads, test traffic, ...).
+    Other,
+}
+
+impl IoClass {
+    /// All classes, in report order.
+    pub const ALL: [IoClass; 7] = [
+        IoClass::UserRead,
+        IoClass::WalWrite,
+        IoClass::FlushWrite,
+        IoClass::CompactionRead,
+        IoClass::CompactionWrite,
+        IoClass::ManifestWrite,
+        IoClass::Other,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoClass::UserRead => "user-read",
+            IoClass::WalWrite => "wal-write",
+            IoClass::FlushWrite => "flush-write",
+            IoClass::CompactionRead => "compaction-read",
+            IoClass::CompactionWrite => "compaction-write",
+            IoClass::ManifestWrite => "manifest-write",
+            IoClass::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            IoClass::UserRead => 0,
+            IoClass::WalWrite => 1,
+            IoClass::FlushWrite => 2,
+            IoClass::CompactionRead => 3,
+            IoClass::CompactionWrite => 4,
+            IoClass::ManifestWrite => 5,
+            IoClass::Other => 6,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClassCounter {
+    bytes: AtomicU64,
+    ops: AtomicU64,
+}
+
+/// Lock-free per-class byte/op counters.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    read: [ClassCounter; 7],
+    write: [ClassCounter; 7],
+}
+
+/// A point-in-time copy of [`IoStats`], supporting subtraction so
+/// experiments can report deltas over a measurement window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    /// Bytes read per class, indexed as [`IoClass::ALL`].
+    pub read_bytes: [u64; 7],
+    /// Read calls per class.
+    pub read_ops: [u64; 7],
+    /// Bytes written per class.
+    pub write_bytes: [u64; 7],
+    /// Write calls per class.
+    pub write_ops: [u64; 7],
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `bytes` for `class`.
+    pub fn record_read(&self, class: IoClass, bytes: u64) {
+        let c = &self.read[class.index()];
+        c.bytes.fetch_add(bytes, Ordering::Relaxed);
+        c.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a write of `bytes` for `class`.
+    pub fn record_write(&self, class: IoClass, bytes: u64) {
+        let c = &self.write[class.index()];
+        c.bytes.fetch_add(bytes, Ordering::Relaxed);
+        c.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies all counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        let mut s = IoStatsSnapshot::default();
+        for (i, _) in IoClass::ALL.iter().enumerate() {
+            s.read_bytes[i] = self.read[i].bytes.load(Ordering::Relaxed);
+            s.read_ops[i] = self.read[i].ops.load(Ordering::Relaxed);
+            s.write_bytes[i] = self.write[i].bytes.load(Ordering::Relaxed);
+            s.write_ops[i] = self.write[i].ops.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+impl IoStatsSnapshot {
+    /// Bytes read for one class.
+    pub fn read_bytes_for(&self, class: IoClass) -> u64 {
+        self.read_bytes[class.index()]
+    }
+
+    /// Bytes written for one class.
+    pub fn write_bytes_for(&self, class: IoClass) -> u64 {
+        self.write_bytes[class.index()]
+    }
+
+    /// Total bytes read across classes.
+    pub fn total_read_bytes(&self) -> u64 {
+        self.read_bytes.iter().sum()
+    }
+
+    /// Total bytes written across classes.
+    pub fn total_write_bytes(&self) -> u64 {
+        self.write_bytes.iter().sum()
+    }
+
+    /// Compaction input volume (Fig 10c's "read" series).
+    pub fn compaction_read_bytes(&self) -> u64 {
+        self.read_bytes_for(IoClass::CompactionRead)
+    }
+
+    /// Compaction output volume (Fig 10c's "write" series).
+    pub fn compaction_write_bytes(&self) -> u64 {
+        self.write_bytes_for(IoClass::CompactionWrite)
+    }
+
+    /// LSM-level write amplification: device writes / user payload bytes.
+    ///
+    /// `user_bytes` is the logical volume the client wrote (keys+values).
+    pub fn lsm_write_amplification(&self, user_bytes: u64) -> f64 {
+        if user_bytes == 0 {
+            0.0
+        } else {
+            self.total_write_bytes() as f64 / user_bytes as f64
+        }
+    }
+
+    /// Element-wise difference `self - earlier`, for windowed measurements.
+    pub fn delta_since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        let mut d = IoStatsSnapshot::default();
+        for i in 0..7 {
+            d.read_bytes[i] = self.read_bytes[i].saturating_sub(earlier.read_bytes[i]);
+            d.read_ops[i] = self.read_ops[i].saturating_sub(earlier.read_ops[i]);
+            d.write_bytes[i] = self.write_bytes[i].saturating_sub(earlier.write_bytes[i]);
+            d.write_ops[i] = self.write_ops[i].saturating_sub(earlier.write_ops[i]);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_class() {
+        let stats = IoStats::new();
+        stats.record_read(IoClass::UserRead, 100);
+        stats.record_read(IoClass::UserRead, 50);
+        stats.record_write(IoClass::CompactionWrite, 1000);
+        let s = stats.snapshot();
+        assert_eq!(s.read_bytes_for(IoClass::UserRead), 150);
+        assert_eq!(s.read_ops[IoClass::UserRead.index()], 2);
+        assert_eq!(s.compaction_write_bytes(), 1000);
+        assert_eq!(s.total_read_bytes(), 150);
+        assert_eq!(s.total_write_bytes(), 1000);
+    }
+
+    #[test]
+    fn delta_subtracts_windows() {
+        let stats = IoStats::new();
+        stats.record_write(IoClass::FlushWrite, 10);
+        let before = stats.snapshot();
+        stats.record_write(IoClass::FlushWrite, 90);
+        let after = stats.snapshot();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.write_bytes_for(IoClass::FlushWrite), 90);
+        assert_eq!(delta.write_ops[IoClass::FlushWrite.index()], 1);
+    }
+
+    #[test]
+    fn write_amplification_relative_to_user_bytes() {
+        let stats = IoStats::new();
+        stats.record_write(IoClass::WalWrite, 100);
+        stats.record_write(IoClass::FlushWrite, 100);
+        stats.record_write(IoClass::CompactionWrite, 300);
+        let s = stats.snapshot();
+        assert!((s.lsm_write_amplification(100) - 5.0).abs() < 1e-12);
+        assert_eq!(s.lsm_write_amplification(0), 0.0);
+    }
+
+    #[test]
+    fn labels_cover_all_classes() {
+        for class in IoClass::ALL {
+            assert!(!class.label().is_empty());
+        }
+    }
+}

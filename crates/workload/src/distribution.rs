@@ -1,0 +1,238 @@
+//! Key-choice distributions (YCSB-compatible).
+//!
+//! The paper's evaluation uses the uniform distribution by default (§IV-A)
+//! and Zipf distributions with constants 1–5 for Fig 11. YCSB's scrambled
+//! zipfian and latest/hotspot choosers are included for the example
+//! applications.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Chooses item indices in `[0, n)`.
+#[derive(Debug, Clone)]
+pub enum Distribution {
+    /// Every item equally likely.
+    Uniform,
+    /// Zipf with exponent `theta`; item 0 is the most popular. The rank
+    /// order is scrambled by hashing downstream (see `KeyCodec`), matching
+    /// YCSB's scrambled zipfian.
+    Zipfian {
+        /// Skew exponent (YCSB default 0.99; the paper sweeps 1..5).
+        theta: f64,
+    },
+    /// Skew toward recently inserted items.
+    Latest,
+    /// A hot set of `hot_fraction` of the items receives
+    /// `hot_op_fraction` of the accesses.
+    HotSpot {
+        /// Fraction of the key space that is hot (e.g. 0.2).
+        hot_fraction: f64,
+        /// Fraction of operations hitting the hot set (e.g. 0.8).
+        hot_op_fraction: f64,
+    },
+}
+
+/// Stateful sampler for a [`Distribution`].
+#[derive(Debug)]
+pub struct Sampler {
+    distribution: Distribution,
+    rng: SmallRng,
+    /// Cached zipfian CDF: `cdf[k]` = P(rank <= k), rebuilt when `n` or the
+    /// exponent changes. O(log n) per sample after an O(n) build.
+    zipf_cdf: Vec<f64>,
+    zipf_for: (u64, u64), // (n, theta.to_bits())
+}
+
+impl Sampler {
+    /// Creates a sampler; `seed` makes runs reproducible.
+    pub fn new(distribution: Distribution, seed: u64) -> Self {
+        Self {
+            distribution,
+            rng: SmallRng::seed_from_u64(seed),
+            zipf_cdf: Vec::new(),
+            zipf_for: (0, 0),
+        }
+    }
+
+    /// Samples an index in `[0, n)`. `n` must be nonzero.
+    pub fn sample(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        match self.distribution.clone() {
+            Distribution::Uniform => self.rng.gen_range(0..n),
+            Distribution::Zipfian { theta } => self.sample_zipf(n, theta),
+            Distribution::Latest => {
+                // Zipf over recency: rank 0 = newest item.
+                let rank = self.sample_zipf(n, 0.99);
+                n - 1 - rank
+            }
+            Distribution::HotSpot {
+                hot_fraction,
+                hot_op_fraction,
+            } => {
+                let hot_n = ((n as f64 * hot_fraction).ceil() as u64).clamp(1, n);
+                if self.rng.gen_bool(hot_op_fraction.clamp(0.0, 1.0)) {
+                    self.rng.gen_range(0..hot_n)
+                } else if hot_n < n {
+                    self.rng.gen_range(hot_n..n)
+                } else {
+                    self.rng.gen_range(0..n)
+                }
+            }
+        }
+    }
+
+    /// Inverse-CDF zipfian sampling over a cached cumulative table.
+    fn sample_zipf(&mut self, n: u64, theta: f64) -> u64 {
+        let tag = (n, theta.to_bits());
+        // Tolerate small growth of `n` (the Latest chooser re-samples as
+        // items are inserted) without rebuilding the table every call.
+        let (cached_n, cached_theta) = self.zipf_for;
+        let close_enough = cached_theta == theta.to_bits()
+            && cached_n > 0
+            && n >= cached_n
+            && n - cached_n <= cached_n / 64;
+        if self.zipf_for != tag && !close_enough {
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut acc = 0.0;
+            for k in 1..=n {
+                acc += 1.0 / (k as f64).powf(theta);
+                cdf.push(acc);
+            }
+            let total = acc;
+            for v in &mut cdf {
+                *v /= total;
+            }
+            self.zipf_cdf = cdf;
+            self.zipf_for = tag;
+        }
+        let u: f64 = self.rng.gen();
+        self.zipf_cdf.partition_point(|&c| c < u).min(n as usize - 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_the_space() {
+        let mut s = Sampler::new(Distribution::Uniform, 42);
+        let n = 100;
+        let mut seen = vec![false; n as usize];
+        for _ in 0..10_000 {
+            seen[s.sample(n) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "uniform missed some items");
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let mut s = Sampler::new(Distribution::Uniform, 7);
+        let n = 10;
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[s.sample(n) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let mut s = Sampler::new(Distribution::Zipfian { theta: 1.0 }, 42);
+        let n = 1000;
+        let mut head = 0;
+        let total = 20_000;
+        for _ in 0..total {
+            if s.sample(n) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=1, the top-1% of ranks gets ~39% of accesses.
+        assert!(
+            head as f64 / total as f64 > 0.3,
+            "zipf head too light: {head}/{total}"
+        );
+    }
+
+    #[test]
+    fn larger_theta_is_more_concentrated() {
+        let head_fraction = |theta: f64| {
+            let mut s = Sampler::new(Distribution::Zipfian { theta }, 42);
+            let total = 10_000;
+            let mut head = 0;
+            for _ in 0..total {
+                if s.sample(1000) < 10 {
+                    head += 1;
+                }
+            }
+            head as f64 / total as f64
+        };
+        let h1 = head_fraction(1.0);
+        let h2 = head_fraction(2.0);
+        let h5 = head_fraction(5.0);
+        assert!(h2 > h1);
+        assert!(h5 > 0.99, "theta=5 should be almost fully concentrated: {h5}");
+    }
+
+    #[test]
+    fn latest_prefers_recent() {
+        let mut s = Sampler::new(Distribution::Latest, 42);
+        let n = 1000;
+        let total = 10_000;
+        let mut recent = 0;
+        for _ in 0..total {
+            if s.sample(n) >= n - 10 {
+                recent += 1;
+            }
+        }
+        assert!(recent as f64 / total as f64 > 0.3);
+    }
+
+    #[test]
+    fn hotspot_honors_fractions() {
+        let mut s = Sampler::new(
+            Distribution::HotSpot {
+                hot_fraction: 0.2,
+                hot_op_fraction: 0.8,
+            },
+            42,
+        );
+        let n = 1000;
+        let total = 50_000;
+        let mut hot = 0;
+        for _ in 0..total {
+            if s.sample(n) < 200 {
+                hot += 1;
+            }
+        }
+        let ratio = hot as f64 / total as f64;
+        assert!((0.75..0.85).contains(&ratio), "hot ratio {ratio}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic() {
+        let mut a = Sampler::new(Distribution::Zipfian { theta: 1.0 }, 9);
+        let mut b = Sampler::new(Distribution::Zipfian { theta: 1.0 }, 9);
+        for _ in 0..100 {
+            assert_eq!(a.sample(500), b.sample(500));
+        }
+    }
+
+    #[test]
+    fn single_item_space() {
+        for d in [
+            Distribution::Uniform,
+            Distribution::Zipfian { theta: 1.0 },
+            Distribution::Latest,
+            Distribution::HotSpot {
+                hot_fraction: 0.5,
+                hot_op_fraction: 0.5,
+            },
+        ] {
+            let mut s = Sampler::new(d, 1);
+            assert_eq!(s.sample(1), 0);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Workload specifications matching the paper's Table III.
+
+use crate::distribution::Distribution;
+use crate::keys::KeyCodec;
+
+/// Kind of read operation in a mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadKind {
+    /// Point lookups (GET).
+    Point,
+    /// Range queries covering ~100 key-value pairs (SCAN).
+    Range,
+}
+
+/// A benchmark workload: an operation mix over a key space.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Human-readable name ("WO", "RWB", "SCN-WH", ...).
+    pub name: String,
+    /// Number of measured operations.
+    pub ops: u64,
+    /// Fraction of operations that are writes (random insert/update).
+    pub write_ratio: f64,
+    /// What the non-write operations are.
+    pub read_kind: ReadKind,
+    /// Average range-query length (paper: 100).
+    pub scan_length: usize,
+    /// Number of distinct keys addressed.
+    pub key_space: u64,
+    /// Keys inserted (unmeasured) before the run so reads can hit.
+    pub preload: u64,
+    /// Key-choice distribution for reads and overwrites.
+    pub distribution: Distribution,
+    /// Key/value shape.
+    pub codec: KeyCodec,
+    /// RNG seed for the op stream.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Base spec: uniform distribution, paper key/value sizes, key space
+    /// sized so that roughly half the inserts are overwrites.
+    fn base(name: &str, ops: u64, write_ratio: f64, read_kind: ReadKind) -> Self {
+        let key_space = (ops / 2).max(1000);
+        WorkloadSpec {
+            name: name.to_string(),
+            ops,
+            write_ratio,
+            read_kind,
+            scan_length: 100,
+            key_space,
+            // Workloads with reads need data in place; write-only starts
+            // cold like the paper's insertion benchmarks.
+            preload: if write_ratio >= 1.0 { 0 } else { key_space },
+            distribution: Distribution::Uniform,
+            codec: KeyCodec::paper_default(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// WO: 100% writes.
+    pub fn write_only(ops: u64) -> Self {
+        Self::base("WO", ops, 1.0, ReadKind::Point)
+    }
+
+    /// WH: 70% writes, 30% point lookups.
+    pub fn write_heavy(ops: u64) -> Self {
+        Self::base("WH", ops, 0.7, ReadKind::Point)
+    }
+
+    /// RWB: 50% writes, 50% point lookups.
+    pub fn read_write_balanced(ops: u64) -> Self {
+        Self::base("RWB", ops, 0.5, ReadKind::Point)
+    }
+
+    /// RH: 30% writes, 70% point lookups.
+    pub fn read_heavy(ops: u64) -> Self {
+        Self::base("RH", ops, 0.3, ReadKind::Point)
+    }
+
+    /// RO: 100% point lookups.
+    pub fn read_only(ops: u64) -> Self {
+        Self::base("RO", ops, 0.0, ReadKind::Point)
+    }
+
+    /// SCN-WH: 70% writes, 30% range queries.
+    pub fn scan_write_heavy(ops: u64) -> Self {
+        Self::base("SCN-WH", ops, 0.7, ReadKind::Range)
+    }
+
+    /// SCN-RWB: 50% writes, 50% range queries.
+    pub fn scan_read_write_balanced(ops: u64) -> Self {
+        Self::base("SCN-RWB", ops, 0.5, ReadKind::Range)
+    }
+
+    /// SCN-RH: 30% writes, 70% range queries.
+    pub fn scan_read_heavy(ops: u64) -> Self {
+        Self::base("SCN-RH", ops, 0.3, ReadKind::Range)
+    }
+
+    /// YCSB core workload A: 50% reads / 50% updates, zipfian.
+    pub fn ycsb_a(ops: u64) -> Self {
+        Self::base("YCSB-A", ops, 0.5, ReadKind::Point)
+            .with_distribution(Distribution::Zipfian { theta: 0.99 })
+    }
+
+    /// YCSB core workload B: 95% reads / 5% updates, zipfian.
+    pub fn ycsb_b(ops: u64) -> Self {
+        Self::base("YCSB-B", ops, 0.05, ReadKind::Point)
+            .with_distribution(Distribution::Zipfian { theta: 0.99 })
+    }
+
+    /// YCSB core workload C: read-only, zipfian.
+    pub fn ycsb_c(ops: u64) -> Self {
+        Self::base("YCSB-C", ops, 0.0, ReadKind::Point)
+            .with_distribution(Distribution::Zipfian { theta: 0.99 })
+    }
+
+    /// YCSB core workload D: 95% reads of recent items / 5% inserts.
+    pub fn ycsb_d(ops: u64) -> Self {
+        Self::base("YCSB-D", ops, 0.05, ReadKind::Point)
+            .with_distribution(Distribution::Latest)
+    }
+
+    /// YCSB core workload E: 95% short scans / 5% inserts, zipfian.
+    pub fn ycsb_e(ops: u64) -> Self {
+        let mut spec = Self::base("YCSB-E", ops, 0.05, ReadKind::Range)
+            .with_distribution(Distribution::Zipfian { theta: 0.99 });
+        spec.scan_length = 50;
+        spec
+    }
+
+    /// All eight workloads of Table III at `ops` operations each.
+    pub fn table_iii(ops: u64) -> Vec<WorkloadSpec> {
+        vec![
+            Self::write_only(ops),
+            Self::write_heavy(ops),
+            Self::read_write_balanced(ops),
+            Self::read_heavy(ops),
+            Self::read_only(ops),
+            Self::scan_write_heavy(ops),
+            Self::scan_read_write_balanced(ops),
+            Self::scan_read_heavy(ops),
+        ]
+    }
+
+    /// Replaces the distribution (Fig 11's Zipf variants).
+    pub fn with_distribution(mut self, distribution: Distribution) -> Self {
+        self.distribution = distribution;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces key/value shape (for scaled-down experiment runs).
+    pub fn with_codec(mut self, codec: KeyCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Replaces the key-space size (and the matching preload).
+    pub fn with_key_space(mut self, key_space: u64) -> Self {
+        self.key_space = key_space.max(1);
+        if self.preload > 0 {
+            self.preload = self.key_space;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_matches_paper_mixes() {
+        let all = WorkloadSpec::table_iii(1000);
+        let by_name: Vec<(&str, f64, ReadKind)> = all
+            .iter()
+            .map(|w| (w.name.as_str(), w.write_ratio, w.read_kind))
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![
+                ("WO", 1.0, ReadKind::Point),
+                ("WH", 0.7, ReadKind::Point),
+                ("RWB", 0.5, ReadKind::Point),
+                ("RH", 0.3, ReadKind::Point),
+                ("RO", 0.0, ReadKind::Point),
+                ("SCN-WH", 0.7, ReadKind::Range),
+                ("SCN-RWB", 0.5, ReadKind::Range),
+                ("SCN-RH", 0.3, ReadKind::Range),
+            ]
+        );
+        for w in &all {
+            assert_eq!(w.scan_length, 100);
+            assert_eq!(w.codec.key_bytes(), 16);
+            assert_eq!(w.codec.value_bytes(), 1024);
+        }
+    }
+
+    #[test]
+    fn write_only_runs_cold_others_preload() {
+        assert_eq!(WorkloadSpec::write_only(1000).preload, 0);
+        assert!(WorkloadSpec::read_only(1000).preload > 0);
+        assert!(WorkloadSpec::read_write_balanced(1000).preload > 0);
+    }
+
+    #[test]
+    fn ycsb_core_workloads_match_their_specs() {
+        let a = WorkloadSpec::ycsb_a(1000);
+        assert_eq!(a.write_ratio, 0.5);
+        assert!(matches!(a.distribution, Distribution::Zipfian { .. }));
+        let b = WorkloadSpec::ycsb_b(1000);
+        assert_eq!(b.write_ratio, 0.05);
+        let c = WorkloadSpec::ycsb_c(1000);
+        assert_eq!(c.write_ratio, 0.0);
+        assert!(c.preload > 0);
+        let d = WorkloadSpec::ycsb_d(1000);
+        assert!(matches!(d.distribution, Distribution::Latest));
+        let e = WorkloadSpec::ycsb_e(1000);
+        assert_eq!(e.read_kind, ReadKind::Range);
+        assert_eq!(e.scan_length, 50);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let w = WorkloadSpec::read_only(1000)
+            .with_distribution(Distribution::Zipfian { theta: 2.0 })
+            .with_key_space(5000)
+            .with_seed(9);
+        assert_eq!(w.key_space, 5000);
+        assert_eq!(w.preload, 5000);
+        assert_eq!(w.seed, 9);
+        assert!(matches!(w.distribution, Distribution::Zipfian { .. }));
+    }
+}

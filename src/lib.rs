@@ -1,0 +1,32 @@
+//! # ldc — Lower-level Driven Compaction for SSD-oriented key-value stores
+//!
+//! Umbrella crate for the reproduction of the ICDE 2019 paper *"LDC: A
+//! Lower-Level Driven Compaction Method to Optimize SSD-Oriented Key-Value
+//! Stores"* (Chai et al.). It re-exports the four layers:
+//!
+//! * [`ssd`] — simulated SSD substrate (virtual clock, FTL, wear, storage);
+//! * [`lsm`] — a from-scratch LevelDB-class LSM engine with the UDC
+//!   baseline compaction policy;
+//! * [`core`] — the LDC mechanism itself (link & merge, slice links,
+//!   adaptive threshold) and the high-level [`LdcDb`] store;
+//! * [`workload`] — YCSB-style workload generation and measurement.
+//!
+//! ```
+//! use ldc::LdcDb;
+//!
+//! let mut db = LdcDb::builder().build().unwrap();
+//! db.put(b"hello", b"world").unwrap();
+//! assert_eq!(db.get(b"hello").unwrap(), Some(b"world".to_vec()));
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+pub use ldc_core as core;
+pub use ldc_lsm as lsm;
+pub use ldc_ssd as ssd;
+pub use ldc_workload as workload;
+
+pub use ldc_core::{AdaptiveThreshold, CompactionMode, LdcConfig, LdcDb, LdcDbBuilder, LdcPolicy};
+pub use ldc_lsm::{Options, WriteBatch};
+pub use ldc_ssd::SsdConfig;

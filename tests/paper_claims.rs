@@ -1,0 +1,142 @@
+//! End-to-end checks of the paper's quantitative *claims*, wired as tests
+//! so regressions in any layer (policy, engine, device model) surface as
+//! failures. These mirror the benchmark binaries at a smaller scale.
+
+use ldc::workload::{run_workload, KvInterface, WorkloadSpec};
+use ldc::{LdcDb, Options};
+
+struct Adapter(LdcDb);
+
+impl KvInterface for Adapter {
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), String> {
+        self.0.put(key, value).map_err(|e| e.to_string())
+    }
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, String> {
+        self.0.get(key).map_err(|e| e.to_string())
+    }
+    fn scan(&mut self, start: &[u8], limit: usize) -> Result<usize, String> {
+        self.0.scan(start, limit).map(|r| r.len()).map_err(|e| e.to_string())
+    }
+}
+
+fn bench_options() -> Options {
+    Options {
+        memtable_bytes: 256 << 10,
+        sstable_bytes: 256 << 10,
+        l1_capacity_bytes: 1 << 20,
+        ..Options::default()
+    }
+}
+
+fn run(udc: bool, spec: &WorkloadSpec) -> Adapter {
+    let mut builder = LdcDb::builder().options(bench_options());
+    if udc {
+        builder = builder.udc_baseline();
+    }
+    let db = builder.build().unwrap();
+    let clock = db.device().clock().clone();
+    let mut adapter = Adapter(db);
+    run_workload(spec, &mut adapter, &clock).unwrap();
+    adapter.0.drain_background();
+    adapter
+}
+
+fn small_codec() -> ldc::workload::KeyCodec {
+    ldc::workload::KeyCodec::new(16, 512)
+}
+
+/// §IV-D / Fig 10c: LDC saves roughly half the compaction I/O. The purest
+/// signal is the write-only workload (mixed workloads at tiny scale spend
+/// part of the saving on frozen-region GC; the fig10c binary reports the
+/// full matrix).
+#[test]
+fn claim_compaction_io_halves() {
+    let spec = WorkloadSpec::write_only(25_000).with_codec(small_codec());
+    let udc = run(true, &spec);
+    let ldc = run(false, &spec);
+    let io = |a: &Adapter| {
+        let s = a.0.device().io_stats();
+        s.compaction_read_bytes() + s.compaction_write_bytes()
+    };
+    let (u, l) = (io(&udc), io(&ldc));
+    assert!(
+        (l as f64) < 0.7 * u as f64,
+        "LDC compaction I/O {l} should be well under UDC {u}"
+    );
+}
+
+/// Fig 10a: higher total throughput on write-containing mixes.
+#[test]
+fn claim_throughput_improves_on_writes() {
+    let spec = WorkloadSpec::write_heavy(20_000).with_codec(small_codec());
+    let udc = run(true, &spec);
+    let ldc = run(false, &spec);
+    let t_udc = udc.0.device().clock().now();
+    let t_ldc = ldc.0.device().clock().now();
+    assert!(
+        t_ldc < t_udc,
+        "LDC should finish the same work sooner: {t_ldc} vs {t_udc}"
+    );
+}
+
+/// Fig 8 / Eq. 3: the worst write stall shrinks by several times.
+#[test]
+fn claim_write_stalls_shrink() {
+    let spec = WorkloadSpec::write_only(25_000).with_codec(small_codec());
+    let udc = run(true, &spec);
+    let ldc = run(false, &spec);
+    let (su, sl) = (udc.0.stats(), ldc.0.stats());
+    assert!(
+        sl.stall_nanos < su.stall_nanos,
+        "LDC total stall time {} should be below UDC {}",
+        sl.stall_nanos,
+        su.stall_nanos
+    );
+}
+
+/// Fig 15 / §III-D: LDC's space overhead is bounded by the frozen-region
+/// GC budget (default 25% of live level bytes; the budget is measured
+/// against LDC's own level bytes, so allow a little slack relative to the
+/// UDC denominator used here — `fig15_space` reports the tight-budget
+/// setting that reproduces the paper's single-digit numbers).
+#[test]
+fn claim_space_overhead_is_bounded() {
+    let spec = WorkloadSpec::read_write_balanced(20_000).with_codec(small_codec());
+    let udc = run(true, &spec);
+    let ldc = run(false, &spec);
+    let (su, sl) = (udc.0.space_bytes(), ldc.0.space_bytes());
+    assert!(
+        (sl as f64) < su as f64 * 1.40,
+        "LDC space {sl} exceeds 140% of UDC {su}"
+    );
+}
+
+/// §IV-B (read side): read-only throughput is comparable (within 25%).
+#[test]
+fn claim_read_only_parity() {
+    let spec = WorkloadSpec::read_only(8_000)
+        .with_codec(small_codec())
+        .with_key_space(6_000);
+    let udc = run(true, &spec);
+    let ldc = run(false, &spec);
+    let t_udc = udc.0.device().clock().now() as f64;
+    let t_ldc = ldc.0.device().clock().now() as f64;
+    assert!(
+        t_ldc < t_udc * 1.25,
+        "read-only LDC should be within 25% of UDC: {t_ldc} vs {t_udc}"
+    );
+}
+
+/// Theorems 2.1/3.1 directionally: measured write amplification drops.
+#[test]
+fn claim_write_amplification_drops() {
+    let spec = WorkloadSpec::write_only(25_000).with_codec(small_codec());
+    let udc = run(true, &spec);
+    let ldc = run(false, &spec);
+    let waf = |a: &Adapter| {
+        let io = a.0.device().io_stats();
+        io.total_write_bytes() as f64 / io.write_bytes_for(ldc::ssd::IoClass::WalWrite) as f64
+    };
+    let (wu, wl) = (waf(&udc), waf(&ldc));
+    assert!(wl < wu, "LDC write amp {wl:.2} should be below UDC {wu:.2}");
+}
