@@ -29,7 +29,12 @@ fn bench_memtable(c: &mut Criterion) {
             || MemTable::new(7),
             |mut mem| {
                 for i in 0..1000u64 {
-                    mem.add(i + 1, ValueType::Value, format!("key{i:012}").as_bytes(), b"value");
+                    mem.add(
+                        i + 1,
+                        ValueType::Value,
+                        format!("key{i:012}").as_bytes(),
+                        b"value",
+                    );
                 }
                 mem
             },
@@ -38,7 +43,12 @@ fn bench_memtable(c: &mut Criterion) {
     });
     let mut mem = MemTable::new(7);
     for i in 0..10_000u64 {
-        mem.add(i + 1, ValueType::Value, format!("key{i:012}").as_bytes(), b"value");
+        mem.add(
+            i + 1,
+            ValueType::Value,
+            format!("key{i:012}").as_bytes(),
+            b"value",
+        );
     }
     group.throughput(Throughput::Elements(1));
     group.bench_function("get_hit", |b| {
@@ -81,8 +91,7 @@ fn bench_bloom(c: &mut Criterion) {
 
 fn bench_block(c: &mut Criterion) {
     let mut group = c.benchmark_group("block");
-    let entries: Vec<(Vec<u8>, Vec<u8>)> =
-        (0..256u64).map(|i| (ik(i), vec![b'v'; 100])).collect();
+    let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..256u64).map(|i| (ik(i), vec![b'v'; 100])).collect();
     group.throughput(Throughput::Elements(256));
     group.bench_function("build_256_entries", |b| {
         b.iter(|| {

@@ -90,7 +90,11 @@ fn main() {
             "Ablation: adaptive T_s under a shifting mix (WH then RH, {} ops each)",
             args.ops
         ),
-        &["variant", "overall throughput (ops/s)", "compaction I/O (MiB)"],
+        &[
+            "variant",
+            "overall throughput (ops/s)",
+            "compaction I/O (MiB)",
+        ],
         &rows,
     );
     println!(

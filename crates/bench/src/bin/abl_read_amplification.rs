@@ -28,10 +28,10 @@ fn run(system: System, bits_per_key: usize, ops: u64, seed: u64) -> (f64, u64) {
     let mut adapter = DbAdapter::new(db);
     preload_workload(&spec, &mut adapter).unwrap();
     adapter.db_mut().drain_background();
-    let (_, misses_before) = adapter.db().block_cache_counters();
+    let misses_before = adapter.db().block_cache_counters().misses;
     let clock = adapter.db().device().clock().clone();
     ldc_workload::run_measured(&spec, &mut adapter, &clock).unwrap();
-    let (_, misses_after) = adapter.db().block_cache_counters();
+    let misses_after = adapter.db().block_cache_counters().misses;
     let blocks = misses_after - misses_before;
     let slices = adapter.db().engine_ref().version().total_slice_links() as u64;
     (blocks as f64 / ops as f64, slices)

@@ -75,9 +75,16 @@ fn main() {
             stats1.ldc_merges - stats0.ldc_merges,
             stats1.trivial_moves - stats0.trivial_moves,
             max_slices,
-            (0..v.num_levels()).map(|l| v.level_files(l)).collect::<Vec<_>>(),
+            (0..v.num_levels())
+                .map(|l| v.level_files(l))
+                .collect::<Vec<_>>(),
             v.frozen_files(),
             v.total_slice_links(),
+        );
+        println!(
+            "\n{} engine report:\n{}",
+            system.label(),
+            adapter.db().stats_report()
         );
     }
 }

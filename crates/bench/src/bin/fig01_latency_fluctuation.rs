@@ -5,11 +5,31 @@
 //! to ~49x between quiet and compaction-heavy intervals. We regenerate the
 //! trace under the write-heavy mix (the compaction-bound regime at laptop
 //! scale) with 100 ms buckets, for UDC and — for contrast — LDC.
+//!
+//! Each bucket row is annotated with the structured compaction events
+//! (flush / merge / stall / ...) active during that interval, so the causal
+//! chain behind every latency spike is visible in the output itself.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ldc_bench::prelude::*;
 use ldc_workload::{preload_workload, KvInterface};
 
 const BUCKET_NS: u64 = 100_000_000; // 100 ms
+
+/// Compact per-bucket annotation: "3 flush, 2 udc_merge, 1 stall".
+fn describe_events(events: &[Event], start: u64, end: u64) -> String {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for e in events.iter().filter(|e| e.overlaps(start, end)) {
+        *counts.entry(e.kind.label()).or_insert(0) += 1;
+    }
+    counts
+        .iter()
+        .map(|(label, n)| format!("{n} {label}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
 
 fn main() {
     let args = CommonArgs::parse(60_000);
@@ -18,11 +38,16 @@ fn main() {
             .with_codec(args.codec())
             .with_seed(args.seed);
         let config = StoreConfig::new(system);
+        let sink = Arc::new(RingBufferSink::new(1 << 20));
         let db = match system {
-            System::Ldc => LdcDb::builder().options(config.options.clone()).build(),
+            System::Ldc => LdcDb::builder()
+                .options(config.options.clone())
+                .event_sink(sink.clone())
+                .build(),
             System::Udc => LdcDb::builder()
                 .options(config.options.clone())
                 .udc_baseline()
+                .event_sink(sink.clone())
                 .build(),
         }
         .unwrap();
@@ -30,6 +55,7 @@ fn main() {
         let mut adapter = DbAdapter::new(db);
         preload_workload(&spec, &mut adapter).unwrap();
         adapter.db_mut().drain_background();
+        sink.clear(); // the timeline should cover the measured window only
 
         // Drive the mixed stream by hand so we can bucket write latencies
         // at 100 ms of virtual time.
@@ -55,16 +81,19 @@ fn main() {
             buckets[bucket].2 = buckets[bucket].2.max(latency);
         }
 
+        let events = sink.events();
         let rows: Vec<Vec<String>> = buckets
             .iter()
             .enumerate()
             .filter(|(_, (_, n, _))| *n > 0)
             .map(|(i, (sum, n, max))| {
+                let lo = window_start + i as u64 * BUCKET_NS;
                 vec![
                     format!("{:.1}", i as f64 * 0.1),
                     format!("{:.1}", *sum as f64 / *n as f64 / 1e3),
                     format!("{:.1}", *max as f64 / 1e3),
                     n.to_string(),
+                    describe_events(&events, lo, lo + BUCKET_NS),
                 ]
             })
             .collect();
@@ -75,7 +104,13 @@ fn main() {
                 system.label(),
                 args.ops
             ),
-            &["virtual second", "mean latency (us)", "max latency (us)", "ops"],
+            &[
+                "virtual second",
+                "mean latency (us)",
+                "max latency (us)",
+                "ops",
+                "events active in bucket",
+            ],
             &rows,
         );
         let means: Vec<f64> = buckets
@@ -105,6 +140,48 @@ fn main() {
             calm_op as f64 / 1e3,
             worst_op as f64 / calm_op.max(1) as f64,
         );
+
+        // Name the culprits: every compaction event overlapping the
+        // spikiest bucket, with its phase breakdown.
+        let spike = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, n, _))| *n > 0)
+            .max_by(|(_, a), (_, b)| {
+                (a.0 as f64 / a.1 as f64).total_cmp(&(b.0 as f64 / b.1 as f64))
+            })
+            .map(|(i, _)| i);
+        if let Some(i) = spike {
+            let lo = window_start + i as u64 * BUCKET_NS;
+            let culprits: Vec<&Event> = events
+                .iter()
+                .filter(|e| e.kind.is_compaction() && e.overlaps(lo, lo + BUCKET_NS))
+                .collect();
+            if culprits.is_empty() {
+                continue; // run too short for any compaction to start
+            }
+            println!(
+                "{}: events behind the spike at virtual second {:.1}:",
+                system.label(),
+                i as f64 * 0.1
+            );
+            for e in culprits {
+                println!(
+                    "  t={:9.4}s  dur={:8.3}ms  {:<12} L{}  {}->{} files  \
+                     {:6.2} MiB in  (read {:.1}ms, write {:.1}ms)",
+                    (e.start_nanos - window_start) as f64 / 1e9,
+                    e.duration_nanos() as f64 / 1e6,
+                    e.kind.label(),
+                    e.level.map_or_else(|| "-".into(), |l| l.to_string()),
+                    e.input_files,
+                    e.output_files,
+                    e.input_bytes as f64 / 1048576.0,
+                    e.read_nanos as f64 / 1e6,
+                    e.write_nanos as f64 / 1e6,
+                );
+            }
+            println!();
+        }
     }
     println!(
         "Expectation: UDC's trace spikes whenever compaction blocks the \

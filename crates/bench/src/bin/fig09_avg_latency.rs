@@ -31,7 +31,5 @@ fn main() {
         &["workload", "UDC (us)", "LDC (us)", "LDC/UDC"],
         &rows,
     );
-    println!(
-        "\nPaper reference: LDC/UDC = 43.3% (WH), 45.6% (RWB), ~100% (RH)."
-    );
+    println!("\nPaper reference: LDC/UDC = 43.3% (WH), 45.6% (RWB), ~100% (RH).");
 }

@@ -32,7 +32,10 @@ fn main() {
     }
     print_table(
         args.csv,
-        &format!("Fig 10c: compaction I/O (MiB), {} ops per workload", args.ops),
+        &format!(
+            "Fig 10c: compaction I/O (MiB), {} ops per workload",
+            args.ops
+        ),
         &[
             "workload",
             "UDC read",

@@ -38,8 +38,17 @@ fn main() {
     }
     print_table(
         args.csv,
-        &format!("Fig 11: RWB throughput by key distribution, {} ops", args.ops),
-        &["distribution", "UDC ops/s", "LDC ops/s", "LDC gain", "paper gain"],
+        &format!(
+            "Fig 11: RWB throughput by key distribution, {} ops",
+            args.ops
+        ),
+        &[
+            "distribution",
+            "UDC ops/s",
+            "LDC ops/s",
+            "LDC gain",
+            "paper gain",
+        ],
         &rows,
     );
     println!(

@@ -27,7 +27,10 @@ fn main() {
     }
     print_table(
         args.csv,
-        &format!("Fig 12c/f: Bloom bits-per-key sweep (RWB, {} ops)", args.ops),
+        &format!(
+            "Fig 12c/f: Bloom bits-per-key sweep (RWB, {} ops)",
+            args.ops
+        ),
         &[
             "bits/key",
             "UDC ops/s",

@@ -28,13 +28,19 @@ fn main() {
         rows.push(vec![
             b.to_string(),
             result.block_reads.to_string(),
-            format!("{:.2}", result.block_reads as f64 / result.report.ops as f64),
+            format!(
+                "{:.2}",
+                result.block_reads as f64 / result.report.ops as f64
+            ),
             format!("{filter_kb:.1}"),
         ]);
     }
     print_table(
         args.csv,
-        &format!("Fig 13: Bloom accuracy, read-only, {} lookups (LDC)", args.ops),
+        &format!(
+            "Fig 13: Bloom accuracy, read-only, {} lookups (LDC)",
+            args.ops
+        ),
         &[
             "bits/key",
             "data-block reads",

@@ -16,7 +16,8 @@ fn main() {
             .with_codec(args.codec())
             .with_seed(args.seed);
         let (udc, ldc) = run_both(&paper_scaled_options(), &SsdConfig::default(), &spec);
-        let io_saving = 1.0 - ldc.compaction_io_bytes() as f64 / udc.compaction_io_bytes().max(1) as f64;
+        let io_saving =
+            1.0 - ldc.compaction_io_bytes() as f64 / udc.compaction_io_bytes().max(1) as f64;
         rows.push(vec![
             ops.to_string(),
             format!("{:.0}", udc.throughput()),

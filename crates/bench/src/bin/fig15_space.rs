@@ -43,7 +43,14 @@ fn main() {
     print_table(
         args.csv,
         "Fig 15: final space consumption (RWB)",
-        &["requests", "UDC (MiB)", "LDC (MiB)", "LDC overhead", "LDC frozen", "tight-GC overhead"],
+        &[
+            "requests",
+            "UDC (MiB)",
+            "LDC (MiB)",
+            "LDC overhead",
+            "LDC frozen",
+            "tight-GC overhead",
+        ],
         &rows,
     );
     println!(

@@ -15,7 +15,7 @@ fn main() {
         .with_codec(args.codec())
         .with_seed(args.seed);
     let config = StoreConfig::new(System::Udc);
-    
+
     let result = run_experiment(&config, &spec);
 
     let paper: &[(&str, f64)] = &[

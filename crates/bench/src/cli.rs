@@ -41,20 +41,21 @@ impl CommonArgs {
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             let mut grab = |name: &str| -> String {
-                iter.next().unwrap_or_else(|| panic!("{name} needs a value"))
+                iter.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value"))
             };
             match arg.as_str() {
                 "--ops" => out.ops = grab("--ops").parse().expect("--ops: integer"),
                 "--scale" => scale = grab("--scale").parse().expect("--scale: float"),
                 "--seed" => out.seed = grab("--seed").parse().expect("--seed: integer"),
                 "--value-bytes" => {
-                    out.value_bytes = grab("--value-bytes").parse().expect("--value-bytes: integer")
+                    out.value_bytes = grab("--value-bytes")
+                        .parse()
+                        .expect("--value-bytes: integer")
                 }
                 "--csv" => out.csv = true,
                 "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --ops N  --scale F  --seed S  --value-bytes B  --csv"
-                    );
+                    eprintln!("flags: --ops N  --scale F  --seed S  --value-bytes B  --csv");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}"),
@@ -82,7 +83,10 @@ pub fn print_table(csv: bool, title: &str, headers: &[&str], rows: &[Vec<String>
     }
     println!("\n## {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -116,7 +120,15 @@ mod tests {
 
     #[test]
     fn flags_override() {
-        let a = args(&["--ops", "5000", "--seed", "7", "--csv", "--value-bytes", "64"]);
+        let a = args(&[
+            "--ops",
+            "5000",
+            "--seed",
+            "7",
+            "--csv",
+            "--value-bytes",
+            "64",
+        ]);
         assert_eq!(a.ops, 5000);
         assert_eq!(a.seed, 7);
         assert!(a.csv);

@@ -1,9 +1,12 @@
 //! Experiment harness: build a store, run a workload, collect every metric
 //! the paper's figures need.
 
+use std::sync::Arc;
+
 use ldc_core::{CompactionMode, LdcConfig, LdcDb};
 use ldc_lsm::db::DbStats;
 use ldc_lsm::Options;
+use ldc_obs::{Event, RingBufferSink};
 use ldc_ssd::{DeviceSnapshot, IoStatsSnapshot, SsdConfig, TimeCategory};
 use ldc_workload::{preload_workload, run_measured, RunReport, WorkloadSpec};
 
@@ -43,7 +46,14 @@ pub struct StoreConfig {
     pub adaptive_threshold: bool,
     /// Frozen-region GC budget override; LDC only.
     pub space_gc_ratio: Option<f64>,
+    /// Attach a ring-buffer event sink and export the measured window's
+    /// compaction/stall timeline in [`ExperimentResult::events`].
+    pub trace_events: bool,
 }
+
+/// Ring capacity when [`StoreConfig::trace_events`] is on — generous enough
+/// that laptop-scale runs never wrap (each event is a small flat record).
+const EVENT_RING_CAPACITY: usize = 1 << 20;
 
 /// Engine geometry for experiment runs: the paper's shape (fan-out 10,
 /// 10 bits/key, equal memtable/SSTable size) scaled to 1/4 size so that a
@@ -73,10 +83,11 @@ impl StoreConfig {
             slice_link_threshold: None,
             adaptive_threshold: false,
             space_gc_ratio: None,
+            trace_events: false,
         }
     }
 
-    fn build(&self) -> LdcDb {
+    fn build(&self) -> (LdcDb, Option<Arc<RingBufferSink>>) {
         let mode = match self.system {
             System::Udc => CompactionMode::Udc,
             System::Ldc => {
@@ -91,12 +102,17 @@ impl StoreConfig {
                 CompactionMode::Ldc(config)
             }
         };
-        LdcDb::builder()
+        let mut builder = LdcDb::builder()
             .options(self.options.clone())
             .ssd_config(self.ssd.clone())
-            .mode(mode)
-            .build()
-            .expect("store construction")
+            .mode(mode);
+        let sink = self
+            .trace_events
+            .then(|| Arc::new(RingBufferSink::new(EVENT_RING_CAPACITY)));
+        if let Some(sink) = &sink {
+            builder = builder.event_sink(sink.clone());
+        }
+        (builder.build().expect("store construction"), sink)
     }
 }
 
@@ -124,6 +140,9 @@ pub struct ExperimentResult {
     pub block_reads: u64,
     /// (category label, fraction of virtual time) — Table I.
     pub time_breakdown: Vec<(&'static str, f64)>,
+    /// Structured event timeline for the measured window (flushes, merges,
+    /// links, stalls, GC, ...). Empty unless [`StoreConfig::trace_events`].
+    pub events: Vec<Event>,
 }
 
 impl ExperimentResult {
@@ -141,7 +160,7 @@ impl ExperimentResult {
 /// Builds a store from `config`, preloads `spec`, then measures the main
 /// window. Deterministic for fixed seeds.
 pub fn run_experiment(config: &StoreConfig, spec: &WorkloadSpec) -> ExperimentResult {
-    let db = config.build();
+    let (db, sink) = config.build();
     let mut adapter = DbAdapter::new(db);
     preload_workload(spec, &mut adapter).expect("preload");
     // Settle any compaction debt from the preload so it cannot pollute the
@@ -150,16 +169,17 @@ pub fn run_experiment(config: &StoreConfig, spec: &WorkloadSpec) -> ExperimentRe
 
     let device = adapter.db().device().clone();
     let io_before = device.io_stats();
-    let (_, misses_before) = adapter.db().block_cache_counters();
+    let misses_before = adapter.db().block_cache_counters().misses;
     device.ledger().reset();
 
     let clock = device.clock().clone();
+    let window_start = clock.now();
     let mut report = run_measured(spec, &mut adapter, &clock).expect("measured run");
     // Pending background work belongs to this window's total time.
     report.duration_nanos += adapter.db_mut().drain_background();
 
     let io_after = device.io_stats();
-    let (_, misses_after) = adapter.db().block_cache_counters();
+    let misses_after = adapter.db().block_cache_counters().misses;
     let ledger = device.ledger();
     let mut time_breakdown: Vec<(&'static str, f64)> = TimeCategory::ALL
         .iter()
@@ -186,6 +206,14 @@ pub fn run_experiment(config: &StoreConfig, spec: &WorkloadSpec) -> ExperimentRe
         frozen_bytes: adapter.db().engine_ref().version().frozen_bytes(),
         block_reads: misses_after - misses_before,
         time_breakdown,
+        events: sink
+            .map(|s| {
+                s.events()
+                    .into_iter()
+                    .filter(|e| e.end_nanos >= window_start)
+                    .collect()
+            })
+            .unwrap_or_default(),
     }
 }
 
@@ -240,6 +268,34 @@ mod tests {
             result.io.total_write_bytes() < result.total_io.total_write_bytes(),
             "window should exclude preload traffic"
         );
+    }
+
+    #[test]
+    fn traced_run_exports_measured_window_events() {
+        let mut config = StoreConfig::new(System::Ldc);
+        config.options = quick_options();
+        config.trace_events = true;
+        let result = run_experiment(&config, &quick_spec());
+        assert!(!result.events.is_empty(), "traced run exported no events");
+        assert!(
+            result.events.iter().any(|e| e.kind.is_compaction()),
+            "timeline has no compaction events"
+        );
+        // The exported timeline covers only the measured window: every
+        // event ends at or after the first one begins, and the preload's
+        // flush storm (which dwarfs the window's) is filtered out.
+        assert!(
+            (result
+                .events
+                .iter()
+                .filter(|e| e.kind == ldc_obs::EventKind::Flush)
+                .count() as u64)
+                <= result.db_stats.flushes,
+            "more flush events than lifetime flushes"
+        );
+        // Untraced runs stay allocation-free: no events.
+        config.trace_events = false;
+        assert!(run_experiment(&config, &quick_spec()).events.is_empty());
     }
 
     #[test]

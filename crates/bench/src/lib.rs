@@ -21,7 +21,9 @@ pub mod experiment;
 
 pub use adapter::DbAdapter;
 pub use cli::{mib, pct, print_table, CommonArgs};
-pub use experiment::{paper_scaled_options, run_both, run_experiment, ExperimentResult, StoreConfig, System};
+pub use experiment::{
+    paper_scaled_options, run_both, run_experiment, ExperimentResult, StoreConfig, System,
+};
 
 /// Convenience re-exports for the figure binaries.
 pub mod prelude {
@@ -32,6 +34,7 @@ pub mod prelude {
     };
     pub use ldc_core::{LdcDb, LdcPolicy};
     pub use ldc_lsm::Options;
+    pub use ldc_obs::{Event, EventKind, RingBufferSink};
     pub use ldc_ssd::{IoClass, SsdConfig};
     pub use ldc_workload::{Distribution, KeyCodec, WorkloadSpec};
 }

@@ -49,17 +49,24 @@ impl AdaptiveThreshold {
     }
 
     /// Records one foreground operation; may close a window and adjust.
-    pub fn observe(&mut self, is_write: bool) {
+    /// Returns `(old, new)` when the closing window actually moved the
+    /// threshold, so callers can trace adaptation decisions.
+    pub fn observe(&mut self, is_write: bool) -> Option<(usize, usize)> {
         if is_write {
             self.writes += 1;
         } else {
             self.reads += 1;
         }
         if self.writes + self.reads >= self.window {
+            let old = self.current;
             self.adjust();
             self.writes = 0;
             self.reads = 0;
+            if self.current != old {
+                return Some((old, self.current));
+            }
         }
+        None
     }
 
     /// Target threshold for a write ratio: linear between the read-only
@@ -152,5 +159,23 @@ mod tests {
             a.observe(false);
         }
         assert_eq!(a.threshold(), 10);
+    }
+
+    #[test]
+    fn observe_reports_threshold_changes() {
+        let mut a = AdaptiveThreshold::new(10, 10);
+        let mut changes = Vec::new();
+        for _ in 0..9 {
+            assert_eq!(a.observe(true), None, "mid-window ops never adjust");
+        }
+        if let Some(change) = a.observe(true) {
+            changes.push(change);
+        }
+        assert_eq!(changes, vec![(10, 11)]);
+        // A window that lands on the current value reports nothing.
+        let mut balanced = AdaptiveThreshold::new(10, 10);
+        for i in 0..10 {
+            assert_eq!(balanced.observe(i % 2 == 0), None);
+        }
     }
 }

@@ -13,7 +13,8 @@ use std::sync::Arc;
 
 use ldc_lsm::compaction::{CompactionPolicy, UdcPolicy};
 use ldc_lsm::db::{Db, DbStats};
-use ldc_lsm::{Options, Result};
+use ldc_lsm::{CacheCounters, Options, Result};
+use ldc_obs::{MetricsRegistry, SharedSink};
 use ldc_ssd::{MemStorage, SsdConfig, SsdDevice, StorageBackend};
 
 use crate::policy::{LdcConfig, LdcPolicy};
@@ -36,6 +37,7 @@ pub struct LdcDbBuilder {
     ssd: SsdConfig,
     mode: CompactionMode,
     storage: Option<Arc<dyn StorageBackend>>,
+    sink: Option<SharedSink>,
 }
 
 impl LdcDbBuilder {
@@ -45,6 +47,7 @@ impl LdcDbBuilder {
             ssd: SsdConfig::default(),
             mode: CompactionMode::Ldc(LdcConfig::default()),
             storage: None,
+            sink: None,
         }
     }
 
@@ -107,6 +110,14 @@ impl LdcDbBuilder {
         self
     }
 
+    /// Routes structured events (flush, merge, link, stall, SSD GC,
+    /// threshold adaptation, ...) from every layer to `sink`. Without
+    /// this, tracing is off and no event is ever constructed.
+    pub fn event_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Opens the store.
     pub fn build(self) -> Result<LdcDb> {
         let storage = match self.storage {
@@ -117,13 +128,20 @@ impl LdcDbBuilder {
             }
         };
         let policy: Box<dyn CompactionPolicy> = match &self.mode {
-            CompactionMode::Ldc(config) => Box::new(LdcPolicy::with_config(config.clone())),
-            CompactionMode::Udc => Box::new(UdcPolicy::new()),
-            CompactionMode::SizeTiered => {
-                Box::new(ldc_lsm::compaction::SizeTieredPolicy::new())
+            CompactionMode::Ldc(config) => {
+                let mut policy = LdcPolicy::with_config(config.clone());
+                if let Some(sink) = &self.sink {
+                    policy.set_event_trace(Arc::clone(sink), storage.device().clock().clone());
+                }
+                Box::new(policy)
             }
+            CompactionMode::Udc => Box::new(UdcPolicy::new()),
+            CompactionMode::SizeTiered => Box::new(ldc_lsm::compaction::SizeTieredPolicy::new()),
         };
-        let inner = Db::open(Arc::clone(&storage), self.options, policy)?;
+        let mut inner = Db::open(Arc::clone(&storage), self.options, policy)?;
+        if let Some(sink) = self.sink {
+            inner.set_event_sink(sink);
+        }
         Ok(LdcDb { inner, storage })
     }
 }
@@ -221,9 +239,27 @@ impl LdcDb {
         self.inner.space_bytes()
     }
 
-    /// Block-cache `(hits, misses)`.
-    pub fn block_cache_counters(&self) -> (u64, u64) {
+    /// Block-cache counters (hits, misses, evictions).
+    pub fn block_cache_counters(&self) -> CacheCounters {
         self.inner.block_cache_counters()
+    }
+
+    /// Routes structured events to `sink` from now on (equivalent to the
+    /// builder's [`LdcDbBuilder::event_sink`], minus policy adaptation
+    /// events, which need the sink at build time).
+    pub fn set_event_sink(&mut self, sink: SharedSink) {
+        self.inner.set_event_sink(sink);
+    }
+
+    /// The engine's metrics registry (per-level gauges, per-op latency
+    /// histograms).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        self.inner.metrics()
+    }
+
+    /// Human-readable engine report (LevelDB `leveldb.stats` style).
+    pub fn stats_report(&self) -> String {
+        self.inner.stats_report()
     }
 
     /// Verifies every SSTable's checksums and ordering; returns entries

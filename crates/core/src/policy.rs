@@ -24,10 +24,10 @@
 //! Level-0 files are always frozen **oldest first** — the engine's read
 //! path relies on frozen L0 data being older than any active L0 file.
 
-use ldc_lsm::compaction::{
-    pick_overfull_level, CompactionPolicy, CompactionTask, PickContext,
-};
+use ldc_lsm::compaction::{pick_overfull_level, CompactionPolicy, CompactionTask, PickContext};
 use ldc_lsm::version::{FileMeta, Version};
+use ldc_obs::{Event, EventKind, SharedSink};
+use ldc_ssd::VirtualClock;
 
 use crate::adaptive::AdaptiveThreshold;
 
@@ -67,6 +67,9 @@ pub struct LdcPolicy {
     adaptive: Option<AdaptiveThreshold>,
     /// Resolved threshold once the fan-out is known.
     resolved_threshold: Option<usize>,
+    /// Sink + clock for `ThresholdAdapt` events; unset by default (no
+    /// event is ever built then).
+    trace: Option<(SharedSink, VirtualClock)>,
 }
 
 impl LdcPolicy {
@@ -76,7 +79,18 @@ impl LdcPolicy {
             adaptive: None,
             resolved_threshold: config.slice_link_threshold,
             config,
+            trace: None,
         }
+    }
+
+    /// Routes `ThresholdAdapt` events (adaptive `T_s` changes) to `sink`,
+    /// timestamped with `clock`.
+    pub fn set_event_trace(&mut self, sink: SharedSink, clock: VirtualClock) {
+        self.trace = if sink.enabled() {
+            Some((sink, clock))
+        } else {
+            None
+        };
     }
 
     /// Policy with the paper's default threshold (`T_s = fan-out`).
@@ -112,9 +126,9 @@ impl LdcPolicy {
     fn threshold(&mut self, ctx: &PickContext<'_>) -> usize {
         let fan_out = ctx.options.fan_out;
         if self.config.adaptive {
-            let a = self
-                .adaptive
-                .get_or_insert_with(|| AdaptiveThreshold::new(fan_out, self.config.adaptive_window));
+            let a = self.adaptive.get_or_insert_with(|| {
+                AdaptiveThreshold::new(fan_out, self.config.adaptive_window)
+            });
             return a.threshold();
         }
         *self
@@ -151,9 +165,8 @@ impl CompactionPolicy for LdcPolicy {
         // whole files (young trees): the paper's condition is "accumulated
         // nearly the same amount of data as itself", for which the count
         // `T_s` is the steady-state proxy.
-        let byte_threshold =
-            (threshold as u64).saturating_mul(ctx.options.sstable_bytes as u64)
-                / ctx.options.fan_out.max(1);
+        let byte_threshold = (threshold as u64).saturating_mul(ctx.options.sstable_bytes as u64)
+            / ctx.options.fan_out.max(1);
         if let Some((level, file)) = most_linked_file(version, threshold, byte_threshold) {
             return Some(CompactionTask::LdcMerge { level, file });
         }
@@ -167,7 +180,17 @@ impl CompactionPolicy for LdcPolicy {
 
     fn observe_op(&mut self, is_write: bool) {
         if let Some(a) = &mut self.adaptive {
-            a.observe(is_write);
+            if let Some((old, new)) = a.observe(is_write) {
+                if let Some((sink, clock)) = &self.trace {
+                    // Instantaneous event; old/new thresholds ride in the
+                    // input/output byte fields (see `Event` docs).
+                    let now = clock.now();
+                    sink.record(
+                        Event::span(EventKind::ThresholdAdapt, now, now)
+                            .bytes(old as u64, new as u64),
+                    );
+                }
+            }
         }
     }
 }
@@ -188,23 +211,18 @@ impl LdcPolicy {
             let file = if level == 0 {
                 files.iter().find(|f| f.slices.is_empty()).map(|f| f.number)
             } else {
-                round_robin_pick(files, &ctx.compact_pointers[level], |f| {
-                    f.slices.is_empty()
-                })
+                round_robin_pick(files, &ctx.compact_pointers[level], |f| f.slices.is_empty())
             };
             if let Some(file) = file {
                 return Some(CompactionTask::TrivialMove { level, file });
             }
         } else {
-
             // Link a slice-free file (a file with SliceLinks cannot be
             // chosen, §III-D). Level 0: oldest first (read-path contract).
             let linkable = if level == 0 {
                 files.iter().find(|f| f.slices.is_empty()).map(|f| f.number)
             } else {
-                round_robin_pick(files, &ctx.compact_pointers[level], |f| {
-                    f.slices.is_empty()
-                })
+                round_robin_pick(files, &ctx.compact_pointers[level], |f| f.slices.is_empty())
             };
             if let Some(file) = linkable {
                 return Some(CompactionTask::Link { level, file });
@@ -432,7 +450,10 @@ mod tests {
 
     #[test]
     fn blocked_level_force_merges_most_linked_file() {
-        let options = Options { l1_capacity_bytes: 1000, ..Options::default() }; // L1 overfull
+        let options = Options {
+            l1_capacity_bytes: 1000,
+            ..Options::default()
+        }; // L1 overfull
         let pointers = vec![Vec::new(); 4];
         let mut v = Version::new(4);
         let mut f1 = meta(10, b"a", b"m", 2000);
@@ -451,7 +472,10 @@ mod tests {
 
     #[test]
     fn deeper_level_round_robin_respects_cursor() {
-        let options = Options { l1_capacity_bytes: 1000, ..Options::default() };
+        let options = Options {
+            l1_capacity_bytes: 1000,
+            ..Options::default()
+        };
         let mut pointers = vec![Vec::new(); 4];
         pointers[1] = b"bb".to_vec();
         let mut v = Version::new(4);

@@ -138,8 +138,7 @@ fn scan_sees_newest_version_through_slices() {
 
 #[test]
 fn ldc_state_survives_reopen() {
-    let storage: Arc<dyn StorageBackend> =
-        MemStorage::new(SsdDevice::new(SsdConfig::default()));
+    let storage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::new(SsdConfig::default()));
     let n = 6000u64;
     {
         let mut db = LdcDb::builder()

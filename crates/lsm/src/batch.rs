@@ -4,7 +4,9 @@
 //! record count, then per record a type byte followed by length-prefixed key
 //! (and value for puts).
 
-use crate::encoding::{get_fixed32, get_fixed64, get_length_prefixed, put_fixed32, put_length_prefixed};
+use crate::encoding::{
+    get_fixed32, get_fixed64, get_length_prefixed, put_fixed32, put_length_prefixed,
+};
 use crate::error::{corruption, Result};
 use crate::types::{SequenceNumber, ValueType};
 
@@ -19,7 +21,9 @@ pub struct WriteBatch {
 impl WriteBatch {
     /// Empty batch.
     pub fn new() -> Self {
-        Self { rep: vec![0; HEADER] }
+        Self {
+            rep: vec![0; HEADER],
+        }
     }
 
     /// Queues a put.
@@ -200,9 +204,15 @@ mod tests {
         assert_eq!(
             ops,
             vec![
-                BatchOp::Put { key: b"k1", value: b"v1" },
+                BatchOp::Put {
+                    key: b"k1",
+                    value: b"v1"
+                },
                 BatchOp::Delete { key: b"k2" },
-                BatchOp::Put { key: b"k3", value: b"" },
+                BatchOp::Put {
+                    key: b"k3",
+                    value: b""
+                },
             ]
         );
     }

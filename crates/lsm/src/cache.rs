@@ -35,6 +35,32 @@ pub struct BlockCache {
     inner: Mutex<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Point-in-time block-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to read the block from the device (Fig 13's
+    /// y-axis).
+    pub misses: u64,
+    /// Blocks dropped under capacity pressure (`evict_file` drops are not
+    /// counted — those blocks were deleted, not squeezed out).
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Hits as a fraction of all lookups (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 impl BlockCache {
@@ -51,6 +77,7 @@ impl BlockCache {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -93,11 +120,11 @@ impl BlockCache {
             );
             inner.lru.insert(tick, key);
             while inner.used_bytes > self.capacity_bytes && inner.map.len() > 1 {
-                let (&oldest_tick, &oldest_key) =
-                    inner.lru.iter().next().expect("nonempty lru");
+                let (&oldest_tick, &oldest_key) = inner.lru.iter().next().expect("nonempty lru");
                 inner.lru.remove(&oldest_tick);
                 if let Some(evicted) = inner.map.remove(&oldest_key) {
                     inner.used_bytes -= evicted.block.size();
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -130,6 +157,20 @@ impl BlockCache {
     /// device (Fig 13's y-axis).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Blocks evicted under capacity pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// All counters as one snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+        }
     }
 
     /// Bytes currently cached.
@@ -202,14 +243,37 @@ mod tests {
         cache
             .get_or_load((1, 0), || Ok(make_block(1, 1000)))
             .unwrap();
-        assert_eq!(cache.misses(), miss_before + 1, "1 should have been evicted");
+        assert_eq!(
+            cache.misses(),
+            miss_before + 1,
+            "1 should have been evicted"
+        );
+        let counters = cache.counters();
+        assert!(
+            counters.evictions >= 1,
+            "capacity evictions must be counted"
+        );
+        assert_eq!(counters.hits, cache.hits());
+        assert_eq!(counters.misses, cache.misses());
+        assert!(counters.hit_rate() > 0.0 && counters.hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn evict_file_is_not_a_capacity_eviction() {
+        let cache = BlockCache::new(1 << 20);
+        cache.get_or_load((7, 0), || Ok(make_block(1, 10))).unwrap();
+        cache.evict_file(7);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(CacheCounters::default().hit_rate(), 0.0);
     }
 
     #[test]
     fn evict_file_drops_all_its_blocks() {
         let cache = BlockCache::new(1 << 20);
         cache.get_or_load((7, 0), || Ok(make_block(1, 10))).unwrap();
-        cache.get_or_load((7, 100), || Ok(make_block(2, 10))).unwrap();
+        cache
+            .get_or_load((7, 100), || Ok(make_block(2, 10)))
+            .unwrap();
         cache.get_or_load((8, 0), || Ok(make_block(3, 10))).unwrap();
         cache.evict_file(7);
         let misses = cache.misses();

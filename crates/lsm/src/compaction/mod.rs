@@ -99,8 +99,7 @@ pub fn level_scores(version: &Version, options: &Options) -> Vec<f64> {
     let mut scores = vec![0.0; n];
     scores[0] = version.level_files(0) as f64 / options.l0_compaction_trigger as f64;
     for (level, score) in scores.iter_mut().enumerate().take(n - 1).skip(1) {
-        *score = version.level_bytes(level) as f64
-            / options.level_capacity_bytes(level) as f64;
+        *score = version.level_bytes(level) as f64 / options.level_capacity_bytes(level) as f64;
     }
     scores
 }
@@ -167,7 +166,12 @@ mod tests {
         let mut v = Version::new(4);
         // L1 at 3x capacity, L2 at 1.5x.
         v.levels[1].push(meta(1, b"a", b"m", options.level_capacity_bytes(1) * 3));
-        v.levels[2].push(meta(2, b"a", b"m", (options.level_capacity_bytes(2) * 3) / 2));
+        v.levels[2].push(meta(
+            2,
+            b"a",
+            b"m",
+            (options.level_capacity_bytes(2) * 3) / 2,
+        ));
         assert_eq!(pick_overfull_level(&v, &options), Some(1));
     }
 }

@@ -59,8 +59,8 @@ impl CompactionPolicy for SizeTieredPolicy {
         let mut bucket: Vec<u64> = Vec::new();
         let mut bucket_floor = 0u64;
         for &(size, number) in &files {
-            let fits = !bucket.is_empty()
-                && (size as f64) <= bucket_floor as f64 * self.bucket_ratio;
+            let fits =
+                !bucket.is_empty() && (size as f64) <= bucket_floor as f64 * self.bucket_ratio;
             if fits {
                 bucket.push(number);
             } else {

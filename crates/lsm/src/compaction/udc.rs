@@ -145,7 +145,10 @@ mod tests {
 
     #[test]
     fn deeper_level_uses_round_robin_cursor() {
-        let options = Options { l1_capacity_bytes: 1000, ..Options::default() }; // L1 trivially overfull
+        let options = Options {
+            l1_capacity_bytes: 1000,
+            ..Options::default()
+        }; // L1 trivially overfull
         let mut pointers = vec![Vec::new(); 4];
         pointers[1] = b"cc".to_vec();
         let mut v = Version::new(4);
@@ -172,7 +175,10 @@ mod tests {
 
     #[test]
     fn no_overlap_becomes_trivial_move() {
-        let options = Options { l1_capacity_bytes: 1000, ..Options::default() };
+        let options = Options {
+            l1_capacity_bytes: 1000,
+            ..Options::default()
+        };
         let pointers = vec![Vec::new(); 4];
         let mut v = Version::new(4);
         v.levels[1].push(meta(1, b"aa", b"bb", 2000));

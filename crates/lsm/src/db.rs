@@ -41,13 +41,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use ldc_ssd::{
-    IoClass, Nanos, SsdDevice, StorageBackend, TimeCategory,
-};
+use ldc_obs::{Event, EventKind, LevelGauge, MetricsRegistry, NoopSink, OpType, SharedSink};
+use ldc_ssd::{IoClass, Nanos, SsdDevice, StorageBackend, TimeCategory};
 use parking_lot::Mutex;
 
 use crate::batch::{BatchOp, WriteBatch};
-use crate::cache::BlockCache;
+use crate::cache::{BlockCache, CacheCounters};
 use crate::compaction::{CompactionPolicy, CompactionTask, PickContext};
 use crate::error::{Error, Result};
 use crate::iterator::{InternalIterator, MergingIterator};
@@ -94,6 +93,28 @@ pub struct DbStats {
     pub bloom_skips: u64,
 }
 
+/// Pre-dispatch description of a compaction task, captured while its
+/// input files still exist in the current version.
+#[derive(Debug, Clone, Copy)]
+struct TaskDescriptor {
+    kind: EventKind,
+    level: u32,
+    output_level: u32,
+    input_files: u32,
+    input_bytes: u64,
+}
+
+/// Scratch the merge/write helpers fill while one flush or compaction
+/// task runs, so [`Db::execute`] can attribute output size and phase
+/// time to the event it emits. Reset at the start of every task.
+#[derive(Debug, Clone, Copy, Default)]
+struct ExecTrace {
+    output_files: u32,
+    output_bytes: u64,
+    /// Virtual time spent writing output tables (Table 1's write phase).
+    write_nanos: Nanos,
+}
+
 /// A single-threaded LSM-tree database over a simulated SSD.
 pub struct Db {
     options: Options,
@@ -122,6 +143,13 @@ pub struct Db {
     /// through rotation stalls and bandwidth contention — which is where
     /// the paper's tail latency comes from.
     bg_until: Nanos,
+    /// Where structured events go; [`NoopSink`] by default, in which case
+    /// no event is ever built (`sink.enabled()` gates construction).
+    sink: SharedSink,
+    /// Per-level gauges and per-op latency histograms.
+    metrics: Arc<MetricsRegistry>,
+    /// Per-task scratch for event phase attribution.
+    trace: ExecTrace,
 }
 
 impl Db {
@@ -171,9 +199,7 @@ impl Db {
                             BatchOp::Put { key, value } => {
                                 mem.add(seq, ValueType::Value, key, value)
                             }
-                            BatchOp::Delete { key } => {
-                                mem.add(seq, ValueType::Deletion, key, b"")
-                            }
+                            BatchOp::Delete { key } => mem.add(seq, ValueType::Deletion, key, b""),
                         }
                         max_seq = max_seq.max(seq);
                         replayed += 1;
@@ -208,6 +234,9 @@ impl Db {
             stats: DbStats::default(),
             snapshots: std::collections::BTreeMap::new(),
             bg_until: 0,
+            sink: Arc::new(NoopSink),
+            metrics: Arc::new(MetricsRegistry::new()),
+            trace: ExecTrace::default(),
         };
 
         // Persist the replayed data so the old WALs can be dropped, then
@@ -249,10 +278,130 @@ impl Db {
         self.stats
     }
 
-    /// Block-cache counters `(hits, misses)`; misses equal data-block reads
-    /// from the device (Fig 13).
-    pub fn block_cache_counters(&self) -> (u64, u64) {
-        (self.block_cache.hits(), self.block_cache.misses())
+    /// Block-cache counters; misses equal data-block reads from the
+    /// device (Fig 13).
+    pub fn block_cache_counters(&self) -> CacheCounters {
+        self.block_cache.counters()
+    }
+
+    /// Routes structured engine events (flush, merge, link, stall, GC, ...)
+    /// to `sink`. The device's GC events follow the same sink. With the
+    /// default [`NoopSink`] no event is ever constructed.
+    pub fn set_event_sink(&mut self, sink: SharedSink) {
+        self.device.set_event_sink(Arc::clone(&sink));
+        self.sink = sink;
+    }
+
+    /// The engine's metrics registry: per-level gauges plus per-op
+    /// latency histograms. Gauges refresh after every flush/compaction
+    /// and on [`Db::stats_report`].
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A human-readable engine report in the spirit of LevelDB's
+    /// `GetProperty("leveldb.stats")`: per-level table, compaction and
+    /// write-gate counters, block cache, bloom, latency percentiles, and
+    /// the simulated SSD's GC/wear state.
+    pub fn stats_report(&self) -> String {
+        use std::fmt::Write as _;
+        self.refresh_level_gauges();
+        let mb = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
+        let ms = |nanos: u64| nanos as f64 / 1e6;
+        let s = self.stats;
+        let mut out = String::new();
+
+        writeln!(out, "                          Level summary").unwrap();
+        writeln!(out, "Level  Files  Size(MB)  Score").unwrap();
+        writeln!(out, "------------------------------").unwrap();
+        for (level, g) in self.metrics.level_gauges().iter().enumerate() {
+            if g.files == 0 && level > 0 {
+                continue;
+            }
+            writeln!(
+                out,
+                "{level:>5}  {files:>5}  {size:>8.1}  {score:>5.2}",
+                files = g.files,
+                size = mb(g.bytes),
+                score = g.score,
+            )
+            .unwrap();
+        }
+        let frozen_files = self.versions.current.frozen.len();
+        writeln!(
+            out,
+            "Frozen: {frozen_files} files, {:.1} MB",
+            mb(self.versions.current.frozen_bytes())
+        )
+        .unwrap();
+
+        writeln!(
+            out,
+            "Compactions: {} flushes, {} merges, {} trivial moves, {} links, {} ldc merges",
+            s.flushes, s.merges, s.trivial_moves, s.links, s.ldc_merges
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "Write gates: {} stalls ({:.1} ms), {} slowdowns",
+            s.stalls,
+            ms(s.stall_nanos),
+            s.slowdowns
+        )
+        .unwrap();
+
+        let cache = self.block_cache.counters();
+        writeln!(
+            out,
+            "Block cache: {} hits, {} misses, {} evictions ({:.1}% hit rate)",
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.hit_rate() * 100.0
+        )
+        .unwrap();
+        writeln!(out, "Bloom: {} probes skipped", s.bloom_skips).unwrap();
+
+        writeln!(out, "Op       Count   Mean(us)    P50(us)    P99(us)").unwrap();
+        for op in OpType::ALL {
+            let h = self.metrics.latency(op);
+            if h.count() == 0 {
+                continue;
+            }
+            writeln!(
+                out,
+                "{:<6} {:>7}  {:>9.1}  {:>9.1}  {:>9.1}",
+                op.label(),
+                h.count(),
+                h.mean() / 1e3,
+                h.percentile(50.0) as f64 / 1e3,
+                h.percentile(99.0) as f64 / 1e3,
+            )
+            .unwrap();
+        }
+
+        let dev = self.device.snapshot();
+        writeln!(
+            out,
+            "SSD: {:.1} MB host writes, {:.1} MB GC relocation, {} erases, \
+             NAND WA {:.2}, wear {:.2}%",
+            mb(dev.ftl.host_pages_written * self.device.config().page_bytes),
+            mb(dev.ftl.gc_pages_relocated * self.device.config().page_bytes),
+            dev.ftl.erases,
+            dev.ftl.write_amplification(),
+            dev.wear_fraction * 100.0
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "Virtual time: {:.3} s ({} user writes, {} gets, {} scans)",
+            dev.now as f64 / 1e9,
+            s.writes,
+            s.gets,
+            s.scans
+        )
+        .unwrap();
+        out
     }
 
     /// Read-only view of the current version (tests, experiments).
@@ -289,14 +438,22 @@ impl Db {
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         let mut batch = WriteBatch::new();
         batch.put(key, value);
-        self.write(batch)
+        let t0 = self.device.clock().now();
+        let result = self.write(batch);
+        self.metrics
+            .record_latency(OpType::Put, self.device.clock().now() - t0);
+        result
     }
 
     /// Deletes `key` (writes a tombstone).
     pub fn delete(&mut self, key: &[u8]) -> Result<()> {
         let mut batch = WriteBatch::new();
         batch.delete(key);
-        self.write(batch)
+        let t0 = self.device.clock().now();
+        let result = self.write(batch);
+        self.metrics
+            .record_latency(OpType::Delete, self.device.clock().now() - t0);
+        result
     }
 
     /// Applies a batch atomically.
@@ -336,10 +493,21 @@ impl Db {
             if waited > 0 {
                 self.stats.stalls += 1;
                 self.stats.stall_nanos += waited;
+                if self.sink.enabled() {
+                    self.sink
+                        .record(Event::span(EventKind::Stall, t0, t0 + waited).levels(0, 0));
+                }
             }
         } else if self.versions.current.level_files(0) >= self.options.l0_slowdown_threshold {
+            let t0 = self.device.clock().now();
             self.device.clock().advance(self.options.slowdown_delay_ns);
             self.stats.slowdowns += 1;
+            if self.sink.enabled() {
+                self.sink.record(
+                    Event::span(EventKind::Slowdown, t0, t0 + self.options.slowdown_delay_ns)
+                        .levels(0, 0),
+                );
+            }
         }
 
         // Foreground write: WAL + memtable. With `wal_sync` off (LevelDB's
@@ -352,8 +520,15 @@ impl Db {
         batch.set_sequence(seq);
         let count = u64::from(batch.count());
         if self.options.wal_sync {
+            let t0 = self.device.clock().now();
             self.wal.add_record(batch.encoded())?;
             self.wal.sync()?;
+            if self.sink.enabled() {
+                self.sink.record(
+                    Event::span(EventKind::WalSync, t0, self.device.clock().now())
+                        .bytes(batch.byte_size() as u64, 0),
+                );
+            }
         } else {
             let t0 = self.device.clock().now();
             self.wal.add_record(batch.encoded())?;
@@ -411,6 +586,10 @@ impl Db {
                 if waited > 0 {
                     self.stats.stalls += 1;
                     self.stats.stall_nanos += waited;
+                    if self.sink.enabled() {
+                        self.sink
+                            .record(Event::span(EventKind::Stall, t0, t0 + waited));
+                    }
                 }
             }
             let new_log_number = self.versions.new_file_number();
@@ -557,9 +736,11 @@ impl Db {
         self.charge_read_contention(start);
         let end = self.device.clock().now();
         let fs_delta = self.device.ledger().get(TimeCategory::FileSystem) - fs_before;
-        self.device
-            .ledger()
-            .record(TimeCategory::ForegroundRead, (end - start).saturating_sub(fs_delta));
+        self.device.ledger().record(
+            TimeCategory::ForegroundRead,
+            (end - start).saturating_sub(fs_delta),
+        );
+        self.metrics.record_latency(OpType::Get, end - start);
         result
     }
 
@@ -737,9 +918,11 @@ impl Db {
         self.charge_read_contention(t0);
         let fs_delta = self.device.ledger().get(TimeCategory::FileSystem) - fs_before;
         let elapsed = self.device.clock().now() - t0;
-        self.device
-            .ledger()
-            .record(TimeCategory::ForegroundRead, elapsed.saturating_sub(fs_delta));
+        self.device.ledger().record(
+            TimeCategory::ForegroundRead,
+            elapsed.saturating_sub(fs_delta),
+        );
+        self.metrics.record_latency(OpType::Scan, elapsed);
         Ok(out)
     }
 
@@ -748,7 +931,9 @@ impl Db {
         {
             let mut tables = self.tables.lock();
             if let Some((t, tick)) = tables.get_mut(&file_number) {
-                *tick = self.table_tick.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                *tick = self
+                    .table_tick
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 return Ok(Arc::clone(t));
             }
         }
@@ -761,7 +946,9 @@ impl Db {
             Arc::clone(&self.block_cache),
         )?;
         let mut tables = self.tables.lock();
-        let tick = self.table_tick.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tick = self
+            .table_tick
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         tables.insert(file_number, (Arc::clone(&table), tick));
         // Bound the pinned index/filter memory: evict the least recently
         // used handle (open Arc clones keep working; only the cache slot
@@ -793,6 +980,7 @@ impl Db {
         let t0 = self.device.clock().now();
         let fs_before = self.device.ledger().get(TimeCategory::FileSystem);
         if !mem.is_empty() {
+            let input_bytes = mem.approximate_bytes() as u64;
             let number = self.versions.new_file_number();
             let mut builder = TableBuilder::new(
                 self.options.block_bytes,
@@ -806,14 +994,17 @@ impl Db {
                 it.next();
             }
             let finished = builder.finish();
+            let write_start = self.device.clock().now();
             self.storage.write_file(
                 &table_file_name(number),
                 &finished.bytes,
                 IoClass::FlushWrite,
             )?;
+            let write_nanos = self.device.clock().now() - write_start;
+            let output_bytes = finished.bytes.len() as u64;
             let meta = FileMeta {
                 number,
-                size: finished.bytes.len() as u64,
+                size: output_bytes,
                 smallest: finished.smallest,
                 largest: finished.largest,
                 slices: Vec::new(),
@@ -824,6 +1015,16 @@ impl Db {
                 ..Default::default()
             })?;
             self.stats.flushes += 1;
+            if self.sink.enabled() {
+                let end = self.device.clock().now();
+                let mut ev = Event::span(EventKind::Flush, t0, end)
+                    .files(0, 1)
+                    .bytes(input_bytes, output_bytes)
+                    .phases(0, 0, write_nanos);
+                ev.output_level = Some(0);
+                self.sink.record(ev);
+            }
+            self.refresh_level_gauges();
         } else if log_number.is_some() {
             self.versions.log_and_apply(VersionEdit {
                 log_number,
@@ -838,6 +1039,14 @@ impl Db {
     pub(crate) fn execute(&mut self, task: CompactionTask) -> Result<()> {
         let t0 = self.device.clock().now();
         let fs_before = self.device.ledger().get(TimeCategory::FileSystem);
+        // Input descriptors must be captured before the task consumes the
+        // files they describe.
+        let described = if self.sink.enabled() {
+            Some(self.describe_task(&task))
+        } else {
+            None
+        };
+        self.trace = ExecTrace::default();
         let result = match task {
             CompactionTask::Merge {
                 level,
@@ -850,15 +1059,112 @@ impl Db {
             CompactionTask::TieredMerge { files } => self.execute_tiered_merge(&files),
         };
         self.record_compaction_time(t0, fs_before);
+        if let (Some(desc), Ok(())) = (described, &result) {
+            let end = self.device.clock().now();
+            let elapsed = end - t0;
+            // The in-memory merge does not advance the virtual clock, so
+            // its phase is 0; everything that is not output writing is
+            // input reading (plus metadata, which is negligible).
+            let write = self.trace.write_nanos.min(elapsed);
+            self.sink.record(
+                Event::span(desc.kind, t0, end)
+                    .levels(desc.level, desc.output_level)
+                    .files(desc.input_files, self.trace.output_files)
+                    .bytes(desc.input_bytes, self.trace.output_bytes)
+                    .phases(elapsed - write, 0, write),
+            );
+        }
+        self.refresh_level_gauges();
         result
+    }
+
+    /// What a task is about to do, captured while its inputs still exist.
+    fn describe_task(&self, task: &CompactionTask) -> TaskDescriptor {
+        let size_of = |number: u64| {
+            self.versions
+                .current
+                .find_file(number)
+                .map(|(_, m)| m.size)
+                .unwrap_or(0)
+        };
+        match task {
+            CompactionTask::Merge {
+                level,
+                upper,
+                lower,
+            } => TaskDescriptor {
+                kind: EventKind::UdcMerge,
+                level: *level as u32,
+                output_level: (*level + 1) as u32,
+                input_files: (upper.len() + lower.len()) as u32,
+                input_bytes: upper.iter().chain(lower).map(|&n| size_of(n)).sum(),
+            },
+            CompactionTask::TrivialMove { level, file } => TaskDescriptor {
+                kind: EventKind::TrivialMove,
+                level: *level as u32,
+                output_level: (*level + 1) as u32,
+                input_files: 1,
+                input_bytes: size_of(*file),
+            },
+            CompactionTask::Link { level, file } => TaskDescriptor {
+                kind: EventKind::LdcLink,
+                level: *level as u32,
+                output_level: (*level + 1) as u32,
+                input_files: 1,
+                input_bytes: size_of(*file),
+            },
+            CompactionTask::LdcMerge { level, file } => {
+                let (slices, slice_bytes) = self
+                    .versions
+                    .current
+                    .find_file(*file)
+                    .map(|(_, m)| {
+                        (
+                            m.slices.len() as u32,
+                            m.slices.iter().map(|s| s.approx_bytes).sum::<u64>(),
+                        )
+                    })
+                    .unwrap_or((0, 0));
+                TaskDescriptor {
+                    kind: EventKind::LdcMerge,
+                    level: *level as u32,
+                    output_level: *level as u32,
+                    input_files: 1 + slices,
+                    input_bytes: size_of(*file) + slice_bytes,
+                }
+            }
+            // The size-tiered baseline's intra-L0 merge is reported as a
+            // (generic) merge event at level 0.
+            CompactionTask::TieredMerge { files } => TaskDescriptor {
+                kind: EventKind::UdcMerge,
+                level: 0,
+                output_level: 0,
+                input_files: files.len() as u32,
+                input_bytes: files.iter().map(|&n| size_of(n)).sum(),
+            },
+        }
+    }
+
+    /// Recomputes the per-level gauges from the current version.
+    fn refresh_level_gauges(&self) {
+        let scores = crate::compaction::level_scores(&self.versions.current, &self.options);
+        let gauges = (0..self.versions.current.num_levels())
+            .map(|level| LevelGauge {
+                files: self.versions.current.level_files(level) as u64,
+                bytes: self.versions.current.level_bytes(level),
+                score: scores[level],
+            })
+            .collect();
+        self.metrics.set_level_gauges(gauges);
     }
 
     fn record_compaction_time(&self, t0: Nanos, fs_before: Nanos) {
         let fs_delta = self.device.ledger().get(TimeCategory::FileSystem) - fs_before;
         let elapsed = self.device.clock().now() - t0;
-        self.device
-            .ledger()
-            .record(TimeCategory::CompactionWork, elapsed.saturating_sub(fs_delta));
+        self.device.ledger().record(
+            TimeCategory::CompactionWork,
+            elapsed.saturating_sub(fs_delta),
+        );
     }
 
     /// Classic UDC merge of `upper` (at `level`) with `lower` (at `level+1`).
@@ -1176,8 +1482,8 @@ impl Db {
             // a newer entry for the same user key was already kept at a
             // sequence every live snapshot can see.
             let (seq, vt) = parse_trailer(ikey);
-            let shadowed = last_kept_seq != SequenceNumber::MAX
-                && last_kept_seq <= smallest_snapshot;
+            let shadowed =
+                last_kept_seq != SequenceNumber::MAX && last_kept_seq <= smallest_snapshot;
             let drop_tombstone = vt == ValueType::Deletion
                 && drop_tombstones
                 && seq <= smallest_snapshot
@@ -1205,16 +1511,17 @@ impl Db {
         Ok(outputs)
     }
 
-    fn write_output_table(
-        &mut self,
-        finished: crate::table::FinishedTable,
-    ) -> Result<FileMeta> {
+    fn write_output_table(&mut self, finished: crate::table::FinishedTable) -> Result<FileMeta> {
         let number = self.versions.new_file_number();
+        let t0 = self.device.clock().now();
         self.storage.write_file(
             &table_file_name(number),
             &finished.bytes,
             IoClass::CompactionWrite,
         )?;
+        self.trace.write_nanos += self.device.clock().now() - t0;
+        self.trace.output_files += 1;
+        self.trace.output_bytes += finished.bytes.len() as u64;
         Ok(FileMeta {
             number,
             size: finished.bytes.len() as u64,

@@ -220,7 +220,12 @@ mod tests {
 
     fn entries(keys: &[(&[u8], u64)]) -> Vec<(Vec<u8>, Vec<u8>)> {
         keys.iter()
-            .map(|(k, s)| (ik(k, *s), format!("{}@{s}", String::from_utf8_lossy(k)).into_bytes()))
+            .map(|(k, s)| {
+                (
+                    ik(k, *s),
+                    format!("{}@{s}", String::from_utf8_lossy(k)).into_bytes(),
+                )
+            })
             .collect()
     }
 

@@ -37,6 +37,7 @@ pub mod version;
 pub mod wal;
 
 pub use batch::{BatchOp, WriteBatch};
+pub use cache::CacheCounters;
 pub use db::{Db, DbStats, Snapshot};
 pub use error::{Error, Result};
 pub use options::Options;

@@ -2,8 +2,8 @@
 
 use crate::skiplist::{SkipList, SkipListIter};
 use crate::types::{
-    compare_internal_keys, encode_internal_key, parse_trailer, user_key, SequenceNumber,
-    ValueType, TYPE_FOR_SEEK,
+    compare_internal_keys, encode_internal_key, parse_trailer, user_key, SequenceNumber, ValueType,
+    TYPE_FOR_SEEK,
 };
 
 /// Outcome of a memtable point lookup.
@@ -25,7 +25,9 @@ pub struct MemTable {
 impl MemTable {
     /// Creates an empty memtable; `seed` determinizes skiplist heights.
     pub fn new(seed: u64) -> Self {
-        Self { list: SkipList::new(seed) }
+        Self {
+            list: SkipList::new(seed),
+        }
     }
 
     /// Number of entries (including tombstones).
@@ -66,7 +68,9 @@ impl MemTable {
 
     /// Iterator over internal entries in sorted order.
     pub fn iter(&self) -> MemTableIter<'_> {
-        MemTableIter { inner: self.list.iter() }
+        MemTableIter {
+            inner: self.list.iter(),
+        }
     }
 }
 

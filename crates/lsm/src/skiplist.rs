@@ -134,7 +134,10 @@ impl SkipList {
 
     /// Iterator positioned before the first entry.
     pub fn iter(&self) -> SkipListIter<'_> {
-        SkipListIter { list: self, node: NIL }
+        SkipListIter {
+            list: self,
+            node: NIL,
+        }
     }
 }
 
@@ -215,7 +218,16 @@ mod tests {
             seen.push(crate::types::user_key(it.key()).to_vec());
             it.next();
         }
-        assert_eq!(seen, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec(), b"e".to_vec()]);
+        assert_eq!(
+            seen,
+            vec![
+                b"a".to_vec(),
+                b"b".to_vec(),
+                b"c".to_vec(),
+                b"d".to_vec(),
+                b"e".to_vec()
+            ]
+        );
     }
 
     #[test]

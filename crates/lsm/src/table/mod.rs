@@ -52,8 +52,7 @@ impl BlockHandle {
     /// Decodes from the front of `src`, returning the handle and bytes used.
     pub fn decode_from(src: &[u8]) -> Result<(BlockHandle, usize)> {
         let (offset, n1) = get_varint64(src).ok_or_else(|| corruption("bad handle offset"))?;
-        let (size, n2) =
-            get_varint64(&src[n1..]).ok_or_else(|| corruption("bad handle size"))?;
+        let (size, n2) = get_varint64(&src[n1..]).ok_or_else(|| corruption("bad handle size"))?;
         Ok((BlockHandle { offset, size }, n1 + n2))
     }
 }
@@ -88,7 +87,10 @@ mod tests {
 
     #[test]
     fn handle_roundtrip() {
-        let h = BlockHandle { offset: 123456789, size: 4096 };
+        let h = BlockHandle {
+            offset: 123456789,
+            size: 4096,
+        };
         let mut buf = Vec::new();
         h.encode_to(&mut buf);
         let (decoded, n) = BlockHandle::decode_from(&buf).unwrap();
@@ -98,8 +100,14 @@ mod tests {
 
     #[test]
     fn footer_roundtrip() {
-        let filter = BlockHandle { offset: 1000, size: 64 };
-        let index = BlockHandle { offset: 1069, size: 256 };
+        let filter = BlockHandle {
+            offset: 1000,
+            size: 64,
+        };
+        let index = BlockHandle {
+            offset: 1069,
+            size: 256,
+        };
         let footer = encode_footer(filter, index);
         assert_eq!(footer.len(), FOOTER_SIZE);
         let (f, i) = decode_footer(&footer).unwrap();

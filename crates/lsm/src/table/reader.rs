@@ -146,18 +146,14 @@ impl Table {
         let mut prev: Option<Vec<u8>> = None;
         while index_iter.valid() {
             let (handle, _) = BlockHandle::decode_from(index_iter.value())?;
-            let block =
-                read_verified_block(self.storage.as_ref(), &self.name, handle, class)
-                    .and_then(Block::new)?;
+            let block = read_verified_block(self.storage.as_ref(), &self.name, handle, class)
+                .and_then(Block::new)?;
             let mut it = block.iter();
             it.seek_to_first();
             while it.valid() {
                 if let Some(p) = &prev {
                     if crate::types::compare_internal_keys(p, it.key()).is_ge() {
-                        return Err(corruption(format!(
-                            "table {} keys out of order",
-                            self.name
-                        )));
+                        return Err(corruption(format!("table {} keys out of order", self.name)));
                     }
                 }
                 prev = Some(it.key().to_vec());
@@ -179,10 +175,12 @@ impl Table {
         class: IoClass,
         sequential: bool,
     ) -> Result<Block> {
-        self.cache.get_or_load((self.file_number, handle.offset), || {
-            let bytes = read_block_bytes(self.storage.as_ref(), &self.name, handle, class, sequential)?;
-            Block::new(bytes)
-        })
+        self.cache
+            .get_or_load((self.file_number, handle.offset), || {
+                let bytes =
+                    read_block_bytes(self.storage.as_ref(), &self.name, handle, class, sequential)?;
+                Block::new(bytes)
+            })
     }
 }
 
@@ -215,7 +213,9 @@ fn read_block_bytes(
     let trailer = &raw[handle.size as usize..];
     let compression = trailer[0];
     if compression != 0 {
-        return Err(corruption(format!("unsupported compression tag {compression}")));
+        return Err(corruption(format!(
+            "unsupported compression tag {compression}"
+        )));
     }
     let stored = u32::from_le_bytes(trailer[1..5].try_into().expect("4 bytes"));
     let actual = crc32c::extend(crc32c::crc32c(payload), &[compression]);
@@ -409,7 +409,9 @@ mod tests {
     #[test]
     fn point_lookups_hit_and_miss() {
         let (_s, table) = build_table(500);
-        let hit = table.get(b"key00042", MAX_SEQUENCE, IoClass::UserRead).unwrap();
+        let hit = table
+            .get(b"key00042", MAX_SEQUENCE, IoClass::UserRead)
+            .unwrap();
         let (seq, vt, value) = hit.unwrap();
         assert_eq!(seq, 1);
         assert_eq!(vt, ValueType::Value);
@@ -434,7 +436,9 @@ mod tests {
         b.add(&encode_internal_key(b"k", 4, ValueType::Deletion), b"");
         b.add(&encode_internal_key(b"k", 2, ValueType::Value), b"old");
         let finished = b.finish();
-        storage.write_file("t.sst", &finished.bytes, IoClass::FlushWrite).unwrap();
+        storage
+            .write_file("t.sst", &finished.bytes, IoClass::FlushWrite)
+            .unwrap();
         let table = Table::open(storage, "t.sst", 1, Arc::new(BlockCache::new(1 << 20))).unwrap();
 
         let (seq, vt, v) = table.get(b"k", 100, IoClass::UserRead).unwrap().unwrap();
@@ -468,7 +472,11 @@ mod tests {
     fn seek_positions_across_blocks() {
         let (_s, table) = build_table(300);
         let mut it = table.iter(IoClass::UserRead);
-        it.seek(&encode_internal_key(b"key00150", MAX_SEQUENCE, TYPE_FOR_SEEK));
+        it.seek(&encode_internal_key(
+            b"key00150",
+            MAX_SEQUENCE,
+            TYPE_FOR_SEEK,
+        ));
         assert!(it.valid());
         assert_eq!(user_key(it.key()), b"key00150");
         it.seek(&ik(b"key00150x", MAX_SEQUENCE));
@@ -534,9 +542,10 @@ mod tests {
         let mut bytes = finished.bytes;
         // Corrupt a byte inside the first data block.
         bytes[5] ^= 0xff;
-        storage.write_file("bad.sst", &bytes, IoClass::FlushWrite).unwrap();
-        let table =
-            Table::open(storage, "bad.sst", 1, Arc::new(BlockCache::new(0))).unwrap();
+        storage
+            .write_file("bad.sst", &bytes, IoClass::FlushWrite)
+            .unwrap();
+        let table = Table::open(storage, "bad.sst", 1, Arc::new(BlockCache::new(0))).unwrap();
         let err = table.get(b"k000", MAX_SEQUENCE, IoClass::UserRead);
         assert!(matches!(err, Err(Error::Corruption(_))));
     }

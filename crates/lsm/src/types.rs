@@ -90,17 +90,26 @@ pub struct KeyRange {
 impl KeyRange {
     /// Range covering every key.
     pub fn all() -> Self {
-        KeyRange { lo: Vec::new(), hi: None }
+        KeyRange {
+            lo: Vec::new(),
+            hi: None,
+        }
     }
 
     /// `[lo, hi)` with a concrete upper bound.
     pub fn new(lo: impl Into<Vec<u8>>, hi: impl Into<Vec<u8>>) -> Self {
-        KeyRange { lo: lo.into(), hi: Some(hi.into()) }
+        KeyRange {
+            lo: lo.into(),
+            hi: Some(hi.into()),
+        }
     }
 
     /// `[lo, +inf)`.
     pub fn from(lo: impl Into<Vec<u8>>) -> Self {
-        KeyRange { lo: lo.into(), hi: None }
+        KeyRange {
+            lo: lo.into(),
+            hi: None,
+        }
     }
 
     /// Whether `key` falls inside the range.

@@ -80,7 +80,10 @@ impl FileMeta {
 
     /// Slices covering `ukey`, newest link first (read-path priority).
     pub fn slices_covering<'a>(&'a self, ukey: &'a [u8]) -> impl Iterator<Item = &'a SliceLink> {
-        self.slices.iter().rev().filter(move |s| s.range.contains(ukey))
+        self.slices
+            .iter()
+            .rev()
+            .filter(move |s| s.range.contains(ukey))
     }
 
     /// Number of attached slice links (the paper's merge trigger counter).
@@ -375,7 +378,11 @@ impl VersionEdit {
                     let approx_bytes = varint(&mut data)?;
                     let lo = bytes(&mut data)?;
                     let has_hi = varint(&mut data)?;
-                    let hi = if has_hi == 1 { Some(bytes(&mut data)?) } else { None };
+                    let hi = if has_hi == 1 {
+                        Some(bytes(&mut data)?)
+                    } else {
+                        None
+                    };
                     edit.new_links.push((
                         target,
                         SliceLink {
@@ -444,8 +451,11 @@ impl VersionSet {
     pub fn create(storage: Arc<dyn StorageBackend>, max_levels: usize) -> Result<VersionSet> {
         let manifest_number = 1;
         let manifest_name = manifest_file_name(manifest_number);
-        let mut manifest =
-            LogWriter::new(Arc::clone(&storage), manifest_name.clone(), IoClass::ManifestWrite);
+        let mut manifest = LogWriter::new(
+            Arc::clone(&storage),
+            manifest_name.clone(),
+            IoClass::ManifestWrite,
+        );
         // First record fixes the counters.
         let edit = VersionEdit {
             next_file_number: Some(2),
@@ -455,7 +465,11 @@ impl VersionSet {
         };
         manifest.add_record(&edit.encode())?;
         manifest.sync()?;
-        storage.write_file(CURRENT_FILE, manifest_name.as_bytes(), IoClass::ManifestWrite)?;
+        storage.write_file(
+            CURRENT_FILE,
+            manifest_name.as_bytes(),
+            IoClass::ManifestWrite,
+        )?;
         Ok(VersionSet {
             storage,
             manifest,
@@ -471,10 +485,9 @@ impl VersionSet {
 
     /// Recovers the version set from an existing `CURRENT` + manifest.
     pub fn recover(storage: Arc<dyn StorageBackend>, max_levels: usize) -> Result<VersionSet> {
-        let manifest_name = String::from_utf8(
-            storage.read_all(CURRENT_FILE, IoClass::Other)?.to_vec(),
-        )
-        .map_err(|_| corruption("CURRENT is not utf-8"))?;
+        let manifest_name =
+            String::from_utf8(storage.read_all(CURRENT_FILE, IoClass::Other)?.to_vec())
+                .map_err(|_| corruption("CURRENT is not utf-8"))?;
         let mut version = Version::new(max_levels);
         let mut next_file_number = 2;
         let mut last_sequence = 0;
@@ -576,8 +589,11 @@ impl VersionSet {
     fn write_snapshot_manifest(&mut self) -> Result<()> {
         let manifest_number = self.new_file_number();
         let name = manifest_file_name(manifest_number);
-        let mut writer =
-            LogWriter::new(Arc::clone(&self.storage), name.clone(), IoClass::ManifestWrite);
+        let mut writer = LogWriter::new(
+            Arc::clone(&self.storage),
+            name.clone(),
+            IoClass::ManifestWrite,
+        );
         let mut edit = VersionEdit {
             next_file_number: Some(self.next_file_number),
             last_sequence: Some(self.last_sequence),

@@ -25,9 +25,7 @@ fn sorted_entries() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
     )
     .prop_map(|m| {
         m.into_iter()
-            .map(|(ukey, (value, seq))| {
-                (encode_internal_key(&ukey, seq, ValueType::Value), value)
-            })
+            .map(|(ukey, (value, seq))| (encode_internal_key(&ukey, seq, ValueType::Value), value))
             .collect()
     })
 }

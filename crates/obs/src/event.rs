@@ -1,0 +1,304 @@
+//! Structured event records.
+
+use crate::json;
+
+/// Virtual-clock nanoseconds (matches `ldc-ssd`'s time base).
+pub type Nanos = u64;
+
+/// What kind of background action an [`Event`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Memtable flushed to an L0 table.
+    Flush,
+    /// Classic upper-level driven (LevelDB-style) merge.
+    UdcMerge,
+    /// A file moved down a level without rewriting.
+    TrivialMove,
+    /// LDC phase one: a file linked into slices of the level below.
+    LdcLink,
+    /// LDC phase two: linked slices merged in the lower level.
+    LdcMerge,
+    /// A foreground write blocked until background work caught up.
+    Stall,
+    /// A foreground write was delayed (L0 soft limit).
+    Slowdown,
+    /// A write-ahead-log sync.
+    WalSync,
+    /// SSD garbage collection relocated pages / erased blocks.
+    SsdGc,
+    /// The adaptive SliceLink threshold changed.
+    ThresholdAdapt,
+}
+
+impl EventKind {
+    /// Every kind, in a stable order.
+    pub const ALL: [EventKind; 10] = [
+        EventKind::Flush,
+        EventKind::UdcMerge,
+        EventKind::TrivialMove,
+        EventKind::LdcLink,
+        EventKind::LdcMerge,
+        EventKind::Stall,
+        EventKind::Slowdown,
+        EventKind::WalSync,
+        EventKind::SsdGc,
+        EventKind::ThresholdAdapt,
+    ];
+
+    /// Stable snake_case label (used in JSONL and reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Flush => "flush",
+            EventKind::UdcMerge => "udc_merge",
+            EventKind::TrivialMove => "trivial_move",
+            EventKind::LdcLink => "ldc_link",
+            EventKind::LdcMerge => "ldc_merge",
+            EventKind::Stall => "stall",
+            EventKind::Slowdown => "slowdown",
+            EventKind::WalSync => "wal_sync",
+            EventKind::SsdGc => "ssd_gc",
+            EventKind::ThresholdAdapt => "threshold_adapt",
+        }
+    }
+
+    /// Inverse of [`EventKind::label`].
+    pub fn parse(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.label() == label)
+    }
+
+    /// Whether this kind moves data between levels (compaction work).
+    pub fn is_compaction(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Flush
+                | EventKind::UdcMerge
+                | EventKind::TrivialMove
+                | EventKind::LdcLink
+                | EventKind::LdcMerge
+        )
+    }
+}
+
+/// One background action, with enough context to attribute foreground
+/// latency (Fig 1), phase time (Table 1), and byte movement (Fig 12).
+///
+/// Fields that do not apply to a kind stay at their zero defaults: a
+/// `Stall` has no levels or bytes, a `ThresholdAdapt` reuses
+/// `input_bytes`/`output_bytes` as old/new threshold values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Virtual-clock start.
+    pub start_nanos: Nanos,
+    /// Virtual-clock end (`>= start_nanos`).
+    pub end_nanos: Nanos,
+    /// Source level, when meaningful.
+    pub level: Option<u32>,
+    /// Destination level, when meaningful.
+    pub output_level: Option<u32>,
+    /// Input files consumed.
+    pub input_files: u32,
+    /// Output files produced.
+    pub output_files: u32,
+    /// Bytes read as compaction input (or old value for `ThresholdAdapt`).
+    pub input_bytes: u64,
+    /// Bytes written as compaction output (or new value for `ThresholdAdapt`).
+    pub output_bytes: u64,
+    /// Time spent reading inputs (Table 1's read phase).
+    pub read_nanos: Nanos,
+    /// Time spent merging in memory (Table 1's merge phase).
+    pub merge_nanos: Nanos,
+    /// Time spent writing outputs (Table 1's write phase).
+    pub write_nanos: Nanos,
+}
+
+impl Event {
+    /// A bare event covering `[start, end]`; remaining fields default
+    /// to zero/`None` and can be filled in by the builder methods.
+    pub fn span(kind: EventKind, start_nanos: Nanos, end_nanos: Nanos) -> Self {
+        debug_assert!(end_nanos >= start_nanos, "event ends before it starts");
+        Self {
+            kind,
+            start_nanos,
+            end_nanos,
+            level: None,
+            output_level: None,
+            input_files: 0,
+            output_files: 0,
+            input_bytes: 0,
+            output_bytes: 0,
+            read_nanos: 0,
+            merge_nanos: 0,
+            write_nanos: 0,
+        }
+    }
+
+    /// Sets source and destination levels.
+    pub fn levels(mut self, from: u32, to: u32) -> Self {
+        self.level = Some(from);
+        self.output_level = Some(to);
+        self
+    }
+
+    /// Sets input/output file counts.
+    pub fn files(mut self, input: u32, output: u32) -> Self {
+        self.input_files = input;
+        self.output_files = output;
+        self
+    }
+
+    /// Sets input/output byte counts.
+    pub fn bytes(mut self, input: u64, output: u64) -> Self {
+        self.input_bytes = input;
+        self.output_bytes = output;
+        self
+    }
+
+    /// Sets the read/merge/write phase split.
+    pub fn phases(mut self, read: Nanos, merge: Nanos, write: Nanos) -> Self {
+        self.read_nanos = read;
+        self.merge_nanos = merge;
+        self.write_nanos = write;
+        self
+    }
+
+    /// Wall (virtual) duration of the event.
+    pub fn duration_nanos(&self) -> Nanos {
+        self.end_nanos - self.start_nanos
+    }
+
+    /// Whether `[self.start, self.end]` intersects `[start, end]`.
+    pub fn overlaps(&self, start_nanos: Nanos, end_nanos: Nanos) -> bool {
+        self.start_nanos <= end_nanos && start_nanos <= self.end_nanos
+    }
+
+    /// Encodes as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"kind\":\"");
+        out.push_str(self.kind.label());
+        out.push('"');
+        let field = |name: &str, value: u64, out: &mut String| {
+            out.push_str(",\"");
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        };
+        field("start_nanos", self.start_nanos, &mut out);
+        field("end_nanos", self.end_nanos, &mut out);
+        if let Some(l) = self.level {
+            field("level", u64::from(l), &mut out);
+        }
+        if let Some(l) = self.output_level {
+            field("output_level", u64::from(l), &mut out);
+        }
+        field("input_files", u64::from(self.input_files), &mut out);
+        field("output_files", u64::from(self.output_files), &mut out);
+        field("input_bytes", self.input_bytes, &mut out);
+        field("output_bytes", self.output_bytes, &mut out);
+        field("read_nanos", self.read_nanos, &mut out);
+        field("merge_nanos", self.merge_nanos, &mut out);
+        field("write_nanos", self.write_nanos, &mut out);
+        out.push('}');
+        out
+    }
+
+    /// Decodes an object produced by [`Event::to_json`]. Returns `None`
+    /// on malformed input or an unknown kind.
+    pub fn from_json(text: &str) -> Option<Self> {
+        let fields = json::parse_flat_object(text)?;
+        let kind = match fields.get("kind")? {
+            json::Value::Str(s) => EventKind::parse(s)?,
+            json::Value::Num(_) => return None,
+        };
+        let num = |name: &str| -> Option<u64> {
+            match fields.get(name) {
+                Some(json::Value::Num(n)) => Some(*n),
+                Some(json::Value::Str(_)) => None,
+                None => Some(0),
+            }
+        };
+        let opt_num = |name: &str| -> Option<Option<u32>> {
+            match fields.get(name) {
+                Some(json::Value::Num(n)) => Some(Some(u32::try_from(*n).ok()?)),
+                Some(json::Value::Str(_)) => None,
+                None => Some(None),
+            }
+        };
+        Some(Self {
+            kind,
+            start_nanos: num("start_nanos")?,
+            end_nanos: num("end_nanos")?,
+            level: opt_num("level")?,
+            output_level: opt_num("output_level")?,
+            input_files: u32::try_from(num("input_files")?).ok()?,
+            output_files: u32::try_from(num("output_files")?).ok()?,
+            input_bytes: num("input_bytes")?,
+            output_bytes: num("output_bytes")?,
+            read_nanos: num("read_nanos")?,
+            merge_nanos: num("merge_nanos")?,
+            write_nanos: num("write_nanos")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn json_roundtrip_full() {
+        let ev = Event::span(EventKind::LdcMerge, 100, 250)
+            .levels(2, 3)
+            .files(4, 6)
+            .bytes(1 << 20, 2 << 20)
+            .phases(40, 10, 100);
+        let decoded = Event::from_json(&ev.to_json()).expect("roundtrip");
+        assert_eq!(decoded, ev);
+    }
+
+    #[test]
+    fn json_roundtrip_minimal() {
+        let ev = Event::span(EventKind::Stall, 7, 7);
+        let decoded = Event::from_json(&ev.to_json()).expect("roundtrip");
+        assert_eq!(decoded, ev);
+        assert_eq!(decoded.level, None);
+        assert_eq!(decoded.duration_nanos(), 0);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(Event::from_json("").is_none());
+        assert!(Event::from_json("{}").is_none());
+        assert!(Event::from_json("{\"kind\":\"bogus\"}").is_none());
+        assert!(Event::from_json("not json at all").is_none());
+    }
+
+    #[test]
+    fn overlap_logic() {
+        let ev = Event::span(EventKind::UdcMerge, 100, 200);
+        assert!(ev.overlaps(150, 160)); // contained
+        assert!(ev.overlaps(50, 100)); // touches start
+        assert!(ev.overlaps(200, 300)); // touches end
+        assert!(ev.overlaps(50, 300)); // contains
+        assert!(!ev.overlaps(0, 99));
+        assert!(!ev.overlaps(201, 400));
+    }
+
+    #[test]
+    fn compaction_classification() {
+        assert!(EventKind::LdcMerge.is_compaction());
+        assert!(EventKind::Flush.is_compaction());
+        assert!(!EventKind::Stall.is_compaction());
+        assert!(!EventKind::SsdGc.is_compaction());
+    }
+}

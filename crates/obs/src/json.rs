@@ -1,0 +1,140 @@
+//! A tiny flat-JSON-object parser, just enough for the event format.
+//!
+//! Handles `{"key": "string", "key2": 123, ...}` — no nesting, no
+//! arrays, no floats, no escapes beyond `\"` and `\\`. The encoder in
+//! [`crate::Event::to_json`] only ever produces this shape, and keeping
+//! the parser here means the crate stays dependency-free.
+
+use std::collections::BTreeMap;
+
+/// A parsed scalar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// A non-negative integer.
+    Num(u64),
+}
+
+/// Parses a single flat JSON object. Returns `None` on any syntax the
+/// event format does not produce.
+pub fn parse_flat_object(text: &str) -> Option<BTreeMap<String, Value>> {
+    let mut chars = text.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut map = BTreeMap::new();
+    let mut after_comma = false;
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' if !after_comma => {
+                chars.next();
+                break;
+            }
+            '"' => {}
+            _ => return None,
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek()? {
+            '"' => Value::Str(parse_string(&mut chars)?),
+            c if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while let Some(c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        n.push(*c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                Value::Num(n.parse().ok()?)
+            }
+            _ => return None,
+        };
+        map.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next()? {
+            ',' => {
+                after_comma = true;
+                continue;
+            }
+            '}' => break,
+            _ => return None,
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None;
+    }
+    Some(map)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_object() {
+        let m = parse_flat_object(r#"{"kind": "flush", "n": 42}"#).unwrap();
+        assert_eq!(m.get("kind"), Some(&Value::Str("flush".into())));
+        assert_eq!(m.get("n"), Some(&Value::Num(42)));
+    }
+
+    #[test]
+    fn parses_empty_object() {
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+        assert!(parse_flat_object("  { }  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":1} x",
+            "[1]",
+            "{'a':1}",
+        ] {
+            assert!(parse_flat_object(bad).is_none(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn handles_escapes() {
+        let m = parse_flat_object(r#"{"k":"a\"b\\c"}"#).unwrap();
+        assert_eq!(m.get("k"), Some(&Value::Str("a\"b\\c".into())));
+    }
+}

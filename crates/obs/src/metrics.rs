@@ -1,0 +1,334 @@
+//! Per-level gauges and per-operation latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The operation types the engine times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpType {
+    /// Point lookup.
+    Get,
+    /// Insert or overwrite.
+    Put,
+    /// Range scan.
+    Scan,
+    /// Tombstone write.
+    Delete,
+}
+
+impl OpType {
+    /// Every op type, in a stable order.
+    pub const ALL: [OpType; 4] = [OpType::Get, OpType::Put, OpType::Scan, OpType::Delete];
+
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpType::Get => "get",
+            OpType::Put => "put",
+            OpType::Scan => "scan",
+            OpType::Delete => "delete",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            OpType::Get => 0,
+            OpType::Put => 1,
+            OpType::Scan => 2,
+            OpType::Delete => 3,
+        }
+    }
+}
+
+/// Point-in-time state of one LSM level.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelGauge {
+    /// Live files in the level.
+    pub files: u64,
+    /// Live bytes in the level.
+    pub bytes: u64,
+    /// Compaction pressure (>= 1.0 means the level is overfull).
+    pub score: f64,
+}
+
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5;
+
+/// Log-linear latency histogram: 64 power-of-two magnitude bands, each
+/// split into 32 linear sub-buckets (<= ~3% relative error).
+///
+/// Same layout as `ldc-workload`'s `Histogram`, duplicated here because
+/// this crate sits *below* the workload crate in the dependency graph
+/// (`ldc-ssd` depends on it) — reusing it would create a cycle.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; 64 * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn index_for(value: u64) -> usize {
+        let v = value.max(1);
+        let magnitude = 63 - v.leading_zeros();
+        if magnitude < SUB_BITS {
+            return v as usize;
+        }
+        let shift = magnitude - SUB_BITS;
+        let sub = ((v >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((magnitude - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let band = index / SUB_BUCKETS;
+        let sub = index % SUB_BUCKETS;
+        let shift = (band - 1) as u32;
+        ((SUB_BUCKETS + sub) as u64) << shift
+    }
+
+    /// Records one nanosecond sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index_for(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Value at percentile `p` in [0, 100], to bucket resolution.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if p >= 100.0 {
+            return self.max;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Self::bucket_value(i).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+/// Shared registry: per-level gauges plus one latency histogram per
+/// operation type. All methods take `&self`; interior locking keeps the
+/// registry shareable behind an `Arc` across the whole engine.
+pub struct MetricsRegistry {
+    levels: Mutex<Vec<LevelGauge>>,
+    latencies: [Mutex<LatencyHistogram>; 4],
+    ops: [AtomicU64; 4],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self {
+            levels: Mutex::new(Vec::new()),
+            latencies: std::array::from_fn(|_| Mutex::new(LatencyHistogram::new())),
+            ops: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Replaces the per-level gauges (one entry per level, L0 first).
+    pub fn set_level_gauges(&self, gauges: Vec<LevelGauge>) {
+        *self.levels.lock().unwrap() = gauges;
+    }
+
+    /// Snapshot of the per-level gauges.
+    pub fn level_gauges(&self) -> Vec<LevelGauge> {
+        self.levels.lock().unwrap().clone()
+    }
+
+    /// Records one operation latency.
+    pub fn record_latency(&self, op: OpType, nanos: u64) {
+        self.latencies[op.index()].lock().unwrap().record(nanos);
+        self.ops[op.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of one op type's latency histogram.
+    pub fn latency(&self, op: OpType) -> LatencyHistogram {
+        self.latencies[op.index()].lock().unwrap().clone()
+    }
+
+    /// Total operations recorded for `op`.
+    pub fn op_count(&self, op: OpType) -> u64 {
+        self.ops[op.index()].load(Ordering::Relaxed)
+    }
+
+    /// Clears gauges and histograms.
+    pub fn reset(&self) {
+        self.levels.lock().unwrap().clear();
+        for h in &self.latencies {
+            *h.lock().unwrap() = LatencyHistogram::new();
+        }
+        for c in &self.ops {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_snapshots_roundtrip() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.level_gauges().is_empty());
+        reg.set_level_gauges(vec![
+            LevelGauge {
+                files: 4,
+                bytes: 4096,
+                score: 1.5,
+            },
+            LevelGauge {
+                files: 10,
+                bytes: 1 << 20,
+                score: 0.25,
+            },
+        ]);
+        let snap = reg.level_gauges();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].files, 4);
+        assert_eq!(snap[1].bytes, 1 << 20);
+        assert!((snap[0].score - 1.5).abs() < 1e-9);
+        // A new snapshot replaces, not appends.
+        reg.set_level_gauges(vec![LevelGauge::default()]);
+        assert_eq!(reg.level_gauges().len(), 1);
+    }
+
+    #[test]
+    fn latencies_tracked_per_op() {
+        let reg = MetricsRegistry::new();
+        reg.record_latency(OpType::Get, 100);
+        reg.record_latency(OpType::Get, 200);
+        reg.record_latency(OpType::Put, 5000);
+        assert_eq!(reg.latency(OpType::Get).count(), 2);
+        assert_eq!(reg.latency(OpType::Put).count(), 1);
+        assert_eq!(reg.latency(OpType::Scan).count(), 0);
+        assert_eq!(reg.op_count(OpType::Get), 2);
+        assert_eq!(reg.op_count(OpType::Delete), 0);
+        assert!((reg.latency(OpType::Get).mean() - 150.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let reg = MetricsRegistry::new();
+        reg.record_latency(OpType::Scan, 42);
+        reg.set_level_gauges(vec![LevelGauge::default()]);
+        reg.reset();
+        assert!(reg.level_gauges().is_empty());
+        assert_eq!(reg.latency(OpType::Scan).count(), 0);
+        assert_eq!(reg.op_count(OpType::Scan), 0);
+    }
+
+    #[test]
+    fn histogram_layout_matches_workload_crate() {
+        // Same spot-checks as ldc-workload's tests: bounded relative error.
+        for magnitude in [5u64, 50, 500, 5_000, 50_000, 500_000, 5_000_000] {
+            let mut h = LatencyHistogram::new();
+            h.record(magnitude);
+            let got = h.percentile(50.0);
+            let err = (got as f64 - magnitude as f64).abs() / magnitude as f64;
+            assert!(err <= 0.04, "value {magnitude}: got {got} (err {err})");
+        }
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.min(), 0);
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.percentile(100.0) == u64::MAX);
+        let mut other = LatencyHistogram::new();
+        other.record(1);
+        h.merge(&other);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn op_labels_are_stable() {
+        let labels: Vec<_> = OpType::ALL.iter().map(|o| o.label()).collect();
+        assert_eq!(labels, vec!["get", "put", "scan", "delete"]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Event sink implementations.
+
+use crate::{Event, EventSink};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The shared-ownership sink handle every layer of the stack holds.
+pub type SharedSink = Arc<dyn EventSink>;
+
+/// Discards everything. [`EventSink::enabled`] returns `false`, so hot
+/// paths skip event construction entirely — tracing off costs one
+/// virtual call and nothing else.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: Event) {}
+}
+
+/// Bounded in-memory recorder. When full, the *oldest* event is dropped
+/// so the buffer always holds the most recent window — the right
+/// behaviour for "what just caused this latency spike?" queries.
+pub struct RingBufferSink {
+    capacity: usize,
+    buffer: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl RingBufferSink {
+    /// A recorder holding at most `capacity` events (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            buffer: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buffer.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().unwrap().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events were evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drops all buffered events (the dropped counter is unaffected).
+    pub fn clear(&self) {
+        self.buffer.lock().unwrap().clear();
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn record(&self, event: Event) {
+        let mut buffer = self.buffer.lock().unwrap();
+        if buffer.len() == self.capacity {
+            buffer.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buffer.push_back(event);
+    }
+}
+
+/// Writes one JSON object per line to any `Write` target. Pair with
+/// [`Event::from_json`] to read the stream back.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes and returns the writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().unwrap();
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn record(&self, event: Event) {
+        let mut w = self.writer.lock().unwrap();
+        // Sink errors must never take down the engine; drop the event.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+}
+
+/// Parses a JSONL stream produced by [`JsonlSink`], skipping blank
+/// lines; returns `None` if any non-blank line fails to parse.
+pub fn parse_jsonl(text: &str) -> Option<Vec<Event>> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(Event::from_json)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    fn ev(start: u64) -> Event {
+        Event::span(EventKind::Flush, start, start + 10)
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        let sink = NoopSink;
+        assert!(!sink.enabled());
+        sink.record(ev(0)); // must not panic
+    }
+
+    #[test]
+    fn ring_buffer_bounded_drop_oldest() {
+        let sink = RingBufferSink::new(3);
+        assert!(sink.enabled());
+        for i in 0..5 {
+            sink.record(ev(i * 100));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        // Oldest two (starts 0 and 100) were dropped.
+        assert_eq!(
+            events.iter().map(|e| e.start_nanos).collect::<Vec<_>>(),
+            vec![200, 300, 400]
+        );
+        assert_eq!(sink.dropped(), 2);
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn ring_buffer_capacity_floor() {
+        let sink = RingBufferSink::new(0);
+        sink.record(ev(1));
+        sink.record(ev(2));
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let sink = JsonlSink::new(Vec::new());
+        let a = ev(5).levels(0, 1).bytes(100, 90);
+        let b = Event::span(EventKind::SsdGc, 50, 60)
+            .files(0, 0)
+            .bytes(8, 2);
+        sink.record(a.clone());
+        sink.record(b.clone());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let parsed = parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed, vec![a, b]);
+    }
+
+    #[test]
+    fn jsonl_parse_rejects_corrupt_line() {
+        assert!(parse_jsonl("{\"kind\":\"flush\"}\nnot json\n").is_none());
+        assert_eq!(parse_jsonl("\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn shared_sink_is_object_safe() {
+        let sink: SharedSink = std::sync::Arc::new(RingBufferSink::new(8));
+        if sink.enabled() {
+            sink.record(ev(1));
+        }
+        assert!(sink.enabled());
+    }
+}

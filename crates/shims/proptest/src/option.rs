@@ -1,0 +1,42 @@
+//! Option strategies (`prop::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Strategy yielding `None` about 10% of the time (matching real
+/// proptest's default weighting) and `Some(inner)` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(10) == 0 {
+            None
+        } else {
+            Some(self.inner.gen_value(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn produces_both_variants() {
+        let strat = of(any::<u8>());
+        let mut rng = TestRng::from_seed(3);
+        let values: Vec<_> = (0..200).map(|_| strat.gen_value(&mut rng)).collect();
+        assert!(values.iter().any(|v| v.is_none()));
+        assert!(values.iter().any(|v| v.is_some()));
+    }
+}

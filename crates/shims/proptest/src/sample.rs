@@ -1,0 +1,46 @@
+//! Sampling helpers (`prop::sample`).
+
+use crate::strategy::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An index into a collection whose size is unknown at generation time;
+/// scaled into `[0, len)` by [`Index::index`].
+#[derive(Debug, Clone, Copy)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Scales the raw sample into `[0, len)`.
+    ///
+    /// # Panics
+    /// Panics when `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        ((self.raw as u128 * len as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary_from(rng: &mut TestRng) -> Self {
+        Self {
+            raw: rng.next_u64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_stays_in_bounds() {
+        let mut rng = TestRng::from_seed(11);
+        for len in [1usize, 2, 3, 10, 1000] {
+            for _ in 0..100 {
+                let ix = Index::arbitrary_from(&mut rng);
+                assert!(ix.index(len) < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Deterministic case runner and configuration.
+
+/// Test configuration, mirroring the `proptest::test_runner::Config`
+/// fields this workspace sets.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Accepted for source compatibility; this shim does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The generated input did not satisfy a `prop_assume!`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property violation.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// An input rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fail(m) => write!(f, "test case failed: {m}"),
+            Self::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Deterministic random stream handed to strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Seeds a generator.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)` via multiply-shift.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Stable 64-bit hash of the test name, so each test gets its own
+/// deterministic stream (FNV-1a).
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `config.cases` deterministic cases of `f`, panicking on the
+/// first failure with the case number and seed (no shrinking).
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = name_seed(name);
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = u64::from(config.cases) * 16 + 256;
+    while passed < config.cases {
+        assert!(
+            attempts < max_attempts,
+            "proptest '{name}': too many rejected inputs ({attempts} attempts for {passed} cases)"
+        );
+        let seed = base.wrapping_add(attempts);
+        let mut rng = TestRng::from_seed(seed);
+        attempts += 1;
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {passed} (seed {seed:#x}): {msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(1);
+        let mut b = TestRng::from_seed(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn runner_counts_cases() {
+        let mut n = 0;
+        run_cases(
+            &ProptestConfig {
+                cases: 10,
+                ..ProptestConfig::default()
+            },
+            "count",
+            |_| {
+                n += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn runner_retries_rejects() {
+        let mut total = 0u32;
+        run_cases(
+            &ProptestConfig {
+                cases: 5,
+                ..ProptestConfig::default()
+            },
+            "rejects",
+            |_| {
+                total += 1;
+                if total.is_multiple_of(2) {
+                    Err(TestCaseError::reject("every other"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(total >= 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_panics_on_failure() {
+        run_cases(&ProptestConfig::default(), "fails", |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -7,8 +7,10 @@
 //! write pressure degrades effective write bandwidth — the behaviour the
 //! paper's SSD-oriented argument depends on.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use ldc_obs::{Event, EventKind, NoopSink, SharedSink};
 use parking_lot::Mutex;
 
 use crate::clock::{Nanos, TimeCategory, TimeLedger, VirtualClock};
@@ -38,13 +40,28 @@ pub struct DeviceSnapshot {
 ///
 /// The device is cheap to share (`Arc<SsdDevice>`); all interior state is
 /// behind atomics or a mutex.
-#[derive(Debug)]
 pub struct SsdDevice {
     cfg: SsdConfig,
     clock: VirtualClock,
     ledger: Arc<TimeLedger>,
     ftl: Mutex<Ftl>,
     io: IoStats,
+    sink: Mutex<SharedSink>,
+    // Mirrors `sink.enabled()` so the GC hot path can skip the sink mutex
+    // entirely when tracing is off.
+    sink_on: AtomicBool,
+}
+
+impl std::fmt::Debug for SsdDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsdDevice")
+            .field("cfg", &self.cfg)
+            .field("clock", &self.clock)
+            .field("ledger", &self.ledger)
+            .field("ftl", &self.ftl)
+            .field("io", &self.io)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SsdDevice {
@@ -59,7 +76,16 @@ impl SsdDevice {
             ledger: Arc::new(TimeLedger::new()),
             ftl: Mutex::new(ftl),
             io: IoStats::new(),
+            sink: Mutex::new(Arc::new(NoopSink)),
+            sink_on: AtomicBool::new(false),
         })
+    }
+
+    /// Routes garbage-collection events to `sink`. With the default
+    /// [`NoopSink`] the GC path never builds an [`Event`].
+    pub fn set_event_sink(&self, sink: SharedSink) {
+        self.sink_on.store(sink.enabled(), Ordering::Release);
+        *self.sink.lock() = sink;
     }
 
     /// Device with the default (enterprise PCIe) profile.
@@ -139,10 +165,13 @@ impl SsdDevice {
     /// Returns the nanoseconds charged.
     pub fn program_pages(&self, lpns: &[u64]) -> Nanos {
         let mut relocated = 0u64;
+        let mut erased = 0u64;
         {
             let mut ftl = self.ftl.lock();
             for &lpn in lpns {
-                relocated += ftl.write_page(lpn).relocated_pages;
+                let outcome = ftl.write_page(lpn);
+                relocated += outcome.relocated_pages;
+                erased += outcome.erased_blocks;
             }
         }
         if relocated == 0 {
@@ -152,7 +181,20 @@ impl SsdDevice {
         // bandwidth, which dominates.
         let bytes = relocated * self.cfg.page_bytes;
         let t = bytes * 1_000_000_000 / self.cfg.write_bandwidth;
+        let start = self.clock.now();
         self.clock.advance(t);
+        if self.sink_on.load(Ordering::Acquire) {
+            // `input_files`/`output_files` double as relocated-pages /
+            // erased-blocks counts for GC events.
+            self.sink.lock().record(
+                Event::span(EventKind::SsdGc, start, start + t)
+                    .files(
+                        relocated.min(u64::from(u32::MAX)) as u32,
+                        erased.min(u64::from(u32::MAX)) as u32,
+                    )
+                    .bytes(bytes, 0),
+            );
+        }
         t
     }
 
@@ -273,6 +315,34 @@ mod tests {
         assert!(snap.ftl.erases > 0);
         assert!(snap.wear_fraction > 0.0);
         assert!(snap.max_erase_count as f64 >= snap.mean_erase_count);
+    }
+
+    #[test]
+    fn gc_emits_events_when_sink_enabled() {
+        let dev = device();
+        let sink = Arc::new(ldc_obs::RingBufferSink::new(1024));
+        dev.set_event_sink(sink.clone());
+        let logical = dev.logical_pages();
+        let all: Vec<u64> = (0..logical).collect();
+        dev.program_pages(&all);
+        for round in 0..50u64 {
+            let hot: Vec<u64> = (0..logical / 8)
+                .map(|i| (i * 8 + round % 8) % logical)
+                .collect();
+            dev.program_pages(&hot);
+        }
+        let events = sink.events();
+        assert!(!events.is_empty(), "GC under churn must emit events");
+        assert!(events.iter().all(|e| e.kind == EventKind::SsdGc));
+        let gc = events
+            .iter()
+            .find(|e| e.input_files > 0)
+            .expect("relocations recorded");
+        assert!(gc.duration_nanos() > 0);
+        assert_eq!(
+            gc.input_bytes,
+            u64::from(gc.input_files) * dev.config().page_bytes
+        );
     }
 
     #[test]

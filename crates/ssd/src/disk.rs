@@ -86,10 +86,7 @@ impl StorageBackend for DiskStorage {
     fn read(&self, name: &str, offset: u64, len: u64, class: IoClass) -> SsdResult<Bytes> {
         let path = self.path(name)?;
         let mut file = fs::File::open(&path).map_err(|e| Self::io_err(name, e))?;
-        let size = file
-            .metadata()
-            .map_err(|e| Self::io_err(name, e))?
-            .len();
+        let size = file.metadata().map_err(|e| Self::io_err(name, e))?.len();
         if offset.checked_add(len).is_none_or(|end| end > size) {
             return Err(SsdError::OutOfRange {
                 file: name.to_string(),
@@ -102,7 +99,8 @@ impl StorageBackend for DiskStorage {
         file.seek(SeekFrom::Start(offset))
             .map_err(|e| Self::io_err(name, e))?;
         let mut buf = vec![0u8; len as usize];
-        file.read_exact(&mut buf).map_err(|e| Self::io_err(name, e))?;
+        file.read_exact(&mut buf)
+            .map_err(|e| Self::io_err(name, e))?;
         Ok(Bytes::from(buf))
     }
 
@@ -194,7 +192,8 @@ mod tests {
     fn write_read_roundtrip_on_disk() {
         let root = TempRoot::new();
         let s = storage(&root);
-        s.write_file("a.sst", b"hello disk", IoClass::FlushWrite).unwrap();
+        s.write_file("a.sst", b"hello disk", IoClass::FlushWrite)
+            .unwrap();
         assert!(s.exists("a.sst"));
         assert_eq!(s.size("a.sst").unwrap(), 10);
         assert_eq!(
@@ -214,7 +213,10 @@ mod tests {
         s.append("wal", b"one", IoClass::WalWrite).unwrap();
         s.append("wal", b"two", IoClass::WalWrite).unwrap();
         s.sync("wal").unwrap();
-        assert_eq!(s.read_all("wal", IoClass::Other).unwrap().as_ref(), b"onetwo");
+        assert_eq!(
+            s.read_all("wal", IoClass::Other).unwrap().as_ref(),
+            b"onetwo"
+        );
         s.rename("wal", "wal2").unwrap();
         assert!(!s.exists("wal"));
         s.delete("wal2").unwrap();
@@ -239,7 +241,10 @@ mod tests {
             s.write_file("persist", b"data", IoClass::Other).unwrap();
         }
         let s = storage(&root);
-        assert_eq!(s.read_all("persist", IoClass::Other).unwrap().as_ref(), b"data");
+        assert_eq!(
+            s.read_all("persist", IoClass::Other).unwrap().as_ref(),
+            b"data"
+        );
     }
 
     #[test]
@@ -256,7 +261,8 @@ mod tests {
         let root = TempRoot::new();
         let s = storage(&root);
         let t0 = s.device().clock().now();
-        s.write_file("f", &vec![0u8; 100_000], IoClass::FlushWrite).unwrap();
+        s.write_file("f", &vec![0u8; 100_000], IoClass::FlushWrite)
+            .unwrap();
         s.read_all("f", IoClass::UserRead).unwrap();
         assert!(s.device().clock().now() > t0);
         let io = s.device().io_stats();

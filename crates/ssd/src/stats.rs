@@ -210,6 +210,27 @@ mod tests {
     }
 
     #[test]
+    fn delta_since_saturates_instead_of_underflowing() {
+        // Snapshots taken from two different devices (or swapped by a
+        // caller) can have `earlier > self`; the delta must clamp to zero
+        // rather than wrap to ~u64::MAX and poison windowed metrics.
+        let stats = IoStats::new();
+        stats.record_write(IoClass::FlushWrite, 500);
+        stats.record_read(IoClass::UserRead, 200);
+        let big = stats.snapshot();
+        let small = IoStats::new().snapshot();
+        let delta = small.delta_since(&big);
+        assert_eq!(delta.total_write_bytes(), 0);
+        assert_eq!(delta.total_read_bytes(), 0);
+        for i in 0..delta.read_ops.len() {
+            assert_eq!(delta.read_ops[i], 0);
+            assert_eq!(delta.write_ops[i], 0);
+        }
+        // And the well-ordered direction still measures the window.
+        assert_eq!(big.delta_since(&small).total_write_bytes(), 500);
+    }
+
+    #[test]
     fn write_amplification_relative_to_user_bytes() {
         let stats = IoStats::new();
         stats.record_write(IoClass::WalWrite, 100);

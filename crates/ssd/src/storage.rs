@@ -145,7 +145,11 @@ impl MemStorage {
     /// Sum of all file sizes — the "consumed storage space" metric of the
     /// paper's Fig 15.
     pub fn total_file_bytes(&self) -> u64 {
-        self.files.read().values().map(|f| f.data.len() as u64).sum()
+        self.files
+            .read()
+            .values()
+            .map(|f| f.data.len() as u64)
+            .sum()
     }
 
     fn page_bytes(&self) -> u64 {
@@ -447,7 +451,9 @@ mod tests {
         let chunk = vec![0u8; (cap / 4) as usize];
         let mut wrote_err = false;
         for i in 0..8 {
-            if s.write_file(&format!("f{i}"), &chunk, IoClass::Other).is_err() {
+            if s.write_file(&format!("f{i}"), &chunk, IoClass::Other)
+                .is_err()
+            {
                 wrote_err = true;
                 break;
             }

@@ -106,7 +106,9 @@ impl Sampler {
             self.zipf_for = tag;
         }
         let u: f64 = self.rng.gen();
-        self.zipf_cdf.partition_point(|&c| c < u).min(n as usize - 1) as u64
+        self.zipf_cdf
+            .partition_point(|&c| c < u)
+            .min(n as usize - 1) as u64
     }
 }
 
@@ -173,7 +175,10 @@ mod tests {
         let h2 = head_fraction(2.0);
         let h5 = head_fraction(5.0);
         assert!(h2 > h1);
-        assert!(h5 > 0.99, "theta=5 should be almost fully concentrated: {h5}");
+        assert!(
+            h5 > 0.99,
+            "theta=5 should be almost fully concentrated: {h5}"
+        );
     }
 
     #[test]

@@ -210,6 +210,41 @@ mod tests {
     }
 
     #[test]
+    fn empty_percentiles_are_zero_at_every_rank() {
+        let h = Histogram::new();
+        for p in [0.0, 0.1, 50.0, 99.99, 100.0] {
+            assert_eq!(h.percentile(p), 0, "p{p} of empty");
+        }
+        assert_eq!(h.min(), 0, "empty min must not leak the u64::MAX sentinel");
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(777);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            let got = h.percentile(p);
+            assert!((750..=810).contains(&got), "p{p} = {got}");
+        }
+    }
+
+    #[test]
+    fn u64_max_is_recorded_without_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), u64::MAX);
+        // p100 returns the exact max; interior percentiles stay clamped to
+        // the observed range, and the u128 sum keeps the mean finite.
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        let p99 = h.percentile(99.9);
+        assert!((h.min()..=h.max()).contains(&p99), "p99.9 = {p99}");
+        assert!(h.mean().is_finite() && h.mean() > 0.0);
+    }
+
+    #[test]
     fn zero_values_are_recorded() {
         let mut h = Histogram::new();
         h.record(0);

@@ -103,7 +103,10 @@ mod tests {
             .windows(2)
             .filter(|w| w[0] < w[1])
             .count();
-        assert!((20..80).contains(&ordered), "suspiciously ordered: {ordered}");
+        assert!(
+            (20..80).contains(&ordered),
+            "suspiciously ordered: {ordered}"
+        );
     }
 
     #[test]

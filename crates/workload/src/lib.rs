@@ -26,5 +26,7 @@ mod spec;
 pub use distribution::{Distribution, Sampler};
 pub use histogram::Histogram;
 pub use keys::KeyCodec;
-pub use runner::{preload_workload, run_measured, run_workload, KvInterface, RunReport, SecondSample};
+pub use runner::{
+    preload_workload, run_measured, run_workload, KvInterface, RunReport, SecondSample,
+};
 pub use spec::{ReadKind, WorkloadSpec};

@@ -239,7 +239,10 @@ mod tests {
         let spec = WorkloadSpec::write_heavy(10_000).with_key_space(1000);
         let report = run_workload(&spec, &mut db, &clock).unwrap();
         let write_frac = report.writes.count() as f64 / report.ops as f64;
-        assert!((0.67..0.73).contains(&write_frac), "write frac {write_frac}");
+        assert!(
+            (0.67..0.73).contains(&write_frac),
+            "write frac {write_frac}"
+        );
         assert_eq!(report.scans.count(), 0);
     }
 
@@ -283,7 +286,11 @@ mod tests {
             let mut db = model(&clock);
             let spec = WorkloadSpec::read_write_balanced(3000).with_key_space(700);
             let r = run_workload(&spec, &mut db, &clock).unwrap();
-            (r.duration_nanos, r.writes.count(), r.overall.percentile(99.0))
+            (
+                r.duration_nanos,
+                r.writes.count(),
+                r.overall.percentile(99.0),
+            )
         };
         assert_eq!(run(), run());
     }

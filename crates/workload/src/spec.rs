@@ -118,8 +118,7 @@ impl WorkloadSpec {
 
     /// YCSB core workload D: 95% reads of recent items / 5% inserts.
     pub fn ycsb_d(ops: u64) -> Self {
-        Self::base("YCSB-D", ops, 0.05, ReadKind::Point)
-            .with_distribution(Distribution::Latest)
+        Self::base("YCSB-D", ops, 0.05, ReadKind::Point).with_distribution(Distribution::Latest)
     }
 
     /// YCSB core workload E: 95% short scans / 5% inserts, zipfian.

@@ -10,8 +10,12 @@
 //! ```text
 //! put <key> <value>     get <key>        del <key>
 //! scan <start> [n]      fill <n>         stats
-//! levels                verify           help      quit
+//! report                levels           verify
+//! help                  quit
 //! ```
+//!
+//! `stats` prints one-line counters; `report` prints the full LevelDB-style
+//! engine report (levels, compactions, cache, per-op latencies, SSD wear).
 
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
@@ -52,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ["quit" | "exit"] => break,
             ["help"] => println!(
                 "put <k> <v> | get <k> | del <k> | scan <start> [n] | \
-                 fill <n> | stats | levels | verify | quit"
+                 fill <n> | stats | report | levels | verify | quit"
             ),
             ["put", key, value] => {
                 db.put(key.as_bytes(), value.as_bytes())?;
@@ -104,6 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     wear.ftl.write_amplification(),
                 );
             }
+            ["report"] => print!("{}", db.stats_report()),
             ["levels"] => {
                 let v = db.engine_ref().version();
                 for level in 0..v.num_levels() {

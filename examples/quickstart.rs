@@ -50,9 +50,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wear = db.device().snapshot();
     println!("\n-- what LDC did underneath --");
     println!("memtable flushes      : {}", stats.flushes);
-    println!("link operations       : {}  (metadata-only freezes)", stats.links);
-    println!("ldc merges            : {}  (lower-level driven)", stats.ldc_merges);
-    println!("udc merges            : {}  (should be 0 under LDC)", stats.merges);
+    println!(
+        "link operations       : {}  (metadata-only freezes)",
+        stats.links
+    );
+    println!(
+        "ldc merges            : {}  (lower-level driven)",
+        stats.ldc_merges
+    );
+    println!(
+        "udc merges            : {}  (should be 0 under LDC)",
+        stats.merges
+    );
     println!(
         "compaction I/O        : {:.1} MiB read, {:.1} MiB written",
         io.compaction_read_bytes() as f64 / 1048576.0,
@@ -63,9 +72,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wear.ftl.write_amplification(),
         wear.mean_erase_count
     );
-    println!(
-        "virtual time elapsed  : {:.3} s",
-        wear.now as f64 / 1e9
-    );
+    println!("virtual time elapsed  : {:.3} s", wear.now as f64 / 1e9);
     Ok(())
 }

@@ -69,9 +69,7 @@ fn run(udc: bool) -> Result<(), Box<dyn std::error::Error>> {
     // the rated endurance is gone?
     if snap.wear_fraction > 0.0 {
         let repeats = 1.0 / snap.wear_fraction;
-        println!(
-            "  projected lifetime     : {repeats:>9.0} x this workload before wear-out\n"
-        );
+        println!("  projected lifetime     : {repeats:>9.0} x this workload before wear-out\n");
     } else {
         println!("  projected lifetime     : no measurable wear\n");
     }

@@ -2,8 +2,10 @@
 //!
 //! Umbrella crate for the reproduction of the ICDE 2019 paper *"LDC: A
 //! Lower-Level Driven Compaction Method to Optimize SSD-Oriented Key-Value
-//! Stores"* (Chai et al.). It re-exports the four layers:
+//! Stores"* (Chai et al.). It re-exports the five layers:
 //!
+//! * [`obs`] — observability: structured event tracing, per-level metrics,
+//!   latency histograms (every other layer reports into it);
 //! * [`ssd`] — simulated SSD substrate (virtual clock, FTL, wear, storage);
 //! * [`lsm`] — a from-scratch LevelDB-class LSM engine with the UDC
 //!   baseline compaction policy;
@@ -24,6 +26,7 @@
 
 pub use ldc_core as core;
 pub use ldc_lsm as lsm;
+pub use ldc_obs as obs;
 pub use ldc_ssd as ssd;
 pub use ldc_workload as workload;
 

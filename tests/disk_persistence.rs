@@ -66,7 +66,7 @@ fn store_survives_disk_reopen_with_ldc_state() {
         assert!(stats.flushes > 0);
         assert!(stats.links > 0, "want live LDC activity on disk");
     } // "crash"
-    // Files really are on disk.
+      // Files really are on disk.
     let on_disk: Vec<String> = fs::read_dir(&root.0)
         .unwrap()
         .map(|e| e.unwrap().file_name().into_string().unwrap())
@@ -89,7 +89,10 @@ fn store_survives_disk_reopen_with_ldc_state() {
     for i in n..n + 300 {
         db.put(&key(i), b"post-recovery").unwrap();
     }
-    assert_eq!(db.get(&key(n + 1)).unwrap(), Some(b"post-recovery".to_vec()));
+    assert_eq!(
+        db.get(&key(n + 1)).unwrap(),
+        Some(b"post-recovery".to_vec())
+    );
 }
 
 #[test]

@@ -34,8 +34,7 @@ fn healthy_store_verifies() {
 
 #[test]
 fn corruption_is_detected_by_verify() {
-    let storage: Arc<dyn StorageBackend> =
-        MemStorage::new(SsdDevice::new(SsdConfig::default()));
+    let storage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::new(SsdConfig::default()));
     let mut db = LdcDb::builder()
         .options(tiny_options())
         .storage(Arc::clone(&storage))

@@ -92,17 +92,18 @@ fn check_sequence(policy: Policy, ops: &[Op]) {
     }
     // Full sweep at the end.
     let all = db.scan(b"", usize::MAX).expect("final scan");
-    let want: Vec<(Vec<u8>, Vec<u8>)> =
-        model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+    let want: Vec<(Vec<u8>, Vec<u8>)> = model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
     assert_eq!(all, want, "final state diverged");
-    db.engine_ref().version().check_invariants().expect("invariants");
+    db.engine_ref()
+        .version()
+        .check_invariants()
+        .expect("invariants");
 }
 
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
         max_shrink_iters: 200,
-        ..ProptestConfig::default()
     })]
 
     #[test]

@@ -15,7 +15,10 @@ impl KvInterface for Adapter {
         self.0.get(key).map_err(|e| e.to_string())
     }
     fn scan(&mut self, start: &[u8], limit: usize) -> Result<usize, String> {
-        self.0.scan(start, limit).map(|r| r.len()).map_err(|e| e.to_string())
+        self.0
+            .scan(start, limit)
+            .map(|r| r.len())
+            .map_err(|e| e.to_string())
     }
 }
 
