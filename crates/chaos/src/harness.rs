@@ -1,0 +1,711 @@
+//! Crash / corruption / error-injection verification harness.
+//!
+//! [`ChaosHarness`] runs a deterministic workload against a store built on
+//! a [`FaultStorage`], injects one fault class per run, then reopens and
+//! checks the surviving state against an in-memory model:
+//!
+//! * **Crash points** ([`ChaosHarness::run_crash_point`]): power loss on
+//!   the Nth mutating storage operation. With `wal_sync` on, every
+//!   acknowledged write must survive exactly; the single in-flight write
+//!   may land or vanish (and is checked to do one of the two).
+//! * **Bit flips** ([`ChaosHarness::run_bit_flip`]): one bit of a WAL,
+//!   SSTable, or manifest is flipped. The store must detect the damage or
+//!   mask it — it must never serve a value that was not written.
+//! * **I/O errors** ([`ChaosHarness::run_io_errors`]): mutating storage
+//!   operations fail with a configured probability. The first failure must
+//!   latch the engine's background error (fail-stop), reads must keep
+//!   working, and a clean reopen must restore exactly the acknowledged
+//!   state.
+//!
+//! Every failure carries the [`FaultPlan`] and the fault journal, so a
+//! red run is replayable from the `(seed, crash point)` pair alone.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use ldc_core::{CompactionMode, LdcDb};
+use ldc_lsm::{Options, RecoverySummary};
+use ldc_obs::{EventKind, RingBufferSink, SharedSink};
+use ldc_ssd::{MemStorage, SsdDevice, StorageBackend};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::{FaultStorage, PowerCycleReport};
+use crate::plan::{BitFlipTarget, FaultPlan};
+
+/// Decorrelates the workload stream from the fault stream.
+const WORKLOAD_STREAM: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Workload + engine configuration for a harness run. Two runs with equal
+/// configs perform identical operations.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seeds both the workload and the fault plan.
+    pub seed: u64,
+    /// Operations the workload attempts.
+    pub ops: u64,
+    /// Distinct keys the workload draws from.
+    pub key_space: u64,
+    /// Value payload size in bytes.
+    pub value_len: usize,
+    /// Every Nth operation is a delete (0 disables deletes).
+    pub delete_every: u64,
+    /// Compaction mechanism under test.
+    pub mode: CompactionMode,
+    /// Engine options; `wal_sync` should stay on for crash runs.
+    pub options: Options,
+}
+
+impl ChaosConfig {
+    /// A small, fast configuration: enough traffic for several flushes
+    /// and background compactions, seconds per run.
+    pub fn quick(seed: u64, mode: CompactionMode) -> Self {
+        let options = Options {
+            wal_sync: true,
+            ..Options::small_for_tests()
+        };
+        Self {
+            seed,
+            ops: 300,
+            key_space: 64,
+            value_len: 120,
+            delete_every: 7,
+            mode,
+            options,
+        }
+    }
+}
+
+/// A verification failure, carrying everything needed to replay it.
+#[derive(Debug)]
+pub struct ChaosFailure {
+    /// The plan the failing run used.
+    pub plan: FaultPlan,
+    /// What went wrong.
+    pub detail: String,
+    /// The faults the storage injected, in order.
+    pub fault_log: Vec<String>,
+}
+
+impl fmt::Display for ChaosFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "chaos failure: {}", self.detail)?;
+        writeln!(f, "replay plan: {}", self.plan)?;
+        writeln!(
+            f,
+            "replay: ChaosHarness::new(ChaosConfig {{ seed: {}, .. }}) with the plan above",
+            self.plan.seed
+        )?;
+        if self.fault_log.is_empty() {
+            write!(f, "faults injected: none")
+        } else {
+            writeln!(f, "faults injected:")?;
+            for (i, line) in self.fault_log.iter().enumerate() {
+                if i > 0 {
+                    writeln!(f)?;
+                }
+                write!(f, "  {line}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl std::error::Error for ChaosFailure {}
+
+/// Result of one crash-point run.
+#[derive(Debug, Clone)]
+pub struct CrashPointReport {
+    /// The mutating-op index the power died on.
+    pub crash_op: u64,
+    /// Whether the crash actually fired (false once the point lies past
+    /// the workload's total storage traffic).
+    pub crashed: bool,
+    /// Writes acknowledged before the crash.
+    pub acked_writes: u64,
+    /// What the power cycle discarded.
+    pub power_cycle: PowerCycleReport,
+    /// What the reopening recovery did.
+    pub recovery: RecoverySummary,
+}
+
+/// How a bit-flip run ended (both variants are acceptable outcomes; a
+/// wrong served value is a [`ChaosFailure`] instead).
+#[derive(Debug, Clone)]
+pub enum BitFlipOutcome {
+    /// The reopen itself refused the corrupt store.
+    DetectedAtOpen(String),
+    /// The store reopened; reads were each correct or detected.
+    Reopened {
+        /// Point/scan reads that surfaced a detected corruption error.
+        detected_reads: u64,
+        /// Whether a full integrity sweep still passes.
+        integrity_ok: bool,
+        /// Files the recovery quarantined.
+        files_quarantined: u32,
+    },
+}
+
+/// Result of one bit-flip run.
+#[derive(Debug, Clone)]
+pub struct BitFlipReport {
+    /// File the flip hit.
+    pub file: String,
+    /// Byte offset of the flipped bit.
+    pub offset: u64,
+    /// Bit index within the byte.
+    pub bit: u8,
+    /// How the store coped.
+    pub outcome: BitFlipOutcome,
+}
+
+/// Result of one error-injection run.
+#[derive(Debug, Clone)]
+pub struct IoErrorReport {
+    /// Writes acknowledged before the first injected failure.
+    pub acked_writes: u64,
+    /// Errors the storage injected in total.
+    pub injected_errors: u64,
+    /// Workload index of the first failed operation, if any failed.
+    pub first_error_op: Option<u64>,
+}
+
+/// Deterministic fault-injection verifier over one [`ChaosConfig`].
+pub struct ChaosHarness {
+    config: ChaosConfig,
+}
+
+impl ChaosHarness {
+    /// A harness for `config`.
+    pub fn new(config: ChaosConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration under test.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    fn key_for(idx: u64) -> Vec<u8> {
+        format!("key{idx:05}").into_bytes()
+    }
+
+    /// Operation `i` of the workload: `(key, Some(value))` for a put,
+    /// `(key, None)` for a delete.
+    fn gen_op(&self, rng: &mut SmallRng, i: u64) -> (Vec<u8>, Option<Vec<u8>>) {
+        let key = Self::key_for(rng.gen_range(0..self.config.key_space));
+        let deletes = self.config.delete_every;
+        if deletes > 0 && i % deletes == deletes - 1 {
+            return (key, None);
+        }
+        // The op index makes every value unique, so a stale read is
+        // distinguishable from the current one.
+        let mut value = format!("v{i:08}-").into_bytes();
+        while value.len() < self.config.value_len {
+            value.push(b'a' + rng.gen_range(0..26u8));
+        }
+        (key, Some(value))
+    }
+
+    fn open(
+        &self,
+        storage: &Arc<dyn StorageBackend>,
+        sink: Option<SharedSink>,
+    ) -> ldc_lsm::Result<LdcDb> {
+        let mut builder = LdcDb::builder()
+            .options(self.config.options.clone())
+            .mode(self.config.mode.clone())
+            .storage(Arc::clone(storage));
+        if let Some(sink) = sink {
+            builder = builder.event_sink(sink);
+        }
+        builder.build()
+    }
+
+    fn fail(&self, fault: &FaultStorage, detail: String) -> ChaosFailure {
+        ChaosFailure {
+            plan: fault.plan().clone(),
+            detail,
+            fault_log: fault.fault_log(),
+        }
+    }
+
+    /// Checks the reopened store against the model over the whole key
+    /// universe: point gets, a full scan, version invariants, and an
+    /// SSTable integrity sweep. The optional in-flight write is allowed
+    /// to have either landed or vanished — atomically.
+    fn verify_exact(
+        &self,
+        db: &mut LdcDb,
+        model: &BTreeMap<Vec<u8>, Vec<u8>>,
+        in_flight: Option<&(Vec<u8>, Option<Vec<u8>>)>,
+    ) -> Result<(), String> {
+        for idx in 0..self.config.key_space {
+            let key = Self::key_for(idx);
+            let got = db
+                .get(&key)
+                .map_err(|e| format!("get {} failed: {e}", String::from_utf8_lossy(&key)))?;
+            let old = model.get(&key).map(|v| v.as_slice());
+            if let Some((k, new)) = in_flight {
+                if *k == key {
+                    if got.as_deref() != old && got.as_deref() != new.as_deref() {
+                        return Err(format!(
+                            "in-flight key {} resolved to neither old nor new value",
+                            String::from_utf8_lossy(&key)
+                        ));
+                    }
+                    continue;
+                }
+            }
+            if got.as_deref() != old {
+                return Err(format!(
+                    "key {}: got {:?}, model has {:?}",
+                    String::from_utf8_lossy(&key),
+                    got.map(|v| String::from_utf8_lossy(&v).into_owned()),
+                    old.map(String::from_utf8_lossy)
+                ));
+            }
+        }
+        let scanned: BTreeMap<Vec<u8>, Vec<u8>> = db
+            .scan(b"", usize::MAX)
+            .map_err(|e| format!("scan failed: {e}"))?
+            .into_iter()
+            .collect();
+        let mut with_new = model.clone();
+        if let Some((k, new)) = in_flight {
+            match new {
+                Some(v) => {
+                    with_new.insert(k.clone(), v.clone());
+                }
+                None => {
+                    with_new.remove(k);
+                }
+            }
+        }
+        if scanned != *model && scanned != with_new {
+            return Err(format!(
+                "scan returned {} entries matching neither pre- nor post-in-flight model ({} entries)",
+                scanned.len(),
+                model.len()
+            ));
+        }
+        db.engine_ref()
+            .version()
+            .check_invariants()
+            .map_err(|e| format!("version invariants violated: {e}"))?;
+        db.verify_integrity()
+            .map_err(|e| format!("integrity sweep failed: {e}"))?;
+        Ok(())
+    }
+
+    /// Runs the workload with a benign plan and returns the total number
+    /// of mutating storage operations it produces — the upper bound of
+    /// the interesting crash-point space.
+    pub fn measure_storage_ops(&self) -> Result<u64, ChaosFailure> {
+        let fault = FaultStorage::new(
+            MemStorage::new(SsdDevice::with_defaults()),
+            FaultPlan::new(self.config.seed),
+        );
+        let storage: Arc<dyn StorageBackend> = fault.clone();
+        let mut db = self
+            .open(&storage, None)
+            .map_err(|e| self.fail(&fault, format!("open failed under benign plan: {e}")))?;
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ WORKLOAD_STREAM);
+        for i in 0..self.config.ops {
+            let (key, value) = self.gen_op(&mut rng, i);
+            match &value {
+                Some(v) => db.put(&key, v),
+                None => db.delete(&key),
+            }
+            .map_err(|e| self.fail(&fault, format!("write failed under benign plan: {e}")))?;
+        }
+        Ok(fault.mutating_ops())
+    }
+
+    /// Kills the power on mutating storage operation `crash_op` (1-based),
+    /// reboots, reopens, and verifies that exactly the acknowledged writes
+    /// survived (modulo the single in-flight write).
+    pub fn run_crash_point(&self, crash_op: u64) -> Result<CrashPointReport, ChaosFailure> {
+        let fault = FaultStorage::new(
+            MemStorage::new(SsdDevice::with_defaults()),
+            FaultPlan::crash_at(self.config.seed, crash_op),
+        );
+        let storage: Arc<dyn StorageBackend> = fault.clone();
+
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut in_flight: Option<(Vec<u8>, Option<Vec<u8>>)> = None;
+        let mut acked = 0u64;
+        let mut crashed = false;
+        match self.open(&storage, None) {
+            Ok(mut db) => {
+                let mut rng = SmallRng::seed_from_u64(self.config.seed ^ WORKLOAD_STREAM);
+                for i in 0..self.config.ops {
+                    let (key, value) = self.gen_op(&mut rng, i);
+                    let result = match &value {
+                        Some(v) => db.put(&key, v),
+                        None => db.delete(&key),
+                    };
+                    match result {
+                        Ok(()) => {
+                            acked += 1;
+                            match value {
+                                Some(v) => {
+                                    model.insert(key, v);
+                                }
+                                None => {
+                                    model.remove(&key);
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            in_flight = Some((key, value));
+                            crashed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            // Crash during database creation: nothing was acknowledged.
+            Err(_) => crashed = true,
+        }
+
+        let power_cycle = fault
+            .power_cycle()
+            .map_err(|e| self.fail(&fault, format!("power cycle failed: {e}")))?;
+
+        let sink = Arc::new(RingBufferSink::new(4096));
+        let mut db = self
+            .open(&storage, Some(sink.clone()))
+            .map_err(|e| self.fail(&fault, format!("reopen after crash failed: {e}")))?;
+        let recovery = db.recovery_summary();
+        self.verify_exact(&mut db, &model, in_flight.as_ref())
+            .map_err(|detail| self.fail(&fault, detail))?;
+        if !sink.events().iter().any(|e| e.kind == EventKind::Recovery) {
+            return Err(self.fail(&fault, "reopen emitted no recovery event".to_string()));
+        }
+
+        // The recovered store must keep working and survive a further
+        // clean reopen (catches half-written metadata the first recovery
+        // papered over).
+        drop(db);
+        let mut db = self
+            .open(&storage, None)
+            .map_err(|e| self.fail(&fault, format!("second clean reopen failed: {e}")))?;
+        self.verify_exact(&mut db, &model, in_flight.as_ref())
+            .map_err(|detail| self.fail(&fault, format!("after second reopen: {detail}")))?;
+
+        Ok(CrashPointReport {
+            crash_op,
+            crashed,
+            acked_writes: acked,
+            power_cycle,
+            recovery,
+        })
+    }
+
+    /// Sweeps [`ChaosHarness::run_crash_point`] over `points`, failing on
+    /// the first red crash point.
+    pub fn crash_sweep(
+        &self,
+        points: impl IntoIterator<Item = u64>,
+    ) -> Result<Vec<CrashPointReport>, ChaosFailure> {
+        points
+            .into_iter()
+            .map(|p| self.run_crash_point(p))
+            .collect()
+    }
+
+    /// Runs the workload to completion, flips one bit in a file of
+    /// `target`'s family, reopens, and checks that the store either
+    /// detects the damage or keeps serving only values that were actually
+    /// written.
+    pub fn run_bit_flip(&self, target: BitFlipTarget) -> Result<BitFlipReport, ChaosFailure> {
+        let fault = FaultStorage::new(
+            MemStorage::new(SsdDevice::with_defaults()),
+            FaultPlan::new(self.config.seed),
+        );
+        let storage: Arc<dyn StorageBackend> = fault.clone();
+
+        // Per-key set of every value ever acknowledged (for point-in-time
+        // targets) plus the final model (for SSTables, where no data may
+        // be lost silently).
+        let mut history: BTreeMap<Vec<u8>, Vec<Vec<u8>>> = BTreeMap::new();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        {
+            let mut db = self
+                .open(&storage, None)
+                .map_err(|e| self.fail(&fault, format!("open failed: {e}")))?;
+            let mut rng = SmallRng::seed_from_u64(self.config.seed ^ WORKLOAD_STREAM);
+            for i in 0..self.config.ops {
+                let (key, value) = self.gen_op(&mut rng, i);
+                match &value {
+                    Some(v) => db.put(&key, v),
+                    None => db.delete(&key),
+                }
+                .map_err(|e| self.fail(&fault, format!("write {i} failed: {e}")))?;
+                match value {
+                    Some(v) => {
+                        history.entry(key.clone()).or_default().push(v.clone());
+                        model.insert(key, v);
+                    }
+                    None => {
+                        model.remove(&key);
+                    }
+                }
+            }
+            db.drain_background();
+        }
+
+        // Corrupt the largest file of the family (most likely to hold data).
+        let victim = storage
+            .list()
+            .into_iter()
+            .filter(|n| target.matches(n))
+            .filter_map(|n| storage.size(&n).ok().map(|s| (s, n)))
+            .filter(|(s, _)| *s > 0)
+            .max()
+            .map(|(_, n)| n)
+            .ok_or_else(|| {
+                self.fail(
+                    &fault,
+                    format!("no non-empty {} file to corrupt", target.label()),
+                )
+            })?;
+        let (offset, bit) = fault
+            .flip_bit(&victim)
+            .map_err(|e| self.fail(&fault, format!("bit flip failed: {e}")))?;
+
+        let mut db = match self.open(&storage, None) {
+            // Refusing to open a corrupt store is detection, not failure.
+            Err(e) => {
+                return Ok(BitFlipReport {
+                    file: victim,
+                    offset,
+                    bit,
+                    outcome: BitFlipOutcome::DetectedAtOpen(e.to_string()),
+                })
+            }
+            Ok(db) => db,
+        };
+
+        let mut detected_reads = 0u64;
+        for idx in 0..self.config.key_space {
+            let key = Self::key_for(idx);
+            match db.get(&key) {
+                Err(_) => detected_reads += 1,
+                Ok(got) => match target {
+                    // SSTable damage must not silently lose or alter data:
+                    // every read is exact or detected.
+                    BitFlipTarget::Sstable => {
+                        if got.as_deref() != model.get(&key).map(|v| v.as_slice()) {
+                            return Err(self.fail(
+                                &fault,
+                                format!(
+                                    "sstable flip: key {} served wrong value undetected",
+                                    String::from_utf8_lossy(&key)
+                                ),
+                            ));
+                        }
+                    }
+                    // Log/manifest damage recovers to a point in time:
+                    // values may be stale or gone, never fabricated.
+                    BitFlipTarget::Wal | BitFlipTarget::Manifest => {
+                        if let Some(v) = got {
+                            let ever = history.get(&key).is_some_and(|vs| vs.contains(&v));
+                            if !ever {
+                                return Err(self.fail(
+                                    &fault,
+                                    format!(
+                                        "{} flip: key {} served a never-written value",
+                                        target.label(),
+                                        String::from_utf8_lossy(&key)
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        match db.scan(b"", usize::MAX) {
+            Err(_) => detected_reads += 1,
+            Ok(entries) => {
+                for (k, v) in entries {
+                    let ok = match target {
+                        BitFlipTarget::Sstable => model.get(&k).is_some_and(|want| *want == v),
+                        BitFlipTarget::Wal | BitFlipTarget::Manifest => {
+                            history.get(&k).is_some_and(|vs| vs.contains(&v))
+                        }
+                    };
+                    if !ok {
+                        return Err(self.fail(
+                            &fault,
+                            format!(
+                                "{} flip: scan served a wrong value for key {}",
+                                target.label(),
+                                String::from_utf8_lossy(&k)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        let integrity_ok = db.verify_integrity().is_ok();
+        let files_quarantined = db.recovery_summary().files_quarantined;
+        Ok(BitFlipReport {
+            file: victim,
+            offset,
+            bit,
+            outcome: BitFlipOutcome::Reopened {
+                detected_reads,
+                integrity_ok,
+                files_quarantined,
+            },
+        })
+    }
+
+    /// Injects I/O errors with probability `prob` on every mutating
+    /// storage operation, verifying fail-stop behaviour: the first write
+    /// failure latches, reads keep working, and a clean reopen restores
+    /// exactly the acknowledged state.
+    pub fn run_io_errors(&self, prob: f64) -> Result<IoErrorReport, ChaosFailure> {
+        let fault = FaultStorage::new(
+            MemStorage::new(SsdDevice::with_defaults()),
+            FaultPlan::io_errors(self.config.seed, prob),
+        );
+        let storage: Arc<dyn StorageBackend> = fault.clone();
+        let mut db = self
+            .open(&storage, None)
+            .map_err(|e| self.fail(&fault, format!("open failed (error hit creation): {e}")))?;
+
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut in_flight: Option<(Vec<u8>, Option<Vec<u8>>)> = None;
+        let mut acked = 0u64;
+        let mut first_error_op = None;
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ WORKLOAD_STREAM);
+        for i in 0..self.config.ops {
+            let (key, value) = self.gen_op(&mut rng, i);
+            let result = match &value {
+                Some(v) => db.put(&key, v),
+                None => db.delete(&key),
+            };
+            match result {
+                Ok(()) => {
+                    acked += 1;
+                    match value {
+                        Some(v) => {
+                            model.insert(key, v);
+                        }
+                        None => {
+                            model.remove(&key);
+                        }
+                    }
+                }
+                Err(_) => {
+                    first_error_op = Some(i);
+                    in_flight = Some((key, value));
+                    // Fail-stop: the background error must latch and
+                    // refuse further writes.
+                    if db.engine_ref().background_error().is_none() {
+                        return Err(self.fail(
+                            &fault,
+                            "write failed but no background error latched".to_string(),
+                        ));
+                    }
+                    if db.put(b"zz-sentinel", b"x").is_ok() {
+                        return Err(self.fail(
+                            &fault,
+                            "write accepted after background error latched".to_string(),
+                        ));
+                    }
+                    break;
+                }
+            }
+        }
+        // Reads are still served while the engine is failed-stop.
+        self.verify_exact(&mut db, &model, in_flight.as_ref())
+            .map_err(|detail| self.fail(&fault, format!("while latched: {detail}")))?;
+        drop(db);
+
+        // Clean process restart on intact storage (no power loss): the
+        // acknowledged state must come back exactly.
+        fault.disarm();
+        let mut db = self
+            .open(&storage, None)
+            .map_err(|e| self.fail(&fault, format!("reopen failed: {e}")))?;
+        self.verify_exact(&mut db, &model, in_flight.as_ref())
+            .map_err(|detail| self.fail(&fault, format!("after reopen: {detail}")))?;
+        if db
+            .get(b"zz-sentinel")
+            .map_err(|e| self.fail(&fault, format!("sentinel get failed: {e}")))?
+            .is_some()
+        {
+            return Err(self.fail(
+                &fault,
+                "refused sentinel write surfaced after reopen".to_string(),
+            ));
+        }
+
+        Ok(IoErrorReport {
+            acked_writes: acked,
+            injected_errors: fault.injected_errors(),
+            first_error_op,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldc_core::CompactionMode;
+
+    fn harness(seed: u64) -> ChaosHarness {
+        ChaosHarness::new(ChaosConfig {
+            ops: 120,
+            ..ChaosConfig::quick(seed, CompactionMode::Udc)
+        })
+    }
+
+    #[test]
+    fn crash_point_early_and_late() {
+        let h = harness(1);
+        let early = h.run_crash_point(5).unwrap();
+        assert!(early.crashed);
+        let total = h.measure_storage_ops().unwrap();
+        let never = h.run_crash_point(total + 100).unwrap();
+        assert!(!never.crashed);
+        assert_eq!(never.acked_writes, 120);
+    }
+
+    #[test]
+    fn crash_point_is_deterministic() {
+        let h = harness(2);
+        let a = h.run_crash_point(40).unwrap();
+        let b = h.run_crash_point(40).unwrap();
+        assert_eq!(a.acked_writes, b.acked_writes);
+        assert_eq!(a.power_cycle, b.power_cycle);
+        assert_eq!(a.recovery, b.recovery);
+    }
+
+    #[test]
+    fn io_error_run_fail_stops_and_recovers() {
+        let report = harness(3).run_io_errors(0.02).unwrap();
+        assert!(report.injected_errors > 0, "no errors injected");
+        assert!(report.first_error_op.is_some());
+    }
+
+    #[test]
+    fn failure_display_carries_replay_recipe() {
+        let failure = ChaosFailure {
+            plan: FaultPlan::crash_at(9, 33),
+            detail: "test detail".to_string(),
+            fault_log: vec!["crash: op 33 append 000002.log".to_string()],
+        };
+        let text = failure.to_string();
+        assert!(text.contains("test detail"));
+        assert!(text.contains("seed: 9"));
+        assert!(text.contains("Some(33)"));
+        assert!(text.contains("crash: op 33"));
+    }
+}

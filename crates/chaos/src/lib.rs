@@ -1,0 +1,33 @@
+//! # ldc-chaos — deterministic fault injection for the LDC stack
+//!
+//! Storage is where key-value stores lose data, and crashes are where
+//! they lose it quietly. This crate wraps any
+//! [`StorageBackend`](ldc_ssd::StorageBackend) in a fault-injecting
+//! decorator ([`FaultStorage`]) and drives the whole engine through
+//! crash, corruption, and error scenarios with a verification harness
+//! ([`ChaosHarness`]):
+//!
+//! * **Power loss** at any chosen mutating storage operation, with
+//!   LevelDB-faithful durability semantics: synced bytes and sealed files
+//!   survive; un-synced tails are discarded or torn at byte granularity.
+//! * **Bit flips** in WALs, SSTables, and manifests, proving the CRC
+//!   paths detect (or safely mask) the damage instead of serving garbage.
+//! * **Injected I/O errors** with configurable probability, proving the
+//!   engine fail-stops rather than corrupting its own logs.
+//!
+//! Everything derives from a seed: a failing run is reproducible from the
+//! `(seed, crash point)` pair its [`ChaosFailure`] prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fault;
+mod harness;
+mod plan;
+
+pub use fault::{FaultStorage, PowerCycleReport};
+pub use harness::{
+    BitFlipOutcome, BitFlipReport, ChaosConfig, ChaosFailure, ChaosHarness, CrashPointReport,
+    IoErrorReport,
+};
+pub use plan::{BitFlipTarget, FaultPlan};

@@ -1,0 +1,134 @@
+//! Declarative fault schedules.
+//!
+//! A [`FaultPlan`] is the complete description of what a
+//! [`FaultStorage`](crate::FaultStorage) will do to a run: every injected
+//! fault derives deterministically from the plan's seed and the sequence
+//! of storage operations the engine issues. Printing the plan (its
+//! `Display` impl) is therefore a full replay recipe — the same plan over
+//! the same workload reproduces the same faults, byte for byte.
+
+use std::fmt;
+
+/// Which file family a bit flip targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitFlipTarget {
+    /// Write-ahead logs (`NNNNNN.log`).
+    Wal,
+    /// Sorted tables (`NNNNNN.sst`).
+    Sstable,
+    /// Version manifests (`MANIFEST-NNNNNN`).
+    Manifest,
+}
+
+impl BitFlipTarget {
+    /// Whether `name` belongs to this family.
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            BitFlipTarget::Wal => name.ends_with(".log"),
+            BitFlipTarget::Sstable => name.ends_with(".sst"),
+            BitFlipTarget::Manifest => name.starts_with("MANIFEST-"),
+        }
+    }
+
+    /// Stable label for logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BitFlipTarget::Wal => "wal",
+            BitFlipTarget::Sstable => "sstable",
+            BitFlipTarget::Manifest => "manifest",
+        }
+    }
+}
+
+/// A deterministic fault schedule for one storage incarnation.
+///
+/// Power-loss semantics at the crash point: everything up to each file's
+/// last `sync` survives; sealed files (`write_file` outputs) survive in
+/// full or not at all; un-synced append tails are discarded — or, with
+/// [`torn_writes`](FaultPlan::torn_writes), cut at a seed-chosen byte.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seeds every random choice the plan makes.
+    pub seed: u64,
+    /// Power loss fires on the Nth mutating storage operation (1-based:
+    /// `Some(1)` kills the very first write). `None` never crashes.
+    pub crash_after_ops: Option<u64>,
+    /// Allow un-synced bytes to partially survive the crash, torn at byte
+    /// granularity (models a sector-grain partial page-cache flush).
+    pub torn_writes: bool,
+    /// Probability that a mutating operation fails with an injected
+    /// [`SsdError::Io`](ldc_ssd::SsdError::Io) instead of running.
+    pub io_error_prob: f64,
+}
+
+impl FaultPlan {
+    /// A benign plan: nothing is injected until fields are set.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            crash_after_ops: None,
+            torn_writes: false,
+            io_error_prob: 0.0,
+        }
+    }
+
+    /// Power loss on the `op`th mutating storage operation, with torn
+    /// un-synced tails (the harness's crash-sweep plan).
+    pub fn crash_at(seed: u64, op: u64) -> Self {
+        Self {
+            seed,
+            crash_after_ops: Some(op),
+            torn_writes: true,
+            io_error_prob: 0.0,
+        }
+    }
+
+    /// Fail each mutating operation with probability `prob`.
+    pub fn io_errors(seed: u64, prob: f64) -> Self {
+        Self {
+            seed,
+            crash_after_ops: None,
+            torn_writes: false,
+            io_error_prob: prob,
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FaultPlan {{ seed: {}, crash_after_ops: ", self.seed)?;
+        match self.crash_after_ops {
+            Some(op) => write!(f, "Some({op})")?,
+            None => write!(f, "None")?,
+        }
+        write!(
+            f,
+            ", torn_writes: {}, io_error_prob: {} }}",
+            self.torn_writes, self.io_error_prob
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_matching() {
+        assert!(BitFlipTarget::Wal.matches("000003.log"));
+        assert!(!BitFlipTarget::Wal.matches("000003.log.quarantined"));
+        assert!(BitFlipTarget::Sstable.matches("000007.sst"));
+        assert!(BitFlipTarget::Manifest.matches("MANIFEST-000002"));
+        assert!(!BitFlipTarget::Manifest.matches("CURRENT"));
+        assert_eq!(BitFlipTarget::Sstable.label(), "sstable");
+    }
+
+    #[test]
+    fn display_is_a_replay_recipe() {
+        let plan = FaultPlan::crash_at(42, 17);
+        let text = plan.to_string();
+        assert!(text.contains("seed: 42"), "{text}");
+        assert!(text.contains("Some(17)"), "{text}");
+        assert!(text.contains("torn_writes: true"), "{text}");
+    }
+}

@@ -13,8 +13,9 @@ use std::sync::Arc;
 
 use ldc_lsm::compaction::{CompactionPolicy, UdcPolicy};
 use ldc_lsm::db::{Db, DbStats};
+use ldc_lsm::RecoverySummary;
 use ldc_lsm::{CacheCounters, Options, Result};
-use ldc_obs::{MetricsRegistry, SharedSink};
+use ldc_obs::{MetricsRegistry, NoopSink, SharedSink};
 use ldc_ssd::{MemStorage, SsdConfig, SsdDevice, StorageBackend};
 
 use crate::policy::{LdcConfig, LdcPolicy};
@@ -60,6 +61,13 @@ impl LdcDbBuilder {
     /// Replaces the simulated-SSD profile.
     pub fn ssd_config(mut self, ssd: SsdConfig) -> Self {
         self.ssd = ssd;
+        self
+    }
+
+    /// Whether each commit fsyncs the WAL (off by default, like LevelDB).
+    /// Crash harnesses turn this on so every acknowledged write is durable.
+    pub fn wal_sync(mut self, on: bool) -> Self {
+        self.options.wal_sync = on;
         self
     }
 
@@ -138,10 +146,10 @@ impl LdcDbBuilder {
             CompactionMode::Udc => Box::new(UdcPolicy::new()),
             CompactionMode::SizeTiered => Box::new(ldc_lsm::compaction::SizeTieredPolicy::new()),
         };
-        let mut inner = Db::open(Arc::clone(&storage), self.options, policy)?;
-        if let Some(sink) = self.sink {
-            inner.set_event_sink(sink);
-        }
+        // Open with the sink already attached so the recovery event emitted
+        // during WAL replay / manifest recovery is captured too.
+        let sink = self.sink.unwrap_or_else(|| Arc::new(NoopSink));
+        let inner = Db::open_with_sink(Arc::clone(&storage), self.options, policy, sink)?;
         Ok(LdcDb { inner, storage })
     }
 }
@@ -217,6 +225,11 @@ impl LdcDb {
     /// Engine counters.
     pub fn stats(&self) -> DbStats {
         self.inner.stats()
+    }
+
+    /// What the opening recovery replayed, truncated, and quarantined.
+    pub fn recovery_summary(&self) -> RecoverySummary {
+        self.inner.recovery_summary()
     }
 
     /// The simulated device (clock, I/O stats, wear).

@@ -97,6 +97,26 @@ fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
     a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
 }
 
+/// Whether `offset` (within `entries`) starts a decodable restart entry:
+/// three varints with `shared == 0` and the whole key in bounds.
+fn valid_restart_entry(entries: &[u8], mut offset: usize) -> bool {
+    let header = |off: &mut usize| -> Option<u32> {
+        let (v, n) = get_varint32(&entries[*off..])?;
+        *off += n;
+        Some(v)
+    };
+    let Some(shared) = header(&mut offset) else {
+        return false;
+    };
+    let Some(non_shared) = header(&mut offset) else {
+        return false;
+    };
+    if header(&mut offset).is_none() {
+        return false;
+    }
+    shared == 0 && offset + non_shared as usize <= entries.len()
+}
+
 /// An immutable, parsed block.
 #[derive(Debug, Clone)]
 pub struct Block {
@@ -119,8 +139,24 @@ impl Block {
         if trailer > data.len() {
             return Err(corruption("block restart array out of bounds"));
         }
+        let restarts_offset = data.len() - trailer;
+        // Blocks arrive checksum-verified, but validate every restart offset
+        // anyway so the seek path's restart decoding is infallible: each
+        // restart must point at a parseable whole-key entry (shared == 0)
+        // inside the entry area. The only exception is the initial restart
+        // of an empty block, which points at offset 0 of an empty area.
+        let entries = &data[..restarts_offset];
+        for i in 0..num_restarts {
+            let offset = get_fixed32(&data, restarts_offset + 4 * i) as usize;
+            if offset == 0 && entries.is_empty() {
+                continue;
+            }
+            if offset >= restarts_offset || !valid_restart_entry(entries, offset) {
+                return Err(corruption("block restart points at invalid entry"));
+            }
+        }
         Ok(Self {
-            restarts_offset: data.len() - trailer,
+            restarts_offset,
             data,
             num_restarts,
         })
@@ -222,12 +258,14 @@ impl BlockIter {
     fn restart_key(&self, i: usize) -> Vec<u8> {
         let mut offset = self.block.restart_point(i);
         let data = &self.block.data[..self.block.restarts_offset];
-        // Restart entries have shared == 0.
-        let (_, n) = get_varint32(&data[offset..]).expect("valid restart entry");
+        // Infallible: every restart entry was validated by `Block::new`,
+        // so a failure here is an engine invariant violation, not bad input.
+        let (_, n) = get_varint32(&data[offset..]).expect("restart validated at Block::new");
         offset += n;
-        let (non_shared, n) = get_varint32(&data[offset..]).expect("valid restart entry");
+        let (non_shared, n) =
+            get_varint32(&data[offset..]).expect("restart validated at Block::new");
         offset += n;
-        let (_, n) = get_varint32(&data[offset..]).expect("valid restart entry");
+        let (_, n) = get_varint32(&data[offset..]).expect("restart validated at Block::new");
         offset += n;
         data[offset..offset + non_shared as usize].to_vec()
     }
@@ -383,6 +421,35 @@ mod tests {
         let mut data = vec![0u8; 8];
         data.extend_from_slice(&1000u32.to_le_bytes());
         assert!(Block::new(Bytes::from(data)).is_err());
+    }
+
+    #[test]
+    fn corrupt_restart_offsets_are_rejected() {
+        let entries = sample_entries(20);
+        let mut b = BlockBuilder::new(4);
+        for (k, v) in &entries {
+            b.add(k, v);
+        }
+        let good = b.finish();
+        let restarts_offset = good.len() - 4 - {
+            let n = u32::from_le_bytes(good[good.len() - 4..].try_into().unwrap()) as usize;
+            n * 4
+        };
+        // Point the second restart past the entry area.
+        let mut bad = good.clone();
+        bad[restarts_offset + 4..restarts_offset + 8]
+            .copy_from_slice(&(restarts_offset as u32).to_le_bytes());
+        assert!(Block::new(Bytes::from(bad)).is_err());
+        // Point it mid-entry where the header cannot parse a whole key.
+        let mut bad = good.clone();
+        bad[restarts_offset + 4..restarts_offset + 8]
+            .copy_from_slice(&(restarts_offset as u32 - 1).to_le_bytes());
+        assert!(Block::new(Bytes::from(bad)).is_err());
+        // The untouched block still parses and seeks.
+        let block = Block::new(Bytes::from(good)).unwrap();
+        let mut it = block.iter();
+        it.seek(&entries[7].0);
+        assert_eq!(it.key(), entries[7].0.as_slice());
     }
 
     #[test]

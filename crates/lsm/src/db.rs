@@ -93,6 +93,22 @@ pub struct DbStats {
     pub bloom_skips: u64,
 }
 
+/// What one [`Db::open`] recovery did: replay volume, torn tails cut, and
+/// logs set aside as unreadable. Surfaced by [`Db::recovery_summary`], the
+/// stats report, and (as a [`EventKind::Recovery`] event) the event sink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// WAL files replayed into the memtable.
+    pub wals_replayed: u32,
+    /// Batch entries (puts/deletes) replayed from those WALs.
+    pub records_replayed: u64,
+    /// Torn-tail bytes discarded across WALs and the manifest.
+    pub bytes_truncated: u64,
+    /// Log files renamed aside because of mid-log corruption — the corrupt
+    /// log and everything after it (point-in-time recovery).
+    pub files_quarantined: u32,
+}
+
 /// Pre-dispatch description of a compaction task, captured while its
 /// input files still exist in the current version.
 #[derive(Debug, Clone, Copy)]
@@ -150,6 +166,12 @@ pub struct Db {
     metrics: Arc<MetricsRegistry>,
     /// Per-task scratch for event phase attribution.
     trace: ExecTrace,
+    /// What the opening recovery replayed/discarded.
+    recovery: RecoverySummary,
+    /// First background/storage failure. Once set, further writes are
+    /// refused: a failed WAL or manifest append leaves the log's record
+    /// framing in an unknown state, and writing past it would corrupt it.
+    bg_error: Option<Error>,
 }
 
 impl Db {
@@ -160,14 +182,30 @@ impl Db {
         options: Options,
         policy: Box<dyn CompactionPolicy>,
     ) -> Result<Db> {
+        Self::open_with_sink(storage, options, policy, Arc::new(NoopSink))
+    }
+
+    /// Like [`Db::open`], but routes events — including the recovery event
+    /// emitted during this open — to `sink` from the start.
+    pub fn open_with_sink(
+        storage: Arc<dyn StorageBackend>,
+        options: Options,
+        policy: Box<dyn CompactionPolicy>,
+        sink: SharedSink,
+    ) -> Result<Db> {
         options.validate()?;
         let device = storage.device();
+        let open_start = device.clock().now();
         let block_cache = Arc::new(BlockCache::new(options.block_cache_bytes));
         let existed = VersionSet::exists(storage.as_ref());
         let mut versions = if existed {
             VersionSet::recover(Arc::clone(&storage), options.max_levels)?
         } else {
             VersionSet::create(Arc::clone(&storage), options.max_levels)?
+        };
+        let mut recovery = RecoverySummary {
+            bytes_truncated: versions.recovered_manifest_tail_bytes,
+            ..Default::default()
         };
 
         // Replay every surviving WAL, oldest first, into a fresh memtable.
@@ -187,9 +225,10 @@ impl Db {
         old_logs.sort();
         if existed {
             let mut max_seq = versions.last_sequence;
-            for (_, name) in &old_logs {
+            let mut corrupt_from: Option<usize> = None;
+            for (idx, (_, name)) in old_logs.iter().enumerate() {
                 let mut reader = LogReader::open(storage.as_ref(), name)?;
-                reader.for_each(|record| {
+                let replay = reader.for_each(|record| {
                     let batch = WriteBatch::decode(record)?;
                     let base = batch.sequence();
                     for item in batch.iter() {
@@ -205,19 +244,57 @@ impl Db {
                         replayed += 1;
                     }
                     Ok(())
-                })?;
+                });
+                match replay {
+                    Ok(()) => {
+                        recovery.wals_replayed += 1;
+                        let torn = reader.truncated_tail_bytes();
+                        if torn > 0 {
+                            // The torn tail is dead bytes: cut it so the log
+                            // reads cleanly if this open crashes before the
+                            // replayed data is flushed. Backends without
+                            // truncate just keep the tail; replay re-skips it.
+                            recovery.bytes_truncated += torn;
+                            let _ = storage.truncate(name, reader.clean_prefix());
+                        }
+                    }
+                    // Mid-log corruption: recover to the last consistent
+                    // point in time. Records before the bad region were
+                    // already replayed; the rest of this log and every
+                    // later log are set aside, not served as garbage.
+                    Err(Error::Corruption(_)) => {
+                        corrupt_from = Some(idx);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if let Some(from) = corrupt_from {
+                for (_, name) in &old_logs[from..] {
+                    storage.rename(name, &format!("{name}.quarantined"))?;
+                    recovery.files_quarantined += 1;
+                }
+                old_logs.truncate(from);
             }
             versions.last_sequence = max_seq;
         }
+        recovery.records_replayed = replayed;
 
-        // Fresh WAL for new writes.
-        let new_log_number = versions.new_file_number();
+        // Fresh WAL for new writes. A crashed incarnation may have left a
+        // log at a number this incarnation re-allocates (the counter update
+        // never became durable); appending to it would shift the writer's
+        // block accounting, so keep allocating until the name is free.
+        let mut new_log_number = versions.new_file_number();
+        while storage.exists(&log_file_name(new_log_number)) {
+            new_log_number = versions.new_file_number();
+        }
         let wal = LogWriter::new(
             Arc::clone(&storage),
             log_file_name(new_log_number),
             IoClass::WalWrite,
         );
 
+        device.set_event_sink(Arc::clone(&sink));
         let mut db = Db {
             options,
             storage,
@@ -234,9 +311,11 @@ impl Db {
             stats: DbStats::default(),
             snapshots: std::collections::BTreeMap::new(),
             bg_until: 0,
-            sink: Arc::new(NoopSink),
+            sink,
             metrics: Arc::new(MetricsRegistry::new()),
             trace: ExecTrace::default(),
+            recovery,
+            bg_error: None,
         };
 
         // Persist the replayed data so the old WALs can be dropped, then
@@ -255,7 +334,23 @@ impl Db {
                 db.storage.delete(name)?;
             }
         }
+        if db.sink.enabled() {
+            let r = db.recovery;
+            db.sink.record(
+                Event::span(EventKind::Recovery, open_start, db.device.clock().now())
+                    .files(
+                        u32::try_from(r.records_replayed).unwrap_or(u32::MAX),
+                        r.files_quarantined,
+                    )
+                    .bytes(r.bytes_truncated, 0),
+            );
+        }
         Ok(db)
+    }
+
+    /// What the opening recovery replayed, truncated, and quarantined.
+    pub fn recovery_summary(&self) -> RecoverySummary {
+        self.recovery
     }
 
     /// The engine options.
@@ -362,6 +457,15 @@ impl Db {
         .unwrap();
         writeln!(out, "Bloom: {} probes skipped", s.bloom_skips).unwrap();
 
+        let r = self.recovery;
+        writeln!(
+            out,
+            "Recovery: {} records replayed from {} logs, {} bytes truncated, \
+             {} files quarantined",
+            r.records_replayed, r.wals_replayed, r.bytes_truncated, r.files_quarantined
+        )
+        .unwrap();
+
         writeln!(out, "Op       Count   Mean(us)    P50(us)    P99(us)").unwrap();
         for op in OpType::ALL {
             let h = self.metrics.latency(op);
@@ -463,7 +567,27 @@ impl Db {
     /// flush/compaction lags it absorbs LevelDB's classic brakes — the 1 ms
     /// Level-0 slowdown, the Level-0 stop, and the wait for an immutable
     /// memtable slot at rotation.
-    pub fn write(&mut self, mut batch: WriteBatch) -> Result<()> {
+    pub fn write(&mut self, batch: WriteBatch) -> Result<()> {
+        if let Some(e) = &self.bg_error {
+            return Err(e.clone());
+        }
+        let result = self.write_inner(batch);
+        if let Err(e) = &result {
+            // Fail-stop: a failed WAL/manifest append leaves that log's
+            // record framing unknown, and appending more records after it
+            // would make the file unrecoverable. Reads keep working.
+            self.bg_error = Some(e.clone());
+        }
+        result
+    }
+
+    /// The first background/storage error, if the engine has latched one.
+    /// While set, writes are refused with this error; reads still work.
+    pub fn background_error(&self) -> Option<&Error> {
+        self.bg_error.as_ref()
+    }
+
+    fn write_inner(&mut self, mut batch: WriteBatch) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
         }

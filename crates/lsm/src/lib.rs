@@ -38,7 +38,7 @@ pub mod wal;
 
 pub use batch::{BatchOp, WriteBatch};
 pub use cache::CacheCounters;
-pub use db::{Db, DbStats, Snapshot};
+pub use db::{Db, DbStats, RecoverySummary, Snapshot};
 pub use error::{Error, Result};
 pub use options::Options;
 pub use types::{KeyRange, SequenceNumber, ValueType};

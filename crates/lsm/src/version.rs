@@ -422,6 +422,9 @@ pub struct VersionSet {
     /// exceeds [`MANIFEST_ROLLOVER_BYTES`] the manifest is rolled into a
     /// fresh snapshot so recovery time stays bounded.
     manifest_bytes: u64,
+    /// Torn-tail bytes discarded from the manifest during the last
+    /// [`VersionSet::recover`] (zero for a fresh set or a clean manifest).
+    pub recovered_manifest_tail_bytes: u64,
 }
 
 /// Manifest size that triggers a rollover to a fresh snapshot manifest.
@@ -451,6 +454,12 @@ impl VersionSet {
     pub fn create(storage: Arc<dyn StorageBackend>, max_levels: usize) -> Result<VersionSet> {
         let manifest_number = 1;
         let manifest_name = manifest_file_name(manifest_number);
+        // A crash during a previous create (before CURRENT became durable)
+        // can leave a torn manifest at this name; appending after its
+        // garbage would wreck the log framing, so start from scratch.
+        if storage.exists(&manifest_name) {
+            storage.delete(&manifest_name)?;
+        }
         let mut manifest = LogWriter::new(
             Arc::clone(&storage),
             manifest_name.clone(),
@@ -480,6 +489,7 @@ impl VersionSet {
             compact_pointers: vec![Vec::new(); max_levels],
             link_counter: 0,
             manifest_bytes: 0,
+            recovered_manifest_tail_bytes: 0,
         })
     }
 
@@ -516,6 +526,10 @@ impl VersionSet {
             }
             apply_edit(&mut version, &edit)
         })?;
+        // A crash mid-`log_and_apply` leaves a torn final edit; the reader
+        // stops at the clean prefix, which is exactly the last committed
+        // version. Report the discarded bytes for the recovery summary.
+        let manifest_tail_bytes = reader.truncated_tail_bytes();
         recompute_refcounts(&mut version);
         version.check_invariants()?;
         let manifest = LogWriter::new(Arc::clone(&storage), manifest_name, IoClass::ManifestWrite);
@@ -531,6 +545,7 @@ impl VersionSet {
             compact_pointers,
             link_counter,
             manifest_bytes: 0,
+            recovered_manifest_tail_bytes: manifest_tail_bytes,
         };
         vs.write_snapshot_manifest()?;
         Ok(vs)
@@ -589,6 +604,13 @@ impl VersionSet {
     fn write_snapshot_manifest(&mut self) -> Result<()> {
         let manifest_number = self.new_file_number();
         let name = manifest_file_name(manifest_number);
+        // A crashed incarnation may have left a torn, unreferenced manifest
+        // at a number this incarnation re-allocates (the edit consuming the
+        // number never became durable). Appending after its garbage would
+        // wreck the log framing, so start from scratch.
+        if self.storage.exists(&name) {
+            self.storage.delete(&name)?;
+        }
         let mut writer = LogWriter::new(
             Arc::clone(&self.storage),
             name.clone(),

@@ -107,21 +107,49 @@ impl LogWriter {
 pub struct LogReader {
     data: Vec<u8>,
     offset: usize,
+    /// Offset just past the last complete logical record returned.
+    last_complete_end: usize,
+    /// Set when the log ended in a partially-written record rather than a
+    /// clean boundary.
+    torn: bool,
 }
 
 impl LogReader {
     /// Opens `name` and buffers its contents for replay.
     pub fn open(storage: &dyn StorageBackend, name: &str) -> Result<Self> {
         let data = storage.read_all(name, IoClass::Other)?;
-        Ok(Self {
-            data: data.to_vec(),
-            offset: 0,
-        })
+        Ok(Self::from_bytes(data.to_vec()))
     }
 
     /// Builds a reader over raw bytes (testing).
     pub fn from_bytes(data: Vec<u8>) -> Self {
-        Self { data, offset: 0 }
+        Self {
+            data,
+            offset: 0,
+            last_complete_end: 0,
+            torn: false,
+        }
+    }
+
+    /// Bytes of torn tail discarded so far: everything past the last
+    /// complete record when the log ended mid-record, zero on a clean end.
+    /// Meaningful once `read_record` has returned `Ok(None)`.
+    pub fn truncated_tail_bytes(&self) -> u64 {
+        if self.torn {
+            (self.data.len() - self.last_complete_end) as u64
+        } else {
+            0
+        }
+    }
+
+    /// Offset of the clean log prefix — the point a recovery should
+    /// truncate the file back to when a torn tail was found.
+    pub fn clean_prefix(&self) -> u64 {
+        if self.torn {
+            self.last_complete_end as u64
+        } else {
+            self.data.len() as u64
+        }
     }
 
     /// Returns the next record, `Ok(None)` at a clean end of log, or an
@@ -133,12 +161,12 @@ impl LogReader {
             let fragment = match self.read_physical_record()? {
                 Some(f) => f,
                 None => {
-                    return if assembled.is_none() {
-                        Ok(None)
-                    } else {
-                        // Torn multi-fragment record at the tail.
-                        Ok(None)
-                    };
+                    if assembled.is_some() {
+                        // Torn multi-fragment record at the tail: the FIRST/
+                        // MIDDLE fragments read so far are discarded too.
+                        self.torn = true;
+                    }
+                    return Ok(None);
                 }
             };
             match fragment.record_type {
@@ -146,6 +174,7 @@ impl LogReader {
                     if assembled.is_some() {
                         return Err(corruption("FULL record inside fragmented record"));
                     }
+                    self.last_complete_end = self.offset;
                     return Ok(Some(fragment.data));
                 }
                 FIRST => {
@@ -161,6 +190,7 @@ impl LogReader {
                 LAST => match assembled.take() {
                     Some(mut buf) => {
                         buf.extend_from_slice(&fragment.data);
+                        self.last_complete_end = self.offset;
                         return Ok(Some(buf));
                     }
                     None => return Err(corruption("LAST record without FIRST")),
@@ -187,7 +217,12 @@ impl LogReader {
                 continue;
             }
             if self.offset + HEADER_SIZE > self.data.len() {
-                return Ok(None); // truncated tail
+                // A partial header is a torn write; ending exactly on a
+                // record boundary is a clean end.
+                if self.offset < self.data.len() {
+                    self.torn = true;
+                }
+                return Ok(None);
             }
             let header = &self.data[self.offset..self.offset + HEADER_SIZE];
             let stored_crc = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
@@ -204,11 +239,20 @@ impl LogReader {
             let data_start = self.offset + HEADER_SIZE;
             let data_end = data_start + len;
             if data_end > self.data.len() {
-                return Ok(None); // torn record at tail
+                self.torn = true; // torn record at tail
+                return Ok(None);
             }
             let data = &self.data[data_start..data_end];
             let actual = crc32c::extend(crc32c::crc32c(&[record_type]), data);
             if crc32c::unmask(stored_crc) != actual {
+                // A bad checksum on the very last record is indistinguishable
+                // from a torn sector write: treat it as end-of-log so a crash
+                // mid-append never blocks recovery. Anywhere earlier it is
+                // real corruption.
+                if data_end == self.data.len() {
+                    self.torn = true;
+                    return Ok(None);
+                }
                 return Err(Error::Corruption("log record crc mismatch".into()));
             }
             let record = PhysicalRecord {
@@ -286,23 +330,103 @@ mod tests {
         let bytes = s.read_all("test.log", IoClass::Other).unwrap().to_vec();
         // Chop the second record in half.
         let truncated = bytes[..bytes.len() - 500].to_vec();
+        let torn_len = truncated.len();
         let mut reader = LogReader::from_bytes(truncated);
         assert_eq!(reader.read_record().unwrap().unwrap(), b"complete");
         assert_eq!(reader.read_record().unwrap(), None);
+        // The torn record's bytes are accounted and the clean prefix ends
+        // after "complete"'s record.
+        let clean = (HEADER_SIZE + b"complete".len()) as u64;
+        assert_eq!(reader.clean_prefix(), clean);
+        assert_eq!(reader.truncated_tail_bytes(), torn_len as u64 - clean);
     }
 
     #[test]
-    fn corrupt_crc_is_detected() {
+    fn torn_header_is_end_of_log() {
+        let s = storage();
+        let mut w = LogWriter::new(s.clone(), "test.log", IoClass::WalWrite);
+        w.add_record(b"complete").unwrap();
+        w.add_record(b"doomed").unwrap();
+        w.sync().unwrap();
+        let bytes = s.read_all("test.log", IoClass::Other).unwrap().to_vec();
+        // Cut inside the second record's 7-byte header.
+        let cut = HEADER_SIZE + b"complete".len() + 3;
+        let mut reader = LogReader::from_bytes(bytes[..cut].to_vec());
+        assert_eq!(reader.read_record().unwrap().unwrap(), b"complete");
+        assert_eq!(reader.read_record().unwrap(), None);
+        assert_eq!(reader.truncated_tail_bytes(), 3);
+        assert_eq!(reader.clean_prefix(), cut as u64 - 3);
+    }
+
+    #[test]
+    fn torn_fragmented_record_is_end_of_log() {
+        let s = storage();
+        let mut w = LogWriter::new(s.clone(), "test.log", IoClass::WalWrite);
+        w.add_record(b"complete").unwrap();
+        w.add_record(&vec![9u8; BLOCK_SIZE * 2]).unwrap(); // FIRST..LAST
+        w.sync().unwrap();
+        let bytes = s.read_all("test.log", IoClass::Other).unwrap().to_vec();
+        // Keep the FIRST fragment (fills block 0) but tear inside a later one.
+        let mut reader = LogReader::from_bytes(bytes[..BLOCK_SIZE + 100].to_vec());
+        assert_eq!(reader.read_record().unwrap().unwrap(), b"complete");
+        assert_eq!(reader.read_record().unwrap(), None);
+        assert!(reader.truncated_tail_bytes() > 0);
+        assert_eq!(
+            reader.clean_prefix(),
+            (HEADER_SIZE + b"complete".len()) as u64
+        );
+    }
+
+    #[test]
+    fn clean_end_reports_no_tear() {
+        let s = storage();
+        let mut w = LogWriter::new(s.clone(), "test.log", IoClass::WalWrite);
+        w.add_record(b"one").unwrap();
+        w.add_record(b"two").unwrap();
+        w.sync().unwrap();
+        let bytes = s.read_all("test.log", IoClass::Other).unwrap().to_vec();
+        let len = bytes.len() as u64;
+        let mut reader = LogReader::from_bytes(bytes);
+        while reader.read_record().unwrap().is_some() {}
+        assert_eq!(reader.truncated_tail_bytes(), 0);
+        assert_eq!(reader.clean_prefix(), len);
+    }
+
+    #[test]
+    fn corrupt_crc_mid_log_is_detected() {
         let s = storage();
         let mut w = LogWriter::new(s.clone(), "test.log", IoClass::WalWrite);
         w.add_record(b"payload-payload").unwrap();
+        w.add_record(b"a-later-record-so-the-flip-is-mid-log")
+            .unwrap();
         w.sync().unwrap();
         let mut bytes = s.read_all("test.log", IoClass::Other).unwrap().to_vec();
-        // Flip a payload byte without touching the header.
+        // Flip a payload byte of the FIRST record without touching headers.
+        bytes[HEADER_SIZE + 2] ^= 0xff;
+        let mut reader = LogReader::from_bytes(bytes);
+        assert!(matches!(reader.read_record(), Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn corrupt_crc_on_final_record_reads_as_torn_tail() {
+        // A flipped byte in the very last record is indistinguishable from
+        // a torn sector write: recovery treats it as end-of-log and reports
+        // the discarded bytes instead of failing the open.
+        let s = storage();
+        let mut w = LogWriter::new(s.clone(), "test.log", IoClass::WalWrite);
+        w.add_record(b"good").unwrap();
+        w.add_record(b"flipped").unwrap();
+        w.sync().unwrap();
+        let mut bytes = s.read_all("test.log", IoClass::Other).unwrap().to_vec();
         let n = bytes.len();
         bytes[n - 1] ^= 0xff;
         let mut reader = LogReader::from_bytes(bytes);
-        assert!(matches!(reader.read_record(), Err(Error::Corruption(_))));
+        assert_eq!(reader.read_record().unwrap().unwrap(), b"good");
+        assert_eq!(reader.read_record().unwrap(), None);
+        assert_eq!(
+            reader.truncated_tail_bytes(),
+            (HEADER_SIZE + b"flipped".len()) as u64
+        );
     }
 
     #[test]

@@ -28,11 +28,19 @@ pub enum EventKind {
     SsdGc,
     /// The adaptive SliceLink threshold changed.
     ThresholdAdapt,
+    /// A fault-injection harness perturbed storage (crash, torn write,
+    /// bit flip, forced I/O error). `input_bytes` carries the op index
+    /// at which the fault fired.
+    FaultInjected,
+    /// A database open replayed logs / recovered a manifest.
+    /// `input_files` = WAL records replayed, `output_files` = files
+    /// quarantined, `input_bytes` = torn tail bytes discarded.
+    Recovery,
 }
 
 impl EventKind {
     /// Every kind, in a stable order.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 12] = [
         EventKind::Flush,
         EventKind::UdcMerge,
         EventKind::TrivialMove,
@@ -43,6 +51,8 @@ impl EventKind {
         EventKind::WalSync,
         EventKind::SsdGc,
         EventKind::ThresholdAdapt,
+        EventKind::FaultInjected,
+        EventKind::Recovery,
     ];
 
     /// Stable snake_case label (used in JSONL and reports).
@@ -58,6 +68,8 @@ impl EventKind {
             EventKind::WalSync => "wal_sync",
             EventKind::SsdGc => "ssd_gc",
             EventKind::ThresholdAdapt => "threshold_adapt",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::Recovery => "recovery",
         }
     }
 
@@ -300,5 +312,19 @@ mod tests {
         assert!(EventKind::Flush.is_compaction());
         assert!(!EventKind::Stall.is_compaction());
         assert!(!EventKind::SsdGc.is_compaction());
+        assert!(!EventKind::FaultInjected.is_compaction());
+        assert!(!EventKind::Recovery.is_compaction());
+    }
+
+    #[test]
+    fn chaos_kinds_roundtrip_json() {
+        let ev = Event::span(EventKind::Recovery, 10, 20)
+            .files(42, 1)
+            .bytes(137, 0);
+        assert_eq!(Event::from_json(&ev.to_json()), Some(ev));
+        assert_eq!(
+            EventKind::parse("fault_injected"),
+            Some(EventKind::FaultInjected)
+        );
     }
 }

@@ -138,6 +138,25 @@ impl StorageBackend for DiskStorage {
         file.sync_all().map_err(|e| Self::io_err(name, e))
     }
 
+    // `synced_len` keeps the default (= full size): the host file system
+    // does not expose which bytes have reached stable media.
+
+    fn truncate(&self, name: &str, len: u64) -> SsdResult<()> {
+        let path = self.path(name)?;
+        let size = fs::metadata(&path)
+            .map(|m| m.len())
+            .map_err(|e| Self::io_err(name, e))?;
+        if len >= size {
+            return Ok(());
+        }
+        self.device.fs_op();
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| Self::io_err(name, e))?;
+        file.set_len(len).map_err(|e| Self::io_err(name, e))
+    }
+
     fn list(&self) -> Vec<String> {
         let mut names: Vec<String> = fs::read_dir(&self.root)
             .map(|dir| {
@@ -245,6 +264,24 @@ mod tests {
             s.read_all("persist", IoClass::Other).unwrap().as_ref(),
             b"data"
         );
+    }
+
+    #[test]
+    fn truncate_cuts_tail_on_disk() {
+        let root = TempRoot::new();
+        let s = storage(&root);
+        s.append("wal", b"keep-this-drop-that", IoClass::WalWrite)
+            .unwrap();
+        s.truncate("wal", 9).unwrap();
+        assert_eq!(
+            s.read_all("wal", IoClass::Other).unwrap().as_ref(),
+            b"keep-this"
+        );
+        // Disk backend cannot distinguish synced bytes: reports full size.
+        assert_eq!(s.synced_len("wal").unwrap(), 9);
+        s.truncate("wal", 100).unwrap();
+        assert_eq!(s.size("wal").unwrap(), 9);
+        assert!(s.truncate("missing", 0).is_err());
     }
 
     #[test]

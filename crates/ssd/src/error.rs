@@ -29,6 +29,9 @@ pub enum SsdError {
     Closed(String),
     /// Catch-all for invalid arguments (zero-sized config values, etc.).
     InvalidArgument(String),
+    /// An I/O failure surfaced by the backend (host errno, injected fault,
+    /// simulated power loss). The engine must propagate these, never panic.
+    Io(String),
 }
 
 impl fmt::Display for SsdError {
@@ -48,6 +51,7 @@ impl fmt::Display for SsdError {
             ),
             SsdError::Closed(name) => write!(f, "file handle closed: {name}"),
             SsdError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            SsdError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

@@ -67,6 +67,24 @@ pub trait StorageBackend: Send + Sync {
     /// Durably flushes the file (charges a metadata op and the partial tail
     /// page, mirroring an `fsync`).
     fn sync(&self, name: &str) -> SsdResult<()>;
+    /// Bytes of `name` guaranteed to survive a power cut: everything up to
+    /// the last `sync` (sealed files — [`StorageBackend::write_file`] /
+    /// [`StorageBackend::rename`] outputs — are durable in full). Backends
+    /// that cannot distinguish (e.g. the host file system) report the full
+    /// size. Fault-injection harnesses use this to model lost un-synced
+    /// tails.
+    fn synced_len(&self, name: &str) -> SsdResult<u64> {
+        self.size(name)
+    }
+    /// Shrinks `name` to `len` bytes (no-op if already shorter). Used by
+    /// crash simulation to discard un-synced tails; not part of the
+    /// engine's own write path.
+    fn truncate(&self, name: &str, len: u64) -> SsdResult<()> {
+        let _ = (name, len);
+        Err(SsdError::InvalidArgument(
+            "backend does not support truncate".to_string(),
+        ))
+    }
     /// Sorted list of all file names.
     fn list(&self) -> Vec<String>;
     /// The device this backend charges.
@@ -87,6 +105,10 @@ struct MemFile {
     pages: Vec<u64>,
     /// Logical page backing a flushed partial tail, if any.
     tail_lpn: Option<u64>,
+    /// Prefix of `data` guaranteed durable: advanced by `sync` (and by
+    /// `write_file`, whose outputs are sealed). A simulated power cut may
+    /// discard anything beyond it.
+    synced_len: u64,
 }
 
 #[derive(Debug)]
@@ -237,6 +259,9 @@ impl StorageBackend for MemStorage {
             data: data.to_vec(),
             pages: Vec::new(),
             tail_lpn: None,
+            // Sealed files are written atomically and durably (the engine
+            // only links them into a version after the write succeeds).
+            synced_len: data.len() as u64,
         };
         self.device.charge_write(data.len() as u64, class);
         match self.flush_pages(&mut file, true) {
@@ -323,6 +348,41 @@ impl StorageBackend for MemStorage {
         self.device.fs_op();
         let programmed = self.flush_pages(file, true)?;
         self.device.program_pages(&programmed);
+        file.synced_len = file.data.len() as u64;
+        Ok(())
+    }
+
+    fn synced_len(&self, name: &str) -> SsdResult<u64> {
+        self.files
+            .read()
+            .get(name)
+            .map(|f| f.synced_len)
+            .ok_or_else(|| SsdError::NotFound(name.to_string()))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> SsdResult<()> {
+        let mut files = self.files.write();
+        let file = files
+            .get_mut(name)
+            .ok_or_else(|| SsdError::NotFound(name.to_string()))?;
+        if len >= file.data.len() as u64 {
+            return Ok(());
+        }
+        file.data.truncate(len as usize);
+        file.synced_len = file.synced_len.min(len);
+        // Release pages past the new end; a mid-page cut also invalidates
+        // the flushed partial tail (its content changed).
+        let page = self.page_bytes();
+        let keep = (len / page) as usize;
+        let mut released: Vec<u64> = file.pages.split_off(keep.min(file.pages.len()));
+        if let Some(tail) = file.tail_lpn.take() {
+            released.push(tail);
+        }
+        self.device.fs_op();
+        if !released.is_empty() {
+            self.device.trim_pages(&released);
+            self.alloc.lock().release(released);
+        }
         Ok(())
     }
 
@@ -459,6 +519,54 @@ mod tests {
             }
         }
         assert!(wrote_err, "device never reported full");
+    }
+
+    #[test]
+    fn synced_len_tracks_durability() {
+        let s = storage();
+        // Sealed files are durable in full.
+        s.write_file("a.sst", &[7u8; 300], IoClass::FlushWrite)
+            .unwrap();
+        assert_eq!(s.synced_len("a.sst").unwrap(), 300);
+        // Appends are volatile until synced.
+        s.append("wal", &[1u8; 100], IoClass::WalWrite).unwrap();
+        assert_eq!(s.synced_len("wal").unwrap(), 0);
+        s.sync("wal").unwrap();
+        assert_eq!(s.synced_len("wal").unwrap(), 100);
+        s.append("wal", &[2u8; 50], IoClass::WalWrite).unwrap();
+        assert_eq!(s.synced_len("wal").unwrap(), 100);
+        assert_eq!(s.size("wal").unwrap(), 150);
+        assert!(matches!(
+            s.synced_len("missing"),
+            Err(SsdError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn truncate_discards_tail_and_pages() {
+        let s = storage();
+        let page = s.device().config().page_bytes as usize;
+        s.append("wal", &vec![1u8; page * 3 + 10], IoClass::WalWrite)
+            .unwrap();
+        s.sync("wal").unwrap();
+        s.append("wal", &vec![2u8; page], IoClass::WalWrite)
+            .unwrap();
+        // Cut back to mid-second-page.
+        let cut = (page + page / 2) as u64;
+        s.truncate("wal", cut).unwrap();
+        assert_eq!(s.size("wal").unwrap(), cut);
+        assert_eq!(s.synced_len("wal").unwrap(), cut);
+        let data = s.read_all("wal", IoClass::Other).unwrap();
+        assert!(data.iter().all(|&b| b == 1));
+        // Truncate past EOF is a no-op; missing file errors.
+        s.truncate("wal", 1 << 30).unwrap();
+        assert_eq!(s.size("wal").unwrap(), cut);
+        assert!(s.truncate("missing", 0).is_err());
+        // The file keeps working after the cut.
+        s.append("wal", &[3u8; 20], IoClass::WalWrite).unwrap();
+        s.sync("wal").unwrap();
+        assert_eq!(s.size("wal").unwrap(), cut + 20);
+        assert_eq!(s.synced_len("wal").unwrap(), cut + 20);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! [`DiskStorage`], must survive process-style restarts with its LDC state
 //! intact.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -93,6 +94,45 @@ fn store_survives_disk_reopen_with_ldc_state() {
         db.get(&key(n + 1)).unwrap(),
         Some(b"post-recovery".to_vec())
     );
+}
+
+/// The generation test from `crash_recovery.rs`, ported to the real file
+/// system: several sessions each write a slab of puts and deletes, then
+/// "crash" (drop without shutdown); the final reopen must match the
+/// in-memory model exactly, for LDC and the UDC baseline alike.
+#[test]
+fn reopen_preserves_everything_across_generations_on_disk() {
+    fn value(k: u32, session: u32) -> Vec<u8> {
+        let mut out = format!("v{session:05}k{k:05}").into_bytes();
+        out.resize(160, b'.');
+        out
+    }
+    for udc in [false, true] {
+        let root = TempRoot::new();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for session in 0u32..4 {
+            let mut db = open(&root, udc);
+            for k in 0..300u32 {
+                if (k + session) % 11 == 0 {
+                    db.delete(&key(k)).unwrap();
+                    model.remove(&key(k));
+                } else {
+                    db.put(&key(k), &value(k, session)).unwrap();
+                    model.insert(key(k), value(k, session));
+                }
+            }
+            // Spot-check inside the session too.
+            for k in (0..300u32).step_by(41) {
+                assert_eq!(db.get(&key(k)).unwrap().as_ref(), model.get(&key(k)));
+            }
+        } // each drop is a crash
+        let mut db = open(&root, udc);
+        db.engine_ref().version().check_invariants().unwrap();
+        let all = db.scan(b"", usize::MAX).unwrap();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        assert_eq!(all, want, "udc={udc}");
+    }
 }
 
 #[test]
