@@ -1,0 +1,132 @@
+//! Diagnostics: one machine-readable record per finding.
+
+use std::fmt;
+
+/// How severe a finding is. Only [`Severity::Error`] fails the run;
+/// [`Severity::Info`] is advisory (e.g. a stale baseline entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint run (non-zero exit, failing `#[test]` gate).
+    Error,
+    /// Printed but never fails the run.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Info => write!(f, "info"),
+        }
+    }
+}
+
+/// One finding: `file:line`, rule id, message, and a concrete suggestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line (0 for file-level findings such as a ratchet breach).
+    pub line: usize,
+    /// Stable rule id (`determinism`, `panic_safety`, `lock_order`,
+    /// `layering`).
+    pub rule: &'static str,
+    /// Whether this finding fails the run.
+    pub severity: Severity,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or how to suppress it with a reason).
+    pub suggestion: String,
+}
+
+impl Diagnostic {
+    /// New error-severity finding.
+    pub fn error(
+        file: impl Into<String>,
+        line: usize,
+        rule: &'static str,
+        message: impl Into<String>,
+        suggestion: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule,
+            severity: Severity::Error,
+            message: message.into(),
+            suggestion: suggestion.into(),
+        }
+    }
+
+    /// New info-severity finding.
+    pub fn info(
+        file: impl Into<String>,
+        line: usize,
+        rule: &'static str,
+        message: impl Into<String>,
+        suggestion: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Info,
+            ..Diagnostic::error(file, line, rule, message, suggestion)
+        }
+    }
+
+    /// `file:line: severity [rule] message; suggestion: ...`
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} [{}] {}; suggestion: {}",
+            self.file, self.line, self.severity, self.rule, self.message, self.suggestion
+        )
+    }
+
+    /// One flat JSON object (for CI annotation).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"severity\":{},\"message\":{},\"suggestion\":{}}}",
+            json_str(&self.file),
+            self.line,
+            json_str(self.rule),
+            json_str(&self.severity.to_string()),
+            json_str(&self.message),
+            json_str(&self.suggestion),
+        )
+    }
+}
+
+/// Minimal JSON string escaping (no external deps by design).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_json() {
+        let d = Diagnostic::error("crates/x.rs", 7, "determinism", "bad \"call\"", "use clock");
+        assert_eq!(
+            d.render(),
+            "crates/x.rs:7: error [determinism] bad \"call\"; suggestion: use clock"
+        );
+        let j = d.to_json();
+        assert!(j.contains("\"line\":7"));
+        assert!(j.contains("bad \\\"call\\\""));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

@@ -1,0 +1,457 @@
+//! A small Rust "lexer" sufficient for invariant linting.
+//!
+//! This is deliberately not a full parser: the rules only need a view of
+//! the source with comments and string/char literals blanked out (so token
+//! searches never match inside them), a per-line map of which lines belong
+//! to test code (`#[cfg(test)]` items, `#[test]` functions, `mod tests`
+//! blocks), and the set of `// ldc-lint: allow(<rule>) — <reason>`
+//! suppression comments. Byte offsets and line numbers are preserved
+//! exactly: blanked regions are replaced with spaces, newlines are kept.
+
+/// One `// ldc-lint: allow(rule) — reason` suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the comment sits on. A suppression covers its own
+    /// line (trailing comment) and the next line (comment-above style).
+    pub line: usize,
+    /// The rule id inside `allow(...)`.
+    pub rule: String,
+    /// Free-text justification after the closing parenthesis. A
+    /// suppression with an empty reason is ignored (the violation it
+    /// tried to hide is reported), which enforces the convention.
+    pub reason: String,
+}
+
+/// A lexed source file: blanked code plus line metadata.
+#[derive(Debug, Clone)]
+pub struct SourceView {
+    /// Same length as the original source; comment and literal contents
+    /// replaced by spaces.
+    pub code: String,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    line_starts: Vec<usize>,
+    /// `true` for lines inside test-only regions (0-indexed).
+    test_lines: Vec<bool>,
+    /// All suppression comments found, in file order.
+    pub suppressions: Vec<Suppression>,
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+impl SourceView {
+    /// Lexes `src` into a blanked view.
+    pub fn new(src: &str) -> SourceView {
+        let bytes = src.as_bytes();
+        let mut out = bytes.to_vec();
+        let mut suppressions = Vec::new();
+        let mut line_starts = vec![0usize];
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let line_of = |pos: usize| match line_starts.binary_search(&pos) {
+            Ok(l) => l + 1,
+            Err(l) => l,
+        };
+
+        let blank = |out: &mut Vec<u8>, from: usize, to: usize| {
+            for slot in out.iter_mut().take(to).skip(from) {
+                if *slot != b'\n' {
+                    *slot = b' ';
+                }
+            }
+        };
+
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    let end = bytes[i..]
+                        .iter()
+                        .position(|&b| b == b'\n')
+                        .map(|p| i + p)
+                        .unwrap_or(bytes.len());
+                    let text = &src[i..end];
+                    if let Some(s) = parse_suppression(text, line_of(i)) {
+                        suppressions.push(s);
+                    }
+                    blank(&mut out, i, end);
+                    i = end;
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    let start = i;
+                    let mut depth = 1;
+                    i += 2;
+                    while i < bytes.len() && depth > 0 {
+                        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                            depth += 1;
+                            i += 2;
+                        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    blank(&mut out, start, i);
+                }
+                b'"' => {
+                    let end = scan_string(bytes, i);
+                    blank(&mut out, i, end);
+                    i = end;
+                }
+                b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                    let end = scan_prefixed_string(bytes, i);
+                    blank(&mut out, i, end);
+                    i = end;
+                }
+                b'\'' => {
+                    if let Some(end) = scan_char_literal(bytes, i) {
+                        blank(&mut out, i, end);
+                        i = end;
+                    } else {
+                        i += 1; // lifetime: leave as-is
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+
+        let code = String::from_utf8_lossy(&out).into_owned();
+        let test_lines = mark_test_regions(&code, line_starts.len());
+        SourceView {
+            code,
+            line_starts,
+            test_lines,
+            suppressions,
+        }
+    }
+
+    /// 1-based line number of a byte offset into `code`.
+    pub fn line_of(&self, byte: usize) -> usize {
+        match self.line_starts.binary_search(&byte) {
+            Ok(l) => l + 1,
+            Err(l) => l,
+        }
+    }
+
+    /// Whether a 1-based line lies inside a test-only region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Whether `rule` is suppressed at `line` (a suppression comment on
+    /// the same line or the line directly above, with a non-empty reason).
+    pub fn is_suppressed(&self, line: usize, rule: &str) -> bool {
+        self.suppressions.iter().any(|s| {
+            s.rule == rule && !s.reason.is_empty() && (s.line == line || s.line + 1 == line)
+        })
+    }
+}
+
+/// Parses `ldc-lint: allow(rule) — reason` out of a line comment.
+fn parse_suppression(comment: &str, line: usize) -> Option<Suppression> {
+    let marker = "ldc-lint:";
+    let at = comment.find(marker)?;
+    let rest = comment[at + marker.len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..]
+        .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+        .trim()
+        .to_string();
+    Some(Suppression { line, rule, reason })
+}
+
+/// Does `bytes[i..]` begin a raw/byte string (`r"`, `r#"`, `b"`, `br#"`, ...)?
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // Must not be the tail of a longer identifier.
+    if i > 0 && is_ident_char(bytes[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    j > i && bytes.get(j) == Some(&b'"')
+}
+
+/// Scans a plain `"..."` string starting at the opening quote; returns the
+/// offset one past the closing quote.
+fn scan_string(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Scans `r"..."`, `r#"..."#`, `b"..."`, `br##"..."##` starting at the
+/// prefix; returns the offset one past the end.
+fn scan_prefixed_string(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1; // opening quote
+    if !raw {
+        // Byte string with escapes.
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        return bytes.len();
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Distinguishes a char literal from a lifetime at a `'`. Returns the end
+/// offset for a literal, `None` for a lifetime.
+fn scan_char_literal(bytes: &[u8], start: usize) -> Option<usize> {
+    let next = *bytes.get(start + 1)?;
+    if next == b'\\' {
+        // Escaped char: scan to the closing quote.
+        let mut i = start + 2;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'\'' => return Some(i + 1),
+                _ => i += 1,
+            }
+        }
+        return Some(bytes.len());
+    }
+    // `'x'` is a literal; `'a` (no closing quote right after one char) is a
+    // lifetime. Multi-byte UTF-8 chars: find the quote within 5 bytes.
+    for (off, &b) in bytes[start + 1..].iter().take(5).enumerate() {
+        if b == b'\'' {
+            return if off == 0 {
+                None
+            } else {
+                Some(start + 1 + off + 1)
+            };
+        }
+        if off == 0 && !(is_ident_char(b) || b >= 0x80) {
+            // e.g. `'(` cannot start a lifetime; treat as stray quote.
+            return None;
+        }
+    }
+    None
+}
+
+/// Marks lines covered by `#[cfg(test)]` items, `#[test]` functions and
+/// `mod tests { .. }` blocks. Operates on blanked code, so braces inside
+/// strings cannot confuse the matcher.
+fn mark_test_regions(code: &str, num_lines: usize) -> Vec<bool> {
+    let mut test = vec![false; num_lines];
+    let bytes = code.as_bytes();
+    let mut line_starts = vec![0usize];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |pos: usize| match line_starts.binary_search(&pos) {
+        Ok(l) => l,
+        Err(l) => l - 1,
+    };
+
+    for marker in ["#[cfg(test)]", "#[test]", "mod tests"] {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(marker) {
+            let at = from + rel;
+            from = at + marker.len();
+            if marker == "mod tests" {
+                // Require a word boundary (`mod tests_util` is not a match).
+                let after = bytes.get(at + marker.len());
+                if after.is_some_and(|&b| is_ident_char(b)) {
+                    continue;
+                }
+            }
+            // Find the item's extent: a brace block or a `;`-terminated item,
+            // whichever comes first after the marker.
+            let rest = &bytes[at + marker.len()..];
+            let mut end = at + marker.len();
+            let mut found = false;
+            for (off, &b) in rest.iter().enumerate() {
+                if b == b';' {
+                    end = at + marker.len() + off;
+                    found = true;
+                    break;
+                }
+                if b == b'{' {
+                    let open = at + marker.len() + off;
+                    end = match_brace(bytes, open);
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                end = bytes.len();
+            }
+            let (a, b) = (line_of(at), line_of(end.min(bytes.len().saturating_sub(1))));
+            for slot in test.iter_mut().take(b + 1).skip(a) {
+                *slot = true;
+            }
+        }
+    }
+    test
+}
+
+/// Given the offset of a `{`, returns the offset of its matching `}` (or
+/// the end of input).
+pub fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    bytes.len()
+}
+
+/// Iterator over whole-word occurrences of `needle` in `haystack`
+/// (neither neighbour is an identifier character).
+pub fn token_positions(haystack: &str, needle: &str) -> Vec<usize> {
+    let hb = haystack.as_bytes();
+    let nb = needle.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = haystack[from..].find(needle) {
+        let at = from + rel;
+        from = at + 1;
+        let before_ok = at == 0 || !is_ident_char(hb[at - 1]);
+        let after = at + nb.len();
+        let after_ok = after >= hb.len() || !is_ident_char(hb[after]);
+        // For needles that start/end with non-ident chars (e.g. `.expect(`)
+        // the boundary checks are trivially satisfied in the direction of
+        // the punctuation.
+        let before_ok = before_ok || !is_ident_char(nb[0]);
+        let after_ok = after_ok || !is_ident_char(nb[nb.len() - 1]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let v = SourceView::new(r#"let x = "Instant::now"; // Instant::now in comment"#);
+        assert!(!v.code.contains("Instant::now"));
+        assert!(v.code.contains("let x ="));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_blanked() {
+        let v =
+            SourceView::new("let a = r#\"panic!()\"#; let b = b\"unwrap()\"; let c = br#\"x\"#;");
+        assert!(!v.code.contains("panic!"));
+        assert!(!v.code.contains("unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_blanked() {
+        let v = SourceView::new("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(v.code.contains("&'a str"));
+        assert!(!v.code.contains("'x'"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src =
+            "fn prod() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\n";
+        let v = SourceView::new(src);
+        assert!(!v.is_test_line(1));
+        assert!(v.is_test_line(2));
+        assert!(v.is_test_line(3));
+        assert!(v.is_test_line(4));
+        assert!(v.is_test_line(5));
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_stops_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() { x(); }\n";
+        let v = SourceView::new(src);
+        assert!(v.is_test_line(2));
+        assert!(!v.is_test_line(3));
+    }
+
+    #[test]
+    fn suppressions_parse_and_scope() {
+        let src = "// ldc-lint: allow(determinism) — fixture needs it\nlet t = 1;\nlet u = 2; // ldc-lint: allow(panic_safety) - trailing\n// ldc-lint: allow(lock_order)\nlet v = 3;\n";
+        let v = SourceView::new(src);
+        assert_eq!(v.suppressions.len(), 3);
+        assert!(v.is_suppressed(2, "determinism"));
+        assert!(!v.is_suppressed(2, "panic_safety"));
+        assert!(v.is_suppressed(3, "panic_safety"));
+        // Reason-less suppression is inert.
+        assert!(!v.is_suppressed(5, "lock_order"));
+    }
+
+    #[test]
+    fn token_positions_respect_word_boundaries() {
+        assert_eq!(token_positions("now nowhere now", "now"), vec![0, 12]);
+        assert_eq!(
+            token_positions("a.expect(x).expect_err(y)", ".expect(").len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! CLI for `ldc-lint`.
+//!
+//! ```text
+//! cargo run -p ldc-lint -- --workspace            # human-readable, exit 1 on errors
+//! cargo run -p ldc-lint -- --workspace --json     # one JSON object per line
+//! cargo run -p ldc-lint -- --workspace --update-baseline
+//! cargo run -p ldc-lint -- --root /path/to/repo
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ldc_lint::{find_workspace_root, lint_workspace, Severity, BASELINE_PATH};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut update_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {} // the only mode; accepted for clarity
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ldc-lint [--workspace] [--json] [--update-baseline] [--root <dir>]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage("could not locate the workspace root (try --root)"),
+    };
+
+    let report = match lint_workspace(&root, update_baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ldc-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(text) = &report.new_baseline {
+        let path = root.join(BASELINE_PATH);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("ldc-lint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("ldc-lint: baseline regenerated at {BASELINE_PATH}");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut errors = 0usize;
+    for d in &report.diagnostics {
+        if d.severity == Severity::Error {
+            errors += 1;
+        }
+        if json {
+            println!("{}", d.to_json());
+        } else {
+            println!("{}", d.render());
+        }
+    }
+    if !json {
+        eprintln!(
+            "ldc-lint: {} file(s) scanned, {} finding(s), {} error(s)",
+            report.files_scanned,
+            report.diagnostics.len(),
+            errors
+        );
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ldc-lint: {msg}");
+    eprintln!("usage: ldc-lint [--workspace] [--json] [--update-baseline] [--root <dir>]");
+    ExitCode::FAILURE
+}

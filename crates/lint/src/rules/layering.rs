@@ -1,0 +1,178 @@
+//! Rule `layering`: crate dependencies must respect the layer DAG
+//!
+//! ```text
+//! obs  <-  ssd  <-  lsm  <-  core  <-  {chaos, workload}  <-  bench
+//! ```
+//!
+//! Lower layers must never know about higher layers: `ldc-obs` is pure
+//! observability, `ldc-ssd` is the device model, `ldc-lsm` the engine,
+//! `ldc-core` the LDC policy glue, and `chaos`/`workload`/`bench` are
+//! harnesses on top. Both `Cargo.toml` `[dependencies]` sections and
+//! `use ldc_*` tokens in source are checked, so an accidental `use
+//! ldc_core::...` inside `ldc-lsm` fails even before the build does.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+use crate::lexer::{token_positions, SourceView};
+
+/// Stable rule id.
+pub const RULE: &str = "layering";
+
+/// `crate name -> ldc crates it may depend on`. The root umbrella crate
+/// (`ldc`), the shims, and `lint` itself are exempt.
+pub fn allowed_deps() -> BTreeMap<&'static str, &'static [&'static str]> {
+    let mut m: BTreeMap<&'static str, &'static [&'static str]> = BTreeMap::new();
+    m.insert("obs", &[]);
+    m.insert("ssd", &["obs"]);
+    m.insert("lsm", &["obs", "ssd"]);
+    m.insert("core", &["obs", "ssd", "lsm"]);
+    m.insert("chaos", &["obs", "ssd", "lsm", "core"]);
+    m.insert("workload", &["obs", "ssd", "lsm", "core"]);
+    m.insert("bench", &["obs", "ssd", "lsm", "core", "chaos", "workload"]);
+    m.insert("lint", &[]);
+    m
+}
+
+/// `ldc-obs` / `ldc_obs` → `obs` (or `None` for non-ldc names).
+fn layer_of(dep: &str) -> Option<&str> {
+    dep.strip_prefix("ldc-")
+        .or_else(|| dep.strip_prefix("ldc_"))
+}
+
+/// The crate a workspace-relative path belongs to (`crates/lsm/src/db.rs`
+/// → `lsm`), skipping shims.
+pub fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    let name = rest.split('/').next()?;
+    if name == "shims" {
+        return None;
+    }
+    Some(name)
+}
+
+/// Checks one crate manifest (`crates/<name>/Cargo.toml` contents).
+pub fn check_manifest(path: &str, manifest: &str) -> Vec<Diagnostic> {
+    let Some(krate) = crate_of(path) else {
+        return Vec::new();
+    };
+    let allowed = allowed_deps();
+    let Some(&allow) = allowed.get(krate) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (i, raw) in manifest.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            // dev-dependencies may reach anywhere (tests aren't layered).
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(dep) = line.split(['=', '.']).next().map(str::trim) else {
+            continue;
+        };
+        let Some(layer) = layer_of(dep) else {
+            continue;
+        };
+        if !allow.contains(&layer) {
+            out.push(Diagnostic::error(
+                path,
+                i + 1,
+                RULE,
+                format!(
+                    "crate `{krate}` must not depend on `ldc-{layer}` \
+                     (layering: obs <- ssd <- lsm <- core <- harnesses)"
+                ),
+                "move the shared code down a layer or invert the dependency \
+                 with a trait defined in the lower crate",
+            ));
+        }
+    }
+    out
+}
+
+/// Checks `ldc_*` tokens in one source file against the owning crate's
+/// allowance. Catches paths that bypass Cargo (e.g. behind `cfg`).
+pub fn check_source(path: &str, view: &SourceView) -> Vec<Diagnostic> {
+    let Some(krate) = crate_of(path) else {
+        return Vec::new();
+    };
+    let allowed = allowed_deps();
+    let Some(&allow) = allowed.get(krate) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for layer in ["obs", "ssd", "lsm", "core", "chaos", "workload", "bench"] {
+        if layer == krate || allow.contains(&layer) {
+            continue;
+        }
+        let token = format!("ldc_{layer}");
+        for at in token_positions(&view.code, &token) {
+            let line = view.line_of(at);
+            if view.is_test_line(line) || view.is_suppressed(line, RULE) {
+                continue;
+            }
+            out.push(Diagnostic::error(
+                path,
+                line,
+                RULE,
+                format!("crate `{krate}` references `{token}` — a higher (or sibling) layer"),
+                "depend only downward: obs <- ssd <- lsm <- core <- harnesses",
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_violation_flagged() {
+        let bad = "[package]\nname = \"ldc-ssd\"\n\n[dependencies]\nldc-lsm.workspace = true\n";
+        let d = check_manifest("crates/ssd/Cargo.toml", bad);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("must not depend on `ldc-lsm`"));
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn manifest_downward_deps_pass() {
+        let ok = "[package]\nname = \"ldc-lsm\"\n\n[dependencies]\nldc-obs.workspace = true\nldc-ssd = { path = \"../ssd\" }\n";
+        assert!(check_manifest("crates/lsm/Cargo.toml", ok).is_empty());
+    }
+
+    #[test]
+    fn dev_dependencies_are_exempt() {
+        let ok = "[package]\nname = \"ldc-ssd\"\n\n[dev-dependencies]\nldc-lsm.workspace = true\n";
+        assert!(check_manifest("crates/ssd/Cargo.toml", ok).is_empty());
+    }
+
+    #[test]
+    fn source_use_of_higher_layer_flagged() {
+        let v = SourceView::new("use ldc_core::policy::Ldc;\n");
+        let d = check_source("crates/lsm/src/db.rs", &v);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("ldc_core"));
+    }
+
+    #[test]
+    fn source_downward_use_passes_and_tests_exempt() {
+        let v = SourceView::new("use ldc_obs::sink::Sink;\n");
+        assert!(check_source("crates/lsm/src/db.rs", &v).is_empty());
+        let t = SourceView::new("#[cfg(test)]\nmod tests { use ldc_core::x; }\n");
+        assert!(check_source("crates/lsm/src/db.rs", &t).is_empty());
+    }
+
+    #[test]
+    fn shims_and_root_are_exempt() {
+        let v = SourceView::new("use ldc_bench::x;\n");
+        assert!(check_source("crates/shims/rand/src/lib.rs", &v).is_empty());
+        assert!(check_source("src/lib.rs", &v).is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+//! The four rule families. Each rule exposes a stable `RULE` id (used in
+//! diagnostics and in `// ldc-lint: allow(<rule>)` suppressions) and a
+//! pure check function over lexed [`crate::lexer::SourceView`]s.
+
+pub mod determinism;
+pub mod layering;
+pub mod lock_order;
+pub mod panic_safety;

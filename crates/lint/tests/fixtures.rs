@@ -1,0 +1,164 @@
+//! Fixture-driven tests: one failing and one passing snippet per rule
+//! family, exercising the public rule APIs exactly as `lint_workspace`
+//! does. The snippets live in `tests/fixtures/` so they double as
+//! documentation of what each rule accepts and rejects.
+
+use ldc_lint::lexer::SourceView;
+use ldc_lint::rules::{determinism, layering, lock_order, panic_safety};
+use ldc_lint::Severity;
+
+fn errors_of(diags: &[ldc_lint::Diagnostic]) -> Vec<&ldc_lint::Diagnostic> {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect()
+}
+
+#[test]
+fn determinism_fixture_fail() {
+    let view = SourceView::new(include_str!("fixtures/determinism_fail.rs"));
+    let diags = determinism::check_file("crates/lsm/src/fixture.rs", &view);
+    let errs = errors_of(&diags);
+    assert_eq!(errs.len(), 4, "{diags:?}"); // use std::time, Instant::now, rand::random, HashMap iter
+    assert!(errs.iter().any(|d| d.message.contains("Instant::now")));
+    assert!(errs.iter().any(|d| d.message.contains("rand::random")));
+    assert!(errs.iter().any(|d| d.message.contains("HashMap")));
+    // Out-of-scope crates are untouched (bench may measure host time).
+    assert!(
+        determinism::check_file("crates/bench/src/fixture.rs", &view).is_empty()
+            || !determinism::in_scope("crates/bench/src/fixture.rs")
+    );
+}
+
+#[test]
+fn determinism_fixture_pass() {
+    let view = SourceView::new(include_str!("fixtures/determinism_pass.rs"));
+    let diags = determinism::check_file("crates/lsm/src/fixture.rs", &view);
+    assert!(errors_of(&diags).is_empty(), "{diags:?}");
+}
+
+#[test]
+fn panic_safety_fixture_fail() {
+    let view = SourceView::new(include_str!("fixtures/panic_safety_fail.rs"));
+    let (counts, sites) = panic_safety::count_sites(&view);
+    assert_eq!(counts.panics, 3, "{sites:?}");
+    assert_eq!(counts.indexes, 1, "{sites:?}");
+    // With no baseline entry, every site is an error.
+    let files = vec![("crates/lsm/src/wal.rs".to_string(), view)];
+    let diags = panic_safety::check(&files, &panic_safety::Baseline::new());
+    assert_eq!(errors_of(&diags).len(), 4, "{diags:?}");
+}
+
+#[test]
+fn panic_safety_fixture_pass() {
+    let view = SourceView::new(include_str!("fixtures/panic_safety_pass.rs"));
+    let (counts, sites) = panic_safety::count_sites(&view);
+    assert_eq!(counts.panics, 0, "{sites:?}");
+    assert_eq!(counts.indexes, 0, "{sites:?}"); // the one index is suppressed with a reason
+}
+
+#[test]
+fn panic_safety_ratchet_blocks_regressions() {
+    let view = SourceView::new(include_str!("fixtures/panic_safety_fail.rs"));
+    let files = vec![("crates/lsm/src/wal.rs".to_string(), view)];
+    let mut tight = panic_safety::Baseline::new();
+    tight.insert(
+        "crates/lsm/src/wal.rs".to_string(),
+        panic_safety::Counts {
+            panics: 2,
+            indexes: 1,
+        },
+    );
+    let diags = panic_safety::check(&files, &tight);
+    assert!(
+        diags.iter().any(|d| d.message.contains("ratchet violated")),
+        "{diags:?}"
+    );
+}
+
+const DESIGN: &str =
+    "<!-- ldc-lint: lock-order\nlsm/db::tables\nlsm/cache::inner\nobs/metrics::levels\n-->";
+const DB_DECL: &str = "struct Db { tables: Mutex<u32> }\n";
+const METRICS_DECL: &str = "struct Metrics { levels: Mutex<u32> }\n";
+
+fn lock_order_run(cache_src: &str) -> Vec<ldc_lint::Diagnostic> {
+    let files = vec![
+        ("crates/lsm/src/db.rs".to_string(), SourceView::new(DB_DECL)),
+        (
+            "crates/lsm/src/cache.rs".to_string(),
+            SourceView::new(cache_src),
+        ),
+        ("crates/obs/src/sink.rs".to_string(), SourceView::new("")),
+        (
+            "crates/obs/src/metrics.rs".to_string(),
+            SourceView::new(METRICS_DECL),
+        ),
+    ];
+    lock_order::check(&files, DESIGN)
+}
+
+#[test]
+fn lock_order_fixture_fail() {
+    let diags = lock_order_run(include_str!("fixtures/lock_order_fail.rs"));
+    let errs = errors_of(&diags);
+    assert!(
+        errs.iter()
+            .any(|d| d.message.contains("violates the declared order")),
+        "{diags:?}"
+    );
+    assert!(
+        errs.iter().any(|d| d.message.contains("re-entrant")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn lock_order_fixture_pass() {
+    let diags = lock_order_run(include_str!("fixtures/lock_order_pass.rs"));
+    assert!(errors_of(&diags).is_empty(), "{diags:?}");
+}
+
+#[test]
+fn layering_fixture_fail() {
+    let manifest = include_str!("fixtures/layering_fail.toml");
+    let diags = layering::check_manifest("crates/ssd/Cargo.toml", manifest);
+    assert_eq!(errors_of(&diags).len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("must not depend on `ldc-lsm`"));
+
+    let view = SourceView::new(include_str!("fixtures/layering_fail.rs"));
+    let diags = layering::check_source("crates/lsm/src/compaction.rs", &view);
+    assert_eq!(errors_of(&diags).len(), 2, "{diags:?}"); // `use` line + type path use site
+}
+
+#[test]
+fn layering_fixture_pass() {
+    let manifest = include_str!("fixtures/layering_pass.toml");
+    assert!(layering::check_manifest("crates/lsm/Cargo.toml", manifest).is_empty());
+
+    let view = SourceView::new(include_str!("fixtures/layering_pass.rs"));
+    let diags = layering::check_source("crates/lsm/src/compaction.rs", &view);
+    assert!(errors_of(&diags).is_empty(), "{diags:?}");
+}
+
+#[test]
+fn json_output_is_parseable_shape() {
+    let d = ldc_lint::Diagnostic::error(
+        "crates/lsm/src/db.rs",
+        42,
+        "determinism",
+        "forbidden \"token\"",
+        "use the virtual clock",
+    );
+    let j = d.to_json();
+    assert!(j.starts_with('{') && j.ends_with('}'));
+    for key in [
+        "\"file\":",
+        "\"line\":42",
+        "\"rule\":",
+        "\"severity\":\"error\"",
+        "\"message\":",
+        "\"suggestion\":",
+    ] {
+        assert!(j.contains(key), "missing {key} in {j}");
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: every construct here must be flagged by the determinism rule
+// when placed in a scoped crate (ssd/lsm/core/chaos/workload non-test code).
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct Stats {
+    per_level: HashMap<u32, u64>,
+}
+
+fn measure() -> u64 {
+    let start = Instant::now(); // flagged: wall clock
+    let _jitter: u64 = rand::random(); // flagged: unseeded entropy
+    start.elapsed().as_nanos() as u64
+}
+
+fn dump(stats: &Stats) {
+    // flagged: HashMap iteration feeding an order-sensitive path (output).
+    for (level, bytes) in stats.per_level.iter() {
+        println!("L{level}: {bytes}");
+    }
+}

@@ -1,0 +1,36 @@
+// Fixture: none of this may be flagged by the determinism rule.
+use std::collections::HashMap;
+use std::time::Duration; // plain value type: allowed
+
+struct Stats {
+    per_level: HashMap<u32, u64>,
+}
+
+fn total(stats: &Stats) -> u64 {
+    // Order-insensitive consumer: allowed.
+    stats.per_level.values().sum()
+}
+
+fn dump_sorted(stats: &Stats) {
+    // Sorted before output: allowed.
+    let mut rows: Vec<_> = stats.per_level.iter().collect();
+    rows.sort();
+    for (level, bytes) in rows {
+        println!("L{level}: {bytes}");
+    }
+}
+
+fn fixture_clock() -> u64 {
+    // ldc-lint: allow(determinism) — replay fixture needs a pinned epoch
+    let t = Instant::now();
+    let _ = Duration::from_nanos(1);
+    t.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_wall_clock() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture (checked as crates/lsm/src/compaction.rs): the engine must not
+// reach up into the LDC policy layer.
+use ldc_core::policy::CompactionPolicy; // flagged
+
+fn pick(policy: &dyn CompactionPolicy) {
+    policy.pick();
+}
+
+fn score(level: u32) -> f64 {
+    ldc_core::scoring::level_score(level) // flagged: qualified path, no `use`
+}

@@ -1,0 +1,18 @@
+// Fixture (checked as crates/lsm/src/compaction.rs): downward references
+// and test-only upward references are allowed.
+use ldc_obs::sink::EventSink;
+use ldc_ssd::IoClass;
+
+fn record(sink: &dyn EventSink) {
+    let _ = (sink, IoClass::CompactionWrite);
+}
+
+#[cfg(test)]
+mod tests {
+    use ldc_core::policy::CompactionPolicy; // test code: exempt
+
+    #[test]
+    fn t() {
+        let _ = core::any::type_name::<dyn CompactionPolicy>();
+    }
+}

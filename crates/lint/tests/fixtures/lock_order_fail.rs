@@ -1,0 +1,18 @@
+// Fixture (checked as crates/lsm/src/cache.rs): acquires the table-map
+// lock while holding the cache lock — backwards in the declared order —
+// and re-acquires a held lock.
+struct C {
+    inner: Mutex<u32>,
+}
+
+fn backwards(c: &C, db: &Db) {
+    let cache_guard = c.inner.lock();
+    let table_guard = db.tables.lock(); // flagged: inner held, tables ranks earlier
+    use_both(cache_guard, table_guard);
+}
+
+fn reentrant(c: &C) {
+    let a = c.inner.lock();
+    let b = c.inner.lock(); // flagged: re-entrant acquisition
+    use_both(a, b);
+}

@@ -1,0 +1,27 @@
+// Fixture (checked as crates/lsm/src/cache.rs): forward-order nesting,
+// scoped guards, and explicit drops — nothing may be flagged.
+struct C {
+    inner: Mutex<u32>,
+}
+
+fn forward(c: &C, m: &Metrics) {
+    let cache_guard = c.inner.lock();
+    record(m); // leaf obs locks may be taken under engine locks
+    drop(cache_guard);
+}
+
+fn scoped_reacquire(c: &C) {
+    {
+        let a = c.inner.lock();
+        use_it(a);
+    }
+    let b = c.inner.lock();
+    use_it(b);
+}
+
+fn dropped_reacquire(c: &C) {
+    let a = c.inner.lock();
+    drop(a);
+    let b = c.inner.lock();
+    use_it(b);
+}

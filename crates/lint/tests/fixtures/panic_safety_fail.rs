@@ -1,0 +1,14 @@
+// Fixture: panic sites on a production I/O path with no baseline entry —
+// every one must be reported.
+fn read_record(buf: &[u8]) -> u32 {
+    let header = buf[0]; // flagged: index expression
+    if header != 1 {
+        panic!("bad header"); // flagged
+    }
+    decode(buf).unwrap() // flagged
+}
+
+fn decode(buf: &[u8]) -> Option<u32> {
+    buf.get(1..5)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes"))) // flagged
+}

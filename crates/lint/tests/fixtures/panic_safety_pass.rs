@@ -1,0 +1,26 @@
+// Fixture: the Result-returning equivalents — nothing may be reported.
+fn read_record(buf: &[u8]) -> Result<u32, String> {
+    let header = *buf.first().ok_or("empty record")?;
+    if header != 1 {
+        return Err(format!("bad header {header}"));
+    }
+    decode(buf).ok_or_else(|| "truncated record".to_string())
+}
+
+fn decode(buf: &[u8]) -> Option<u32> {
+    buf.get(1..5)
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_le_bytes)
+}
+
+fn checked_hot_path(buf: &[u8]) -> u8 {
+    buf[0] // ldc-lint: allow(panic_safety) — caller checked is_empty() on the hot path
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        super::read_record(&[1, 0, 0, 0, 0]).unwrap();
+    }
+}

@@ -89,17 +89,14 @@ impl BlockCache {
     ) -> Result<Block> {
         if self.capacity_bytes > 0 {
             let mut inner = self.inner.lock();
-            if let Some(entry) = inner.map.get(&key) {
+            let tick = inner.next_tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
                 let old_tick = entry.tick;
-                let tick = inner.next_tick;
+                entry.tick = tick;
+                let block = entry.block.clone();
                 inner.next_tick += 1;
                 inner.lru.remove(&old_tick);
                 inner.lru.insert(tick, key);
-                let block = {
-                    let entry = inner.map.get_mut(&key).expect("present");
-                    entry.tick = tick;
-                    entry.block.clone()
-                };
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(block);
             }
@@ -120,7 +117,9 @@ impl BlockCache {
             );
             inner.lru.insert(tick, key);
             while inner.used_bytes > self.capacity_bytes && inner.map.len() > 1 {
-                let (&oldest_tick, &oldest_key) = inner.lru.iter().next().expect("nonempty lru");
+                let Some((&oldest_tick, &oldest_key)) = inner.lru.iter().next() else {
+                    break;
+                };
                 inner.lru.remove(&oldest_tick);
                 if let Some(evicted) = inner.map.remove(&oldest_key) {
                     inner.used_bytes -= evicted.block.size();
@@ -134,12 +133,13 @@ impl BlockCache {
     /// Drops all blocks belonging to `file_number` (called on file delete).
     pub fn evict_file(&self, file_number: u64) {
         let mut inner = self.inner.lock();
-        let doomed: Vec<(u64, BlockKey)> = inner
+        let mut doomed: Vec<(u64, BlockKey)> = inner
             .map
             .iter()
             .filter(|((f, _), _)| *f == file_number)
             .map(|(k, e)| (e.tick, *k))
             .collect();
+        doomed.sort_unstable();
         for (tick, key) in doomed {
             inner.lru.remove(&tick);
             if let Some(e) = inner.map.remove(&key) {

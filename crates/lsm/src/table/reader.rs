@@ -209,15 +209,24 @@ fn read_block_bytes(
     } else {
         storage.read(name, handle.offset, len, class)?
     };
-    let payload = &raw[..handle.size as usize];
-    let trailer = &raw[handle.size as usize..];
-    let compression = trailer[0];
+    if (raw.len() as u64) < len {
+        return Err(corruption(format!(
+            "short block read in {name}: got {} of {len} bytes",
+            raw.len()
+        )));
+    }
+    let (payload, trailer) = raw.split_at(handle.size as usize);
+    let stored_bytes: [u8; 4] = trailer
+        .get(1..5)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| corruption(format!("truncated block trailer in {name}")))?;
+    let compression = trailer[0]; // ldc-lint: allow(panic_safety) — length proven >= trailer size above
     if compression != 0 {
         return Err(corruption(format!(
             "unsupported compression tag {compression}"
         )));
     }
-    let stored = u32::from_le_bytes(trailer[1..5].try_into().expect("4 bytes"));
+    let stored = u32::from_le_bytes(stored_bytes);
     let actual = crc32c::extend(crc32c::crc32c(payload), &[compression]);
     if crc32c::unmask(stored) != actual {
         return Err(corruption(format!("block crc mismatch in {name}")));
@@ -319,14 +328,16 @@ impl TableIter {
         self.enforce_upper_bound();
     }
 
-    /// Current internal key.
+    /// Current internal key (empty unless [`TableIter::valid`]).
     pub fn key(&self) -> &[u8] {
-        self.data_iter.as_ref().expect("valid iterator").key()
+        debug_assert!(self.valid(), "key() on invalid iterator");
+        self.data_iter.as_ref().map(|it| it.key()).unwrap_or(&[])
     }
 
-    /// Current value.
+    /// Current value (empty unless [`TableIter::valid`]).
     pub fn value(&self) -> &[u8] {
-        self.data_iter.as_ref().expect("valid iterator").value()
+        debug_assert!(self.valid(), "value() on invalid iterator");
+        self.data_iter.as_ref().map(|it| it.value()).unwrap_or(&[])
     }
 
     fn init_data_block(&mut self, sequential: bool) {

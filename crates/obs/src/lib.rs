@@ -22,6 +22,7 @@
 //! depend on it without cycles.
 
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 mod event;
 mod json;

@@ -189,6 +189,14 @@ pub struct MetricsRegistry {
     ops: [AtomicU64; 4],
 }
 
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Deliberately lock-free: Debug must be safe to call while the
+        // registry is being updated.
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
 impl Default for MetricsRegistry {
     fn default() -> Self {
         Self::new()

@@ -32,6 +32,16 @@ pub struct RingBufferSink {
     dropped: AtomicU64,
 }
 
+impl std::fmt::Debug for RingBufferSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Lock-free on purpose: Debug must not block a recording thread.
+        f.debug_struct("RingBufferSink")
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 impl RingBufferSink {
     /// A recorder holding at most `capacity` events (`capacity >= 1`).
     pub fn new(capacity: usize) -> Self {
@@ -83,6 +93,13 @@ impl EventSink for RingBufferSink {
 /// [`Event::from_json`] to read the stream back.
 pub struct JsonlSink<W: Write + Send> {
     writer: Mutex<W>,
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // No `W: Debug` bound: any writer stays usable.
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
 }
 
 impl<W: Write + Send> JsonlSink<W> {

@@ -167,6 +167,15 @@ pub struct TimerGuard<'a> {
     start: Nanos,
 }
 
+impl std::fmt::Debug for TimerGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerGuard")
+            .field("category", &self.category)
+            .field("start", &self.start)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> TimerGuard<'a> {
     /// Starts timing `category` on `clock`, recording into `ledger` on drop.
     pub fn new(ledger: &'a TimeLedger, clock: &'a VirtualClock, category: TimeCategory) -> Self {

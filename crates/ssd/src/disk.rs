@@ -25,6 +25,14 @@ pub struct DiskStorage {
     root: PathBuf,
 }
 
+impl std::fmt::Debug for DiskStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskStorage")
+            .field("root", &self.root)
+            .finish_non_exhaustive()
+    }
+}
+
 impl DiskStorage {
     /// Opens (creating if needed) a backend rooted at `root`.
     pub fn open(root: impl Into<PathBuf>, device: Arc<SsdDevice>) -> SsdResult<Arc<Self>> {

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 mod clock;
 mod config;

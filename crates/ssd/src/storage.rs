@@ -144,6 +144,13 @@ pub struct MemStorage {
     alloc: Mutex<PageAllocator>,
 }
 
+impl std::fmt::Debug for MemStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Lock-free on purpose: Debug must be callable mid-operation.
+        f.debug_struct("MemStorage").finish_non_exhaustive()
+    }
+}
+
 impl MemStorage {
     /// Creates a backend over `device`.
     pub fn new(device: Arc<SsdDevice>) -> Arc<Self> {

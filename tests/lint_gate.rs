@@ -1,0 +1,21 @@
+//! Tier-1 gate: `cargo test` fails if the workspace violates any
+//! `ldc-lint` invariant (determinism, panic-safety ratchet, lock order,
+//! layering). Same check as `cargo run -p ldc-lint -- --workspace`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_ldc_lint() {
+    let root = ldc_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let report = ldc_lint::lint_workspace(&root, false).expect("lint run");
+    let errors: Vec<String> = report.errors().map(|d| d.render()).collect();
+    assert!(
+        errors.is_empty(),
+        "ldc-lint found {} violation(s):\n{}\n\n(see crates/lint/src/rules/ for \
+         the invariants; intentional exceptions need \
+         `// ldc-lint: allow(<rule>) — <reason>`)",
+        errors.len(),
+        errors.join("\n")
+    );
+}
