@@ -1,0 +1,106 @@
+//! `ldc-bench` — multi-tool entry point.
+//!
+//! The figure/table reproductions live in `src/bin/` (one binary each;
+//! `cargo run -p ldc-bench --bin fig08_tail_latency`). This default binary
+//! hosts operational subcommands that exercise the engine end to end:
+//!
+//! ```text
+//! cargo run -p ldc-bench -- repair --seed 7
+//! ```
+//!
+//! `repair` drives the full degraded-mode pipeline on a fresh simulated
+//! store: run a workload, flip one bit in the largest SSTable, scrub
+//! (detect), quarantine (keep serving), `repair_db` (rebuild the manifest,
+//! salvage WAL remnants), reopen, and verify every served value against
+//! the model. It also proves the transient-read retry budget masks
+//! heal-after-N read failures. Exits non-zero on any verification failure,
+//! printing the `(seed, plan)` replay recipe.
+
+use ldc_bench::cli::CommonArgs;
+use ldc_chaos::{ChaosConfig, ChaosHarness};
+use ldc_core::CompactionMode;
+use ldc_core::LdcConfig;
+
+fn usage() -> ! {
+    eprintln!("usage: ldc-bench <subcommand> [flags]");
+    eprintln!();
+    eprintln!("subcommands:");
+    eprintln!("  repair   degraded-mode pipeline: scrub -> quarantine -> repair -> verify");
+    eprintln!();
+    eprintln!("figure binaries live under --bin (e.g. --bin fig08_tail_latency)");
+    std::process::exit(2);
+}
+
+fn run_repair(args: CommonArgs) -> Result<(), String> {
+    let config = ChaosConfig {
+        ops: args.ops,
+        ..ChaosConfig::quick(args.seed, CompactionMode::Ldc(LdcConfig::default()))
+    };
+    let harness = ChaosHarness::new(config);
+
+    println!("# degraded-mode pipeline (seed {})", args.seed);
+
+    let transient = harness.run_transient_reads(2).map_err(|f| f.to_string())?;
+    println!(
+        "transient reads: {} injected failures masked by {} retries",
+        transient.injected_failures, transient.retries_recorded
+    );
+    if transient.injected_failures > 0 && transient.retries_recorded == 0 {
+        return Err("transient failures were injected but never retried".to_string());
+    }
+
+    let report = harness
+        .run_scrub_quarantine_repair()
+        .map_err(|f| f.to_string())?;
+    println!(
+        "bit flip: {} byte {} bit {}",
+        report.file, report.offset, report.bit
+    );
+    if report.detected_at_open {
+        println!("detection: reopen refused the corrupt store");
+    } else {
+        println!(
+            "detection: scrub reported {} corruption(s), quarantined {} file(s)",
+            report.scrub_corruptions, report.files_quarantined
+        );
+    }
+    println!(
+        "repair: kept {} table(s), salvaged {}, quarantined {}, thawed {} frozen, {} WAL record(s)",
+        report.repair.tables_kept,
+        report.repair.tables_salvaged,
+        report.repair.tables_quarantined,
+        report.repair.frozen_thawed,
+        report.repair.wal_records_salvaged
+    );
+    println!(
+        "verify: {} key(s) surviving, {} lost with the quarantined table",
+        report.surviving_keys, report.lost_keys
+    );
+    if report.surviving_keys == 0 {
+        return Err("repair lost every key".to_string());
+    }
+    println!("OK");
+    Ok(())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let sub = match args.next() {
+        Some(s) => s,
+        None => usage(),
+    };
+    match sub.as_str() {
+        "repair" => {
+            let common = CommonArgs::from_iter(400, args);
+            if let Err(detail) = run_repair(common) {
+                eprintln!("repair pipeline FAILED: {detail}");
+                std::process::exit(1);
+            }
+        }
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown subcommand: {other}");
+            usage();
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! generator, so a `(seed, plan)` pair replays the exact same fault
 //! sequence — the property the chaos harness builds on.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -39,6 +40,8 @@ struct FaultState {
     ops: u64,
     powered_off: bool,
     injected_errors: u64,
+    /// Transient read failures already delivered, per file.
+    transient_seen: HashMap<String, u32>,
     /// Human-readable fault journal, for failure reports.
     log: Vec<String>,
 }
@@ -73,6 +76,7 @@ impl FaultStorage {
                 ops: 0,
                 powered_off: false,
                 injected_errors: 0,
+                transient_seen: HashMap::new(),
                 log: Vec::new(),
             }),
             plan,
@@ -199,13 +203,33 @@ impl FaultStorage {
         SsdError::Io(format!("injected fault: power loss at op {op} ({what})"))
     }
 
-    /// Gate every read through the power switch.
-    fn read_gate(&self) -> SsdResult<()> {
-        if self.state.lock().powered_off {
-            Err(Self::power_off_error())
-        } else {
-            Ok(())
+    /// Gate every read through the power switch and the transient-failure
+    /// schedule: the first `transient_read_failures` reads of each file
+    /// fail with [`SsdError::TransientIo`], then the file heals.
+    fn read_gate(&self, name: &str) -> SsdResult<()> {
+        let mut state = self.state.lock();
+        if state.powered_off {
+            return Err(Self::power_off_error());
         }
+        if self.plan.transient_read_failures > 0 {
+            let seen = state.transient_seen.entry(name.to_string()).or_insert(0);
+            if *seen < self.plan.transient_read_failures {
+                *seen += 1;
+                let n = *seen;
+                let op = state.ops;
+                state.injected_errors += 1;
+                state.log.push(format!(
+                    "transient_read: {name} failure {n}/{}",
+                    self.plan.transient_read_failures
+                ));
+                drop(state);
+                self.emit_fault(op);
+                return Err(SsdError::TransientIo(format!(
+                    "injected transient read failure {n} on {name}"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Gate for mutating operations. Returns `Ok(None)` to proceed
@@ -279,7 +303,7 @@ impl StorageBackend for FaultStorage {
     }
 
     fn read(&self, name: &str, offset: u64, len: u64, class: IoClass) -> SsdResult<Bytes> {
-        self.read_gate()?;
+        self.read_gate(name)?;
         self.inner.read(name, offset, len, class)
     }
 
@@ -290,7 +314,7 @@ impl StorageBackend for FaultStorage {
         len: u64,
         class: IoClass,
     ) -> SsdResult<Bytes> {
-        self.read_gate()?;
+        self.read_gate(name)?;
         self.inner.read_sequential(name, offset, len, class)
     }
 
@@ -390,10 +414,8 @@ mod tests {
         let fault = FaultStorage::new(
             mem(),
             FaultPlan {
-                seed: 7,
                 crash_after_ops: Some(2),
-                torn_writes: false,
-                io_error_prob: 0.0,
+                ..FaultPlan::new(7)
             },
         );
         fault.append("w.log", b"one", IoClass::WalWrite).unwrap();
@@ -422,10 +444,8 @@ mod tests {
         let fault = FaultStorage::new(
             mem(),
             FaultPlan {
-                seed: 3,
                 crash_after_ops: Some(4),
-                torn_writes: false,
-                io_error_prob: 0.0,
+                ..FaultPlan::new(3)
             },
         );
         fault
@@ -505,15 +525,34 @@ mod tests {
     }
 
     #[test]
+    fn transient_reads_fail_then_heal_per_file() {
+        let fault = FaultStorage::new(mem(), FaultPlan::transient_reads(13, 2));
+        fault.write_file("a", b"aaaa", IoClass::Other).unwrap();
+        fault.write_file("b", b"bbbb", IoClass::Other).unwrap();
+        // Each file fails exactly twice, independently, then heals.
+        for name in ["a", "b"] {
+            for _ in 0..2 {
+                assert!(matches!(
+                    fault.read(name, 0, 4, IoClass::UserRead),
+                    Err(SsdError::TransientIo(_))
+                ));
+            }
+            assert!(fault.read(name, 0, 4, IoClass::UserRead).is_ok());
+            assert!(fault.read(name, 0, 4, IoClass::UserRead).is_ok());
+        }
+        assert_eq!(fault.injected_errors(), 4);
+        assert_eq!(fault.fault_log().len(), 4);
+    }
+
+    #[test]
     fn same_seed_same_faults() {
         let run = |seed| {
             let fault = FaultStorage::new(
                 mem(),
                 FaultPlan {
-                    seed,
                     crash_after_ops: Some(5),
                     torn_writes: true,
-                    io_error_prob: 0.0,
+                    ..FaultPlan::new(seed)
                 },
             );
             for i in 0.. {

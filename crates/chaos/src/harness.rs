@@ -25,7 +25,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use ldc_core::{CompactionMode, LdcDb};
-use ldc_lsm::{Options, RecoverySummary};
+use ldc_lsm::{repair_db, CorruptionPolicy, Options, RecoverySummary, RepairReport};
 use ldc_obs::{EventKind, RingBufferSink, SharedSink};
 use ldc_ssd::{MemStorage, SsdDevice, StorageBackend};
 use rand::rngs::SmallRng;
@@ -160,6 +160,39 @@ pub struct BitFlipReport {
     pub outcome: BitFlipOutcome,
 }
 
+/// Result of one transient-read run.
+#[derive(Debug, Clone)]
+pub struct TransientReadReport {
+    /// Transient read failures the storage injected.
+    pub injected_failures: u64,
+    /// Retries the engine's storage wrapper recorded while masking them.
+    pub retries_recorded: u64,
+}
+
+/// Result of one scrub → quarantine → repair pipeline run.
+#[derive(Debug, Clone)]
+pub struct ScrubRepairReport {
+    /// SSTable the bit flip hit.
+    pub file: String,
+    /// Byte offset of the flipped bit.
+    pub offset: u64,
+    /// Bit index within the byte.
+    pub bit: u8,
+    /// The reopen itself refused the corrupt store (footer/magic damage);
+    /// the run went straight to repair without a scrub pass.
+    pub detected_at_open: bool,
+    /// Corruptions the scrub pass reported.
+    pub scrub_corruptions: u64,
+    /// Live tables the scrub pass quarantined.
+    pub files_quarantined: u64,
+    /// What `repair_db` did.
+    pub repair: RepairReport,
+    /// Keys still serving their latest acknowledged value after repair.
+    pub surviving_keys: u64,
+    /// Keys lost with the quarantined table(s).
+    pub lost_keys: u64,
+}
+
 /// Result of one error-injection run.
 #[derive(Debug, Clone)]
 pub struct IoErrorReport {
@@ -213,8 +246,17 @@ impl ChaosHarness {
         storage: &Arc<dyn StorageBackend>,
         sink: Option<SharedSink>,
     ) -> ldc_lsm::Result<LdcDb> {
+        self.open_with(storage, sink, self.config.options.clone())
+    }
+
+    fn open_with(
+        &self,
+        storage: &Arc<dyn StorageBackend>,
+        sink: Option<SharedSink>,
+        options: Options,
+    ) -> ldc_lsm::Result<LdcDb> {
         let mut builder = LdcDb::builder()
-            .options(self.config.options.clone())
+            .options(options)
             .mode(self.config.mode.clone())
             .storage(Arc::clone(storage));
         if let Some(sink) = sink {
@@ -653,6 +695,249 @@ impl ChaosHarness {
             first_error_op,
         })
     }
+
+    /// Fails each file's first `failures` reads transiently and verifies
+    /// the engine's retry budget masks them completely: the workload runs
+    /// to completion and every read verifies against the model.
+    ///
+    /// `failures` must stay below the engine's
+    /// [`Options::read_retry_attempts`] budget; at or past it, transient
+    /// errors surface and the run reports a [`ChaosFailure`].
+    pub fn run_transient_reads(&self, failures: u32) -> Result<TransientReadReport, ChaosFailure> {
+        let fault = FaultStorage::new(
+            MemStorage::new(SsdDevice::with_defaults()),
+            FaultPlan::transient_reads(self.config.seed, failures),
+        );
+        let storage: Arc<dyn StorageBackend> = fault.clone();
+        let mut db = self
+            .open(&storage, None)
+            .map_err(|e| self.fail(&fault, format!("open failed under transient reads: {e}")))?;
+
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ WORKLOAD_STREAM);
+        for i in 0..self.config.ops {
+            let (key, value) = self.gen_op(&mut rng, i);
+            match &value {
+                Some(v) => db.put(&key, v),
+                None => db.delete(&key),
+            }
+            .map_err(|e| {
+                self.fail(
+                    &fault,
+                    format!("write {i} failed under transient reads: {e}"),
+                )
+            })?;
+            match value {
+                Some(v) => {
+                    model.insert(key, v);
+                }
+                None => {
+                    model.remove(&key);
+                }
+            }
+        }
+        db.drain_background();
+        self.verify_exact(&mut db, &model, None)
+            .map_err(|detail| self.fail(&fault, detail))?;
+        let retries = db.metrics().degraded_counters().transient_retries;
+        if failures > 0 && fault.injected_errors() > 0 && retries == 0 {
+            return Err(self.fail(
+                &fault,
+                "transient failures injected but no retry was recorded".to_string(),
+            ));
+        }
+        Ok(TransientReadReport {
+            injected_failures: fault.injected_errors(),
+            retries_recorded: retries,
+        })
+    }
+
+    /// The full degraded-mode pipeline: run the workload, flip one bit in
+    /// the largest SSTable, then **scrub** (detect), **quarantine** (drop
+    /// the corrupt table while serving everything else), **repair** (rebuild
+    /// the manifest, salvage WAL remnants), and finally reopen and verify
+    /// against the model — no served value may be one that was never
+    /// written, and every key outside the quarantined table must still
+    /// carry its latest acknowledged value.
+    pub fn run_scrub_quarantine_repair(&self) -> Result<ScrubRepairReport, ChaosFailure> {
+        let fault = FaultStorage::new(
+            MemStorage::new(SsdDevice::with_defaults()),
+            FaultPlan::new(self.config.seed),
+        );
+        let storage: Arc<dyn StorageBackend> = fault.clone();
+        let options = Options {
+            corruption_policy: CorruptionPolicy::Quarantine,
+            ..self.config.options.clone()
+        };
+
+        // Per-key set of every acknowledged value: quarantining a table
+        // can roll individual keys back in time (a dropped tombstone
+        // resurfaces an older value), so "ever written" is the fabrication
+        // check; "latest value" is the survival check.
+        let mut history: BTreeMap<Vec<u8>, Vec<Vec<u8>>> = BTreeMap::new();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        {
+            let mut db = self
+                .open_with(&storage, None, options.clone())
+                .map_err(|e| self.fail(&fault, format!("open failed: {e}")))?;
+            let mut rng = SmallRng::seed_from_u64(self.config.seed ^ WORKLOAD_STREAM);
+            for i in 0..self.config.ops {
+                let (key, value) = self.gen_op(&mut rng, i);
+                match &value {
+                    Some(v) => db.put(&key, v),
+                    None => db.delete(&key),
+                }
+                .map_err(|e| self.fail(&fault, format!("write {i} failed: {e}")))?;
+                match value {
+                    Some(v) => {
+                        history.entry(key.clone()).or_default().push(v.clone());
+                        model.insert(key, v);
+                    }
+                    None => {
+                        model.remove(&key);
+                    }
+                }
+            }
+            db.drain_background();
+        }
+
+        let victim = storage
+            .list()
+            .into_iter()
+            .filter(|n| BitFlipTarget::Sstable.matches(n))
+            .filter_map(|n| storage.size(&n).ok().map(|s| (s, n)))
+            .filter(|(s, _)| *s > 0)
+            .max()
+            .map(|(_, n)| n)
+            .ok_or_else(|| self.fail(&fault, "no non-empty sstable to corrupt".to_string()))?;
+        let (offset, bit) = fault
+            .flip_bit(&victim)
+            .map_err(|e| self.fail(&fault, format!("bit flip failed: {e}")))?;
+
+        let mut detected_at_open = false;
+        let mut scrub_corruptions = 0u64;
+        let mut files_quarantined = 0u64;
+        match self.open_with(&storage, None, options.clone()) {
+            Err(_) => detected_at_open = true,
+            Ok(mut db) => {
+                let scrub = db
+                    .scrub()
+                    .map_err(|e| self.fail(&fault, format!("scrub pass failed: {e}")))?;
+                if scrub.is_clean() {
+                    return Err(self.fail(
+                        &fault,
+                        format!("bit flip in {victim} at byte {offset} evaded the scrub"),
+                    ));
+                }
+                scrub_corruptions = scrub.corruptions.len() as u64;
+                files_quarantined = db.quarantined().len() as u64;
+                // Degraded serving: every read outside the quarantined
+                // table is exact; inside it, keys are gone or rolled back,
+                // never fabricated.
+                for idx in 0..self.config.key_space {
+                    let key = Self::key_for(idx);
+                    let got = db.get(&key).map_err(|e| {
+                        self.fail(
+                            &fault,
+                            format!(
+                                "degraded get {} errored after quarantine: {e}",
+                                String::from_utf8_lossy(&key)
+                            ),
+                        )
+                    })?;
+                    if let Some(v) = &got {
+                        if !history.get(&key).is_some_and(|vs| vs.contains(v)) {
+                            return Err(self.fail(
+                                &fault,
+                                format!(
+                                    "degraded get {} served a never-written value",
+                                    String::from_utf8_lossy(&key)
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        let repair = repair_db(Arc::clone(&storage), &options)
+            .map_err(|e| self.fail(&fault, format!("repair_db failed: {e}")))?;
+
+        let mut db = self
+            .open_with(&storage, None, options.clone())
+            .map_err(|e| self.fail(&fault, format!("reopen after repair failed: {e}")))?;
+        let mut surviving = 0u64;
+        let mut lost = 0u64;
+        for idx in 0..self.config.key_space {
+            let key = Self::key_for(idx);
+            let got = db.get(&key).map_err(|e| {
+                self.fail(
+                    &fault,
+                    format!(
+                        "post-repair get {} failed: {e}",
+                        String::from_utf8_lossy(&key)
+                    ),
+                )
+            })?;
+            let latest = model.get(&key);
+            match &got {
+                Some(v) => {
+                    if latest == Some(v) {
+                        surviving += 1;
+                    } else if history.get(&key).is_some_and(|vs| vs.contains(v)) {
+                        lost += 1; // rolled back with the quarantined table
+                    } else {
+                        return Err(self.fail(
+                            &fault,
+                            format!(
+                                "post-repair get {} served a never-written value",
+                                String::from_utf8_lossy(&key)
+                            ),
+                        ));
+                    }
+                }
+                None => {
+                    if latest.is_some() {
+                        lost += 1;
+                    } else {
+                        surviving += 1;
+                    }
+                }
+            }
+        }
+        for (k, v) in db
+            .scan(b"", usize::MAX)
+            .map_err(|e| self.fail(&fault, format!("post-repair scan failed: {e}")))?
+        {
+            if !history.get(&k).is_some_and(|vs| vs.contains(&v)) {
+                return Err(self.fail(
+                    &fault,
+                    format!(
+                        "post-repair scan served a never-written value for {}",
+                        String::from_utf8_lossy(&k)
+                    ),
+                ));
+            }
+        }
+        db.engine_ref()
+            .version()
+            .check_invariants()
+            .map_err(|e| self.fail(&fault, format!("post-repair invariants violated: {e}")))?;
+        db.verify_integrity()
+            .map_err(|e| self.fail(&fault, format!("post-repair integrity sweep failed: {e}")))?;
+
+        Ok(ScrubRepairReport {
+            file: victim,
+            offset,
+            bit,
+            detected_at_open,
+            scrub_corruptions,
+            files_quarantined,
+            repair,
+            surviving_keys: surviving,
+            lost_keys: lost,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -693,6 +978,30 @@ mod tests {
         let report = harness(3).run_io_errors(0.02).unwrap();
         assert!(report.injected_errors > 0, "no errors injected");
         assert!(report.first_error_op.is_some());
+    }
+
+    #[test]
+    fn transient_reads_are_masked_by_retry_budget() {
+        // Engine default budget is 4 attempts; 2 failures per file heal
+        // inside it.
+        let report = harness(4).run_transient_reads(2).unwrap();
+        assert!(
+            report.injected_failures > 0,
+            "no transient failures injected"
+        );
+        assert!(report.retries_recorded > 0, "engine recorded no retries");
+    }
+
+    #[test]
+    fn scrub_quarantine_repair_pipeline_round_trips() {
+        let report = harness(5).run_scrub_quarantine_repair().unwrap();
+        if !report.detected_at_open {
+            assert!(report.scrub_corruptions > 0);
+        }
+        assert!(
+            report.surviving_keys > 0,
+            "repair lost every key: {report:?}"
+        );
     }
 
     #[test]

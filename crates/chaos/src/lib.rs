@@ -14,6 +14,10 @@
 //!   paths detect (or safely mask) the damage instead of serving garbage.
 //! * **Injected I/O errors** with configurable probability, proving the
 //!   engine fail-stops rather than corrupting its own logs.
+//! * **Transient read failures** that heal after N attempts, proving the
+//!   engine's bounded retry budget masks them completely.
+//! * The full **degraded-mode pipeline** — scrub → quarantine → repair →
+//!   verify — over a bit-flipped store.
 //!
 //! Everything derives from a seed: a failing run is reproducible from the
 //! `(seed, crash point)` pair its [`ChaosFailure`] prints.
@@ -28,6 +32,6 @@ mod plan;
 pub use fault::{FaultStorage, PowerCycleReport};
 pub use harness::{
     BitFlipOutcome, BitFlipReport, ChaosConfig, ChaosFailure, ChaosHarness, CrashPointReport,
-    IoErrorReport,
+    IoErrorReport, ScrubRepairReport, TransientReadReport,
 };
 pub use plan::{BitFlipTarget, FaultPlan};

@@ -59,6 +59,12 @@ pub struct FaultPlan {
     /// Probability that a mutating operation fails with an injected
     /// [`SsdError::Io`](ldc_ssd::SsdError::Io) instead of running.
     pub io_error_prob: f64,
+    /// Each file's first N reads fail with
+    /// [`SsdError::TransientIo`](ldc_ssd::SsdError::TransientIo) and then
+    /// heal — the flash "controller busy / ECC retry" pattern the engine's
+    /// retry budget is sized for. Deterministic: the Nth read of a given
+    /// file always behaves the same.
+    pub transient_read_failures: u32,
 }
 
 impl FaultPlan {
@@ -69,6 +75,7 @@ impl FaultPlan {
             crash_after_ops: None,
             torn_writes: false,
             io_error_prob: 0.0,
+            transient_read_failures: 0,
         }
     }
 
@@ -76,20 +83,25 @@ impl FaultPlan {
     /// un-synced tails (the harness's crash-sweep plan).
     pub fn crash_at(seed: u64, op: u64) -> Self {
         Self {
-            seed,
             crash_after_ops: Some(op),
             torn_writes: true,
-            io_error_prob: 0.0,
+            ..Self::new(seed)
         }
     }
 
     /// Fail each mutating operation with probability `prob`.
     pub fn io_errors(seed: u64, prob: f64) -> Self {
         Self {
-            seed,
-            crash_after_ops: None,
-            torn_writes: false,
             io_error_prob: prob,
+            ..Self::new(seed)
+        }
+    }
+
+    /// Fail each file's first `failures` reads transiently, then heal.
+    pub fn transient_reads(seed: u64, failures: u32) -> Self {
+        Self {
+            transient_read_failures: failures,
+            ..Self::new(seed)
         }
     }
 }
@@ -103,8 +115,8 @@ impl fmt::Display for FaultPlan {
         }
         write!(
             f,
-            ", torn_writes: {}, io_error_prob: {} }}",
-            self.torn_writes, self.io_error_prob
+            ", torn_writes: {}, io_error_prob: {}, transient_read_failures: {} }}",
+            self.torn_writes, self.io_error_prob, self.transient_read_failures
         )
     }
 }

@@ -281,6 +281,20 @@ impl LdcDb {
         self.inner.verify_integrity()
     }
 
+    /// Online scrub: re-reads every reachable SSTable and re-verifies
+    /// block CRCs, key order, index/footer consistency, and filter
+    /// membership. Under [`ldc_lsm::CorruptionPolicy::Quarantine`] corrupt
+    /// live tables are quarantined on the spot.
+    pub fn scrub(&mut self) -> Result<ldc_lsm::ScrubReport> {
+        self.inner.scrub()
+    }
+
+    /// Files quarantined since open (corrupt tables set aside as
+    /// `<name>.quarantined` and dropped from the version).
+    pub fn quarantined(&self) -> &[ldc_lsm::QuarantinedFile] {
+        self.inner.quarantined()
+    }
+
     /// Waits out any pending background flush/compaction debt, returning
     /// the virtual nanoseconds waited. Call at measurement boundaries.
     pub fn drain_background(&mut self) -> u64 {

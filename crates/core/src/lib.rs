@@ -39,6 +39,12 @@ pub use adaptive::AdaptiveThreshold;
 pub use facade::{CompactionMode, LdcDb, LdcDbBuilder};
 pub use policy::{LdcConfig, LdcPolicy};
 
+// Degraded-mode surface: scrub, repair, quarantine.
+pub use ldc_lsm::{
+    repair_db, repair_db_with_sink, CorruptionInfo, CorruptionPolicy, QuarantinedFile,
+    RepairReport, ScrubReport,
+};
+
 // Re-export the layers underneath so downstream users need one dependency.
 pub use ldc_lsm as lsm;
 pub use ldc_ssd as ssd;

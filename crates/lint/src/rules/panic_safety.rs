@@ -25,6 +25,9 @@ pub const SCOPED_FILES: &[&str] = &[
     "crates/lsm/src/table/mod.rs",
     "crates/lsm/src/table/builder.rs",
     "crates/lsm/src/table/reader.rs",
+    "crates/lsm/src/retry.rs",
+    "crates/lsm/src/scrub.rs",
+    "crates/lsm/src/repair.rs",
     "crates/ssd/src/disk.rs",
     "crates/ssd/src/storage.rs",
 ];

@@ -48,10 +48,11 @@ use parking_lot::Mutex;
 use crate::batch::{BatchOp, WriteBatch};
 use crate::cache::{BlockCache, CacheCounters};
 use crate::compaction::{CompactionPolicy, CompactionTask, PickContext};
-use crate::error::{Error, Result};
+use crate::error::{CorruptionInfo, Error, Result};
 use crate::iterator::{InternalIterator, MergingIterator};
 use crate::memtable::{LookupResult, MemTable};
-use crate::options::Options;
+use crate::options::{CorruptionPolicy, Options};
+use crate::retry::RetryStorage;
 use crate::table::{Table, TableBuilder};
 use crate::types::{
     encode_internal_key, parse_trailer, user_key, KeyRange, SequenceNumber, ValueType,
@@ -107,6 +108,24 @@ pub struct RecoverySummary {
     /// Log files renamed aside because of mid-log corruption — the corrupt
     /// log and everything after it (point-in-time recovery).
     pub files_quarantined: u32,
+}
+
+/// Record of one SSTable set aside by the [`CorruptionPolicy::Quarantine`]
+/// policy: the file was renamed to `<file>.quarantined` and dropped from
+/// the live version, and keys inside `[smallest, largest]` may read as
+/// missing or stale until `repair_db` runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedFile {
+    /// On-device file name (pre-rename, e.g. `000012.sst`).
+    pub file: String,
+    /// Level the file was serving at.
+    pub level: usize,
+    /// File size in bytes.
+    pub size: u64,
+    /// Smallest user key the file covered (keys at risk).
+    pub smallest: Vec<u8>,
+    /// Largest user key the file covered (keys at risk).
+    pub largest: Vec<u8>,
 }
 
 /// Pre-dispatch description of a compaction task, captured while its
@@ -172,6 +191,9 @@ pub struct Db {
     /// refused: a failed WAL or manifest append leaves the log's record
     /// framing in an unknown state, and writing past it would corrupt it.
     bg_error: Option<Error>,
+    /// SSTables set aside by the quarantine corruption policy, in the
+    /// order they were quarantined.
+    quarantined: Vec<QuarantinedFile>,
 }
 
 impl Db {
@@ -194,6 +216,22 @@ impl Db {
         sink: SharedSink,
     ) -> Result<Db> {
         options.validate()?;
+        let metrics = Arc::new(MetricsRegistry::new());
+        // Transient-read retry wraps the backend before anything reads
+        // through it, so manifest recovery and WAL replay get the same
+        // bounded-retry protection as steady-state reads.
+        let storage: Arc<dyn StorageBackend> = if options.read_retry_attempts > 1 {
+            RetryStorage::new(
+                storage,
+                options.read_retry_attempts,
+                options.read_retry_backoff_ns,
+                options.seed,
+                Arc::clone(&sink),
+                Arc::clone(&metrics),
+            )
+        } else {
+            storage
+        };
         let device = storage.device();
         let open_start = device.clock().now();
         let block_cache = Arc::new(BlockCache::new(options.block_cache_bytes));
@@ -312,10 +350,11 @@ impl Db {
             snapshots: std::collections::BTreeMap::new(),
             bg_until: 0,
             sink,
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
             trace: ExecTrace::default(),
             recovery,
             bg_error: None,
+            quarantined: Vec::new(),
         };
 
         // Persist the replayed data so the old WALs can be dropped, then
@@ -406,73 +445,93 @@ impl Db {
         let s = self.stats;
         let mut out = String::new();
 
-        writeln!(out, "                          Level summary").unwrap();
-        writeln!(out, "Level  Files  Size(MB)  Score").unwrap();
-        writeln!(out, "------------------------------").unwrap();
+        let _ = writeln!(out, "                          Level summary");
+        let _ = writeln!(out, "Level  Files  Size(MB)  Score");
+        let _ = writeln!(out, "------------------------------");
         for (level, g) in self.metrics.level_gauges().iter().enumerate() {
             if g.files == 0 && level > 0 {
                 continue;
             }
-            writeln!(
+            let _ = writeln!(
                 out,
                 "{level:>5}  {files:>5}  {size:>8.1}  {score:>5.2}",
                 files = g.files,
                 size = mb(g.bytes),
                 score = g.score,
-            )
-            .unwrap();
+            );
         }
         let frozen_files = self.versions.current.frozen.len();
-        writeln!(
+        let _ = writeln!(
             out,
             "Frozen: {frozen_files} files, {:.1} MB",
             mb(self.versions.current.frozen_bytes())
-        )
-        .unwrap();
+        );
 
-        writeln!(
+        let _ = writeln!(
             out,
             "Compactions: {} flushes, {} merges, {} trivial moves, {} links, {} ldc merges",
             s.flushes, s.merges, s.trivial_moves, s.links, s.ldc_merges
-        )
-        .unwrap();
-        writeln!(
+        );
+        let _ = writeln!(
             out,
             "Write gates: {} stalls ({:.1} ms), {} slowdowns",
             s.stalls,
             ms(s.stall_nanos),
             s.slowdowns
-        )
-        .unwrap();
+        );
 
         let cache = self.block_cache.counters();
-        writeln!(
+        let _ = writeln!(
             out,
             "Block cache: {} hits, {} misses, {} evictions ({:.1}% hit rate)",
             cache.hits,
             cache.misses,
             cache.evictions,
             cache.hit_rate() * 100.0
-        )
-        .unwrap();
-        writeln!(out, "Bloom: {} probes skipped", s.bloom_skips).unwrap();
+        );
+        let _ = writeln!(out, "Bloom: {} probes skipped", s.bloom_skips);
 
         let r = self.recovery;
-        writeln!(
+        let _ = writeln!(
             out,
             "Recovery: {} records replayed from {} logs, {} bytes truncated, \
              {} files quarantined",
             r.records_replayed, r.wals_replayed, r.bytes_truncated, r.files_quarantined
-        )
-        .unwrap();
+        );
 
-        writeln!(out, "Op       Count   Mean(us)    P50(us)    P99(us)").unwrap();
+        let d = self.metrics.degraded_counters();
+        if d.transient_retries + d.scrub_blocks_verified + d.files_quarantined > 0
+            || !self.quarantined.is_empty()
+        {
+            let _ = writeln!(
+                out,
+                "Degraded: {} transient retries, {} blocks scrubbed \
+                 ({} corrupt), {} files quarantined",
+                d.transient_retries,
+                d.scrub_blocks_verified,
+                d.scrub_corruptions,
+                d.files_quarantined
+            );
+            for q in &self.quarantined {
+                let _ = writeln!(
+                    out,
+                    "  quarantined {} (level {}, {:.1} MB, keys {:?}..{:?})",
+                    q.file,
+                    q.level,
+                    mb(q.size),
+                    String::from_utf8_lossy(&q.smallest),
+                    String::from_utf8_lossy(&q.largest)
+                );
+            }
+        }
+
+        let _ = writeln!(out, "Op       Count   Mean(us)    P50(us)    P99(us)");
         for op in OpType::ALL {
             let h = self.metrics.latency(op);
             if h.count() == 0 {
                 continue;
             }
-            writeln!(
+            let _ = writeln!(
                 out,
                 "{:<6} {:>7}  {:>9.1}  {:>9.1}  {:>9.1}",
                 op.label(),
@@ -480,12 +539,11 @@ impl Db {
                 h.mean() / 1e3,
                 h.percentile(50.0) as f64 / 1e3,
                 h.percentile(99.0) as f64 / 1e3,
-            )
-            .unwrap();
+            );
         }
 
         let dev = self.device.snapshot();
-        writeln!(
+        let _ = writeln!(
             out,
             "SSD: {:.1} MB host writes, {:.1} MB GC relocation, {} erases, \
              NAND WA {:.2}, wear {:.2}%",
@@ -494,17 +552,15 @@ impl Db {
             dev.ftl.erases,
             dev.ftl.write_amplification(),
             dev.wear_fraction * 100.0
-        )
-        .unwrap();
-        writeln!(
+        );
+        let _ = writeln!(
             out,
             "Virtual time: {:.3} s ({} user writes, {} gets, {} scans)",
             dev.now as f64 / 1e9,
             s.writes,
             s.gets,
             s.scans
-        )
-        .unwrap();
+        );
         out
     }
 
@@ -536,6 +592,95 @@ impl Db {
             total += table.verify(IoClass::Other)?;
         }
         Ok(total)
+    }
+
+    /// SSTables set aside by the [`CorruptionPolicy::Quarantine`] policy
+    /// since this handle was opened, oldest first.
+    pub fn quarantined(&self) -> &[QuarantinedFile] {
+        &self.quarantined
+    }
+
+    /// The event sink, for sibling modules (scrub) that emit events.
+    pub(crate) fn event_sink(&self) -> &SharedSink {
+        &self.sink
+    }
+
+    /// Reacts to a permanent corruption report according to the corruption
+    /// policy. Under [`CorruptionPolicy::Quarantine`], if the corrupt file
+    /// is a *live* SSTable it is dropped from the version, renamed to
+    /// `<name>.quarantined`, and recorded; returns `Ok(true)` and the
+    /// caller may retry its operation against the shrunken version.
+    ///
+    /// Returns `Ok(false)` — caller must surface the original error — when
+    /// the policy is fail-stop, the report does not name a table file, or
+    /// the file is not live (frozen files stay in place: they are repair's
+    /// salvage source, and dropping them would break slice links).
+    pub(crate) fn try_quarantine(&mut self, info: &CorruptionInfo) -> Result<bool> {
+        if self.options.corruption_policy != CorruptionPolicy::Quarantine {
+            return Ok(false);
+        }
+        let number = match info
+            .file
+            .strip_suffix(".sst")
+            .and_then(|stem| stem.parse::<u64>().ok())
+        {
+            Some(n) => n,
+            None => return Ok(false),
+        };
+        let (level, meta) = match self.versions.current.find_file(number) {
+            Some((level, meta)) => (level, meta.clone()),
+            None => return Ok(false),
+        };
+        // Dropping the file also drops its slice links; the frozen sources
+        // they referenced stay in the frozen set at refcount 0 (retained on
+        // purpose — repair prefers an LDC frozen predecessor over losing
+        // the linked data outright).
+        self.versions.log_and_apply(VersionEdit {
+            deleted_files: vec![(level as u32, number)],
+            ..Default::default()
+        })?;
+        self.tables.lock().remove(&number);
+        self.block_cache.evict_file(number);
+        let name = table_file_name(number);
+        self.storage.rename(&name, &format!("{name}.quarantined"))?;
+        self.metrics.record_quarantine();
+        if self.sink.enabled() {
+            let now = self.device.clock().now();
+            self.sink.record(
+                Event::span(EventKind::Quarantine, now, now)
+                    .levels(level as u32, level as u32)
+                    .files(1, 0)
+                    .bytes(meta.size, 0),
+            );
+        }
+        self.quarantined.push(QuarantinedFile {
+            file: name,
+            level,
+            size: meta.size,
+            smallest: meta.smallest_ukey().to_vec(),
+            largest: meta.largest_ukey().to_vec(),
+        });
+        self.refresh_level_gauges();
+        Ok(true)
+    }
+
+    /// Runs `op`, retrying after each successful quarantine so a read lands
+    /// on the surviving files instead of failing. Bounded by the number of
+    /// live files: every retry is paid for by one file leaving the version.
+    fn with_quarantine_retries<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T>,
+    ) -> Result<T> {
+        loop {
+            match op(self) {
+                Err(Error::Corruption(info)) => {
+                    if !self.try_quarantine(&info)? {
+                        return Err(Error::Corruption(info));
+                    }
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Inserts or overwrites `key`.
@@ -767,7 +912,20 @@ impl Db {
                 self.policy.pick(&ctx)
             };
             match task {
-                Some(task) => self.execute(task)?,
+                Some(task) => {
+                    if let Err(e) = self.execute(task) {
+                        match e {
+                            // A compaction input turned out to be corrupt.
+                            // Under the quarantine policy, set the file
+                            // aside and let the policy re-plan on the next
+                            // pump against the surviving version; partial
+                            // outputs are orphaned on disk and reclaimed by
+                            // `repair_db`.
+                            Error::Corruption(ref info) if self.try_quarantine(info)? => {}
+                            e => return Err(e),
+                        }
+                    }
+                }
                 None => return Ok(()), // nothing to do
             }
         }
@@ -856,7 +1014,7 @@ impl Db {
         self.stats.gets += 1;
         let start = self.device.clock().now();
         let fs_before = self.device.ledger().get(TimeCategory::FileSystem);
-        let result = self.get_internal(key, seq);
+        let result = self.with_quarantine_retries(|db| db.get_internal(key, seq));
         self.charge_read_contention(start);
         let end = self.device.clock().now();
         let fs_delta = self.device.ledger().get(TimeCategory::FileSystem) - fs_before;
@@ -887,8 +1045,13 @@ impl Db {
         // hit and keep the highest sequence. Frozen L0 data is reachable
         // via L1 slices and is guaranteed older than any active L0 file
         // (the LDC policy freezes oldest-first).
-        let l0: Vec<FileMeta> = self.versions.current.levels[0]
-            .iter()
+        let l0: Vec<FileMeta> = self
+            .versions
+            .current
+            .levels
+            .first()
+            .into_iter()
+            .flatten()
             .rev()
             .cloned()
             .collect();
@@ -955,7 +1118,7 @@ impl Db {
     /// the first file with `largest >= key`, or the last file (whose range
     /// extends to +inf) if none.
     fn candidate_file(&self, level: usize, key: &[u8]) -> Option<FileMeta> {
-        let files = &self.versions.current.levels[level];
+        let files = self.versions.current.levels.get(level)?;
         if files.is_empty() {
             return None;
         }
@@ -1001,43 +1164,7 @@ impl Db {
         let t0 = self.device.clock().now();
         let fs_before = self.device.ledger().get(TimeCategory::FileSystem);
 
-        let out = {
-            let mut children: Vec<Box<dyn InternalIterator + '_>> = Vec::new();
-            children.push(Box::new(self.mem.iter()));
-            if let Some(imm) = &self.imm {
-                children.push(Box::new(imm.iter()));
-            }
-            for meta in self.versions.current.levels[0].iter().rev() {
-                let table = self.table(meta.number)?;
-                children.push(Box::new(table.iter(IoClass::UserRead)));
-            }
-            for level in 1..self.versions.current.num_levels() {
-                if self.versions.current.levels[level].is_empty() {
-                    continue;
-                }
-                children.push(Box::new(LevelIter::new(self, level, IoClass::UserRead)));
-            }
-            let mut merge = MergingIterator::new(children);
-            merge.seek(&encode_internal_key(start, MAX_SEQUENCE, TYPE_FOR_SEEK));
-            let mut out = Vec::with_capacity(limit.min(4096));
-            let mut last_ukey: Option<Vec<u8>> = None;
-            while merge.valid() && out.len() < limit {
-                let ikey = merge.key();
-                let (seq, vt) = parse_trailer(ikey);
-                let ukey = user_key(ikey);
-                let visible = seq <= snapshot;
-                let shadowed = last_ukey.as_deref() == Some(ukey);
-                if visible && !shadowed {
-                    last_ukey = Some(ukey.to_vec());
-                    if vt == ValueType::Value {
-                        out.push((ukey.to_vec(), merge.value().to_vec()));
-                    }
-                }
-                merge.next();
-            }
-            merge.status()?;
-            out
-        };
+        let out = self.with_quarantine_retries(|db| db.scan_collect(start, limit, snapshot))?;
 
         self.charge_read_contention(t0);
         let fs_delta = self.device.ledger().get(TimeCategory::FileSystem) - fs_before;
@@ -1050,8 +1177,63 @@ impl Db {
         Ok(out)
     }
 
+    /// The merging-iterator body of a scan, separated out so the quarantine
+    /// retry wrapper can re-run it against a shrunken version.
+    fn scan_collect(
+        &mut self,
+        start: &[u8],
+        limit: usize,
+        snapshot: SequenceNumber,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut children: Vec<Box<dyn InternalIterator + '_>> = Vec::new();
+        children.push(Box::new(self.mem.iter()));
+        if let Some(imm) = &self.imm {
+            children.push(Box::new(imm.iter()));
+        }
+        let l0: Vec<u64> = self
+            .versions
+            .current
+            .levels
+            .first()
+            .into_iter()
+            .flatten()
+            .rev()
+            .map(|meta| meta.number)
+            .collect();
+        for number in l0 {
+            let table = self.table(number)?;
+            children.push(Box::new(table.iter(IoClass::UserRead)));
+        }
+        for level in 1..self.versions.current.num_levels() {
+            if self.versions.current.level_files(level) == 0 {
+                continue;
+            }
+            children.push(Box::new(LevelIter::new(self, level, IoClass::UserRead)));
+        }
+        let mut merge = MergingIterator::new(children);
+        merge.seek(&encode_internal_key(start, MAX_SEQUENCE, TYPE_FOR_SEEK));
+        let mut out = Vec::with_capacity(limit.min(4096));
+        let mut last_ukey: Option<Vec<u8>> = None;
+        while merge.valid() && out.len() < limit {
+            let ikey = merge.key();
+            let (seq, vt) = parse_trailer(ikey);
+            let ukey = user_key(ikey);
+            let visible = seq <= snapshot;
+            let shadowed = last_ukey.as_deref() == Some(ukey);
+            if visible && !shadowed {
+                last_ukey = Some(ukey.to_vec());
+                if vt == ValueType::Value {
+                    out.push((ukey.to_vec(), merge.value().to_vec()));
+                }
+            }
+            merge.next();
+        }
+        merge.status()?;
+        Ok(out)
+    }
+
     /// Opens (or fetches from cache) the table for `file_number`.
-    fn table(&self, file_number: u64) -> Result<Arc<Table>> {
+    pub(crate) fn table(&self, file_number: u64) -> Result<Arc<Table>> {
         {
             let mut tables = self.tables.lock();
             if let Some((t, tick)) = tables.get_mut(&file_number) {
@@ -1491,10 +1673,10 @@ impl Db {
         }
         let mut reclaimed: Vec<u64> = Vec::new();
         for slice in &meta.slices {
-            let count = remaining
-                .get_mut(&slice.source_file)
-                .expect("link source must be frozen");
-            *count -= 1;
+            let count = remaining.get_mut(&slice.source_file).ok_or_else(|| {
+                Error::InvalidState(format!("slice source {} is not frozen", slice.source_file))
+            })?;
+            *count = count.saturating_sub(1);
             if *count == 0 {
                 reclaimed.push(slice.source_file);
             }
@@ -1595,10 +1777,11 @@ impl Db {
                 last_ukey = Some(ukey.to_vec());
                 last_kept_seq = SequenceNumber::MAX;
                 // Cut the output file at user-key boundaries.
-                if let Some(b) = &builder {
+                if let Some(b) = builder.take() {
                     if split_outputs && b.estimated_file_bytes() >= self.options.sstable_bytes {
-                        let finished = builder.take().expect("checked").finish();
-                        outputs.push(self.write_output_table(finished)?);
+                        outputs.push(self.write_output_table(b.finish())?);
+                    } else {
+                        builder = Some(b);
                     }
                 }
             }
@@ -1793,11 +1976,12 @@ impl InternalIterator for LevelIter<'_> {
     }
 
     fn key(&self) -> &[u8] {
-        self.cur.as_ref().expect("valid").key()
+        // Contract: only called while `valid()`; empty when misused.
+        self.cur.as_ref().map(|m| m.key()).unwrap_or_default()
     }
 
     fn value(&self) -> &[u8] {
-        self.cur.as_ref().expect("valid").value()
+        self.cur.as_ref().map(|m| m.value()).unwrap_or_default()
     }
 
     fn status(&self) -> Result<()> {

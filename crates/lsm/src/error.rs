@@ -7,13 +7,71 @@ use ldc_ssd::SsdError;
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Structured description of a corruption finding: which file, where in
+/// it, and what failed validation. Quarantine decisions, obs events, and
+/// chaos replay recipes all need the exact file name, so corruption is
+/// never reported as a bare string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptionInfo {
+    /// File the corruption was detected in (empty when unknown, e.g. a
+    /// cross-file invariant violation).
+    pub file: String,
+    /// Byte offset of the corrupt region, when known.
+    pub offset: Option<u64>,
+    /// What failed validation (CRC mismatch, bad magic, ...).
+    pub detail: String,
+}
+
+impl CorruptionInfo {
+    /// Corruption not attributable to a single file/offset.
+    pub fn message(detail: impl Into<String>) -> Self {
+        Self {
+            file: String::new(),
+            offset: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// Corruption in `file` at an unknown offset.
+    pub fn in_file(file: impl Into<String>, detail: impl Into<String>) -> Self {
+        Self {
+            file: file.into(),
+            offset: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// Corruption in `file` at byte `offset`.
+    pub fn at(file: impl Into<String>, offset: u64, detail: impl Into<String>) -> Self {
+        Self {
+            file: file.into(),
+            offset: Some(offset),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for CorruptionInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.detail)?;
+        if !self.file.is_empty() {
+            write!(f, " (file={}", self.file)?;
+            if let Some(offset) = self.offset {
+                write!(f, ", offset={offset}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
 /// Errors surfaced by the LSM engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// Underlying storage/device error.
     Storage(SsdError),
     /// On-disk data failed validation (bad CRC, malformed block, ...).
-    Corruption(String),
+    Corruption(CorruptionInfo),
     /// The database is in a state that forbids the operation.
     InvalidState(String),
     /// Caller error (bad options, empty key, ...).
@@ -24,7 +82,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Storage(e) => write!(f, "storage: {e}"),
-            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::Corruption(info) => write!(f, "corruption: {info}"),
             Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -46,9 +104,19 @@ impl From<SsdError> for Error {
     }
 }
 
-/// Shorthand for corruption errors.
+/// Shorthand for corruption errors with no file attribution.
 pub fn corruption(msg: impl Into<String>) -> Error {
-    Error::Corruption(msg.into())
+    Error::Corruption(CorruptionInfo::message(msg))
+}
+
+/// Shorthand for corruption errors attributed to `file` at `offset`.
+pub fn corruption_at(file: impl Into<String>, offset: u64, detail: impl Into<String>) -> Error {
+    Error::Corruption(CorruptionInfo::at(file, offset, detail))
+}
+
+/// Shorthand for corruption errors attributed to `file`.
+pub fn corruption_in(file: impl Into<String>, detail: impl Into<String>) -> Error {
+    Error::Corruption(CorruptionInfo::in_file(file, detail))
 }
 
 #[cfg(test)]
@@ -60,5 +128,27 @@ mod tests {
         let e: Error = SsdError::DeviceFull.into();
         assert!(e.to_string().contains("full"));
         assert!(corruption("bad crc").to_string().contains("bad crc"));
+    }
+
+    #[test]
+    fn corruption_display_names_file_and_offset() {
+        let plain = corruption("bad magic");
+        assert_eq!(plain.to_string(), "corruption: bad magic");
+        let filed = corruption_in("000007.sst", "bad footer");
+        assert_eq!(
+            filed.to_string(),
+            "corruption: bad footer (file=000007.sst)"
+        );
+        let exact = corruption_at("000007.sst", 4096, "block crc mismatch");
+        assert_eq!(
+            exact.to_string(),
+            "corruption: block crc mismatch (file=000007.sst, offset=4096)"
+        );
+        if let Error::Corruption(info) = exact {
+            assert_eq!(info.file, "000007.sst");
+            assert_eq!(info.offset, Some(4096));
+        } else {
+            unreachable!();
+        }
     }
 }

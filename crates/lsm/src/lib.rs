@@ -30,6 +30,9 @@ pub mod filter;
 pub mod iterator;
 pub mod memtable;
 pub mod options;
+pub mod repair;
+pub mod retry;
+pub mod scrub;
 pub mod skiplist;
 pub mod table;
 pub mod types;
@@ -38,7 +41,10 @@ pub mod wal;
 
 pub use batch::{BatchOp, WriteBatch};
 pub use cache::CacheCounters;
-pub use db::{Db, DbStats, RecoverySummary, Snapshot};
-pub use error::{Error, Result};
-pub use options::Options;
+pub use db::{Db, DbStats, QuarantinedFile, RecoverySummary, Snapshot};
+pub use error::{CorruptionInfo, Error, Result};
+pub use options::{CorruptionPolicy, Options};
+pub use repair::{repair_db, repair_db_with_sink, RepairReport};
+pub use retry::RetryStorage;
+pub use scrub::ScrubReport;
 pub use types::{KeyRange, SequenceNumber, ValueType};

@@ -19,7 +19,7 @@ mod builder;
 mod reader;
 
 pub use builder::{FinishedTable, TableBuilder};
-pub use reader::{Table, TableIter};
+pub use reader::{Table, TableIter, TableScrubStats};
 
 use crate::encoding::{get_varint64, put_varint64};
 use crate::error::{corruption, Result};

@@ -8,7 +8,7 @@ use ldc_ssd::{IoClass, StorageBackend};
 use crate::block::{Block, BlockIter};
 use crate::cache::BlockCache;
 use crate::crc32c;
-use crate::error::{corruption, Error, Result};
+use crate::error::{corruption_at, corruption_in, Error, Result};
 use crate::filter::BloomFilter;
 use crate::table::{decode_footer, BlockHandle, BLOCK_TRAILER_SIZE, FOOTER_SIZE};
 use crate::types::{
@@ -39,7 +39,7 @@ impl Table {
         let name = name.into();
         let size = storage.size(&name)?;
         if size < FOOTER_SIZE as u64 {
-            return Err(corruption(format!("table {name} shorter than footer")));
+            return Err(corruption_in(&name, "table shorter than footer"));
         }
         let footer = storage.read(
             &name,
@@ -47,10 +47,12 @@ impl Table {
             FOOTER_SIZE as u64,
             IoClass::Other,
         )?;
-        let (filter_handle, index_handle) = decode_footer(&footer)?;
+        let (filter_handle, index_handle) = decode_footer(&footer)
+            .map_err(|e| attribute_file(e, &name, size - FOOTER_SIZE as u64))?;
         let index_bytes =
             read_verified_block(storage.as_ref(), &name, index_handle, IoClass::Other)?;
-        let index = Block::new(index_bytes)?;
+        let index =
+            Block::new(index_bytes).map_err(|e| attribute_file(e, &name, index_handle.offset))?;
         let filter_bytes =
             read_verified_block(storage.as_ref(), &name, filter_handle, IoClass::Other)?;
         let filter = BloomFilter::from_bytes(filter_bytes.to_vec());
@@ -140,29 +142,72 @@ impl Table {
     /// verifying each CRC and the key ordering inside and across blocks.
     /// Returns the number of entries verified.
     pub fn verify(&self, class: IoClass) -> Result<u64> {
+        self.verify_deep(class).map(|s| s.entries)
+    }
+
+    /// Exhaustive integrity check for the online scrubber. On top of
+    /// [`Table::verify`]'s per-block CRC and ordering checks, it verifies
+    /// index/footer consistency (every handle stays inside the file, index
+    /// separators bound their block's keys) and filter-vs-key agreement
+    /// (every stored user key passes the Bloom filter — a false negative
+    /// means the filter block and data blocks disagree).
+    pub fn verify_deep(&self, class: IoClass) -> Result<TableScrubStats> {
         let mut index_iter = self.index.iter();
         index_iter.seek_to_first();
-        let mut entries = 0u64;
+        let mut stats = TableScrubStats::default();
         let mut prev: Option<Vec<u8>> = None;
         while index_iter.valid() {
             let (handle, _) = BlockHandle::decode_from(index_iter.value())?;
+            let block_end = handle
+                .offset
+                .checked_add(handle.size)
+                .and_then(|e| e.checked_add(BLOCK_TRAILER_SIZE as u64));
+            if block_end.is_none_or(|end| end > self.size) {
+                return Err(corruption_at(
+                    &self.name,
+                    handle.offset,
+                    "index handle out of file bounds",
+                ));
+            }
             let block = read_verified_block(self.storage.as_ref(), &self.name, handle, class)
-                .and_then(Block::new)?;
+                .and_then(Block::new)
+                .map_err(|e| attribute_file(e, &self.name, handle.offset))?;
+            let separator = index_iter.key().to_vec();
             let mut it = block.iter();
             it.seek_to_first();
             while it.valid() {
                 if let Some(p) = &prev {
                     if crate::types::compare_internal_keys(p, it.key()).is_ge() {
-                        return Err(corruption(format!("table {} keys out of order", self.name)));
+                        return Err(corruption_at(
+                            &self.name,
+                            handle.offset,
+                            "keys out of order",
+                        ));
                     }
                 }
+                if crate::types::compare_internal_keys(it.key(), &separator).is_gt() {
+                    return Err(corruption_at(
+                        &self.name,
+                        handle.offset,
+                        "index separator below block keys",
+                    ));
+                }
+                if !self.filter.may_contain(user_key(it.key())) {
+                    return Err(corruption_at(
+                        &self.name,
+                        handle.offset,
+                        "filter excludes a stored key",
+                    ));
+                }
                 prev = Some(it.key().to_vec());
-                entries += 1;
+                stats.entries += 1;
                 it.next();
             }
+            stats.blocks += 1;
+            stats.bytes += handle.size + BLOCK_TRAILER_SIZE as u64;
             index_iter.next();
         }
-        Ok(entries)
+        Ok(stats)
     }
 
     fn read_data_block(&self, handle: BlockHandle, class: IoClass) -> Result<Block> {
@@ -181,7 +226,34 @@ impl Table {
                     read_block_bytes(self.storage.as_ref(), &self.name, handle, class, sequential)?;
                 Block::new(bytes)
             })
+            .map_err(|e| attribute_file(e, &self.name, handle.offset))
     }
+}
+
+/// Attributes an unattributed corruption error to `name` at `offset`.
+/// Errors that already name a file (or are not corruption) pass through.
+fn attribute_file(err: Error, name: &str, offset: u64) -> Error {
+    match err {
+        Error::Corruption(mut info) if info.file.is_empty() => {
+            info.file = name.to_string();
+            if info.offset.is_none() {
+                info.offset = Some(offset);
+            }
+            Error::Corruption(info)
+        }
+        e => e,
+    }
+}
+
+/// What one deep verification pass over a table covered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableScrubStats {
+    /// Entries whose ordering and filter membership were checked.
+    pub entries: u64,
+    /// Data blocks whose CRCs were re-verified.
+    pub blocks: u64,
+    /// Bytes read and verified (payload + trailers).
+    pub bytes: u64,
 }
 
 /// Reads a block plus trailer and verifies its CRC.
@@ -210,26 +282,29 @@ fn read_block_bytes(
         storage.read(name, handle.offset, len, class)?
     };
     if (raw.len() as u64) < len {
-        return Err(corruption(format!(
-            "short block read in {name}: got {} of {len} bytes",
-            raw.len()
-        )));
+        return Err(corruption_at(
+            name,
+            handle.offset,
+            format!("short block read: got {} of {len} bytes", raw.len()),
+        ));
     }
     let (payload, trailer) = raw.split_at(handle.size as usize);
     let stored_bytes: [u8; 4] = trailer
         .get(1..5)
         .and_then(|b| b.try_into().ok())
-        .ok_or_else(|| corruption(format!("truncated block trailer in {name}")))?;
+        .ok_or_else(|| corruption_at(name, handle.offset, "truncated block trailer"))?;
     let compression = trailer[0]; // ldc-lint: allow(panic_safety) — length proven >= trailer size above
     if compression != 0 {
-        return Err(corruption(format!(
-            "unsupported compression tag {compression}"
-        )));
+        return Err(corruption_at(
+            name,
+            handle.offset,
+            format!("unsupported compression tag {compression}"),
+        ));
     }
     let stored = u32::from_le_bytes(stored_bytes);
     let actual = crc32c::extend(crc32c::crc32c(payload), &[compression]);
     if crc32c::unmask(stored) != actual {
-        return Err(corruption(format!("block crc mismatch in {name}")));
+        return Err(corruption_at(name, handle.offset, "block crc mismatch"));
     }
     Ok(raw.slice(0..handle.size as usize))
 }

@@ -139,12 +139,15 @@ impl Version {
 
     /// Total bytes of live files in `level`.
     pub fn level_bytes(&self, level: usize) -> u64 {
-        self.levels[level].iter().map(|f| f.size).sum()
+        self.levels
+            .get(level)
+            .map(|files| files.iter().map(|f| f.size).sum())
+            .unwrap_or(0)
     }
 
     /// Number of files in `level`.
     pub fn level_files(&self, level: usize) -> usize {
-        self.levels[level].len()
+        self.levels.get(level).map(Vec::len).unwrap_or(0)
     }
 
     /// Total bytes held by frozen files (the LDC space overhead, Fig 15).
@@ -169,8 +172,10 @@ impl Version {
 
     /// Files in `level` overlapping the closed user-key span `[lo, hi]`.
     pub fn overlapping_files(&self, level: usize, lo: &[u8], hi: &[u8]) -> Vec<&FileMeta> {
-        self.levels[level]
-            .iter()
+        self.levels
+            .get(level)
+            .into_iter()
+            .flatten()
             .filter(|f| f.overlaps_ukeys(lo, hi))
             .collect()
     }
@@ -190,11 +195,13 @@ impl Version {
     pub fn check_invariants(&self) -> Result<()> {
         for (level, files) in self.levels.iter().enumerate().skip(1) {
             for pair in files.windows(2) {
-                if pair[0].largest_ukey() >= pair[1].smallest_ukey() {
-                    return Err(Error::InvalidState(format!(
-                        "level {level} files {} and {} overlap",
-                        pair[0].number, pair[1].number
-                    )));
+                if let [a, b] = pair {
+                    if a.largest_ukey() >= b.smallest_ukey() {
+                        return Err(Error::InvalidState(format!(
+                            "level {level} files {} and {} overlap",
+                            a.number, b.number
+                        )));
+                    }
                 }
             }
         }
@@ -324,13 +331,13 @@ impl VersionEdit {
         let mut edit = VersionEdit::default();
         fn varint(data: &mut &[u8]) -> Result<u64> {
             let (v, n) = get_varint64(data).ok_or_else(|| corruption("edit varint"))?;
-            *data = &data[n..];
+            *data = data.get(n..).unwrap_or_default();
             Ok(v)
         }
         fn bytes(data: &mut &[u8]) -> Result<Vec<u8>> {
             let (s, n) = get_length_prefixed(data).ok_or_else(|| corruption("edit bytes"))?;
             let out = s.to_vec();
-            *data = &data[n..];
+            *data = data.get(n..).unwrap_or_default();
             Ok(out)
         }
         while !data.is_empty() {
@@ -517,8 +524,8 @@ impl VersionSet {
                 log_number = v;
             }
             for (level, key) in &edit.compact_pointers {
-                if (*level as usize) < compact_pointers.len() {
-                    compact_pointers[*level as usize] = key.clone();
+                if let Some(slot) = compact_pointers.get_mut(*level as usize) {
+                    *slot = key.clone();
                 }
             }
             for (_, link) in &edit.new_links {
@@ -556,6 +563,51 @@ impl VersionSet {
         storage.exists(CURRENT_FILE)
     }
 
+    /// Builds a fresh version set around an externally reconstructed
+    /// `version` — the final step of `repair_db`. Recomputes frozen
+    /// refcounts, checks invariants, then writes a brand-new snapshot
+    /// manifest and points `CURRENT` at it; nothing from any previous
+    /// manifest is reused.
+    pub fn rebuild(
+        storage: Arc<dyn StorageBackend>,
+        mut version: Version,
+        last_sequence: SequenceNumber,
+        next_file_number: u64,
+    ) -> Result<VersionSet> {
+        recompute_refcounts(&mut version);
+        version.check_invariants()?;
+        let link_counter = version
+            .levels
+            .iter()
+            .flat_map(|files| files.iter())
+            .flat_map(|f| f.slices.iter())
+            .map(|s| s.link_seq + 1)
+            .max()
+            .unwrap_or(0);
+        let max_levels = version.num_levels();
+        // Placeholder writer (never appended to): `write_snapshot_manifest`
+        // installs the real manifest before returning.
+        let manifest = LogWriter::new(
+            Arc::clone(&storage),
+            manifest_file_name(0),
+            IoClass::ManifestWrite,
+        );
+        let mut vs = VersionSet {
+            storage,
+            manifest,
+            current: version,
+            next_file_number: next_file_number.max(2),
+            last_sequence,
+            log_number: 0,
+            compact_pointers: vec![Vec::new(); max_levels],
+            link_counter,
+            manifest_bytes: 0,
+            recovered_manifest_tail_bytes: 0,
+        };
+        vs.write_snapshot_manifest()?;
+        Ok(vs)
+    }
+
     /// Allocates a fresh file number.
     pub fn new_file_number(&mut self) -> u64 {
         let n = self.next_file_number;
@@ -575,8 +627,8 @@ impl VersionSet {
         edit.next_file_number = Some(self.next_file_number);
         edit.last_sequence = Some(self.last_sequence);
         for (level, key) in &edit.compact_pointers {
-            if (*level as usize) < self.compact_pointers.len() {
-                self.compact_pointers[*level as usize] = key.clone();
+            if let Some(slot) = self.compact_pointers.get_mut(*level as usize) {
+                *slot = key.clone();
             }
         }
         let record = edit.encode();

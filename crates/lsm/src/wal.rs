@@ -10,7 +10,7 @@ use std::sync::Arc;
 use ldc_ssd::{IoClass, StorageBackend};
 
 use crate::crc32c;
-use crate::error::{corruption, Error, Result};
+use crate::error::{corruption, CorruptionInfo, Error, Result};
 
 /// Log block size.
 pub const BLOCK_SIZE: usize = 32 * 1024;
@@ -106,6 +106,9 @@ impl LogWriter {
 /// Reads records back, tolerating a truncated tail (crash recovery).
 pub struct LogReader {
     data: Vec<u8>,
+    /// File the bytes came from (empty for in-memory readers); names the
+    /// log in corruption reports.
+    name: String,
     offset: usize,
     /// Offset just past the last complete logical record returned.
     last_complete_end: usize,
@@ -118,13 +121,16 @@ impl LogReader {
     /// Opens `name` and buffers its contents for replay.
     pub fn open(storage: &dyn StorageBackend, name: &str) -> Result<Self> {
         let data = storage.read_all(name, IoClass::Other)?;
-        Ok(Self::from_bytes(data.to_vec()))
+        let mut reader = Self::from_bytes(data.to_vec());
+        reader.name = name.to_string();
+        Ok(reader)
     }
 
     /// Builds a reader over raw bytes (testing).
     pub fn from_bytes(data: Vec<u8>) -> Self {
         Self {
             data,
+            name: String::new(),
             offset: 0,
             last_complete_end: 0,
             torn: false,
@@ -224,10 +230,16 @@ impl LogReader {
                 }
                 return Ok(None);
             }
-            let header = &self.data[self.offset..self.offset + HEADER_SIZE];
-            let stored_crc = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-            let len = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes")) as usize;
-            let record_type = header[6];
+            let Some(header) = self.data.get(self.offset..self.offset + HEADER_SIZE) else {
+                // Unreachable: the length check above guarantees the range.
+                self.torn = true;
+                return Ok(None);
+            };
+            let (crc_bytes, rest) = header.split_at(4);
+            let (len_bytes, type_byte) = rest.split_at(2);
+            let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap_or_default());
+            let len = u16::from_le_bytes(len_bytes.try_into().unwrap_or_default()) as usize;
+            let record_type = type_byte.first().copied().unwrap_or_default();
             if record_type == 0 && len == 0 && stored_crc == 0 {
                 // Zero padding written by a block switch; move to next block.
                 self.offset += block_remaining;
@@ -242,7 +254,11 @@ impl LogReader {
                 self.torn = true; // torn record at tail
                 return Ok(None);
             }
-            let data = &self.data[data_start..data_end];
+            let Some(data) = self.data.get(data_start..data_end) else {
+                // Unreachable: data_end was checked against len above.
+                self.torn = true;
+                return Ok(None);
+            };
             let actual = crc32c::extend(crc32c::crc32c(&[record_type]), data);
             if crc32c::unmask(stored_crc) != actual {
                 // A bad checksum on the very last record is indistinguishable
@@ -253,7 +269,11 @@ impl LogReader {
                     self.torn = true;
                     return Ok(None);
                 }
-                return Err(Error::Corruption("log record crc mismatch".into()));
+                return Err(Error::Corruption(CorruptionInfo {
+                    file: self.name.clone(),
+                    offset: Some(self.offset as u64),
+                    detail: "log record crc mismatch".to_string(),
+                }));
             }
             let record = PhysicalRecord {
                 record_type,

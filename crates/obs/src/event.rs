@@ -36,11 +36,31 @@ pub enum EventKind {
     /// `input_files` = WAL records replayed, `output_files` = files
     /// quarantined, `input_bytes` = torn tail bytes discarded.
     Recovery,
+    /// A transient read error was retried at the storage boundary.
+    /// `input_files` = attempt number (1-based), `input_bytes` = backoff
+    /// nanoseconds charged to the virtual clock before the retry.
+    Retry,
+    /// The online scrubber finished verifying one table.
+    /// `level` = table level (`None` for frozen tables), `input_files` = 1,
+    /// `input_bytes` = bytes verified, `output_files` = blocks verified.
+    ScrubProgress,
+    /// The online scrubber found corruption in a table.
+    /// `level` = table level when known, `input_bytes` = corrupt offset.
+    ScrubCorruption,
+    /// A corrupt SSTable was quarantined (renamed and dropped from the
+    /// live version). `level` = level it was dropped from, `input_files`
+    /// = 1, `input_bytes` = file size (the keys-at-risk upper bound).
+    Quarantine,
+    /// A `repair_db` pass rebuilt the manifest from surviving files.
+    /// `input_files` = tables salvaged, `output_files` = files
+    /// quarantined, `output_bytes` = WAL records salvaged into new
+    /// tables.
+    Repair,
 }
 
 impl EventKind {
     /// Every kind, in a stable order.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::Flush,
         EventKind::UdcMerge,
         EventKind::TrivialMove,
@@ -53,6 +73,11 @@ impl EventKind {
         EventKind::ThresholdAdapt,
         EventKind::FaultInjected,
         EventKind::Recovery,
+        EventKind::Retry,
+        EventKind::ScrubProgress,
+        EventKind::ScrubCorruption,
+        EventKind::Quarantine,
+        EventKind::Repair,
     ];
 
     /// Stable snake_case label (used in JSONL and reports).
@@ -70,6 +95,11 @@ impl EventKind {
             EventKind::ThresholdAdapt => "threshold_adapt",
             EventKind::FaultInjected => "fault_injected",
             EventKind::Recovery => "recovery",
+            EventKind::Retry => "retry",
+            EventKind::ScrubProgress => "scrub_progress",
+            EventKind::ScrubCorruption => "scrub_corruption",
+            EventKind::Quarantine => "quarantine",
+            EventKind::Repair => "repair",
         }
     }
 
@@ -314,6 +344,11 @@ mod tests {
         assert!(!EventKind::SsdGc.is_compaction());
         assert!(!EventKind::FaultInjected.is_compaction());
         assert!(!EventKind::Recovery.is_compaction());
+        assert!(!EventKind::Retry.is_compaction());
+        assert!(!EventKind::ScrubProgress.is_compaction());
+        assert!(!EventKind::ScrubCorruption.is_compaction());
+        assert!(!EventKind::Quarantine.is_compaction());
+        assert!(!EventKind::Repair.is_compaction());
     }
 
     #[test]

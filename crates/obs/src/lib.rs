@@ -30,7 +30,7 @@ mod metrics;
 mod sink;
 
 pub use event::{Event, EventKind, Nanos};
-pub use metrics::{LatencyHistogram, LevelGauge, MetricsRegistry, OpType};
+pub use metrics::{DegradedCounters, LatencyHistogram, LevelGauge, MetricsRegistry, OpType};
 pub use sink::{parse_jsonl, JsonlSink, NoopSink, RingBufferSink, SharedSink};
 
 /// The sink trait: where [`Event`]s are delivered.

@@ -180,6 +180,20 @@ impl LatencyHistogram {
     }
 }
 
+/// Monotonic counters for the degraded-mode machinery: transient-read
+/// retries, scrub coverage, corruption findings, and quarantined files.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradedCounters {
+    /// Transient read errors that were retried at the storage boundary.
+    pub transient_retries: u64,
+    /// Blocks the online scrubber has CRC-verified.
+    pub scrub_blocks_verified: u64,
+    /// Corruption findings reported by the scrubber.
+    pub scrub_corruptions: u64,
+    /// SSTables quarantined (renamed and dropped from the live version).
+    pub files_quarantined: u64,
+}
+
 /// Shared registry: per-level gauges plus one latency histogram per
 /// operation type. All methods take `&self`; interior locking keeps the
 /// registry shareable behind an `Arc` across the whole engine.
@@ -187,6 +201,7 @@ pub struct MetricsRegistry {
     levels: Mutex<Vec<LevelGauge>>,
     latencies: [Mutex<LatencyHistogram>; 4],
     ops: [AtomicU64; 4],
+    degraded: [AtomicU64; 4],
 }
 
 impl std::fmt::Debug for MetricsRegistry {
@@ -210,6 +225,37 @@ impl MetricsRegistry {
             levels: Mutex::new(Vec::new()),
             latencies: std::array::from_fn(|_| Mutex::new(LatencyHistogram::new())),
             ops: std::array::from_fn(|_| AtomicU64::new(0)),
+            degraded: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one retried transient read error.
+    pub fn record_transient_retry(&self) {
+        self.degraded[0].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `blocks` scrubbed blocks.
+    pub fn record_scrub_blocks(&self, blocks: u64) {
+        self.degraded[1].fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    /// Records one scrub corruption finding.
+    pub fn record_scrub_corruption(&self) {
+        self.degraded[2].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one quarantined SSTable.
+    pub fn record_quarantine(&self) {
+        self.degraded[3].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the degraded-mode counters.
+    pub fn degraded_counters(&self) -> DegradedCounters {
+        DegradedCounters {
+            transient_retries: self.degraded[0].load(Ordering::Relaxed),
+            scrub_blocks_verified: self.degraded[1].load(Ordering::Relaxed),
+            scrub_corruptions: self.degraded[2].load(Ordering::Relaxed),
+            files_quarantined: self.degraded[3].load(Ordering::Relaxed),
         }
     }
 
@@ -246,6 +292,9 @@ impl MetricsRegistry {
             *h.lock().unwrap() = LatencyHistogram::new();
         }
         for c in &self.ops {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.degraded {
             c.store(0, Ordering::Relaxed);
         }
     }
@@ -300,10 +349,28 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.record_latency(OpType::Scan, 42);
         reg.set_level_gauges(vec![LevelGauge::default()]);
+        reg.record_transient_retry();
         reg.reset();
         assert!(reg.level_gauges().is_empty());
         assert_eq!(reg.latency(OpType::Scan).count(), 0);
         assert_eq!(reg.op_count(OpType::Scan), 0);
+        assert_eq!(reg.degraded_counters(), DegradedCounters::default());
+    }
+
+    #[test]
+    fn degraded_counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.record_transient_retry();
+        reg.record_transient_retry();
+        reg.record_scrub_blocks(10);
+        reg.record_scrub_blocks(5);
+        reg.record_scrub_corruption();
+        reg.record_quarantine();
+        let c = reg.degraded_counters();
+        assert_eq!(c.transient_retries, 2);
+        assert_eq!(c.scrub_blocks_verified, 15);
+        assert_eq!(c.scrub_corruptions, 1);
+        assert_eq!(c.files_quarantined, 1);
     }
 
     #[test]

@@ -32,6 +32,21 @@ pub enum SsdError {
     /// An I/O failure surfaced by the backend (host errno, injected fault,
     /// simulated power loss). The engine must propagate these, never panic.
     Io(String),
+    /// A read failure the device reports as retryable: the same request may
+    /// succeed on a later attempt (controller busy, recoverable ECC pass,
+    /// link reset). Callers may retry with backoff; everything else in this
+    /// enum is permanent for the request that produced it.
+    TransientIo(String),
+}
+
+impl SsdError {
+    /// Whether retrying the same request may succeed. Only
+    /// [`SsdError::TransientIo`] qualifies; all other variants describe
+    /// conditions a retry cannot fix (missing files, exhausted capacity,
+    /// bad arguments, permanent media errors).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SsdError::TransientIo(_))
+    }
 }
 
 impl fmt::Display for SsdError {
@@ -52,6 +67,7 @@ impl fmt::Display for SsdError {
             SsdError::Closed(name) => write!(f, "file handle closed: {name}"),
             SsdError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             SsdError::Io(msg) => write!(f, "io error: {msg}"),
+            SsdError::TransientIo(msg) => write!(f, "transient io error: {msg}"),
         }
     }
 }
@@ -74,5 +90,20 @@ mod tests {
         assert!(s.contains("000001.sst"));
         assert!(s.contains("offset=100"));
         assert!(SsdError::DeviceFull.to_string().contains("full"));
+    }
+
+    #[test]
+    fn only_transient_io_is_transient() {
+        assert!(SsdError::TransientIo("ecc retry".into()).is_transient());
+        for e in [
+            SsdError::NotFound("f".into()),
+            SsdError::AlreadyExists("f".into()),
+            SsdError::DeviceFull,
+            SsdError::Closed("f".into()),
+            SsdError::InvalidArgument("x".into()),
+            SsdError::Io("hard".into()),
+        ] {
+            assert!(!e.is_transient(), "{e} must be permanent");
+        }
     }
 }

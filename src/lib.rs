@@ -31,5 +31,8 @@ pub use ldc_ssd as ssd;
 pub use ldc_workload as workload;
 
 pub use ldc_core::{AdaptiveThreshold, CompactionMode, LdcConfig, LdcDb, LdcDbBuilder, LdcPolicy};
-pub use ldc_lsm::{Options, WriteBatch};
+pub use ldc_lsm::{
+    repair_db, repair_db_with_sink, CorruptionInfo, CorruptionPolicy, Options, QuarantinedFile,
+    RepairReport, ScrubReport, WriteBatch,
+};
 pub use ldc_ssd::SsdConfig;
