@@ -27,7 +27,7 @@ fn bench_memtable(c: &mut Criterion) {
     group.bench_function("insert_1k", |b| {
         b.iter_batched(
             || MemTable::new(7),
-            |mut mem| {
+            |mem| {
                 for i in 0..1000u64 {
                     mem.add(
                         i + 1,
@@ -41,7 +41,7 @@ fn bench_memtable(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
-    let mut mem = MemTable::new(7);
+    let mem = MemTable::new(7);
     for i in 0..10_000u64 {
         mem.add(
             i + 1,
@@ -166,7 +166,7 @@ fn bench_db_end_to_end(c: &mut Criterion) {
                     }
                     builder.build().unwrap()
                 },
-                |mut db| {
+                |db| {
                     for i in 0..5000u64 {
                         let key = format!("k{:014x}", i.wrapping_mul(0x9e3779b97f4a7c15));
                         db.put(key.as_bytes(), &[b'v'; 128]).unwrap();

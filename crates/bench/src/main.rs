@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! cargo run -p ldc-bench -- repair --seed 7
+//! cargo run -p ldc-bench -- readwhilewriting --quick
 //! ```
 //!
 //! `repair` drives the full degraded-mode pipeline on a fresh simulated
@@ -15,17 +16,35 @@
 //! the model. It also proves the transient-read retry budget masks
 //! heal-after-N read failures. Exits non-zero on any verification failure,
 //! printing the `(seed, plan)` replay recipe.
+//!
+//! `readwhilewriting` is the db_bench-style mixed workload: one writer
+//! overwrites a preloaded keyspace (forcing flushes and compactions) while
+//! N reader threads hammer point lookups through the shared handle,
+//! measuring host-time read latency. It runs both compaction modes and
+//! writes a machine-readable `BENCH_readwhilewriting.json` for CI trend
+//! tracking. Latencies here are *host* wall-clock (thread scheduling and
+//! all), unlike the figure binaries' virtual-clock numbers — the point is
+//! exercising the concurrent read path, not reproducing a paper figure.
 
-use ldc_bench::cli::CommonArgs;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use ldc_bench::cli::{print_table, CommonArgs};
+use ldc_bench::prelude::*;
 use ldc_chaos::{ChaosConfig, ChaosHarness};
 use ldc_core::CompactionMode;
 use ldc_core::LdcConfig;
+use ldc_workload::Histogram;
 
 fn usage() -> ! {
     eprintln!("usage: ldc-bench <subcommand> [flags]");
     eprintln!();
     eprintln!("subcommands:");
-    eprintln!("  repair   degraded-mode pipeline: scrub -> quarantine -> repair -> verify");
+    eprintln!(
+        "  repair            degraded-mode pipeline: scrub -> quarantine -> repair -> verify"
+    );
+    eprintln!("  readwhilewriting  1 writer + N readers on a shared handle, UDC vs LDC");
+    eprintln!("                    [--readers N] [--quick] [--out PATH] + common flags");
     eprintln!();
     eprintln!("figure binaries live under --bin (e.g. --bin fig08_tail_latency)");
     std::process::exit(2);
@@ -83,6 +102,213 @@ fn run_repair(args: CommonArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// One mode's results from the read-while-writing race.
+struct RwwResult {
+    mode: &'static str,
+    wall_secs: f64,
+    writes: u64,
+    reads: u64,
+    read_latency_ns: Histogram,
+    flushes: u64,
+    compactions: u64,
+}
+
+impl RwwResult {
+    fn p_us(&self, p: f64) -> f64 {
+        self.read_latency_ns.percentile(p) as f64 / 1e3
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"mode\":\"{}\",\"wall_secs\":{:.3},\"writes\":{},",
+                "\"writes_per_sec\":{:.0},\"reads\":{},\"reads_per_sec\":{:.0},",
+                "\"read_p50_us\":{:.1},\"read_p99_us\":{:.1},\"read_p999_us\":{:.1},",
+                "\"read_mean_us\":{:.1},\"read_max_us\":{:.1},",
+                "\"flushes\":{},\"compactions\":{}}}"
+            ),
+            self.mode,
+            self.wall_secs,
+            self.writes,
+            self.writes as f64 / self.wall_secs,
+            self.reads,
+            self.reads as f64 / self.wall_secs,
+            self.p_us(50.0),
+            self.p_us(99.0),
+            self.p_us(99.9),
+            self.read_latency_ns.mean() / 1e3,
+            self.read_latency_ns.max() as f64 / 1e3,
+            self.flushes,
+            self.compactions
+        )
+    }
+}
+
+/// Tiny xorshift so reader key choice is seedable without pulling the
+/// workload sampler (whose state isn't `Send`-shareable across threads).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// One writer overwriting `args.ops` keys over a preloaded keyspace while
+/// `readers` threads do point gets through the same shared handle.
+// Host wall-clock is the measurement here, not a determinism leak: threads
+// race for real, so virtual time cannot describe what readers experience.
+#[allow(clippy::disallowed_methods)]
+fn run_rww_mode(
+    mode: &'static str,
+    db: LdcDb,
+    args: &CommonArgs,
+    readers: u64,
+) -> Result<RwwResult, String> {
+    let codec = args.codec();
+    let preload = args.ops.max(1);
+    for i in 0..preload {
+        db.put(&codec.key(i), &codec.value(i, 0))
+            .map_err(|e| format!("{mode} preload: {e}"))?;
+    }
+    db.drain_background();
+
+    let stop = AtomicBool::new(false);
+    let failed = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let start = Instant::now();
+    let mut merged = Histogram::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for r in 0..readers {
+            let db = &db;
+            let codec = &codec;
+            let (stop, failed, reads) = (&stop, &failed, &reads);
+            let seed = args.seed;
+            handles.push(s.spawn(move || {
+                let mut hist = Histogram::new();
+                let mut rng = seed ^ (r + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                while !stop.load(Ordering::Relaxed) {
+                    let key = codec.key(xorshift(&mut rng) % preload);
+                    let t0 = Instant::now();
+                    let got = db.get_pinned(&key);
+                    hist.record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                    match got {
+                        Ok(Some(_)) => {}
+                        Ok(None) => {
+                            eprintln!("{mode}: reader {r} lost a preloaded key");
+                            failed.store(true, Ordering::Relaxed);
+                            return hist;
+                        }
+                        Err(e) => {
+                            eprintln!("{mode}: reader {r} error: {e}");
+                            failed.store(true, Ordering::Relaxed);
+                            return hist;
+                        }
+                    }
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+                hist
+            }));
+        }
+        // This thread is the writer: overwrite the preloaded keyspace so
+        // flushes and compactions churn the files readers are pinned to.
+        for i in 0..args.ops {
+            let idx = i % preload;
+            if let Err(e) = db.put(&codec.key(idx), &codec.value(idx, 1 + i / preload)) {
+                eprintln!("{mode}: writer error: {e}");
+                failed.store(true, Ordering::Relaxed);
+                break;
+            }
+            if failed.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            merged.merge(&h.join().expect("reader thread panicked"));
+        }
+    });
+    let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
+    db.drain_background();
+    if failed.load(Ordering::Relaxed) {
+        return Err(format!("{mode}: read-while-writing race failed"));
+    }
+    let stats = db.stats();
+    Ok(RwwResult {
+        mode,
+        wall_secs,
+        writes: args.ops,
+        reads: reads.load(Ordering::Relaxed),
+        read_latency_ns: merged,
+        flushes: stats.flushes,
+        compactions: stats.merges + stats.trivial_moves + stats.links + stats.ldc_merges,
+    })
+}
+
+fn run_read_while_writing(args: CommonArgs, readers: u64, out: &str) -> Result<(), String> {
+    let open = |udc: bool| -> Result<LdcDb, String> {
+        let mut b = LdcDb::builder().options(paper_scaled_options());
+        if udc {
+            b = b.udc_baseline();
+        }
+        b.build().map_err(|e| e.to_string())
+    };
+    let udc = run_rww_mode("UDC", open(true)?, &args, readers)?;
+    let ldc = run_rww_mode("LDC", open(false)?, &args, readers)?;
+
+    let rows: Vec<Vec<String>> = [&udc, &ldc]
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                format!("{:.0}", r.writes as f64 / r.wall_secs),
+                format!("{:.0}", r.reads as f64 / r.wall_secs),
+                format!("{:.1}", r.p_us(50.0)),
+                format!("{:.1}", r.p_us(99.0)),
+                format!("{:.1}", r.p_us(99.9)),
+                format!("{}", r.flushes),
+                format!("{}", r.compactions),
+            ]
+        })
+        .collect();
+    print_table(
+        args.csv,
+        &format!(
+            "readwhilewriting: {} writes vs {} readers ({}-byte values, host time)",
+            args.ops, readers, args.value_bytes
+        ),
+        &[
+            "system",
+            "writes/s",
+            "reads/s",
+            "read p50 (us)",
+            "read p99 (us)",
+            "read p99.9 (us)",
+            "flushes",
+            "compactions",
+        ],
+        &rows,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"readwhilewriting\",\"ops\":{},\"readers\":{},",
+            "\"value_bytes\":{},\"seed\":{},\"modes\":[{},{}]}}\n"
+        ),
+        args.ops,
+        readers,
+        args.value_bytes,
+        args.seed,
+        udc.json(),
+        ldc.json()
+    );
+    std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let sub = match args.next() {
@@ -94,6 +320,34 @@ fn main() {
             let common = CommonArgs::from_iter(400, args);
             if let Err(detail) = run_repair(common) {
                 eprintln!("repair pipeline FAILED: {detail}");
+                std::process::exit(1);
+            }
+        }
+        "readwhilewriting" => {
+            // Pull out the flags CommonArgs doesn't know before delegating
+            // (its parser treats unknown flags as fatal).
+            let mut readers = 4u64;
+            let mut quick = false;
+            let mut out = "BENCH_readwhilewriting.json".to_string();
+            let mut rest = Vec::new();
+            let mut iter = args.peekable();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--readers" => {
+                        readers = iter
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--readers: integer"))
+                    }
+                    "--quick" => quick = true,
+                    "--out" => out = iter.next().unwrap_or_else(|| panic!("--out needs a value")),
+                    _ => rest.push(arg),
+                }
+            }
+            let default_ops = if quick { 2_000 } else { 20_000 };
+            let common = CommonArgs::from_iter(default_ops, rest);
+            if let Err(detail) = run_read_while_writing(common, readers.max(1), &out) {
+                eprintln!("readwhilewriting FAILED: {detail}");
                 std::process::exit(1);
             }
         }

@@ -350,7 +350,7 @@ impl ChaosHarness {
             FaultPlan::new(self.config.seed),
         );
         let storage: Arc<dyn StorageBackend> = fault.clone();
-        let mut db = self
+        let db = self
             .open(&storage, None)
             .map_err(|e| self.fail(&fault, format!("open failed under benign plan: {e}")))?;
         let mut rng = SmallRng::seed_from_u64(self.config.seed ^ WORKLOAD_STREAM);
@@ -380,7 +380,7 @@ impl ChaosHarness {
         let mut acked = 0u64;
         let mut crashed = false;
         match self.open(&storage, None) {
-            Ok(mut db) => {
+            Ok(db) => {
                 let mut rng = SmallRng::seed_from_u64(self.config.seed ^ WORKLOAD_STREAM);
                 for i in 0..self.config.ops {
                     let (key, value) = self.gen_op(&mut rng, i);
@@ -475,7 +475,7 @@ impl ChaosHarness {
         let mut history: BTreeMap<Vec<u8>, Vec<Vec<u8>>> = BTreeMap::new();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         {
-            let mut db = self
+            let db = self
                 .open(&storage, None)
                 .map_err(|e| self.fail(&fault, format!("open failed: {e}")))?;
             let mut rng = SmallRng::seed_from_u64(self.config.seed ^ WORKLOAD_STREAM);
@@ -518,7 +518,7 @@ impl ChaosHarness {
             .flip_bit(&victim)
             .map_err(|e| self.fail(&fault, format!("bit flip failed: {e}")))?;
 
-        let mut db = match self.open(&storage, None) {
+        let db = match self.open(&storage, None) {
             // Refusing to open a corrupt store is detection, not failure.
             Err(e) => {
                 return Ok(BitFlipReport {
@@ -777,7 +777,7 @@ impl ChaosHarness {
         let mut history: BTreeMap<Vec<u8>, Vec<Vec<u8>>> = BTreeMap::new();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         {
-            let mut db = self
+            let db = self
                 .open_with(&storage, None, options.clone())
                 .map_err(|e| self.fail(&fault, format!("open failed: {e}")))?;
             let mut rng = SmallRng::seed_from_u64(self.config.seed ^ WORKLOAD_STREAM);
@@ -819,7 +819,7 @@ impl ChaosHarness {
         let mut files_quarantined = 0u64;
         match self.open_with(&storage, None, options.clone()) {
             Err(_) => detected_at_open = true,
-            Ok(mut db) => {
+            Ok(db) => {
                 let scrub = db
                     .scrub()
                     .map_err(|e| self.fail(&fault, format!("scrub pass failed: {e}")))?;
@@ -863,7 +863,7 @@ impl ChaosHarness {
         let repair = repair_db(Arc::clone(&storage), &options)
             .map_err(|e| self.fail(&fault, format!("repair_db failed: {e}")))?;
 
-        let mut db = self
+        let db = self
             .open_with(&storage, None, options.clone())
             .map_err(|e| self.fail(&fault, format!("reopen after repair failed: {e}")))?;
         let mut surviving = 0u64;

@@ -4,7 +4,7 @@
 //! ```
 //! use ldc_core::LdcDb;
 //!
-//! let mut db = LdcDb::builder().build().unwrap();
+//! let db = LdcDb::builder().build().unwrap();
 //! db.put(b"user:42", b"ada").unwrap();
 //! assert_eq!(db.get(b"user:42").unwrap(), Some(b"ada".to_vec()));
 //! ```
@@ -14,7 +14,7 @@ use std::sync::Arc;
 use ldc_lsm::compaction::{CompactionPolicy, UdcPolicy};
 use ldc_lsm::db::{Db, DbStats};
 use ldc_lsm::RecoverySummary;
-use ldc_lsm::{CacheCounters, Options, Result};
+use ldc_lsm::{CacheCounters, Options, PinnedValue, Result};
 use ldc_obs::{MetricsRegistry, NoopSink, SharedSink};
 use ldc_ssd::{MemStorage, SsdConfig, SsdDevice, StorageBackend};
 
@@ -168,53 +168,58 @@ impl LdcDb {
     }
 
     /// Inserts or overwrites a key.
-    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
         self.inner.put(key, value)
     }
 
-    /// Point lookup.
-    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    /// Point lookup. The value is copied out of the engine at this
+    /// boundary; use [`LdcDb::get_pinned`] to borrow it zero-copy instead.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.inner.get(key)
     }
 
+    /// Zero-copy point lookup: the returned handle borrows the cached
+    /// block (or the inline memtable entry) without copying the value.
+    pub fn get_pinned(&self, key: &[u8]) -> Result<Option<PinnedValue>> {
+        self.inner.get_pinned(key)
+    }
+
     /// Deletes a key.
-    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
         self.inner.delete(key)
     }
 
     /// Range scan: up to `limit` live entries with key >= `start`.
-    pub fn scan(&mut self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         self.inner.scan(start, limit)
     }
 
-    /// Applies a write batch atomically.
-    pub fn write(&mut self, batch: ldc_lsm::WriteBatch) -> Result<()> {
+    /// Applies a write batch atomically. Concurrent callers are group
+    /// committed: one leader folds every queued batch into a single WAL
+    /// append and sync.
+    pub fn write(&self, batch: ldc_lsm::WriteBatch) -> Result<()> {
         self.inner.write(batch)
     }
 
     /// Pins the current state for repeatable reads (release with
     /// [`LdcDb::release_snapshot`]).
-    pub fn snapshot(&mut self) -> ldc_lsm::db::Snapshot {
+    pub fn snapshot(&self) -> ldc_lsm::db::Snapshot {
         self.inner.snapshot()
     }
 
     /// Releases a pinned snapshot.
-    pub fn release_snapshot(&mut self, snapshot: ldc_lsm::db::Snapshot) {
+    pub fn release_snapshot(&self, snapshot: ldc_lsm::db::Snapshot) {
         self.inner.release_snapshot(snapshot)
     }
 
     /// Point lookup as of a pinned snapshot.
-    pub fn get_at(
-        &mut self,
-        key: &[u8],
-        snapshot: &ldc_lsm::db::Snapshot,
-    ) -> Result<Option<Vec<u8>>> {
+    pub fn get_at(&self, key: &[u8], snapshot: &ldc_lsm::db::Snapshot) -> Result<Option<Vec<u8>>> {
         self.inner.get_at(key, snapshot)
     }
 
     /// Range scan as of a pinned snapshot.
     pub fn scan_at(
-        &mut self,
+        &self,
         start: &[u8],
         limit: usize,
         snapshot: &ldc_lsm::db::Snapshot,
@@ -277,7 +282,7 @@ impl LdcDb {
 
     /// Verifies every SSTable's checksums and ordering; returns entries
     /// scanned.
-    pub fn verify_integrity(&mut self) -> Result<u64> {
+    pub fn verify_integrity(&self) -> Result<u64> {
         self.inner.verify_integrity()
     }
 
@@ -285,25 +290,26 @@ impl LdcDb {
     /// block CRCs, key order, index/footer consistency, and filter
     /// membership. Under [`ldc_lsm::CorruptionPolicy::Quarantine`] corrupt
     /// live tables are quarantined on the spot.
-    pub fn scrub(&mut self) -> Result<ldc_lsm::ScrubReport> {
+    pub fn scrub(&self) -> Result<ldc_lsm::ScrubReport> {
         self.inner.scrub()
     }
 
     /// Files quarantined since open (corrupt tables set aside as
     /// `<name>.quarantined` and dropped from the version).
-    pub fn quarantined(&self) -> &[ldc_lsm::QuarantinedFile] {
+    pub fn quarantined(&self) -> Vec<ldc_lsm::QuarantinedFile> {
         self.inner.quarantined()
     }
 
     /// Waits out any pending background flush/compaction debt, returning
     /// the virtual nanoseconds waited. Call at measurement boundaries.
-    pub fn drain_background(&mut self) -> u64 {
+    pub fn drain_background(&self) -> u64 {
         self.inner.drain_background()
     }
 
-    /// Mutable access to the underlying engine (experiments, tests).
-    pub fn engine(&mut self) -> &mut Db {
-        &mut self.inner
+    /// Access to the underlying engine (experiments, tests). The engine
+    /// API is `&self` throughout, so shared access suffices.
+    pub fn engine(&self) -> &Db {
+        &self.inner
     }
 
     /// Read-only access to the underlying engine.
@@ -326,7 +332,7 @@ mod tests {
 
     #[test]
     fn basic_crud() {
-        let mut db = LdcDb::builder()
+        let db = LdcDb::builder()
             .options(Options::small_for_tests())
             .build()
             .unwrap();
@@ -343,14 +349,14 @@ mod tests {
     fn reopen_via_shared_storage() {
         let storage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::with_defaults());
         {
-            let mut db = LdcDb::builder()
+            let db = LdcDb::builder()
                 .options(Options::small_for_tests())
                 .storage(Arc::clone(&storage))
                 .build()
                 .unwrap();
             db.put(b"persisted", b"yes").unwrap();
         }
-        let mut db = LdcDb::builder()
+        let db = LdcDb::builder()
             .options(Options::small_for_tests())
             .storage(storage)
             .build()

@@ -27,7 +27,7 @@ fn ldc_db() -> LdcDb {
 
 #[test]
 fn ldc_store_serves_reads_after_heavy_writes() {
-    let mut db = ldc_db();
+    let db = ldc_db();
     let n = 5000u64;
     for i in 0..n {
         let (k, v) = kv(i);
@@ -46,7 +46,7 @@ fn ldc_store_serves_reads_after_heavy_writes() {
 
 #[test]
 fn frozen_region_appears_and_drains() {
-    let mut db = ldc_db();
+    let db = ldc_db();
     let mut saw_frozen = false;
     for i in 0..8000u64 {
         let (k, v) = kv(i);
@@ -68,7 +68,7 @@ fn frozen_region_appears_and_drains() {
 
 #[test]
 fn overwrites_and_deletes_resolve_through_slices() {
-    let mut db = ldc_db();
+    let db = ldc_db();
     // Two full passes over the same keys, then deletes of half of them,
     // with enough churn that many lookups must travel through slices.
     for round in 0..2u64 {
@@ -100,7 +100,7 @@ fn overwrites_and_deletes_resolve_through_slices() {
 #[test]
 fn scans_merge_slice_data_correctly() {
     // Sequential keys make level files and slices overlap predictably.
-    let mut db = ldc_db();
+    let db = ldc_db();
     let n = 6000u64;
     for i in 0..n {
         db.put(format!("key{i:08}").as_bytes(), format!("v{i}").as_bytes())
@@ -117,7 +117,7 @@ fn scans_merge_slice_data_correctly() {
 
 #[test]
 fn scan_sees_newest_version_through_slices() {
-    let mut db = ldc_db();
+    let db = ldc_db();
     for round in 0..3u64 {
         for i in 0..2000u64 {
             db.put(
@@ -141,7 +141,7 @@ fn ldc_state_survives_reopen() {
     let storage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::new(SsdConfig::default()));
     let n = 6000u64;
     {
-        let mut db = LdcDb::builder()
+        let db = LdcDb::builder()
             .options(Options::small_for_tests())
             .storage(Arc::clone(&storage))
             .build()
@@ -156,7 +156,7 @@ fn ldc_state_survives_reopen() {
             "test needs live LDC state to be meaningful"
         );
     }
-    let mut db = LdcDb::builder()
+    let db = LdcDb::builder()
         .options(Options::small_for_tests())
         .storage(storage)
         .build()
@@ -181,7 +181,7 @@ fn ldc_halves_compaction_io_versus_udc() {
         if udc {
             builder = builder.udc_baseline();
         }
-        let mut db = builder.build().unwrap();
+        let db = builder.build().unwrap();
         for i in 0..20_000u64 {
             let (k, v) = kv(i % 8000); // overwrites force real merging
             db.put(&k, &v).unwrap();
@@ -212,7 +212,7 @@ fn ldc_improves_virtual_time_on_write_heavy_load() {
         if udc {
             builder = builder.udc_baseline();
         }
-        let mut db = builder.build().unwrap();
+        let db = builder.build().unwrap();
         // Enough volume that compaction (not the foreground path) is the
         // bottleneck: ~15 MiB ingested over an 8k-key space.
         let value = vec![b'v'; 512];
@@ -233,7 +233,7 @@ fn ldc_improves_virtual_time_on_write_heavy_load() {
 
 #[test]
 fn batched_writes_under_ldc() {
-    let mut db = ldc_db();
+    let db = ldc_db();
     for chunk in 0..200u64 {
         let mut batch = WriteBatch::new();
         for j in 0..20 {

@@ -25,7 +25,7 @@ fn traced_builder(sink: &Arc<RingBufferSink>) -> LdcDbBuilder {
 #[test]
 fn compaction_lifecycle_is_traced() {
     let sink = Arc::new(RingBufferSink::new(100_000));
-    let mut db = traced_builder(&sink).build().unwrap();
+    let db = traced_builder(&sink).build().unwrap();
     for i in 0..6000u64 {
         let (k, v) = kv(i);
         db.put(&k, &v).unwrap();
@@ -80,7 +80,7 @@ fn compaction_lifecycle_is_traced() {
 #[test]
 fn events_survive_a_jsonl_roundtrip() {
     let sink = Arc::new(RingBufferSink::new(100_000));
-    let mut db = traced_builder(&sink).build().unwrap();
+    let db = traced_builder(&sink).build().unwrap();
     for i in 0..3000u64 {
         let (k, v) = kv(i);
         db.put(&k, &v).unwrap();
@@ -95,7 +95,7 @@ fn events_survive_a_jsonl_roundtrip() {
 #[test]
 fn metrics_registry_tracks_levels_and_latencies() {
     let sink = Arc::new(RingBufferSink::new(16));
-    let mut db = traced_builder(&sink).build().unwrap();
+    let db = traced_builder(&sink).build().unwrap();
     for i in 0..4000u64 {
         let (k, v) = kv(i);
         db.put(&k, &v).unwrap();
@@ -136,7 +136,7 @@ fn metrics_registry_tracks_levels_and_latencies() {
 #[test]
 fn stats_report_reads_like_leveldb() {
     let sink = Arc::new(RingBufferSink::new(16));
-    let mut db = traced_builder(&sink).build().unwrap();
+    let db = traced_builder(&sink).build().unwrap();
     for i in 0..4000u64 {
         let (k, v) = kv(i);
         db.put(&k, &v).unwrap();
@@ -172,7 +172,7 @@ fn stats_report_reads_like_leveldb() {
 #[test]
 fn adaptive_threshold_changes_are_traced() {
     let sink = Arc::new(RingBufferSink::new(4096));
-    let mut db = LdcDb::builder()
+    let db = LdcDb::builder()
         .options(Options::small_for_tests())
         .adaptive_threshold()
         .event_sink(sink.clone())
@@ -202,7 +202,7 @@ fn adaptive_threshold_changes_are_traced() {
 
 #[test]
 fn noop_sink_records_nothing_but_metrics_still_work() {
-    let mut db = LdcDb::builder()
+    let db = LdcDb::builder()
         .options(Options::small_for_tests())
         .build()
         .unwrap();

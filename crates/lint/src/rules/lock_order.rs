@@ -38,6 +38,8 @@ pub const RULE: &str = "lock_order";
 /// Files whose locks participate in the ordered hierarchy.
 pub const SCOPED_FILES: &[&str] = &[
     "crates/lsm/src/db.rs",
+    "crates/lsm/src/commit.rs",
+    "crates/lsm/src/memtable.rs",
     "crates/lsm/src/cache.rs",
     "crates/obs/src/sink.rs",
     "crates/obs/src/metrics.rs",

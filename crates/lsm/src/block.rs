@@ -211,6 +211,16 @@ impl BlockIter {
         &self.block.data[self.value_range.0..self.value_range.1]
     }
 
+    /// Current value as a zero-copy slice of the block's backing buffer.
+    /// The returned [`Bytes`] pins the decoded block alive, so callers can
+    /// hand the value up the stack without memcpying it out of the cache.
+    pub fn value_bytes(&self) -> Bytes {
+        debug_assert!(self.valid);
+        self.block
+            .data
+            .slice(self.value_range.0..self.value_range.1)
+    }
+
     /// Positions at the first entry.
     pub fn seek_to_first(&mut self) {
         self.offset = 0;

@@ -1,38 +1,95 @@
-//! Block cache.
+//! Block cache and table cache.
 //!
 //! An LRU cache of decoded data blocks keyed by `(file number, offset)`,
 //! bounded by a byte budget. The paper assumes "the cached indexes and Bloom
 //! filters of active SSTables" avoid most slice-read I/O (§III-B3); in this
-//! engine, index and filter blocks are pinned per open table while data
-//! blocks flow through this cache. Hit/miss counters feed Fig 13.
+//! engine, index and filter blocks are pinned per open table (charged
+//! against the same byte budget) while data blocks flow through the cache.
+//! Hit/miss counters feed Fig 13.
+//!
+//! The cache is split into a power-of-two number of independently locked
+//! shards keyed by a hash of the block key, so concurrent readers on
+//! different shards never contend. Lookups hand out `Arc<Block>` handles:
+//! block bytes are decoded (restart array parsed, CRC checked) exactly once
+//! and never copied per read — values are returned as [`bytes::Bytes`]
+//! slices pinning the block's backing buffer.
+//!
+//! [`TableCache`] bounds the set of open SSTable handles the same way the
+//! old per-`Db` open-table map did, but lives in the cache layer so the
+//! pinned index/filter bytes of every open table are charged to the block
+//! cache budget instead of being invisible free memory (the old
+//! double-accounting bug: table handles held decoded index blocks outside
+//! the cache's charge).
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::block::Block;
 use crate::error::Result;
+use crate::table::Table;
 
 /// Cache key: file number + block offset within the file.
 pub type BlockKey = (u64, u64);
 
+/// Default shard count (power of two). Small enough that per-shard LRU
+/// stays meaningful at test capacities, large enough that eight reader
+/// threads rarely collide on one lock.
+pub const DEFAULT_SHARD_COUNT: usize = 8;
+
+/// Mixes a block key into a shard index. SplitMix64 finalizer: cheap,
+/// deterministic across processes (no `RandomState`), and good avalanche
+/// so consecutive offsets in one file spread across shards.
+fn shard_hash(key: BlockKey) -> u64 {
+    let mut z = key.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ key.1;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 struct CacheEntry {
-    block: Block,
+    block: Arc<Block>,
     tick: u64,
 }
 
-struct CacheInner {
+struct ShardInner {
     map: HashMap<BlockKey, CacheEntry>,
     lru: BTreeMap<u64, BlockKey>,
     used_bytes: usize,
+    /// Bytes charged by open tables for their pinned index/filter blocks.
+    /// Never evicted here — released when the table handle is dropped.
+    pinned_bytes: usize,
     next_tick: u64,
 }
 
-/// Byte-bounded LRU cache of data blocks.
+struct Shard {
+    inner: Mutex<ShardInner>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(ShardInner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                used_bytes: 0,
+                pinned_bytes: 0,
+                next_tick: 0,
+            }),
+        }
+    }
+}
+
+/// Byte-bounded sharded LRU cache of data blocks.
 pub struct BlockCache {
     capacity_bytes: usize,
-    inner: Mutex<CacheInner>,
+    /// Per-shard byte budget (`capacity_bytes / shards.len()`).
+    shard_capacity: usize,
+    shards: Vec<Shard>,
+    /// `shards.len() - 1`; shard index is `hash & mask`.
+    mask: u64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -64,36 +121,53 @@ impl CacheCounters {
 }
 
 impl BlockCache {
-    /// Creates a cache holding at most `capacity_bytes` of block data.
+    /// Creates a cache holding at most `capacity_bytes` of block data,
+    /// split across [`DEFAULT_SHARD_COUNT`] shards.
     /// A capacity of 0 disables caching (every lookup is a miss).
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_shards(capacity_bytes, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Creates a cache with an explicit shard count (rounded up to a power
+    /// of two, minimum 1).
+    pub fn with_shards(capacity_bytes: usize, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
         Self {
             capacity_bytes,
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                lru: BTreeMap::new(),
-                used_bytes: 0,
-                next_tick: 0,
-            }),
+            shard_capacity: capacity_bytes / n,
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            mask: (n - 1) as u64,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: BlockKey) -> &Shard {
+        // ldc-lint: allow(panic_safety) — index is masked to the power-of-two shard count
+        &self.shards[(shard_hash(key) & self.mask) as usize]
+    }
+
     /// Fetches the block, calling `load` on a miss and caching the result.
+    /// The returned handle shares the decoded block — no bytes are copied.
     pub fn get_or_load(
         &self,
         key: BlockKey,
         load: impl FnOnce() -> Result<Block>,
-    ) -> Result<Block> {
+    ) -> Result<Arc<Block>> {
         if self.capacity_bytes > 0 {
-            let mut inner = self.inner.lock();
+            let shard = self.shard(key);
+            let mut inner = shard.inner.lock();
             let tick = inner.next_tick;
             if let Some(entry) = inner.map.get_mut(&key) {
                 let old_tick = entry.tick;
                 entry.tick = tick;
-                let block = entry.block.clone();
+                let block = Arc::clone(&entry.block);
                 inner.next_tick += 1;
                 inner.lru.remove(&old_tick);
                 inner.lru.insert(tick, key);
@@ -102,21 +176,30 @@ impl BlockCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let block = load()?;
+        // Load outside the shard lock: a slow device read must not block
+        // hits on sibling blocks. Two racing loaders may both read the
+        // block; last insert wins, both handles stay valid.
+        let block = Arc::new(load()?);
         if self.capacity_bytes > 0 {
-            let mut inner = self.inner.lock();
+            let shard = self.shard(key);
+            let mut inner = shard.inner.lock();
             let tick = inner.next_tick;
             inner.next_tick += 1;
+            if let Some(prev) = inner.map.remove(&key) {
+                inner.lru.remove(&prev.tick);
+                inner.used_bytes -= prev.block.size();
+            }
             inner.used_bytes += block.size();
             inner.map.insert(
                 key,
                 CacheEntry {
-                    block: block.clone(),
+                    block: Arc::clone(&block),
                     tick,
                 },
             );
             inner.lru.insert(tick, key);
-            while inner.used_bytes > self.capacity_bytes && inner.map.len() > 1 {
+            while inner.used_bytes + inner.pinned_bytes > self.shard_capacity && inner.map.len() > 1
+            {
                 let Some((&oldest_tick, &oldest_key)) = inner.lru.iter().next() else {
                     break;
                 };
@@ -132,20 +215,55 @@ impl BlockCache {
 
     /// Drops all blocks belonging to `file_number` (called on file delete).
     pub fn evict_file(&self, file_number: u64) {
-        let mut inner = self.inner.lock();
-        let mut doomed: Vec<(u64, BlockKey)> = inner
-            .map
-            .iter()
-            .filter(|((f, _), _)| *f == file_number)
-            .map(|(k, e)| (e.tick, *k))
-            .collect();
-        doomed.sort_unstable();
-        for (tick, key) in doomed {
-            inner.lru.remove(&tick);
-            if let Some(e) = inner.map.remove(&key) {
-                inner.used_bytes -= e.block.size();
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            let mut doomed: Vec<(u64, BlockKey)> = inner
+                .map
+                .iter()
+                .filter(|((f, _), _)| *f == file_number)
+                .map(|(k, e)| (e.tick, *k))
+                .collect();
+            doomed.sort_unstable();
+            for (tick, key) in doomed {
+                inner.lru.remove(&tick);
+                if let Some(e) = inner.map.remove(&key) {
+                    inner.used_bytes -= e.block.size();
+                }
             }
         }
+    }
+
+    /// Charges `bytes` of pinned (unevictable) data against the budget —
+    /// the decoded index block and Bloom filter of an open table. Pinned
+    /// bytes squeeze data blocks out of their shard but are never evicted
+    /// themselves; release with [`BlockCache::release_pinned`].
+    pub fn charge_pinned(&self, file_number: u64, bytes: usize) {
+        if self.capacity_bytes == 0 {
+            return;
+        }
+        let shard = self.shard((file_number, u64::MAX));
+        let mut inner = shard.inner.lock();
+        inner.pinned_bytes += bytes;
+        while inner.used_bytes + inner.pinned_bytes > self.shard_capacity && inner.map.len() > 1 {
+            let Some((&oldest_tick, &oldest_key)) = inner.lru.iter().next() else {
+                break;
+            };
+            inner.lru.remove(&oldest_tick);
+            if let Some(evicted) = inner.map.remove(&oldest_key) {
+                inner.used_bytes -= evicted.block.size();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Releases a pinned-byte charge made by [`BlockCache::charge_pinned`].
+    pub fn release_pinned(&self, file_number: u64, bytes: usize) {
+        if self.capacity_bytes == 0 {
+            return;
+        }
+        let shard = self.shard((file_number, u64::MAX));
+        let mut inner = shard.inner.lock();
+        inner.pinned_bytes = inner.pinned_bytes.saturating_sub(bytes);
     }
 
     /// Cache hits so far.
@@ -173,9 +291,175 @@ impl BlockCache {
         }
     }
 
-    /// Bytes currently cached.
+    /// Bytes currently cached (data blocks plus pinned index/filter
+    /// charges), summed across shards.
     pub fn used_bytes(&self) -> usize {
-        self.inner.lock().used_bytes
+        self.shards
+            .iter()
+            .map(|s| {
+                let inner = s.inner.lock();
+                inner.used_bytes + inner.pinned_bytes
+            })
+            .sum()
+    }
+
+    /// Pinned (index/filter) bytes currently charged, summed across shards.
+    pub fn pinned_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().pinned_bytes)
+            .sum()
+    }
+}
+
+struct TableEntry {
+    table: Arc<Table>,
+    tick: u64,
+}
+
+struct TableCacheInner {
+    entries: HashMap<u64, TableEntry>,
+    lru: BTreeMap<u64, u64>,
+    next_tick: u64,
+}
+
+/// Entry-bounded LRU cache of open SSTable handles. Replaces the old
+/// per-`Db` `Mutex<HashMap<u64, (Arc<Table>, u64)>>` open-table map; each
+/// resident table's decoded index block and Bloom filter are charged to the
+/// shared [`BlockCache`] budget as pinned bytes, so "open table" memory and
+/// "cached block" memory come out of one pool.
+pub struct TableCache {
+    capacity: usize,
+    block_cache: Arc<BlockCache>,
+    map: Mutex<TableCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TableCache {
+    /// Creates a table cache bounded to `capacity` open handles (minimum
+    /// 1), charging pinned bytes to `block_cache`.
+    pub fn new(capacity: usize, block_cache: Arc<BlockCache>) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            block_cache,
+            map: Mutex::new(TableCacheInner {
+                entries: HashMap::new(),
+                lru: BTreeMap::new(),
+                next_tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetches the open handle for `file_number`, calling `open` on a miss.
+    pub fn get_or_open(
+        &self,
+        file_number: u64,
+        open: impl FnOnce() -> Result<Arc<Table>>,
+    ) -> Result<Arc<Table>> {
+        {
+            let mut inner = self.map.lock();
+            let tick = inner.next_tick;
+            if let Some(entry) = inner.entries.get_mut(&file_number) {
+                let old_tick = entry.tick;
+                entry.tick = tick;
+                let table = Arc::clone(&entry.table);
+                inner.next_tick += 1;
+                inner.lru.remove(&old_tick);
+                inner.lru.insert(tick, file_number);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(table);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Open outside the map lock (footer/index/filter reads hit the
+        // device). Two racing opens resolve to whichever inserted first.
+        let table = open()?;
+        let mut inner = self.map.lock();
+        let tick = inner.next_tick;
+        if let Some(entry) = inner.entries.get_mut(&file_number) {
+            let old_tick = entry.tick;
+            entry.tick = tick;
+            let existing = Arc::clone(&entry.table);
+            inner.next_tick += 1;
+            inner.lru.remove(&old_tick);
+            inner.lru.insert(tick, file_number);
+            return Ok(existing);
+        }
+        inner.next_tick += 1;
+        self.block_cache
+            .charge_pinned(file_number, table.pinned_bytes());
+        inner.entries.insert(
+            file_number,
+            TableEntry {
+                table: Arc::clone(&table),
+                tick,
+            },
+        );
+        inner.lru.insert(tick, file_number);
+        while inner.entries.len() > self.capacity {
+            let Some((&oldest_tick, &oldest_file)) = inner.lru.iter().next() else {
+                break;
+            };
+            inner.lru.remove(&oldest_tick);
+            if let Some(e) = inner.entries.remove(&oldest_file) {
+                self.block_cache
+                    .release_pinned(oldest_file, e.table.pinned_bytes());
+            }
+        }
+        Ok(table)
+    }
+
+    /// Drops the handle for a deleted file (its blocks are evicted by the
+    /// caller via [`BlockCache::evict_file`]).
+    pub fn remove(&self, file_number: u64) {
+        let mut inner = self.map.lock();
+        if let Some(e) = inner.entries.remove(&file_number) {
+            inner.lru.remove(&e.tick);
+            self.block_cache
+                .release_pinned(file_number, e.table.pinned_bytes());
+        }
+    }
+
+    /// Open handles currently resident.
+    pub fn len(&self) -> usize {
+        self.map.lock().entries.len()
+    }
+
+    /// True when no handles are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Table-handle cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Table-handle cache misses (each one re-read footer+index+filter).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("shards", &self.shards.len())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for TableCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -224,8 +508,9 @@ mod tests {
 
     #[test]
     fn evicts_least_recently_used_under_pressure() {
-        // Each block ~1000 bytes; capacity for ~3.
-        let cache = BlockCache::new(3200);
+        // Single shard so the LRU order is global; each block ~1000 bytes,
+        // capacity for ~3.
+        let cache = BlockCache::with_shards(3200, 1);
         for i in 0..3u8 {
             cache
                 .get_or_load((i as u64, 0), || Ok(make_block(i, 1000)))
@@ -280,5 +565,46 @@ mod tests {
         cache.get_or_load((8, 0), || panic!("should hit")).unwrap();
         cache.get_or_load((7, 0), || Ok(make_block(1, 10))).unwrap();
         assert_eq!(cache.misses(), misses + 1);
+    }
+
+    #[test]
+    fn shards_are_a_power_of_two_and_spread_keys() {
+        let cache = BlockCache::with_shards(1 << 20, 6);
+        assert_eq!(cache.shard_count(), 8);
+        // Blocks from many files must not all land in one shard.
+        let mut seen = std::collections::BTreeSet::new();
+        for f in 0..64u64 {
+            seen.insert(shard_hash((f, 0)) & cache.mask);
+        }
+        assert!(seen.len() > 1, "hash must spread files across shards");
+        // Same key always maps to the same shard (stability).
+        assert_eq!(shard_hash((3, 7)), shard_hash((3, 7)));
+    }
+
+    #[test]
+    fn zero_copy_handles_share_one_decode() {
+        let cache = BlockCache::new(1 << 20);
+        let a = cache.get_or_load((1, 0), || Ok(make_block(1, 64))).unwrap();
+        let b = cache.get_or_load((1, 0), || panic!("hit")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hits must return the same Arc<Block>");
+    }
+
+    #[test]
+    fn pinned_bytes_squeeze_data_blocks() {
+        let cache = BlockCache::with_shards(2048, 1);
+        cache
+            .get_or_load((1, 0), || Ok(make_block(1, 900)))
+            .unwrap();
+        cache
+            .get_or_load((2, 0), || Ok(make_block(2, 900)))
+            .unwrap();
+        assert_eq!(cache.evictions(), 0);
+        // Pinning a large index charge forces data blocks out (down to the
+        // keep-one floor).
+        cache.charge_pinned(9, 1800);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.pinned_bytes(), 1800);
+        cache.release_pinned(9, 1800);
+        assert_eq!(cache.pinned_bytes(), 0);
     }
 }

@@ -6,16 +6,32 @@
 //!
 //! ## Execution model
 //!
-//! The core is single-threaded and runs in virtual time with a modelled
-//! background thread. Flushes and compaction tasks execute *logically*
-//! immediately (reads see their results like an installed version), but
-//! their device time is booked on a background lane; the foreground feels
-//! them only through LevelDB's classic write gates — the 1 ms Level-0
-//! slowdown, the Level-0 stop, and the wait for an immutable-memtable slot
-//! at rotation — plus bandwidth contention on reads. Those gates are
-//! exactly the paper's tail-latency model (Eq. 3): a write's latency is
-//! the memtable insert plus however much compaction work it had to wait
-//! for. Throughput is `ops / virtual seconds`.
+//! The core runs in virtual time with a modelled background thread.
+//! Flushes and compaction tasks execute *logically* immediately (reads see
+//! their results like an installed version), but their device time is
+//! booked on a background lane; the foreground feels them only through
+//! LevelDB's classic write gates — the 1 ms Level-0 slowdown, the Level-0
+//! stop, and the wait for an immutable-memtable slot at rotation — plus
+//! bandwidth contention on reads. Those gates are exactly the paper's
+//! tail-latency model (Eq. 3): a write's latency is the memtable insert
+//! plus however much compaction work it had to wait for. Throughput is
+//! `ops / virtual seconds`.
+//!
+//! ## Concurrency model
+//!
+//! Every public operation takes `&self`. Mutable engine state lives in one
+//! [`parking_lot::Mutex`]`<DbCore>`; readers never touch it. Instead they
+//! clone the published [`ReadView`] — `Arc`s to the current [`Version`],
+//! the live memtable, and the immutable memtable, plus the last published
+//! sequence number — and serve the whole operation from that pinned,
+//! immutable snapshot. Writers funnel through a leader/follower
+//! [`CommitQueue`]: the leader drains *all* queued batches, commits them
+//! as one WAL append under the core lock, republishes the view, and hands
+//! each follower its result. Virtual-clock determinism is preserved
+//! because a single-threaded caller always leads a group of exactly one
+//! batch, producing byte- and time-identical traces to the non-grouped
+//! path. Multithreaded runs promise linearizable correctness, not timing
+//! reproducibility. See DESIGN.md §10 for the full model and lock order.
 //!
 //! ## LDC-specific read semantics
 //!
@@ -39,14 +55,17 @@
 //! and range scans single-candidate per level.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use ldc_obs::{Event, EventKind, LevelGauge, MetricsRegistry, NoopSink, OpType, SharedSink};
 use ldc_ssd::{IoClass, Nanos, SsdDevice, StorageBackend, TimeCategory};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::batch::{BatchOp, WriteBatch};
-use crate::cache::{BlockCache, CacheCounters};
+use crate::cache::{BlockCache, CacheCounters, TableCache};
+use crate::commit::{CommitQueue, Role, Ticket};
 use crate::compaction::{CompactionPolicy, CompactionTask, PickContext};
 use crate::error::{CorruptionInfo, Error, Result};
 use crate::iterator::{InternalIterator, MergingIterator};
@@ -92,6 +111,10 @@ pub struct DbStats {
     pub stall_nanos: u64,
     /// Bloom-filter negatives that skipped a table probe.
     pub bloom_skips: u64,
+    /// Leader commits that coalesced more than one writer's batch.
+    pub write_groups: u64,
+    /// Batches committed inside those multi-batch groups (sizes summed).
+    pub grouped_batches: u64,
 }
 
 /// What one [`Db::open`] recovery did: replay volume, torn tails cut, and
@@ -128,6 +151,53 @@ pub struct QuarantinedFile {
     pub largest: Vec<u8>,
 }
 
+/// A value returned by the pinned get path without copying it out of the
+/// block cache. `Block` keeps the decoded SSTable block alive for as long
+/// as the handle exists; `Inline` carries a memtable hit (the skiplist
+/// arena cannot be pinned across the lock, so those bytes are copied
+/// once). Copy to an owned `Vec` only at the API boundary that needs one.
+#[derive(Debug, Clone)]
+pub enum PinnedValue {
+    /// A value copied out of the (im)mutable memtable.
+    Inline(Vec<u8>),
+    /// A zero-copy slice of a cached, immutable SSTable block.
+    Block(Bytes),
+}
+
+impl PinnedValue {
+    /// The value bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            PinnedValue::Inline(v) => v,
+            PinnedValue::Block(b) => b,
+        }
+    }
+
+    /// Copies (or moves, for `Inline`) the value into an owned vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            PinnedValue::Inline(v) => v,
+            PinnedValue::Block(b) => b.to_vec(),
+        }
+    }
+
+    /// Value length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl AsRef<[u8]> for PinnedValue {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
 /// Pre-dispatch description of a compaction task, captured while its
 /// input files still exist in the current version.
 #[derive(Debug, Clone, Copy)]
@@ -150,43 +220,39 @@ struct ExecTrace {
     write_nanos: Nanos,
 }
 
-/// A single-threaded LSM-tree database over a simulated SSD.
-pub struct Db {
-    options: Options,
-    storage: Arc<dyn StorageBackend>,
-    device: Arc<SsdDevice>,
-    policy: Box<dyn CompactionPolicy>,
+/// The state a read operation pins at entry: `Arc`s to the version and
+/// memtables current at some commit boundary, plus the sequence number
+/// published with them. Cloning is a few refcount bumps; everything
+/// reachable from a view is immutable except the live memtable, whose
+/// entries newer than `seq` are invisible to the read (MVCC by sequence).
+#[derive(Clone)]
+struct ReadView {
+    version: Arc<Version>,
+    mem: Arc<MemTable>,
+    imm: Option<Arc<MemTable>>,
+    seq: SequenceNumber,
+}
+
+/// All mutable engine state, guarded by one mutex. Writers (and the
+/// background work they pump) hold it for the duration of a commit;
+/// readers never take it — they go through the published [`ReadView`].
+struct DbCore {
     versions: VersionSet,
-    mem: MemTable,
+    mem: Arc<MemTable>,
     /// Immutable memtable awaiting its background flush.
-    imm: Option<MemTable>,
+    imm: Option<Arc<MemTable>>,
     /// WAL file to delete once `imm` is flushed.
     imm_wal_to_delete: Option<String>,
     wal: LogWriter,
-    block_cache: Arc<BlockCache>,
-    /// Open-table handles with LRU ticks, bounded by
-    /// `options.table_cache_entries`.
-    tables: Mutex<HashMap<u64, (Arc<Table>, u64)>>,
-    table_tick: std::sync::atomic::AtomicU64,
+    /// Engine counters; `gets`/`scans`/`bloom_skips` live in atomics on
+    /// `Db` (the read path does not lock the core) and are folded in by
+    /// [`Db::stats`].
     stats: DbStats,
     /// Live snapshots: sequence -> handle count. Compaction never drops a
     /// version the oldest live snapshot could observe.
     snapshots: std::collections::BTreeMap<SequenceNumber, usize>,
-    /// Virtual time until which the background lane (flush + compaction)
-    /// is busy. Background work executes eagerly for correctness, but its
-    /// device time is re-booked here; foreground requests pay for it only
-    /// through rotation stalls and bandwidth contention — which is where
-    /// the paper's tail latency comes from.
-    bg_until: Nanos,
-    /// Where structured events go; [`NoopSink`] by default, in which case
-    /// no event is ever built (`sink.enabled()` gates construction).
-    sink: SharedSink,
-    /// Per-level gauges and per-op latency histograms.
-    metrics: Arc<MetricsRegistry>,
     /// Per-task scratch for event phase attribution.
     trace: ExecTrace,
-    /// What the opening recovery replayed/discarded.
-    recovery: RecoverySummary,
     /// First background/storage failure. Once set, further writes are
     /// refused: a failed WAL or manifest append leaves the log's record
     /// framing in an unknown state, and writing past it would corrupt it.
@@ -194,7 +260,74 @@ pub struct Db {
     /// SSTables set aside by the quarantine corruption policy, in the
     /// order they were quarantined.
     quarantined: Vec<QuarantinedFile>,
+    /// Table files dropped from the version but not yet physically
+    /// deleted: a concurrent reader's pinned view may still reference
+    /// them. Reaped at commit/drain boundaries once no read is in flight.
+    pending_deletes: Vec<u64>,
 }
+
+/// Decrements the in-flight read counter on drop, so pending physical
+/// file deletes know when no pinned view can reference them.
+struct ReadPin<'a>(&'a AtomicU64);
+
+impl<'a> ReadPin<'a> {
+    fn new(counter: &'a AtomicU64) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        ReadPin(counter)
+    }
+}
+
+impl Drop for ReadPin<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// An LSM-tree database over a simulated SSD. All operations take `&self`
+/// and the handle is `Send + Sync`: share it across threads behind an
+/// `Arc` (see the module docs for the concurrency model).
+pub struct Db {
+    options: Options,
+    storage: Arc<dyn StorageBackend>,
+    device: Arc<SsdDevice>,
+    policy: Mutex<Box<dyn CompactionPolicy>>,
+    /// Open-table handles (pinned index + Bloom filter each), LRU-bounded
+    /// by `options.table_cache_entries`; pinned bytes are charged to the
+    /// block cache so table metadata and data blocks share one budget.
+    tables: TableCache,
+    block_cache: Arc<BlockCache>,
+    /// Where structured events go; [`NoopSink`] by default, in which case
+    /// no event is ever built (`sink.enabled()` gates construction).
+    sink: SharedSink,
+    /// Per-level gauges and per-op latency histograms.
+    metrics: Arc<MetricsRegistry>,
+    core: Mutex<DbCore>,
+    /// The state readers pin; republished at every commit boundary.
+    view: RwLock<ReadView>,
+    /// Leader/follower write grouping.
+    commit: CommitQueue,
+    /// Virtual time until which the background lane (flush + compaction)
+    /// is busy. Background work executes eagerly for correctness, but its
+    /// device time is re-booked here; foreground requests pay for it only
+    /// through rotation stalls and bandwidth contention — which is where
+    /// the paper's tail latency comes from.
+    bg_until: AtomicU64,
+    /// Point lookups served (read path is lock-free w.r.t. the core).
+    gets: AtomicU64,
+    /// Range scans served.
+    scans: AtomicU64,
+    /// Bloom-filter negatives that skipped a table probe.
+    bloom_skips: AtomicU64,
+    /// Reads currently in flight (holding a pinned view).
+    read_pins: AtomicU64,
+    /// What the opening recovery replayed/discarded.
+    recovery: RecoverySummary,
+}
+
+/// `Db` is shared across reader/writer threads behind an `Arc`.
+#[allow(dead_code)]
+fn assert_send_sync<T: Send + Sync>() {}
+const _: fn() = assert_send_sync::<Db>;
 
 impl Db {
     /// Opens (creating or recovering) a database on `storage` with the given
@@ -234,7 +367,11 @@ impl Db {
         };
         let device = storage.device();
         let open_start = device.clock().now();
-        let block_cache = Arc::new(BlockCache::new(options.block_cache_bytes));
+        let block_cache = Arc::new(BlockCache::with_shards(
+            options.block_cache_bytes,
+            options.block_cache_shards,
+        ));
+        let tables = TableCache::new(options.table_cache_entries, Arc::clone(&block_cache));
         let existed = VersionSet::exists(storage.as_ref());
         let mut versions = if existed {
             VersionSet::recover(Arc::clone(&storage), options.max_levels)?
@@ -250,7 +387,7 @@ impl Db {
         // Logs are deleted only once their contents are flushed, so the set
         // of `.log` files on disk is exactly the unflushed data — even if
         // the crash happened between a rotation and its flush.
-        let mut mem = MemTable::new(options.seed);
+        let mem = MemTable::new(options.seed);
         let mut replayed = 0u64;
         let mut old_logs: Vec<(u64, String)> = storage
             .list()
@@ -333,45 +470,65 @@ impl Db {
         );
 
         device.set_event_sink(Arc::clone(&sink));
-        let mut db = Db {
+        let mem = Arc::new(mem);
+        let view = ReadView {
+            version: Arc::clone(&versions.current),
+            mem: Arc::clone(&mem),
+            imm: None,
+            seq: versions.last_sequence,
+        };
+        let db = Db {
             options,
             storage,
             device,
-            policy,
-            versions,
-            mem,
-            imm: None,
-            imm_wal_to_delete: None,
-            wal,
+            policy: Mutex::new(policy),
+            tables,
             block_cache,
-            tables: Mutex::new(HashMap::new()),
-            table_tick: std::sync::atomic::AtomicU64::new(0),
-            stats: DbStats::default(),
-            snapshots: std::collections::BTreeMap::new(),
-            bg_until: 0,
             sink,
             metrics,
-            trace: ExecTrace::default(),
+            core: Mutex::new(DbCore {
+                versions,
+                mem,
+                imm: None,
+                imm_wal_to_delete: None,
+                wal,
+                stats: DbStats::default(),
+                snapshots: std::collections::BTreeMap::new(),
+                trace: ExecTrace::default(),
+                bg_error: None,
+                quarantined: Vec::new(),
+                pending_deletes: Vec::new(),
+            }),
+            view: RwLock::new(view),
+            commit: CommitQueue::new(),
+            bg_until: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
+            bloom_skips: AtomicU64::new(0),
+            read_pins: AtomicU64::new(0),
             recovery,
-            bg_error: None,
-            quarantined: Vec::new(),
         };
 
         // Persist the replayed data so the old WALs can be dropped, then
         // record the new WAL number.
-        if replayed > 0 {
-            let full = std::mem::replace(&mut db.mem, MemTable::new(db.options.seed));
-            db.flush_table(full, Some(new_log_number))?;
-        } else {
-            db.versions.log_and_apply(VersionEdit {
-                log_number: Some(new_log_number),
-                ..Default::default()
-            })?;
-        }
-        for (_, name) in &old_logs {
-            if *name != log_file_name(new_log_number) && db.storage.exists(name) {
-                db.storage.delete(name)?;
+        {
+            let mut core = db.core.lock();
+            if replayed > 0 {
+                let full =
+                    std::mem::replace(&mut core.mem, Arc::new(MemTable::new(db.options.seed)));
+                db.flush_table(&mut core, &full, Some(new_log_number))?;
+            } else {
+                core.versions.log_and_apply(VersionEdit {
+                    log_number: Some(new_log_number),
+                    ..Default::default()
+                })?;
             }
+            for (_, name) in &old_logs {
+                if *name != log_file_name(new_log_number) && db.storage.exists(name) {
+                    db.storage.delete(name)?;
+                }
+            }
+            db.publish_view(&core);
         }
         if db.sink.enabled() {
             let r = db.recovery;
@@ -387,6 +544,25 @@ impl Db {
         Ok(db)
     }
 
+    /// Publishes the core's current state as the view readers pin. Must be
+    /// called (while holding the core lock) at every boundary where a
+    /// reader is allowed to observe the new state: end of a leader commit,
+    /// end of a background drain, after a quarantine, and at open.
+    fn publish_view(&self, core: &DbCore) {
+        *self.view.write() = ReadView {
+            version: Arc::clone(&core.versions.current),
+            mem: Arc::clone(&core.mem),
+            imm: core.imm.as_ref().map(Arc::clone),
+            seq: core.versions.last_sequence,
+        };
+        // Order the publish before any subsequent `read_pins` check (see
+        // `reap_pending_deletes`): a reader that pins after a zero-pin
+        // observation must see this (or a newer) view.
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+}
+
+impl Db {
     /// What the opening recovery replayed, truncated, and quarantined.
     pub fn recovery_summary(&self) -> RecoverySummary {
         self.recovery
@@ -404,18 +580,31 @@ impl Db {
 
     /// The compaction policy's name.
     pub fn policy_name(&self) -> String {
-        self.policy.name().to_string()
+        self.policy.lock().name().to_string()
     }
 
     /// Engine counters.
     pub fn stats(&self) -> DbStats {
-        self.stats
+        self.fold_stats(self.core.lock().stats)
+    }
+
+    /// Fills the atomically-tracked read counters into a core stats copy.
+    fn fold_stats(&self, mut stats: DbStats) -> DbStats {
+        stats.gets = self.gets.load(Ordering::Relaxed);
+        stats.scans = self.scans.load(Ordering::Relaxed);
+        stats.bloom_skips = self.bloom_skips.load(Ordering::Relaxed);
+        stats
     }
 
     /// Block-cache counters; misses equal data-block reads from the
     /// device (Fig 13).
     pub fn block_cache_counters(&self) -> CacheCounters {
         self.block_cache.counters()
+    }
+
+    /// The shared block cache (tests, experiments).
+    pub fn block_cache(&self) -> &Arc<BlockCache> {
+        &self.block_cache
     }
 
     /// Routes structured engine events (flush, merge, link, stall, GC, ...)
@@ -439,10 +628,17 @@ impl Db {
     /// the simulated SSD's GC/wear state.
     pub fn stats_report(&self) -> String {
         use std::fmt::Write as _;
-        self.refresh_level_gauges();
+        let (s, version, quarantined) = {
+            let core = self.core.lock();
+            (
+                self.fold_stats(core.stats),
+                Arc::clone(&core.versions.current),
+                core.quarantined.clone(),
+            )
+        };
+        self.refresh_level_gauges(&version);
         let mb = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
         let ms = |nanos: u64| nanos as f64 / 1e6;
-        let s = self.stats;
         let mut out = String::new();
 
         let _ = writeln!(out, "                          Level summary");
@@ -460,11 +656,11 @@ impl Db {
                 score = g.score,
             );
         }
-        let frozen_files = self.versions.current.frozen.len();
+        let frozen_files = version.frozen.len();
         let _ = writeln!(
             out,
             "Frozen: {frozen_files} files, {:.1} MB",
-            mb(self.versions.current.frozen_bytes())
+            mb(version.frozen_bytes())
         );
 
         let _ = writeln!(
@@ -479,6 +675,13 @@ impl Db {
             ms(s.stall_nanos),
             s.slowdowns
         );
+        if s.write_groups > 0 {
+            let _ = writeln!(
+                out,
+                "Write groups: {} groups coalescing {} batches",
+                s.write_groups, s.grouped_batches
+            );
+        }
 
         let cache = self.block_cache.counters();
         let _ = writeln!(
@@ -488,6 +691,20 @@ impl Db {
             cache.misses,
             cache.evictions,
             cache.hit_rate() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "Block cache: {} shards, {:.1} MB cached + {:.1} MB pinned metadata",
+            self.block_cache.shard_count(),
+            mb(self.block_cache.used_bytes() as u64),
+            mb(self.block_cache.pinned_bytes() as u64),
+        );
+        let _ = writeln!(
+            out,
+            "Table cache: {} open tables, {} hits, {} misses",
+            self.tables.len(),
+            self.tables.hits(),
+            self.tables.misses(),
         );
         let _ = writeln!(out, "Bloom: {} probes skipped", s.bloom_skips);
 
@@ -501,7 +718,7 @@ impl Db {
 
         let d = self.metrics.degraded_counters();
         if d.transient_retries + d.scrub_blocks_verified + d.files_quarantined > 0
-            || !self.quarantined.is_empty()
+            || !quarantined.is_empty()
         {
             let _ = writeln!(
                 out,
@@ -512,7 +729,7 @@ impl Db {
                 d.scrub_corruptions,
                 d.files_quarantined
             );
-            for q in &self.quarantined {
+            for q in &quarantined {
                 let _ = writeln!(
                     out,
                     "  quarantined {} (level {}, {:.1} MB, keys {:?}..{:?})",
@@ -564,9 +781,11 @@ impl Db {
         out
     }
 
-    /// Read-only view of the current version (tests, experiments).
-    pub fn version(&self) -> &Version {
-        &self.versions.current
+    /// The current version (tests, experiments). The returned `Arc` is a
+    /// stable snapshot: a concurrent compaction installs a *new* version
+    /// rather than mutating this one.
+    pub fn version(&self) -> Arc<Version> {
+        Arc::clone(&self.core.lock().versions.current)
     }
 
     /// Live bytes in store files (Fig 15's space metric).
@@ -576,15 +795,14 @@ impl Db {
 
     /// Integrity check over every live and frozen SSTable: verifies all
     /// block checksums and key ordering. Returns the total entries scanned.
-    pub fn verify_integrity(&mut self) -> Result<u64> {
-        let numbers: Vec<u64> = self
-            .versions
-            .current
+    pub fn verify_integrity(&self) -> Result<u64> {
+        let version = self.version();
+        let numbers: Vec<u64> = version
             .levels
             .iter()
             .flatten()
             .map(|f| f.number)
-            .chain(self.versions.current.frozen.keys().copied())
+            .chain(version.frozen.keys().copied())
             .collect();
         let mut total = 0u64;
         for number in numbers {
@@ -596,13 +814,26 @@ impl Db {
 
     /// SSTables set aside by the [`CorruptionPolicy::Quarantine`] policy
     /// since this handle was opened, oldest first.
-    pub fn quarantined(&self) -> &[QuarantinedFile] {
-        &self.quarantined
+    pub fn quarantined(&self) -> Vec<QuarantinedFile> {
+        self.core.lock().quarantined.clone()
     }
 
     /// The event sink, for sibling modules (scrub) that emit events.
     pub(crate) fn event_sink(&self) -> &SharedSink {
         &self.sink
+    }
+
+    /// Reacts to a permanent corruption report according to the corruption
+    /// policy, taking the core lock itself; safe to call from the (lock
+    /// free) read path. On success the shrunken version is published so
+    /// the caller can re-pin a view and retry. See [`Db::try_quarantine`].
+    pub(crate) fn quarantine_corruption(&self, info: &CorruptionInfo) -> Result<bool> {
+        let mut core = self.core.lock();
+        let quarantined = self.try_quarantine(&mut core, info)?;
+        if quarantined {
+            self.publish_view(&core);
+        }
+        Ok(quarantined)
     }
 
     /// Reacts to a permanent corruption report according to the corruption
@@ -615,7 +846,7 @@ impl Db {
     /// the policy is fail-stop, the report does not name a table file, or
     /// the file is not live (frozen files stay in place: they are repair's
     /// salvage source, and dropping them would break slice links).
-    pub(crate) fn try_quarantine(&mut self, info: &CorruptionInfo) -> Result<bool> {
+    fn try_quarantine(&self, core: &mut DbCore, info: &CorruptionInfo) -> Result<bool> {
         if self.options.corruption_policy != CorruptionPolicy::Quarantine {
             return Ok(false);
         }
@@ -627,7 +858,7 @@ impl Db {
             Some(n) => n,
             None => return Ok(false),
         };
-        let (level, meta) = match self.versions.current.find_file(number) {
+        let (level, meta) = match core.versions.current.find_file(number) {
             Some((level, meta)) => (level, meta.clone()),
             None => return Ok(false),
         };
@@ -635,11 +866,11 @@ impl Db {
         // they referenced stay in the frozen set at refcount 0 (retained on
         // purpose — repair prefers an LDC frozen predecessor over losing
         // the linked data outright).
-        self.versions.log_and_apply(VersionEdit {
+        core.versions.log_and_apply(VersionEdit {
             deleted_files: vec![(level as u32, number)],
             ..Default::default()
         })?;
-        self.tables.lock().remove(&number);
+        self.tables.remove(number);
         self.block_cache.evict_file(number);
         let name = table_file_name(number);
         self.storage.rename(&name, &format!("{name}.quarantined"))?;
@@ -653,129 +884,197 @@ impl Db {
                     .bytes(meta.size, 0),
             );
         }
-        self.quarantined.push(QuarantinedFile {
+        core.quarantined.push(QuarantinedFile {
             file: name,
             level,
             size: meta.size,
             smallest: meta.smallest_ukey().to_vec(),
             largest: meta.largest_ukey().to_vec(),
         });
-        self.refresh_level_gauges();
+        self.refresh_level_gauges(&core.versions.current);
         Ok(true)
     }
 
-    /// Runs `op`, retrying after each successful quarantine so a read lands
-    /// on the surviving files instead of failing. Bounded by the number of
-    /// live files: every retry is paid for by one file leaving the version.
-    fn with_quarantine_retries<T>(
-        &mut self,
-        mut op: impl FnMut(&mut Self) -> Result<T>,
-    ) -> Result<T> {
-        loop {
-            match op(self) {
-                Err(Error::Corruption(info)) => {
-                    if !self.try_quarantine(&info)? {
-                        return Err(Error::Corruption(info));
-                    }
-                }
-                other => return other,
-            }
-        }
-    }
-
     /// Inserts or overwrites `key`.
-    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
         let mut batch = WriteBatch::new();
         batch.put(key, value);
         let t0 = self.device.clock().now();
         let result = self.write(batch);
         self.metrics
-            .record_latency(OpType::Put, self.device.clock().now() - t0);
+            .record_latency(OpType::Put, self.device.clock().now().saturating_sub(t0));
         result
     }
 
     /// Deletes `key` (writes a tombstone).
-    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
         let mut batch = WriteBatch::new();
         batch.delete(key);
         let t0 = self.device.clock().now();
         let result = self.write(batch);
         self.metrics
-            .record_latency(OpType::Delete, self.device.clock().now() - t0);
+            .record_latency(OpType::Delete, self.device.clock().now().saturating_sub(t0));
         result
     }
 
     /// Applies a batch atomically.
+    ///
+    /// Concurrent writers coalesce: each enqueues its batch, and the first
+    /// to find no leader active commits *every* queued batch as one WAL
+    /// append (the deterministic drain-all-queued rule), then distributes
+    /// results. A single-threaded caller always leads a group of exactly
+    /// one batch, so the WAL bytes and virtual-clock charges are identical
+    /// to an ungrouped write.
     ///
     /// This is where the paper's tail latency comes from: a write normally
     /// costs only the WAL append and memtable insert, but when background
     /// flush/compaction lags it absorbs LevelDB's classic brakes — the 1 ms
     /// Level-0 slowdown, the Level-0 stop, and the wait for an immutable
     /// memtable slot at rotation.
-    pub fn write(&mut self, batch: WriteBatch) -> Result<()> {
-        if let Some(e) = &self.bg_error {
-            return Err(e.clone());
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        let ticket = self.commit.enqueue(batch);
+        match self.commit.wait(ticket) {
+            Role::Done(result) => result,
+            Role::Leader(group) => {
+                let results = {
+                    let mut core = self.core.lock();
+                    let results = self.commit_group(&mut core, group);
+                    self.publish_view(&core);
+                    if let Err(e) = self.reap_pending_deletes(&mut core) {
+                        if core.bg_error.is_none() {
+                            core.bg_error = Some(e);
+                        }
+                    }
+                    results
+                };
+                self.commit.finish(ticket, results)
+            }
         }
-        let result = self.write_inner(batch);
-        if let Err(e) = &result {
-            // Fail-stop: a failed WAL/manifest append leaves that log's
-            // record framing unknown, and appending more records after it
-            // would make the file unrecoverable. Reads keep working.
-            self.bg_error = Some(e.clone());
-        }
-        result
     }
 
     /// The first background/storage error, if the engine has latched one.
     /// While set, writes are refused with this error; reads still work.
-    pub fn background_error(&self) -> Option<&Error> {
-        self.bg_error.as_ref()
+    pub fn background_error(&self) -> Option<Error> {
+        self.core.lock().bg_error.clone()
     }
 
-    fn write_inner(&mut self, mut batch: WriteBatch) -> Result<()> {
-        if batch.is_empty() {
-            return Ok(());
+    /// Commits one leader-drained group of batches under the core lock and
+    /// returns the per-ticket results. Empty batches succeed without side
+    /// effects (not even a policy op observation), exactly like the
+    /// ungrouped path; the non-empty ones are merged, in ticket order,
+    /// into one atomically-committed batch and share one outcome.
+    fn commit_group(
+        &self,
+        core: &mut DbCore,
+        group: Vec<(Ticket, WriteBatch)>,
+    ) -> Vec<(Ticket, Result<()>)> {
+        if let Some(e) = &core.bg_error {
+            let e = e.clone();
+            return group
+                .into_iter()
+                .map(|(t, _)| (t, Err(e.clone())))
+                .collect();
         }
-        self.policy.observe_op(true);
-        self.pump_background()?;
+        let mut results: Vec<(Ticket, Result<()>)> = Vec::with_capacity(group.len());
+        let mut tickets: Vec<Ticket> = Vec::new();
+        let mut batches: Vec<WriteBatch> = Vec::new();
+        for (ticket, batch) in group {
+            if batch.is_empty() {
+                results.push((ticket, Ok(())));
+            } else {
+                tickets.push(ticket);
+                batches.push(batch);
+            }
+        }
+        if batches.is_empty() {
+            return results;
+        }
+        let outcome = self.commit_batches(core, batches);
+        if let Err(e) = &outcome {
+            // Fail-stop: a failed WAL/manifest append leaves that log's
+            // record framing unknown, and appending more records after it
+            // would make the file unrecoverable. Reads keep working.
+            core.bg_error = Some(e.clone());
+        }
+        for ticket in tickets {
+            results.push((ticket, outcome.clone()));
+        }
+        results
+    }
+
+    /// The grouped write path: gates, one WAL append, memtable inserts,
+    /// and rotation, all in virtual time. `batches` is non-empty and every
+    /// batch in it is non-empty.
+    fn commit_batches(&self, core: &mut DbCore, mut batches: Vec<WriteBatch>) -> Result<()> {
+        {
+            let mut policy = self.policy.lock();
+            for _ in 0..batches.len() {
+                policy.observe_op(true);
+            }
+        }
+        self.pump_background(core)?;
 
         // LevelDB's write gates, in escalating order of pain.
-        if self.versions.current.level_files(0) >= self.options.l0_stop_threshold {
+        if core.versions.current.level_files(0) >= self.options.l0_stop_threshold {
             // Hard stop: wait for background tasks until L0 drains below
             // the limit.
             let t0 = self.device.clock().now();
             loop {
-                if self.versions.current.level_files(0) < self.options.l0_stop_threshold {
+                if core.versions.current.level_files(0) < self.options.l0_stop_threshold {
                     break;
                 }
                 let now = self.device.clock().now();
-                if self.bg_until > now {
-                    self.device.clock().advance(self.bg_until - now);
+                let bg = self.bg_until.load(Ordering::SeqCst);
+                if bg > now {
+                    self.device.clock().advance(bg - now);
                 }
-                let before = (self.versions.current.level_files(0), self.bg_until);
-                self.pump_background()?;
-                if before == (self.versions.current.level_files(0), self.bg_until) {
+                let before = (
+                    core.versions.current.level_files(0),
+                    self.bg_until.load(Ordering::SeqCst),
+                );
+                self.pump_background(core)?;
+                if before
+                    == (
+                        core.versions.current.level_files(0),
+                        self.bg_until.load(Ordering::SeqCst),
+                    )
+                {
                     break; // no progress possible (policy is idle)
                 }
             }
-            let waited = self.device.clock().now() - t0;
+            let waited = self.device.clock().now().saturating_sub(t0);
             if waited > 0 {
-                self.stats.stalls += 1;
-                self.stats.stall_nanos += waited;
+                core.stats.stalls += 1;
+                core.stats.stall_nanos += waited;
                 if self.sink.enabled() {
                     self.sink
                         .record(Event::span(EventKind::Stall, t0, t0 + waited).levels(0, 0));
                 }
             }
-        } else if self.versions.current.level_files(0) >= self.options.l0_slowdown_threshold {
+        } else if core.versions.current.level_files(0) >= self.options.l0_slowdown_threshold {
             let t0 = self.device.clock().now();
             self.device.clock().advance(self.options.slowdown_delay_ns);
-            self.stats.slowdowns += 1;
+            core.stats.slowdowns += 1;
             if self.sink.enabled() {
                 self.sink.record(
                     Event::span(EventKind::Slowdown, t0, t0 + self.options.slowdown_delay_ns)
                         .levels(0, 0),
                 );
+            }
+        }
+
+        // Coalesce the group into the leader's batch. A group of one is
+        // committed as-is — byte-identical WAL framing to the ungrouped
+        // engine, which is what keeps single-threaded runs deterministic.
+        let group_size = batches.len();
+        let mut batch = batches.remove(0);
+        for follower in batches {
+            for item in follower.iter() {
+                let (_, op) = item?;
+                match op {
+                    BatchOp::Put { key, value } => batch.put(key, value),
+                    BatchOp::Delete { key } => batch.delete(key),
+                }
             }
         }
 
@@ -785,13 +1084,13 @@ impl Db {
         // the background lane, sharing bandwidth with flush/compaction,
         // while the foreground pays only the syscall-ish cost.
         let fg_start = self.device.clock().now();
-        let seq = self.versions.last_sequence + 1;
+        let seq = core.versions.last_sequence + 1;
         batch.set_sequence(seq);
         let count = u64::from(batch.count());
         if self.options.wal_sync {
             let t0 = self.device.clock().now();
-            self.wal.add_record(batch.encoded())?;
-            self.wal.sync()?;
+            core.wal.add_record(batch.encoded())?;
+            core.wal.sync()?;
             if self.sink.enabled() {
                 self.sink.record(
                     Event::span(EventKind::WalSync, t0, self.device.clock().now())
@@ -800,14 +1099,16 @@ impl Db {
             }
         } else {
             let t0 = self.device.clock().now();
-            self.wal.add_record(batch.encoded())?;
+            core.wal.add_record(batch.encoded())?;
             self.device.clock().rewind_to(t0);
             // The async flush consumes device *bandwidth* (no per-append
             // setup latency — the kernel batches page writes), serialized
             // with flush/compaction on the background lane.
             let lane_cost = (batch.byte_size() as u64).saturating_mul(1_000_000_000)
                 / self.device.config().write_bandwidth;
-            self.bg_until = self.bg_until.max(t0) + lane_cost;
+            let bg = self.bg_until.load(Ordering::SeqCst);
+            self.bg_until
+                .store(bg.max(t0) + lane_cost, Ordering::SeqCst);
             // The buffered append still costs a syscall on the foreground.
             self.device.clock().advance(3_000);
         }
@@ -815,70 +1116,84 @@ impl Db {
             let (offset, op) = item?;
             let op_seq = seq + u64::from(offset);
             match op {
-                BatchOp::Put { key, value } => self.mem.add(op_seq, ValueType::Value, key, value),
-                BatchOp::Delete { key } => self.mem.add(op_seq, ValueType::Deletion, key, b""),
+                BatchOp::Put { key, value } => core.mem.add(op_seq, ValueType::Value, key, value),
+                BatchOp::Delete { key } => core.mem.add(op_seq, ValueType::Deletion, key, b""),
             }
         }
         self.device
             .clock()
             .advance(self.options.memtable_write_ns * count);
-        self.versions.last_sequence = seq + count - 1;
-        self.stats.writes += count;
-        self.stats.user_bytes_written += batch.user_bytes();
+        core.versions.last_sequence = seq + count - 1;
+        core.stats.writes += count;
+        core.stats.user_bytes_written += batch.user_bytes();
         let fg_end = self.device.clock().now();
-        self.device
-            .ledger()
-            .record(TimeCategory::ForegroundWrite, fg_end - fg_start);
+        self.device.ledger().record(
+            TimeCategory::ForegroundWrite,
+            fg_end.saturating_sub(fg_start),
+        );
+        if group_size > 1 {
+            core.stats.write_groups += 1;
+            core.stats.grouped_batches += group_size as u64;
+            if self.sink.enabled() {
+                self.sink.record(
+                    Event::span(EventKind::GroupCommit, fg_start, fg_end)
+                        .files(group_size as u32, 0)
+                        .bytes(batch.byte_size() as u64, 0),
+                );
+            }
+        }
 
         // Rotate when the memtable is full. If the previous immutable
         // memtable is still waiting for (or in) its flush, the writer must
         // wait for the slot — the paper's Eq. 3 tail event.
-        if self.mem.approximate_bytes() >= self.options.memtable_bytes {
-            if self.imm.is_some() {
+        if core.mem.approximate_bytes() >= self.options.memtable_bytes {
+            if core.imm.is_some() {
                 let t0 = self.device.clock().now();
                 // Let the lane finish its current task, then force the
                 // flush through.
-                if self.bg_until > t0 {
-                    self.device.clock().advance(self.bg_until - t0);
+                let bg = self.bg_until.load(Ordering::SeqCst);
+                if bg > t0 {
+                    self.device.clock().advance(bg - t0);
                 }
-                self.pump_background()?; // starts the flush if still pending
-                if self.imm.is_some() {
+                self.pump_background(core)?; // starts the flush if still pending
+                if core.imm.is_some() {
                     // The lane picked something else first (cannot happen
                     // with the flush-first pump, but stay safe): wait again.
                     let now = self.device.clock().now();
-                    if self.bg_until > now {
-                        self.device.clock().advance(self.bg_until - now);
+                    let bg = self.bg_until.load(Ordering::SeqCst);
+                    if bg > now {
+                        self.device.clock().advance(bg - now);
                     }
-                    self.pump_background()?;
+                    self.pump_background(core)?;
                 }
-                let waited = self.device.clock().now() - t0;
+                let waited = self.device.clock().now().saturating_sub(t0);
                 if waited > 0 {
-                    self.stats.stalls += 1;
-                    self.stats.stall_nanos += waited;
+                    core.stats.stalls += 1;
+                    core.stats.stall_nanos += waited;
                     if self.sink.enabled() {
                         self.sink
                             .record(Event::span(EventKind::Stall, t0, t0 + waited));
                     }
                 }
             }
-            let new_log_number = self.versions.new_file_number();
-            let old_log = self.wal.name().to_string();
-            self.wal = LogWriter::new(
+            let new_log_number = core.versions.new_file_number();
+            let old_log = core.wal.name().to_string();
+            core.wal = LogWriter::new(
                 Arc::clone(&self.storage),
                 log_file_name(new_log_number),
                 IoClass::WalWrite,
             );
-            let full = std::mem::replace(
-                &mut self.mem,
-                MemTable::new(self.options.seed ^ self.versions.next_file_number),
-            );
-            self.imm = Some(full);
-            self.imm_wal_to_delete = Some(old_log);
-            self.pump_background()?; // start the flush if the lane is idle
+            let seed = self.options.seed ^ core.versions.next_file_number;
+            let full = std::mem::replace(&mut core.mem, Arc::new(MemTable::new(seed)));
+            core.imm = Some(full);
+            core.imm_wal_to_delete = Some(old_log);
+            self.pump_background(core)?; // start the flush if the lane is idle
         }
         Ok(())
     }
+}
 
+impl Db {
     /// One scheduling step of the simulated background thread.
     ///
     /// If the lane is idle, starts the next unit of work — the pending
@@ -888,15 +1203,15 @@ impl Db {
     /// once installed), but its virtual time is booked on the lane: the
     /// clock is rewound and `bg_until` extended. Foreground requests feel
     /// it only through the write gates and read contention.
-    fn pump_background(&mut self) -> Result<()> {
+    fn pump_background(&self, core: &mut DbCore) -> Result<()> {
         let now = self.device.clock().now();
-        if self.bg_until > now {
+        if self.bg_until.load(Ordering::SeqCst) > now {
             return Ok(()); // lane busy
         }
         let t0 = now;
-        if let Some(imm) = self.imm.take() {
-            let wal = self.imm_wal_to_delete.take();
-            self.flush_table(imm, None)?;
+        if let Some(imm) = core.imm.take() {
+            let wal = core.imm_wal_to_delete.take();
+            self.flush_table(core, &imm, None)?;
             if let Some(wal) = wal {
                 if self.storage.exists(&wal) {
                     self.storage.delete(&wal)?;
@@ -905,15 +1220,15 @@ impl Db {
         } else {
             let task = {
                 let ctx = PickContext {
-                    version: &self.versions.current,
+                    version: &core.versions.current,
                     options: &self.options,
-                    compact_pointers: &self.versions.compact_pointers,
+                    compact_pointers: &core.versions.compact_pointers,
                 };
-                self.policy.pick(&ctx)
+                self.policy.lock().pick(&ctx)
             };
             match task {
                 Some(task) => {
-                    if let Err(e) = self.execute(task) {
+                    if let Err(e) = self.execute(core, task) {
                         match e {
                             // A compaction input turned out to be corrupt.
                             // Under the quarantine policy, set the file
@@ -921,7 +1236,7 @@ impl Db {
                             // pump against the surviving version; partial
                             // outputs are orphaned on disk and reclaimed by
                             // `repair_db`.
-                            Error::Corruption(ref info) if self.try_quarantine(info)? => {}
+                            Error::Corruption(ref info) if self.try_quarantine(core, info)? => {}
                             e => return Err(e),
                         }
                     }
@@ -931,20 +1246,57 @@ impl Db {
         }
         let t1 = self.device.clock().now();
         self.device.clock().rewind_to(t0);
-        self.bg_until = t0 + (t1 - t0);
+        self.bg_until.store(t0 + (t1 - t0), Ordering::SeqCst);
         Ok(())
+    }
+
+    /// Physically deletes table files dropped from the version, once no
+    /// read holds a pinned view that could still reference them. Runs at
+    /// commit and drain boundaries — always *after* `publish_view`, so any
+    /// view pinned after the zero-pin check cannot name these files. The
+    /// delete cost (a filesystem op per file) is booked on the background
+    /// lane, like the compaction work that orphaned the files.
+    fn reap_pending_deletes(&self, core: &mut DbCore) -> Result<()> {
+        if core.pending_deletes.is_empty() || self.read_pins.load(Ordering::SeqCst) != 0 {
+            return Ok(());
+        }
+        let t0 = self.device.clock().now();
+        let pending = std::mem::take(&mut core.pending_deletes);
+        let mut result = Ok(());
+        for number in pending {
+            self.tables.remove(number);
+            self.block_cache.evict_file(number);
+            let name = table_file_name(number);
+            if self.storage.exists(&name) {
+                if let Err(e) = self.storage.delete(&name) {
+                    result = Err(e.into());
+                }
+            }
+        }
+        let t1 = self.device.clock().now();
+        if t1 > t0 {
+            self.device.clock().rewind_to(t0);
+            let bg = self.bg_until.load(Ordering::SeqCst);
+            self.bg_until
+                .store(bg.max(t0) + (t1 - t0), Ordering::SeqCst);
+        }
+        result
     }
 
     /// Charges a foreground read for sharing device bandwidth with active
     /// background work: both streams run at half speed during the overlap,
     /// so the read takes twice as long *and* the background lane's drain is
     /// pushed out by the same amount.
-    fn charge_read_contention(&mut self, op_start: Nanos) {
+    fn charge_read_contention(&self, op_start: Nanos) {
         let end = self.device.clock().now();
-        let overlap = self.bg_until.min(end).saturating_sub(op_start);
+        let overlap = self
+            .bg_until
+            .load(Ordering::SeqCst)
+            .min(end)
+            .saturating_sub(op_start);
         if overlap > 0 {
             self.device.clock().advance(overlap);
-            self.bg_until += overlap;
+            self.bg_until.fetch_add(overlap, Ordering::SeqCst);
         }
     }
 
@@ -952,89 +1304,147 @@ impl Db {
     /// pending flush is done and the policy has no more work — returning
     /// the total wait. Harnesses call this at measurement boundaries so
     /// compaction debt is not silently dropped from throughput accounting.
-    pub fn drain_background(&mut self) -> Nanos {
+    pub fn drain_background(&self) -> Nanos {
         let t0 = self.device.clock().now();
+        let mut core = self.core.lock();
         loop {
             let now = self.device.clock().now();
-            if self.bg_until > now {
-                self.device.clock().advance(self.bg_until - now);
+            let bg = self.bg_until.load(Ordering::SeqCst);
+            if bg > now {
+                self.device.clock().advance(bg - now);
             }
-            let before = self.bg_until;
-            if self.pump_background().is_err() {
+            let before = self.bg_until.load(Ordering::SeqCst);
+            if self.pump_background(&mut core).is_err() {
                 break;
             }
-            if self.bg_until == before && self.imm.is_none() {
+            if self.bg_until.load(Ordering::SeqCst) == before && core.imm.is_none() {
                 break; // lane idle and nothing started
             }
         }
-        self.device.clock().now() - t0
+        self.publish_view(&core);
+        if let Err(e) = self.reap_pending_deletes(&mut core) {
+            if core.bg_error.is_none() {
+                core.bg_error = Some(e);
+            }
+        }
+        // The reap books lane time; absorb it so "drained" means idle.
+        let now = self.device.clock().now();
+        let bg = self.bg_until.load(Ordering::SeqCst);
+        if bg > now {
+            self.device.clock().advance(bg - now);
+        }
+        self.device.clock().now().saturating_sub(t0)
     }
 
     /// Pins the current state for repeatable reads. The snapshot must be
     /// released with [`Db::release_snapshot`]; while held, compaction keeps
     /// every version it could observe.
-    pub fn snapshot(&mut self) -> Snapshot {
-        let seq = self.versions.last_sequence;
-        *self.snapshots.entry(seq).or_insert(0) += 1;
+    pub fn snapshot(&self) -> Snapshot {
+        let mut core = self.core.lock();
+        let seq = core.versions.last_sequence;
+        *core.snapshots.entry(seq).or_insert(0) += 1;
         Snapshot { seq }
     }
 
     /// Releases a snapshot obtained from [`Db::snapshot`].
-    pub fn release_snapshot(&mut self, snapshot: Snapshot) {
-        if let Some(count) = self.snapshots.get_mut(&snapshot.seq) {
+    pub fn release_snapshot(&self, snapshot: Snapshot) {
+        let mut core = self.core.lock();
+        if let Some(count) = core.snapshots.get_mut(&snapshot.seq) {
             *count -= 1;
             if *count == 0 {
-                self.snapshots.remove(&snapshot.seq);
+                core.snapshots.remove(&snapshot.seq);
             }
         }
     }
 
     /// Point lookup as of a pinned snapshot.
-    pub fn get_at(&mut self, key: &[u8], snapshot: &Snapshot) -> Result<Option<Vec<u8>>> {
-        self.get_with_seq(key, snapshot.seq)
+    pub fn get_at(&self, key: &[u8], snapshot: &Snapshot) -> Result<Option<Vec<u8>>> {
+        Ok(self
+            .get_with_seq(key, Some(snapshot.seq))?
+            .map(PinnedValue::into_vec))
+    }
+
+    /// Zero-copy point lookup as of a pinned snapshot.
+    pub fn get_pinned_at(&self, key: &[u8], snapshot: &Snapshot) -> Result<Option<PinnedValue>> {
+        self.get_with_seq(key, Some(snapshot.seq))
     }
 
     /// Range scan as of a pinned snapshot.
     pub fn scan_at(
-        &mut self,
+        &self,
         start: &[u8],
         limit: usize,
         snapshot: &Snapshot,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.scan_with_seq(start, limit, snapshot.seq)
+        self.scan_with_seq(start, limit, Some(snapshot.seq))
     }
 
     /// Point lookup at the latest sequence number.
-    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.get_with_seq(key, self.versions.last_sequence)
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(self.get_with_seq(key, None)?.map(PinnedValue::into_vec))
     }
 
-    fn get_with_seq(&mut self, key: &[u8], seq: SequenceNumber) -> Result<Option<Vec<u8>>> {
-        self.policy.observe_op(false);
-        self.stats.gets += 1;
+    /// Zero-copy point lookup at the latest sequence number: an SSTable
+    /// hit returns a handle into the cached block instead of copying the
+    /// value. Copy at the boundary that needs an owned buffer.
+    pub fn get_pinned(&self, key: &[u8]) -> Result<Option<PinnedValue>> {
+        self.get_with_seq(key, None)
+    }
+
+    /// The shared get path. `seq: None` reads at the latest *published*
+    /// sequence (the view's); holding no locks, it pins a view and serves
+    /// the whole lookup from it.
+    fn get_with_seq(&self, key: &[u8], seq: Option<SequenceNumber>) -> Result<Option<PinnedValue>> {
+        self.policy.lock().observe_op(false);
+        self.gets.fetch_add(1, Ordering::Relaxed);
         let start = self.device.clock().now();
         let fs_before = self.device.ledger().get(TimeCategory::FileSystem);
-        let result = self.with_quarantine_retries(|db| db.get_internal(key, seq));
+        let _pin = ReadPin::new(&self.read_pins);
+        // Quarantine-retry loop: each successful quarantine publishes a
+        // shrunken version, so re-pinning the view lands the retry on the
+        // surviving files. Bounded by the number of live files.
+        let result = loop {
+            let view = { self.view.read().clone() };
+            let snapshot = seq.unwrap_or(view.seq);
+            match self.get_internal(&view, key, snapshot) {
+                Err(Error::Corruption(info)) => {
+                    if !self.quarantine_corruption(&info)? {
+                        break Err(Error::Corruption(info));
+                    }
+                }
+                other => break other,
+            }
+        };
         self.charge_read_contention(start);
         let end = self.device.clock().now();
-        let fs_delta = self.device.ledger().get(TimeCategory::FileSystem) - fs_before;
+        let fs_delta = self
+            .device
+            .ledger()
+            .get(TimeCategory::FileSystem)
+            .saturating_sub(fs_before);
         self.device.ledger().record(
             TimeCategory::ForegroundRead,
-            (end - start).saturating_sub(fs_delta),
+            end.saturating_sub(start).saturating_sub(fs_delta),
         );
-        self.metrics.record_latency(OpType::Get, end - start);
+        self.metrics
+            .record_latency(OpType::Get, end.saturating_sub(start));
         result
     }
 
-    fn get_internal(&mut self, key: &[u8], snapshot: SequenceNumber) -> Result<Option<Vec<u8>>> {
-        match self.mem.get(key, snapshot) {
-            LookupResult::Found(v) => return Ok(Some(v)),
+    fn get_internal(
+        &self,
+        view: &ReadView,
+        key: &[u8],
+        snapshot: SequenceNumber,
+    ) -> Result<Option<PinnedValue>> {
+        match view.mem.get(key, snapshot) {
+            LookupResult::Found(v) => return Ok(Some(PinnedValue::Inline(v))),
             LookupResult::Deleted => return Ok(None),
             LookupResult::NotFound => {}
         }
-        if let Some(imm) = &self.imm {
+        if let Some(imm) = &view.imm {
             match imm.get(key, snapshot) {
-                LookupResult::Found(v) => return Ok(Some(v)),
+                LookupResult::Found(v) => return Ok(Some(PinnedValue::Inline(v))),
                 LookupResult::Deleted => return Ok(None),
                 LookupResult::NotFound => {}
             }
@@ -1045,22 +1455,12 @@ impl Db {
         // hit and keep the highest sequence. Frozen L0 data is reachable
         // via L1 slices and is guaranteed older than any active L0 file
         // (the LDC policy freezes oldest-first).
-        let l0: Vec<FileMeta> = self
-            .versions
-            .current
-            .levels
-            .first()
-            .into_iter()
-            .flatten()
-            .rev()
-            .cloned()
-            .collect();
-        let mut best: Option<(SequenceNumber, ValueType, Vec<u8>)> = None;
-        for meta in &l0 {
+        let mut best: Option<(SequenceNumber, ValueType, Bytes)> = None;
+        for meta in view.version.levels.first().into_iter().flatten().rev() {
             if key < meta.smallest_ukey() || key > meta.largest_ukey() {
                 continue;
             }
-            if let Some(hit) = self.probe_table(meta.number, key, snapshot, None)? {
+            if let Some(hit) = self.probe_table(meta.number, key, snapshot)? {
                 if best.as_ref().is_none_or(|b| hit.0 > b.0) {
                     best = Some(hit);
                 }
@@ -1068,37 +1468,37 @@ impl Db {
         }
         if let Some((_, vt, value)) = best {
             return Ok(match vt {
-                ValueType::Value => Some(value),
+                ValueType::Value => Some(PinnedValue::Block(value)),
                 ValueType::Deletion => None,
             });
         }
 
         // Deeper levels: one candidate file per level (responsible-range
         // partition); resolve file-vs-slices by sequence number.
-        for level in 1..self.versions.current.num_levels() {
-            let candidate = match self.candidate_file(level, key) {
+        for level in 1..view.version.num_levels() {
+            let candidate = match candidate_file(&view.version, level, key) {
                 Some(meta) => meta,
                 None => continue,
             };
-            let mut best: Option<(SequenceNumber, ValueType, Vec<u8>)> = None;
+            let mut best: Option<(SequenceNumber, ValueType, Bytes)> = None;
             // Slices first (they are newer on average, enabling bloom skips
             // to keep this cheap), then the file itself.
             for slice in candidate.slices.iter().rev() {
                 if !slice.range.contains(key) {
                     continue;
                 }
-                let frozen = self.versions.current.frozen.get(&slice.source_file);
+                let frozen = view.version.frozen.get(&slice.source_file);
                 let Some(frozen) = frozen.map(|f| f.number) else {
                     continue;
                 };
-                if let Some(hit) = self.probe_table(frozen, key, snapshot, None)? {
+                if let Some(hit) = self.probe_table(frozen, key, snapshot)? {
                     if best.as_ref().is_none_or(|b| hit.0 > b.0) {
                         best = Some(hit);
                     }
                 }
             }
             if key >= candidate.smallest_ukey() && key <= candidate.largest_ukey() {
-                if let Some(hit) = self.probe_table(candidate.number, key, snapshot, None)? {
+                if let Some(hit) = self.probe_table(candidate.number, key, snapshot)? {
                     if best.as_ref().is_none_or(|b| hit.0 > b.0) {
                         best = Some(hit);
                     }
@@ -1106,7 +1506,7 @@ impl Db {
             }
             if let Some((_, vt, value)) = best {
                 return Ok(match vt {
-                    ValueType::Value => Some(value),
+                    ValueType::Value => Some(PinnedValue::Block(value)),
                     ValueType::Deletion => None,
                 });
             }
@@ -1114,61 +1514,59 @@ impl Db {
         Ok(None)
     }
 
-    /// The single file at `level` whose responsible range covers `key`:
-    /// the first file with `largest >= key`, or the last file (whose range
-    /// extends to +inf) if none.
-    fn candidate_file(&self, level: usize, key: &[u8]) -> Option<FileMeta> {
-        let files = self.versions.current.levels.get(level)?;
-        if files.is_empty() {
-            return None;
-        }
-        let idx = files.partition_point(|f| f.largest_ukey() < key);
-        let meta = files.get(idx).or_else(|| files.last())?;
-        Some(meta.clone())
-    }
-
-    /// Bloom-checked point probe of one table file.
+    /// Bloom-checked point probe of one table file. The returned value is
+    /// a zero-copy handle into the table's cached block.
     fn probe_table(
-        &mut self,
+        &self,
         file_number: u64,
         key: &[u8],
         snapshot: SequenceNumber,
-        range: Option<&KeyRange>,
-    ) -> Result<Option<(SequenceNumber, ValueType, Vec<u8>)>> {
-        if let Some(r) = range {
-            if !r.contains(key) {
-                return Ok(None);
-            }
-        }
+    ) -> Result<Option<(SequenceNumber, ValueType, Bytes)>> {
         let table = self.table(file_number)?;
         if !table.may_contain(key) {
-            self.stats.bloom_skips += 1;
+            self.bloom_skips.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         }
         table.get(key, snapshot, IoClass::UserRead)
     }
 
     /// Range scan: up to `limit` live entries with key >= `start`.
-    pub fn scan(&mut self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.scan_with_seq(start, limit, self.versions.last_sequence)
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_with_seq(start, limit, None)
     }
 
     fn scan_with_seq(
-        &mut self,
+        &self,
         start: &[u8],
         limit: usize,
-        snapshot: SequenceNumber,
+        seq: Option<SequenceNumber>,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.policy.observe_op(false);
-        self.stats.scans += 1;
+        self.policy.lock().observe_op(false);
+        self.scans.fetch_add(1, Ordering::Relaxed);
         let t0 = self.device.clock().now();
         let fs_before = self.device.ledger().get(TimeCategory::FileSystem);
+        let _pin = ReadPin::new(&self.read_pins);
 
-        let out = self.with_quarantine_retries(|db| db.scan_collect(start, limit, snapshot))?;
+        let out = loop {
+            let view = { self.view.read().clone() };
+            let snapshot = seq.unwrap_or(view.seq);
+            match self.scan_collect(&view, start, limit, snapshot) {
+                Err(Error::Corruption(info)) => {
+                    if !self.quarantine_corruption(&info)? {
+                        break Err(Error::Corruption(info));
+                    }
+                }
+                other => break other,
+            }
+        }?;
 
         self.charge_read_contention(t0);
-        let fs_delta = self.device.ledger().get(TimeCategory::FileSystem) - fs_before;
-        let elapsed = self.device.clock().now() - t0;
+        let fs_delta = self
+            .device
+            .ledger()
+            .get(TimeCategory::FileSystem)
+            .saturating_sub(fs_before);
+        let elapsed = self.device.clock().now().saturating_sub(t0);
         self.device.ledger().record(
             TimeCategory::ForegroundRead,
             elapsed.saturating_sub(fs_delta),
@@ -1178,37 +1576,29 @@ impl Db {
     }
 
     /// The merging-iterator body of a scan, separated out so the quarantine
-    /// retry wrapper can re-run it against a shrunken version.
+    /// retry wrapper can re-run it against a re-pinned (shrunken) view.
     fn scan_collect(
-        &mut self,
+        &self,
+        view: &ReadView,
         start: &[u8],
         limit: usize,
         snapshot: SequenceNumber,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut children: Vec<Box<dyn InternalIterator + '_>> = Vec::new();
-        children.push(Box::new(self.mem.iter()));
-        if let Some(imm) = &self.imm {
+        children.push(Box::new(view.mem.iter()));
+        if let Some(imm) = &view.imm {
             children.push(Box::new(imm.iter()));
         }
-        let l0: Vec<u64> = self
-            .versions
-            .current
-            .levels
-            .first()
-            .into_iter()
-            .flatten()
-            .rev()
-            .map(|meta| meta.number)
-            .collect();
-        for number in l0 {
-            let table = self.table(number)?;
+        for meta in view.version.levels.first().into_iter().flatten().rev() {
+            let table = self.table(meta.number)?;
             children.push(Box::new(table.iter(IoClass::UserRead)));
         }
-        for level in 1..self.versions.current.num_levels() {
-            if self.versions.current.level_files(level) == 0 {
-                continue;
-            }
-            children.push(Box::new(LevelIter::new(self, level, IoClass::UserRead)));
+        for level in 1..view.version.num_levels() {
+            let files = match view.version.levels.get(level) {
+                Some(files) if !files.is_empty() => files.clone(),
+                _ => continue,
+            };
+            children.push(Box::new(LevelIter::new(self, files, IoClass::UserRead)));
         }
         let mut merge = MergingIterator::new(children);
         merge.seek(&encode_internal_key(start, MAX_SEQUENCE, TYPE_FOR_SEEK));
@@ -1216,9 +1606,9 @@ impl Db {
         let mut last_ukey: Option<Vec<u8>> = None;
         while merge.valid() && out.len() < limit {
             let ikey = merge.key();
-            let (seq, vt) = parse_trailer(ikey);
+            let (entry_seq, vt) = parse_trailer(ikey);
             let ukey = user_key(ikey);
-            let visible = seq <= snapshot;
+            let visible = entry_seq <= snapshot;
             let shadowed = last_ukey.as_deref() == Some(ukey);
             if visible && !shadowed {
                 last_ukey = Some(ukey.to_vec());
@@ -1234,60 +1624,59 @@ impl Db {
 
     /// Opens (or fetches from cache) the table for `file_number`.
     pub(crate) fn table(&self, file_number: u64) -> Result<Arc<Table>> {
-        {
-            let mut tables = self.tables.lock();
-            if let Some((t, tick)) = tables.get_mut(&file_number) {
-                *tick = self
-                    .table_tick
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                return Ok(Arc::clone(t));
-            }
-        }
-        // Opening a handle reads the footer/index/filter — charge a
-        // metadata op like a real `open()`.
-        let table = Table::open(
-            Arc::clone(&self.storage),
-            table_file_name(file_number),
-            file_number,
-            Arc::clone(&self.block_cache),
-        )?;
-        let mut tables = self.tables.lock();
-        let tick = self
-            .table_tick
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        tables.insert(file_number, (Arc::clone(&table), tick));
-        // Bound the pinned index/filter memory: evict the least recently
-        // used handle (open Arc clones keep working; only the cache slot
-        // is dropped).
-        while tables.len() > self.options.table_cache_entries.max(1) {
-            if let Some((&victim, _)) = tables.iter().min_by_key(|(_, (_, t))| *t) {
-                tables.remove(&victim);
-            } else {
-                break;
-            }
-        }
-        Ok(table)
+        self.tables.get_or_open(file_number, || {
+            // Opening a handle reads the footer/index/filter — charge a
+            // metadata op like a real `open()`.
+            crate::table::open_table(
+                Arc::clone(&self.storage),
+                table_file_name(file_number),
+                file_number,
+                Arc::clone(&self.block_cache),
+            )
+        })
     }
 
-    fn drop_table_file(&mut self, file_number: u64) -> Result<()> {
-        self.tables.lock().remove(&file_number);
+    /// Drops a table file from the caches and schedules its physical
+    /// delete for the next reap point (a concurrent reader's pinned view
+    /// may still reference it until then).
+    fn drop_table_file(&self, core: &mut DbCore, file_number: u64) {
+        self.tables.remove(file_number);
         self.block_cache.evict_file(file_number);
-        self.storage.delete(&table_file_name(file_number))?;
-        Ok(())
+        core.pending_deletes.push(file_number);
     }
+}
 
+/// The single file at `level` whose responsible range covers `key`:
+/// the first file with `largest >= key`, or the last file (whose range
+/// extends to +inf) if none.
+fn candidate_file(version: &Version, level: usize, key: &[u8]) -> Option<FileMeta> {
+    let files = version.levels.get(level)?;
+    if files.is_empty() {
+        return None;
+    }
+    let idx = files.partition_point(|f| f.largest_ukey() < key);
+    let meta = files.get(idx).or_else(|| files.last())?;
+    Some(meta.clone())
+}
+
+impl Db {
     // ------------------------------------------------------------------
     // Flush & compaction execution
     // ------------------------------------------------------------------
 
     /// Writes the memtable out as a Level-0 SSTable and records `log_number`
     /// as the new WAL.
-    fn flush_table(&mut self, mem: MemTable, log_number: Option<u64>) -> Result<()> {
+    fn flush_table(
+        &self,
+        core: &mut DbCore,
+        mem: &MemTable,
+        log_number: Option<u64>,
+    ) -> Result<()> {
         let t0 = self.device.clock().now();
         let fs_before = self.device.ledger().get(TimeCategory::FileSystem);
         if !mem.is_empty() {
             let input_bytes = mem.approximate_bytes() as u64;
-            let number = self.versions.new_file_number();
+            let number = core.versions.new_file_number();
             let mut builder = TableBuilder::new(
                 self.options.block_bytes,
                 self.options.block_restart_interval,
@@ -1315,12 +1704,12 @@ impl Db {
                 largest: finished.largest,
                 slices: Vec::new(),
             };
-            self.versions.log_and_apply(VersionEdit {
+            core.versions.log_and_apply(VersionEdit {
                 log_number,
                 new_files: vec![(0, meta)],
                 ..Default::default()
             })?;
-            self.stats.flushes += 1;
+            core.stats.flushes += 1;
             if self.sink.enabled() {
                 let end = self.device.clock().now();
                 let mut ev = Event::span(EventKind::Flush, t0, end)
@@ -1330,9 +1719,9 @@ impl Db {
                 ev.output_level = Some(0);
                 self.sink.record(ev);
             }
-            self.refresh_level_gauges();
+            self.refresh_level_gauges(&core.versions.current);
         } else if log_number.is_some() {
-            self.versions.log_and_apply(VersionEdit {
+            core.versions.log_and_apply(VersionEdit {
                 log_number,
                 ..Default::default()
             })?;
@@ -1342,27 +1731,29 @@ impl Db {
     }
 
     /// Executes one compaction task.
-    pub(crate) fn execute(&mut self, task: CompactionTask) -> Result<()> {
+    fn execute(&self, core: &mut DbCore, task: CompactionTask) -> Result<()> {
         let t0 = self.device.clock().now();
         let fs_before = self.device.ledger().get(TimeCategory::FileSystem);
         // Input descriptors must be captured before the task consumes the
         // files they describe.
         let described = if self.sink.enabled() {
-            Some(self.describe_task(&task))
+            Some(self.describe_task(&core.versions.current, &task))
         } else {
             None
         };
-        self.trace = ExecTrace::default();
+        core.trace = ExecTrace::default();
         let result = match task {
             CompactionTask::Merge {
                 level,
                 upper,
                 lower,
-            } => self.execute_merge(level, &upper, &lower),
-            CompactionTask::TrivialMove { level, file } => self.execute_trivial_move(level, file),
-            CompactionTask::Link { level, file } => self.execute_link(level, file),
-            CompactionTask::LdcMerge { level, file } => self.execute_ldc_merge(level, file),
-            CompactionTask::TieredMerge { files } => self.execute_tiered_merge(&files),
+            } => self.execute_merge(core, level, &upper, &lower),
+            CompactionTask::TrivialMove { level, file } => {
+                self.execute_trivial_move(core, level, file)
+            }
+            CompactionTask::Link { level, file } => self.execute_link(core, level, file),
+            CompactionTask::LdcMerge { level, file } => self.execute_ldc_merge(core, level, file),
+            CompactionTask::TieredMerge { files } => self.execute_tiered_merge(core, &files),
         };
         self.record_compaction_time(t0, fs_before);
         if let (Some(desc), Ok(())) = (described, &result) {
@@ -1371,28 +1762,22 @@ impl Db {
             // The in-memory merge does not advance the virtual clock, so
             // its phase is 0; everything that is not output writing is
             // input reading (plus metadata, which is negligible).
-            let write = self.trace.write_nanos.min(elapsed);
+            let write = core.trace.write_nanos.min(elapsed);
             self.sink.record(
                 Event::span(desc.kind, t0, end)
                     .levels(desc.level, desc.output_level)
-                    .files(desc.input_files, self.trace.output_files)
-                    .bytes(desc.input_bytes, self.trace.output_bytes)
+                    .files(desc.input_files, core.trace.output_files)
+                    .bytes(desc.input_bytes, core.trace.output_bytes)
                     .phases(elapsed - write, 0, write),
             );
         }
-        self.refresh_level_gauges();
+        self.refresh_level_gauges(&core.versions.current);
         result
     }
 
     /// What a task is about to do, captured while its inputs still exist.
-    fn describe_task(&self, task: &CompactionTask) -> TaskDescriptor {
-        let size_of = |number: u64| {
-            self.versions
-                .current
-                .find_file(number)
-                .map(|(_, m)| m.size)
-                .unwrap_or(0)
-        };
+    fn describe_task(&self, version: &Version, task: &CompactionTask) -> TaskDescriptor {
+        let size_of = |number: u64| version.find_file(number).map(|(_, m)| m.size).unwrap_or(0);
         match task {
             CompactionTask::Merge {
                 level,
@@ -1420,9 +1805,7 @@ impl Db {
                 input_bytes: size_of(*file),
             },
             CompactionTask::LdcMerge { level, file } => {
-                let (slices, slice_bytes) = self
-                    .versions
-                    .current
+                let (slices, slice_bytes) = version
                     .find_file(*file)
                     .map(|(_, m)| {
                         (
@@ -1451,13 +1834,13 @@ impl Db {
         }
     }
 
-    /// Recomputes the per-level gauges from the current version.
-    fn refresh_level_gauges(&self) {
-        let scores = crate::compaction::level_scores(&self.versions.current, &self.options);
-        let gauges = (0..self.versions.current.num_levels())
+    /// Recomputes the per-level gauges from `version`.
+    fn refresh_level_gauges(&self, version: &Version) {
+        let scores = crate::compaction::level_scores(version, &self.options);
+        let gauges = (0..version.num_levels())
             .map(|level| LevelGauge {
-                files: self.versions.current.level_files(level) as u64,
-                bytes: self.versions.current.level_bytes(level),
+                files: version.level_files(level) as u64,
+                bytes: version.level_bytes(level),
                 score: scores[level],
             })
             .collect();
@@ -1465,8 +1848,12 @@ impl Db {
     }
 
     fn record_compaction_time(&self, t0: Nanos, fs_before: Nanos) {
-        let fs_delta = self.device.ledger().get(TimeCategory::FileSystem) - fs_before;
-        let elapsed = self.device.clock().now() - t0;
+        let fs_delta = self
+            .device
+            .ledger()
+            .get(TimeCategory::FileSystem)
+            .saturating_sub(fs_before);
+        let elapsed = self.device.clock().now().saturating_sub(t0);
         self.device.ledger().record(
             TimeCategory::CompactionWork,
             elapsed.saturating_sub(fs_delta),
@@ -1474,11 +1861,17 @@ impl Db {
     }
 
     /// Classic UDC merge of `upper` (at `level`) with `lower` (at `level+1`).
-    fn execute_merge(&mut self, level: usize, upper: &[u64], lower: &[u64]) -> Result<()> {
+    fn execute_merge(
+        &self,
+        core: &mut DbCore,
+        level: usize,
+        upper: &[u64],
+        lower: &[u64],
+    ) -> Result<()> {
         let output_level = level + 1;
         let mut inputs: Vec<Box<dyn InternalIterator>> = Vec::new();
         for &number in upper.iter().chain(lower) {
-            let (_, meta) = self
+            let (_, meta) = core
                 .versions
                 .current
                 .find_file(number)
@@ -1492,7 +1885,7 @@ impl Db {
             inputs.push(Box::new(table.iter(IoClass::CompactionRead)));
         }
         let drop_tombstones = output_level == self.options.max_levels - 1;
-        let outputs = self.merge_to_tables(inputs, drop_tombstones)?;
+        let outputs = self.merge_to_tables(core, inputs, drop_tombstones)?;
 
         let mut edit = VersionEdit::default();
         for &n in upper {
@@ -1507,24 +1900,24 @@ impl Db {
         if level >= 1 {
             if let Some(hi) = upper
                 .iter()
-                .filter_map(|n| self.versions.current.find_file(*n))
+                .filter_map(|n| core.versions.current.find_file(*n))
                 .map(|(_, m)| m.largest_ukey().to_vec())
                 .max()
             {
                 edit.compact_pointers.push((level as u32, hi));
             }
         }
-        self.versions.log_and_apply(edit)?;
+        core.versions.log_and_apply(edit)?;
         for &n in upper.iter().chain(lower) {
-            self.drop_table_file(n)?;
+            self.drop_table_file(core, n);
         }
-        self.stats.merges += 1;
+        core.stats.merges += 1;
         Ok(())
     }
 
     /// Metadata-only move of `file` from `level` to `level + 1`.
-    fn execute_trivial_move(&mut self, level: usize, file: u64) -> Result<()> {
-        let (found_level, meta) = self
+    fn execute_trivial_move(&self, core: &mut DbCore, level: usize, file: u64) -> Result<()> {
+        let (found_level, meta) = core
             .versions
             .current
             .find_file(file)
@@ -1549,15 +1942,15 @@ impl Db {
             edit.compact_pointers
                 .push((level as u32, meta.largest_ukey().to_vec()));
         }
-        self.versions.log_and_apply(edit)?;
-        self.stats.trivial_moves += 1;
+        core.versions.log_and_apply(edit)?;
+        core.stats.trivial_moves += 1;
         Ok(())
     }
 
     /// LDC link phase (Algorithm 1, `link`): freeze `file` and attach one
     /// slice per responsible range of the overlapping `level+1` files.
-    fn execute_link(&mut self, level: usize, file: u64) -> Result<()> {
-        let (found_level, meta) = self
+    fn execute_link(&self, core: &mut DbCore, level: usize, file: u64) -> Result<()> {
+        let (found_level, meta) = core
             .versions
             .current
             .find_file(file)
@@ -1572,11 +1965,12 @@ impl Db {
                 "file {file} has slice links and cannot be linked down"
             )));
         }
+        let meta = meta.clone();
         let (lo, hi) = (meta.smallest_ukey().to_vec(), meta.largest_ukey().to_vec());
-        let lower = &self.versions.current.levels[level + 1];
+        let lower = &core.versions.current.levels[level + 1];
         if lower.is_empty() {
             // Nothing to link against; degenerate to a trivial move.
-            return self.execute_trivial_move(level, file);
+            return self.execute_trivial_move(core, level, file);
         }
         // Responsible ranges partition the key space: file j owns
         // (prev.largest, largest_j]; first extends to -inf, last to +inf.
@@ -1607,7 +2001,7 @@ impl Db {
         };
         let approx_bytes = meta.size / targets.len().max(1) as u64;
         for (target, range) in targets {
-            let link_seq = self.versions.new_link_seq();
+            let link_seq = core.versions.new_link_seq();
             edit.new_links.push((
                 target,
                 SliceLink {
@@ -1621,16 +2015,16 @@ impl Db {
         if level >= 1 {
             edit.compact_pointers.push((level as u32, hi));
         }
-        self.versions.log_and_apply(edit)?;
-        self.stats.links += 1;
+        core.versions.log_and_apply(edit)?;
+        core.stats.links += 1;
         Ok(())
     }
 
     /// LDC merge phase (Algorithm 1, `merge`): rewrite `file` together with
     /// all linked slices; outputs stay at `level`; fully consumed frozen
     /// files are reclaimed.
-    fn execute_ldc_merge(&mut self, level: usize, file: u64) -> Result<()> {
-        let (found_level, meta) = self
+    fn execute_ldc_merge(&self, core: &mut DbCore, level: usize, file: u64) -> Result<()> {
+        let (found_level, meta) = core
             .versions
             .current
             .find_file(file)
@@ -1656,7 +2050,7 @@ impl Db {
             ));
         }
         let drop_tombstones = level == self.options.max_levels - 1;
-        let outputs = self.merge_to_tables(inputs, drop_tombstones)?;
+        let outputs = self.merge_to_tables(core, inputs, drop_tombstones)?;
 
         let mut edit = VersionEdit {
             deleted_files: vec![(level as u32, file)],
@@ -1668,7 +2062,7 @@ impl Db {
         // Reference counting: sources whose last live link was on this file
         // are reclaimed (Algorithm 1, lines 18-22).
         let mut remaining: HashMap<u64, u32> = HashMap::new();
-        for (number, frozen) in &self.versions.current.frozen {
+        for (number, frozen) in &core.versions.current.frozen {
             remaining.insert(*number, frozen.refcount);
         }
         let mut reclaimed: Vec<u64> = Vec::new();
@@ -1684,22 +2078,22 @@ impl Db {
         reclaimed.sort_unstable();
         reclaimed.dedup();
         edit.deleted_frozen.clone_from(&reclaimed);
-        self.versions.log_and_apply(edit)?;
-        self.drop_table_file(file)?;
+        core.versions.log_and_apply(edit)?;
+        self.drop_table_file(core, file);
         for n in reclaimed {
-            self.drop_table_file(n)?;
+            self.drop_table_file(core, n);
         }
-        self.stats.ldc_merges += 1;
+        core.stats.ldc_merges += 1;
         Ok(())
     }
 
     /// Size-tiered merge (lazy baseline): combine several Level-0 runs into
     /// one bigger Level-0 run. No tombstone dropping (deeper levels may
     /// hold older versions) and no output splitting (tiers grow).
-    fn execute_tiered_merge(&mut self, files: &[u64]) -> Result<()> {
+    fn execute_tiered_merge(&self, core: &mut DbCore, files: &[u64]) -> Result<()> {
         let mut inputs: Vec<Box<dyn InternalIterator>> = Vec::new();
         for &number in files {
-            let (level, meta) = self
+            let (level, meta) = core
                 .versions
                 .current
                 .find_file(number)
@@ -1717,7 +2111,7 @@ impl Db {
             let table = self.table(number)?;
             inputs.push(Box::new(table.iter(IoClass::CompactionRead)));
         }
-        let outputs = self.merge_stream(inputs, false, false)?;
+        let outputs = self.merge_stream(core, inputs, false, false)?;
         let mut edit = VersionEdit::default();
         for &n in files {
             edit.deleted_files.push((0, n));
@@ -1725,11 +2119,11 @@ impl Db {
         for meta in &outputs {
             edit.new_files.push((0, meta.clone()));
         }
-        self.versions.log_and_apply(edit)?;
+        core.versions.log_and_apply(edit)?;
         for &n in files {
-            self.drop_table_file(n)?;
+            self.drop_table_file(core, n);
         }
-        self.stats.merges += 1;
+        core.stats.merges += 1;
         Ok(())
     }
 
@@ -1737,30 +2131,32 @@ impl Db {
     /// writes output tables cut at the target file size (only at user-key
     /// boundaries, so level files never share a user key).
     fn merge_to_tables(
-        &mut self,
-        inputs: Vec<Box<dyn InternalIterator + '_>>,
+        &self,
+        core: &mut DbCore,
+        inputs: Vec<Box<dyn InternalIterator>>,
         drop_tombstones: bool,
     ) -> Result<Vec<FileMeta>> {
-        self.merge_stream(inputs, drop_tombstones, true)
+        self.merge_stream(core, inputs, drop_tombstones, true)
     }
 
     /// Core merge loop; `split_outputs` controls whether files are cut at
     /// the target SSTable size (leveled) or grow unbounded (tiered).
     fn merge_stream(
-        &mut self,
-        inputs: Vec<Box<dyn InternalIterator + '_>>,
+        &self,
+        core: &mut DbCore,
+        inputs: Vec<Box<dyn InternalIterator>>,
         drop_tombstones: bool,
         split_outputs: bool,
     ) -> Result<Vec<FileMeta>> {
         // Versions above this sequence are never dropped: the oldest live
         // snapshot (or the current sequence when none is held) can still
         // observe them.
-        let smallest_snapshot = self
+        let smallest_snapshot = core
             .snapshots
             .keys()
             .next()
             .copied()
-            .unwrap_or(self.versions.last_sequence);
+            .unwrap_or(core.versions.last_sequence);
         let mut merge = MergingIterator::new(inputs);
         merge.seek_to_first();
         let mut outputs = Vec::new();
@@ -1779,7 +2175,7 @@ impl Db {
                 // Cut the output file at user-key boundaries.
                 if let Some(b) = builder.take() {
                     if split_outputs && b.estimated_file_bytes() >= self.options.sstable_bytes {
-                        outputs.push(self.write_output_table(b.finish())?);
+                        outputs.push(self.write_output_table(core, b.finish())?);
                     } else {
                         builder = Some(b);
                     }
@@ -1812,23 +2208,27 @@ impl Db {
         if let Some(b) = builder {
             if !b.is_empty() {
                 let finished = b.finish();
-                outputs.push(self.write_output_table(finished)?);
+                outputs.push(self.write_output_table(core, finished)?);
             }
         }
         Ok(outputs)
     }
 
-    fn write_output_table(&mut self, finished: crate::table::FinishedTable) -> Result<FileMeta> {
-        let number = self.versions.new_file_number();
+    fn write_output_table(
+        &self,
+        core: &mut DbCore,
+        finished: crate::table::FinishedTable,
+    ) -> Result<FileMeta> {
+        let number = core.versions.new_file_number();
         let t0 = self.device.clock().now();
         self.storage.write_file(
             &table_file_name(number),
             &finished.bytes,
             IoClass::CompactionWrite,
         )?;
-        self.trace.write_nanos += self.device.clock().now() - t0;
-        self.trace.output_files += 1;
-        self.trace.output_bytes += finished.bytes.len() as u64;
+        core.trace.write_nanos += self.device.clock().now() - t0;
+        core.trace.output_files += 1;
+        core.trace.output_bytes += finished.bytes.len() as u64;
         Ok(FileMeta {
             number,
             size: finished.bytes.len() as u64,
@@ -1861,7 +2261,9 @@ fn successor(key: &[u8]) -> Vec<u8> {
 }
 
 /// Lazily walks one level's files in key order, merging each file with its
-/// slice links (the LDC read path for scans).
+/// slice links (the LDC read path for scans). Holds the file list it was
+/// constructed with (a pinned view's), so a concurrent compaction cannot
+/// change what it iterates.
 struct LevelIter<'a> {
     db: &'a Db,
     files: Vec<FileMeta>,
@@ -1872,10 +2274,10 @@ struct LevelIter<'a> {
 }
 
 impl<'a> LevelIter<'a> {
-    fn new(db: &'a Db, level: usize, class: IoClass) -> Self {
+    fn new(db: &'a Db, files: Vec<FileMeta>, class: IoClass) -> Self {
         Self {
             db,
-            files: db.versions.current.levels[level].clone(),
+            files,
             class,
             idx: 0,
             cur: None,
@@ -2021,7 +2423,7 @@ mod tests {
 
     #[test]
     fn put_get_roundtrip() {
-        let mut db = open_db();
+        let db = open_db();
         db.put(b"hello", b"world").unwrap();
         assert_eq!(db.get(b"hello").unwrap(), Some(b"world".to_vec()));
         assert_eq!(db.get(b"absent").unwrap(), None);
@@ -2029,7 +2431,7 @@ mod tests {
 
     #[test]
     fn overwrites_and_deletes() {
-        let mut db = open_db();
+        let db = open_db();
         db.put(b"k", b"v1").unwrap();
         db.put(b"k", b"v2").unwrap();
         assert_eq!(db.get(b"k").unwrap(), Some(b"v2".to_vec()));
@@ -2041,7 +2443,7 @@ mod tests {
 
     #[test]
     fn batch_is_atomic_and_ordered() {
-        let mut db = open_db();
+        let db = open_db();
         let mut batch = WriteBatch::new();
         batch.put(b"a", b"1");
         batch.put(b"b", b"2");
@@ -2054,7 +2456,7 @@ mod tests {
 
     #[test]
     fn data_survives_flushes_and_compactions() {
-        let mut db = open_db();
+        let db = open_db();
         let n = 3000u64;
         for i in 0..n {
             let (k, v) = kv(i);
@@ -2076,7 +2478,7 @@ mod tests {
 
     #[test]
     fn overwritten_values_survive_compaction() {
-        let mut db = open_db();
+        let db = open_db();
         for round in 0..4u64 {
             for i in 0..800u64 {
                 let (k, _) = kv(i);
@@ -2091,7 +2493,7 @@ mod tests {
 
     #[test]
     fn deletes_survive_compaction() {
-        let mut db = open_db();
+        let db = open_db();
         for i in 0..1500u64 {
             let (k, v) = kv(i);
             db.put(&k, &v).unwrap();
@@ -2118,7 +2520,7 @@ mod tests {
 
     #[test]
     fn scan_returns_sorted_live_entries() {
-        let mut db = open_db();
+        let db = open_db();
         for i in 0..500u64 {
             let (k, v) = kv(i);
             db.put(&k, &v).unwrap();
@@ -2137,7 +2539,7 @@ mod tests {
 
     #[test]
     fn scan_spans_levels_after_compaction() {
-        let mut db = open_db();
+        let db = open_db();
         for i in 0..4000u64 {
             let (k, v) = kv(i);
             db.put(&k, &v).unwrap();
@@ -2153,7 +2555,7 @@ mod tests {
 
     #[test]
     fn scan_from_before_and_after_keyspace() {
-        let mut db = open_db();
+        let db = open_db();
         for i in 0..100u64 {
             let (k, v) = kv(i);
             db.put(&k, &v).unwrap();
@@ -2171,7 +2573,7 @@ mod tests {
         let storage = MemStorage::new(device);
         let n = 2500u64;
         {
-            let mut db = Db::open(
+            let db = Db::open(
                 storage.clone(),
                 Options::small_for_tests(),
                 Box::new(UdcPolicy::new()),
@@ -2183,7 +2585,7 @@ mod tests {
             }
             db.delete(&kv(7).0).unwrap();
         } // dropped without explicit shutdown: WAL + manifest must suffice
-        let mut db = Db::open(
+        let db = Db::open(
             storage,
             Options::small_for_tests(),
             Box::new(UdcPolicy::new()),
@@ -2199,7 +2601,7 @@ mod tests {
 
     #[test]
     fn io_classes_are_populated() {
-        let mut db = open_db();
+        let db = open_db();
         for i in 0..2000u64 {
             let (k, v) = kv(i);
             db.put(&k, &v).unwrap();
@@ -2218,7 +2620,7 @@ mod tests {
 
     #[test]
     fn virtual_time_advances_with_work() {
-        let mut db = open_db();
+        let db = open_db();
         let t0 = db.device().clock().now();
         for i in 0..500u64 {
             let (k, v) = kv(i);
@@ -2232,7 +2634,7 @@ mod tests {
 
     #[test]
     fn snapshots_pin_old_versions_through_compaction() {
-        let mut db = open_db();
+        let db = open_db();
         db.put(b"pinned", b"v1").unwrap();
         let snap = db.snapshot();
         db.put(b"pinned", b"v2").unwrap();
@@ -2252,7 +2654,7 @@ mod tests {
 
     #[test]
     fn snapshot_isolates_deletes() {
-        let mut db = open_db();
+        let db = open_db();
         db.put(b"k", b"v").unwrap();
         let snap = db.snapshot();
         db.delete(b"k").unwrap();
@@ -2267,14 +2669,14 @@ mod tests {
 
     #[test]
     fn released_snapshots_unpin() {
-        let mut db = open_db();
+        let db = open_db();
         let a = db.snapshot();
         let b = db.snapshot();
-        assert_eq!(db.snapshots.len(), 1); // same sequence, two handles
+        assert_eq!(db.core.lock().snapshots.len(), 1); // same sequence, two handles
         db.release_snapshot(a);
-        assert_eq!(db.snapshots.len(), 1);
+        assert_eq!(db.core.lock().snapshots.len(), 1);
         db.release_snapshot(b);
-        assert!(db.snapshots.is_empty());
+        assert!(db.core.lock().snapshots.is_empty());
     }
 
     #[test]
@@ -2283,7 +2685,7 @@ mod tests {
         let storage = MemStorage::new(device);
         let mut options = Options::small_for_tests();
         options.table_cache_entries = 4;
-        let mut db = Db::open(storage, options, Box::new(UdcPolicy::new())).unwrap();
+        let db = Db::open(storage, options, Box::new(UdcPolicy::new())).unwrap();
         for i in 0..3000u64 {
             let (k, v) = kv(i);
             db.put(&k, &v).unwrap();
@@ -2294,15 +2696,64 @@ mod tests {
         for i in (0..3000).step_by(17) {
             let (k, v) = kv(i);
             assert_eq!(db.get(&k).unwrap(), Some(v));
-            assert!(db.tables.lock().len() <= 4);
+            assert!(db.tables.len() <= 4);
         }
     }
 
     #[test]
     fn empty_batch_is_a_noop() {
-        let mut db = open_db();
-        let before = db.versions.last_sequence;
+        let db = open_db();
+        let before = db.core.lock().versions.last_sequence;
         db.write(WriteBatch::new()).unwrap();
-        assert_eq!(db.versions.last_sequence, before);
+        assert_eq!(db.core.lock().versions.last_sequence, before);
+    }
+
+    #[test]
+    fn pinned_get_matches_owned_get() {
+        let db = open_db();
+        for i in 0..2000u64 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        db.drain_background();
+        for i in (0..2000).step_by(71) {
+            let (k, v) = kv(i);
+            let pinned = db.get_pinned(&k).unwrap().expect("present");
+            assert_eq!(pinned.as_slice(), v.as_slice());
+            assert_eq!(pinned.len(), v.len());
+            assert_eq!(db.get(&k).unwrap(), Some(v));
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes() {
+        use std::sync::Arc;
+        let db = Arc::new(open_db());
+        for i in 0..500u64 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    for i in (t * 7..500).step_by(13) {
+                        let (k, v) = kv(i);
+                        assert_eq!(db.get(&k).unwrap(), Some(v));
+                    }
+                });
+            }
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                for i in 500..1500u64 {
+                    let (k, v) = kv(i);
+                    db.put(&k, &v).unwrap();
+                }
+            });
+        });
+        for i in (0..1500).step_by(97) {
+            let (k, v) = kv(i);
+            assert_eq!(db.get(&k).unwrap(), Some(v));
+        }
     }
 }

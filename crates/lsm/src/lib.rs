@@ -21,6 +21,7 @@
 pub mod batch;
 pub mod block;
 pub mod cache;
+pub(crate) mod commit;
 pub mod compaction;
 pub mod crc32c;
 pub mod db;
@@ -41,7 +42,7 @@ pub mod wal;
 
 pub use batch::{BatchOp, WriteBatch};
 pub use cache::CacheCounters;
-pub use db::{Db, DbStats, QuarantinedFile, RecoverySummary, Snapshot};
+pub use db::{Db, DbStats, PinnedValue, QuarantinedFile, RecoverySummary, Snapshot};
 pub use error::{CorruptionInfo, Error, Result};
 pub use options::{CorruptionPolicy, Options};
 pub use repair::{repair_db, repair_db_with_sink, RepairReport};

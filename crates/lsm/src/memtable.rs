@@ -1,10 +1,27 @@
 //! The in-memory write buffer (`C_0` in the paper's Definition 2.2).
+//!
+//! The skiplist sits behind an `RwLock` so a reader holding a pinned
+//! `Arc<MemTable>` snapshot can probe it while the committing writer
+//! appends: the arena-backed skiplist reallocates its node vector on
+//! insert, so lock-free concurrent reads would be a data race. Point
+//! lookups hold the read lock for one seek; scans hold it for the
+//! iterator's lifetime (writers queue behind long scans, readers never
+//! queue behind readers). MVCC comes from sequence numbers, not the lock:
+//! entries newer than a reader's snapshot sequence are simply invisible,
+//! so publishing writes into a shared memtable is safe before the new
+//! sequence is published.
 
-use crate::skiplist::{SkipList, SkipListIter};
+use parking_lot::{RwLock, RwLockReadGuard};
+
+use crate::skiplist::SkipList;
 use crate::types::{
     compare_internal_keys, encode_internal_key, parse_trailer, user_key, SequenceNumber, ValueType,
     TYPE_FOR_SEEK,
 };
+
+/// Sentinel "null pointer" for the iterator cursor (mirrors the skiplist's
+/// arena NIL).
+const NIL: u32 = u32::MAX;
 
 /// Outcome of a memtable point lookup.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,42 +36,43 @@ pub enum LookupResult {
 
 /// Ordered in-memory buffer of recent writes.
 pub struct MemTable {
-    list: SkipList,
+    list: RwLock<SkipList>,
 }
 
 impl MemTable {
     /// Creates an empty memtable; `seed` determinizes skiplist heights.
     pub fn new(seed: u64) -> Self {
         Self {
-            list: SkipList::new(seed),
+            list: RwLock::new(SkipList::new(seed)),
         }
     }
 
     /// Number of entries (including tombstones).
     pub fn len(&self) -> usize {
-        self.list.len()
+        self.list.read().len()
     }
 
     /// Whether no entries exist.
     pub fn is_empty(&self) -> bool {
-        self.list.is_empty()
+        self.list.read().is_empty()
     }
 
     /// Approximate memory footprint, compared against the flush threshold.
     pub fn approximate_bytes(&self) -> usize {
-        self.list.approximate_bytes()
+        self.list.read().approximate_bytes()
     }
 
     /// Records a put or delete at sequence `seq`.
-    pub fn add(&mut self, seq: SequenceNumber, vt: ValueType, key: &[u8], value: &[u8]) {
+    pub fn add(&self, seq: SequenceNumber, vt: ValueType, key: &[u8], value: &[u8]) {
         let ikey = encode_internal_key(key, seq, vt);
-        self.list.insert(ikey, value.to_vec());
+        self.list.write().insert(ikey, value.to_vec());
     }
 
     /// Looks up `key` as of `snapshot` (inclusive).
     pub fn get(&self, key: &[u8], snapshot: SequenceNumber) -> LookupResult {
         let probe = encode_internal_key(key, snapshot, TYPE_FOR_SEEK);
-        let mut it = self.list.iter();
+        let list = self.list.read();
+        let mut it = list.iter();
         it.seek(&probe);
         if !it.valid() || user_key(it.key()) != key {
             return LookupResult::NotFound;
@@ -66,48 +84,56 @@ impl MemTable {
         }
     }
 
-    /// Iterator over internal entries in sorted order.
+    /// Iterator over internal entries in sorted order. Holds the memtable's
+    /// read lock for its lifetime: concurrent writers queue behind it.
     pub fn iter(&self) -> MemTableIter<'_> {
         MemTableIter {
-            inner: self.list.iter(),
+            guard: self.list.read(),
+            node: NIL,
         }
     }
 }
 
-/// Iterator over a memtable's internal entries.
+/// Iterator over a memtable's internal entries. Owns a read guard on the
+/// skiplist, so the view is stable even while the shared memtable keeps
+/// accepting writes between this iterator's method calls.
 pub struct MemTableIter<'a> {
-    inner: SkipListIter<'a>,
+    guard: RwLockReadGuard<'a, SkipList>,
+    node: u32,
 }
 
 impl MemTableIter<'_> {
     /// Whether positioned at an entry.
     pub fn valid(&self) -> bool {
-        self.inner.valid()
+        self.node != NIL
     }
 
     /// Positions at the first entry.
     pub fn seek_to_first(&mut self) {
-        self.inner.seek_to_first();
+        self.node = self.guard.first();
     }
 
     /// Positions at the first entry with internal key >= `target`.
     pub fn seek(&mut self, target: &[u8]) {
-        self.inner.seek(target);
+        self.node = self.guard.lower_bound(target);
     }
 
     /// Advances.
     pub fn next(&mut self) {
-        self.inner.next();
+        debug_assert!(self.valid());
+        self.node = self.guard.successor(self.node);
     }
 
     /// Current internal key.
     pub fn key(&self) -> &[u8] {
-        self.inner.key()
+        debug_assert!(self.valid());
+        self.guard.node_key(self.node)
     }
 
     /// Current value (empty for tombstones).
     pub fn value(&self) -> &[u8] {
-        self.inner.value()
+        debug_assert!(self.valid());
+        self.guard.node_value(self.node)
     }
 }
 
@@ -134,7 +160,7 @@ mod tests {
 
     #[test]
     fn get_returns_latest_visible_version() {
-        let mut mem = MemTable::new(1);
+        let mem = MemTable::new(1);
         mem.add(1, ValueType::Value, b"k", b"v1");
         mem.add(5, ValueType::Value, b"k", b"v2");
         assert_eq!(mem.get(b"k", 100), LookupResult::Found(b"v2".to_vec()));
@@ -146,7 +172,7 @@ mod tests {
 
     #[test]
     fn tombstones_shadow_older_values() {
-        let mut mem = MemTable::new(1);
+        let mem = MemTable::new(1);
         mem.add(1, ValueType::Value, b"k", b"v");
         mem.add(2, ValueType::Deletion, b"k", b"");
         assert_eq!(mem.get(b"k", 100), LookupResult::Deleted);
@@ -155,7 +181,7 @@ mod tests {
 
     #[test]
     fn unknown_key_is_not_found() {
-        let mut mem = MemTable::new(1);
+        let mem = MemTable::new(1);
         mem.add(1, ValueType::Value, b"a", b"v");
         assert_eq!(mem.get(b"b", 100), LookupResult::NotFound);
         // Prefix of an existing key is a different key.
@@ -164,7 +190,7 @@ mod tests {
 
     #[test]
     fn iterator_walks_all_versions_sorted() {
-        let mut mem = MemTable::new(1);
+        let mem = MemTable::new(1);
         mem.add(3, ValueType::Value, b"b", b"b3");
         mem.add(1, ValueType::Value, b"a", b"a1");
         mem.add(2, ValueType::Deletion, b"a", b"");
@@ -184,11 +210,24 @@ mod tests {
 
     #[test]
     fn approximate_bytes_grows() {
-        let mut mem = MemTable::new(1);
+        let mem = MemTable::new(1);
         let before = mem.approximate_bytes();
         mem.add(1, ValueType::Value, b"key", &vec![0u8; 1000]);
         assert!(mem.approximate_bytes() >= before + 1000);
         assert_eq!(mem.len(), 1);
         assert!(!mem.is_empty());
+    }
+
+    #[test]
+    fn shared_reads_see_writes_made_after_pinning() {
+        // Sequence visibility, not the lock, is the isolation mechanism: a
+        // reader probing with an old snapshot sequence must not see entries
+        // added afterwards, even though they share one skiplist.
+        let mem = std::sync::Arc::new(MemTable::new(1));
+        mem.add(1, ValueType::Value, b"k", b"old");
+        let pinned = std::sync::Arc::clone(&mem);
+        mem.add(2, ValueType::Value, b"k", b"new");
+        assert_eq!(pinned.get(b"k", 1), LookupResult::Found(b"old".to_vec()));
+        assert_eq!(pinned.get(b"k", 2), LookupResult::Found(b"new".to_vec()));
     }
 }

@@ -183,7 +183,7 @@ pub fn repair_db_with_sink(
             report.manifest_recovered = true;
             last_seq = vs.last_sequence;
             next_file = next_file.max(vs.next_file_number);
-            let mut version = vs.current.clone();
+            let mut version = Version::clone(&vs.current);
             drop(vs);
 
             // Drop live files that are corrupt or missing on disk.
@@ -315,7 +315,7 @@ pub fn repair_db_with_sink(
     };
 
     // -- 4. Salvage WAL remnants into one fresh Level-0 table. --------
-    let mut mem = MemTable::new(options.seed);
+    let mem = MemTable::new(options.seed);
     for (_, name) in &logs {
         let mut reader = LogReader::open(storage.as_ref(), name)?;
         let replay = reader.for_each(|record| {
@@ -499,7 +499,7 @@ mod tests {
         assert_eq!(second.tables_salvaged, 0);
         assert_eq!(second.orphans_deleted, 0);
 
-        let mut db = open(s);
+        let db = open(s);
         for i in 0..500 {
             assert_eq!(db.get(&key(i)).unwrap(), Some(value(i)), "key {i}");
         }
@@ -530,7 +530,7 @@ mod tests {
         assert_eq!(report.tables_quarantined, 1);
         assert!(s.exists(&format!("{victim}.quarantined")));
 
-        let mut db = open(s);
+        let db = open(s);
         let mut survivors = 0;
         for i in 0..500 {
             if db.get(&key(i)).unwrap() == Some(value(i)) {
@@ -554,7 +554,7 @@ mod tests {
         assert!(report.tables_salvaged > 0);
         assert_eq!(report.tables_quarantined, 0);
 
-        let mut db = open(s);
+        let db = open(s);
         for i in 0..500 {
             assert_eq!(db.get(&key(i)).unwrap(), Some(value(i)), "key {i}");
         }
@@ -564,7 +564,7 @@ mod tests {
     #[test]
     fn wal_remnants_are_salvaged() {
         let s = storage();
-        let mut db = open(s.clone());
+        let db = open(s.clone());
         // No drain: most of this stays in the WAL.
         for i in 0..50 {
             db.put(&key(i), &value(i)).unwrap();
@@ -576,7 +576,7 @@ mod tests {
         assert!(report.wal_records_salvaged >= 50);
         assert!(!s.list().iter().any(|n| n.ends_with(".log")));
 
-        let mut db = open(s);
+        let db = open(s);
         for i in 0..50 {
             assert_eq!(db.get(&key(i)).unwrap(), Some(value(i)), "key {i}");
         }

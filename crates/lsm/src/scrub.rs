@@ -60,7 +60,7 @@ impl Db {
     /// quarantined for live files) rather than returned early; only
     /// non-corruption errors — a device failure that survives the retry
     /// budget — abort the pass.
-    pub fn scrub(&mut self) -> Result<ScrubReport> {
+    pub fn scrub(&self) -> Result<ScrubReport> {
         let mut targets: Vec<(Option<u32>, u64)> = Vec::new();
         for (level, files) in self.version().levels.iter().enumerate() {
             for f in files {
@@ -104,9 +104,9 @@ impl Db {
                         ev.level = level;
                         self.event_sink().record(ev);
                     }
-                    // Only live files quarantine; `try_quarantine` itself
-                    // enforces the policy and live-ness.
-                    if self.try_quarantine(&info)? {
+                    // Only live files quarantine; `quarantine_corruption`
+                    // itself enforces the policy and live-ness.
+                    if self.quarantine_corruption(&info)? {
                         report.quarantined.push(info.file.clone());
                     }
                     report.corruptions.push(info);
@@ -137,7 +137,7 @@ mod tests {
         (db, storage)
     }
 
-    fn fill(db: &mut Db, n: u64) {
+    fn fill(db: &Db, n: u64) {
         for i in 0..n {
             db.put(
                 format!("key{i:05}").as_bytes(),
@@ -166,8 +166,8 @@ mod tests {
 
     #[test]
     fn clean_store_scrubs_clean() {
-        let (mut db, _s) = open(CorruptionPolicy::FailStop);
-        fill(&mut db, 400);
+        let (db, _s) = open(CorruptionPolicy::FailStop);
+        fill(&db, 400);
         let report = db.scrub().unwrap();
         assert!(report.is_clean());
         assert!(report.tables_scanned > 0);
@@ -182,13 +182,13 @@ mod tests {
 
     #[test]
     fn bit_flip_is_detected_and_reported() {
-        let (mut db, storage) = open(CorruptionPolicy::FailStop);
-        fill(&mut db, 400);
+        let (db, storage) = open(CorruptionPolicy::FailStop);
+        fill(&db, 400);
         let victim = largest_sst(&storage);
         flip_bit(&storage, &victim, 100);
         // Flush cached blocks so the scrub re-reads from the device.
         drop(db);
-        let (mut db, _) = {
+        let (db, _) = {
             let options = Options::small_for_tests();
             let db = Db::open(storage.clone(), options, Box::new(UdcPolicy::new())).unwrap();
             (db, ())
@@ -204,8 +204,8 @@ mod tests {
 
     #[test]
     fn quarantine_policy_drops_corrupt_live_table() {
-        let (mut db, storage) = open(CorruptionPolicy::Quarantine);
-        fill(&mut db, 400);
+        let (db, storage) = open(CorruptionPolicy::Quarantine);
+        fill(&db, 400);
         let victim = largest_sst(&storage);
         flip_bit(&storage, &victim, 100);
         drop(db);
@@ -214,7 +214,7 @@ mod tests {
             ..Options::small_for_tests()
         };
         let sink = Arc::new(ldc_obs::RingBufferSink::new(4096));
-        let mut db = Db::open_with_sink(
+        let db = Db::open_with_sink(
             storage.clone(),
             options,
             Box::new(UdcPolicy::new()),

@@ -139,6 +139,39 @@ impl SkipList {
             node: NIL,
         }
     }
+
+    // Raw cursor surface: arena indices instead of a borrowing iterator, so
+    // a caller that owns a lock guard on the list (the memtable) can keep a
+    // cursor across guard-mediated accesses. `u32::MAX` is the "invalid"
+    // cursor, matching the arena NIL sentinel.
+
+    /// Arena index of the first entry, or `u32::MAX` when empty.
+    pub fn first(&self) -> u32 {
+        self.arena[0].next[0]
+    }
+
+    /// Arena index of the first entry with key >= `target`, or `u32::MAX`.
+    pub fn lower_bound(&self, target: &[u8]) -> u32 {
+        self.find_greater_or_equal(target, None)
+    }
+
+    /// Arena index of the entry after `node` (which must be valid).
+    pub fn successor(&self, node: u32) -> u32 {
+        debug_assert!(node != NIL);
+        self.arena[node as usize].next[0]
+    }
+
+    /// Internal key stored at `node` (which must be valid).
+    pub fn node_key(&self, node: u32) -> &[u8] {
+        debug_assert!(node != NIL);
+        &self.arena[node as usize].key
+    }
+
+    /// Value stored at `node` (which must be valid).
+    pub fn node_value(&self, node: u32) -> &[u8] {
+        debug_assert!(node != NIL);
+        &self.arena[node as usize].value
+    }
 }
 
 /// Cursor over a [`SkipList`].

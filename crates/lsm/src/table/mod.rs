@@ -21,8 +21,23 @@ mod reader;
 pub use builder::{FinishedTable, TableBuilder};
 pub use reader::{Table, TableIter, TableScrubStats};
 
+use std::sync::Arc;
+
+use ldc_ssd::StorageBackend;
+
+use crate::cache::BlockCache;
 use crate::encoding::{get_varint64, put_varint64};
 use crate::error::{corruption, Result};
+
+/// Opens the SSTable `name`; free-function form of [`Table::open`].
+pub fn open_table(
+    storage: Arc<dyn StorageBackend>,
+    name: impl Into<String>,
+    file_number: u64,
+    cache: Arc<BlockCache>,
+) -> Result<Arc<Table>> {
+    Table::open(storage, name, file_number, cache)
+}
 
 /// Magic number identifying our table footer.
 pub const TABLE_MAGIC: u64 = 0x4c44_435f_5353_5431; // "LDC_SST1"

@@ -92,14 +92,24 @@ impl Table {
         self.filter.size_bytes()
     }
 
+    /// Bytes this open handle pins in memory (decoded index block plus
+    /// Bloom filter) — charged against the block-cache budget by the table
+    /// cache so open-table memory and cached-block memory share one pool.
+    pub fn pinned_bytes(&self) -> usize {
+        self.index.size() + self.filter.size_bytes()
+    }
+
     /// Point lookup: the newest version of `ukey` with sequence <=
-    /// `snapshot`, or `None`. The Bloom filter is consulted first.
+    /// `snapshot`, or `None`. The Bloom filter is consulted first. The
+    /// value is a zero-copy [`Bytes`] slice of the cached block's backing
+    /// buffer: it pins the decoded block and is never memcpy'd on the read
+    /// path (callers copy only at the public facade boundary).
     pub fn get(
         &self,
         ukey: &[u8],
         snapshot: SequenceNumber,
         class: IoClass,
-    ) -> Result<Option<(SequenceNumber, ValueType, Vec<u8>)>> {
+    ) -> Result<Option<(SequenceNumber, ValueType, Bytes)>> {
         if !self.filter.may_contain(ukey) {
             return Ok(None);
         }
@@ -115,7 +125,7 @@ impl Table {
         it.seek(&probe);
         if it.valid() && user_key(it.key()) == ukey {
             let (seq, vt) = parse_trailer(it.key());
-            return Ok(Some((seq, vt, it.value().to_vec())));
+            return Ok(Some((seq, vt, it.value_bytes())));
         }
         Ok(None)
     }
@@ -210,7 +220,7 @@ impl Table {
         Ok(stats)
     }
 
-    fn read_data_block(&self, handle: BlockHandle, class: IoClass) -> Result<Block> {
+    fn read_data_block(&self, handle: BlockHandle, class: IoClass) -> Result<Arc<Block>> {
         self.read_data_block_inner(handle, class, false)
     }
 
@@ -219,7 +229,7 @@ impl Table {
         handle: BlockHandle,
         class: IoClass,
         sequential: bool,
-    ) -> Result<Block> {
+    ) -> Result<Arc<Block>> {
         self.cache
             .get_or_load((self.file_number, handle.offset), || {
                 let bytes =
@@ -501,7 +511,7 @@ mod tests {
         let (seq, vt, value) = hit.unwrap();
         assert_eq!(seq, 1);
         assert_eq!(vt, ValueType::Value);
-        assert_eq!(value, b"value42");
+        assert_eq!(&value[..], b"value42");
         assert!(table
             .get(b"nokey", MAX_SEQUENCE, IoClass::UserRead)
             .unwrap()
@@ -528,11 +538,11 @@ mod tests {
         let table = Table::open(storage, "t.sst", 1, Arc::new(BlockCache::new(1 << 20))).unwrap();
 
         let (seq, vt, v) = table.get(b"k", 100, IoClass::UserRead).unwrap().unwrap();
-        assert_eq!((seq, vt, v.as_slice()), (9, ValueType::Value, &b"new"[..]));
+        assert_eq!((seq, vt, &v[..]), (9, ValueType::Value, &b"new"[..]));
         let (seq, vt, _) = table.get(b"k", 5, IoClass::UserRead).unwrap().unwrap();
         assert_eq!((seq, vt), (4, ValueType::Deletion));
         let (seq, _, v) = table.get(b"k", 2, IoClass::UserRead).unwrap().unwrap();
-        assert_eq!((seq, v.as_slice()), (2, &b"old"[..]));
+        assert_eq!((seq, &v[..]), (2, &b"old"[..]));
     }
 
     #[test]

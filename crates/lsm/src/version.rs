@@ -413,8 +413,12 @@ impl VersionEdit {
 pub struct VersionSet {
     storage: Arc<dyn StorageBackend>,
     manifest: LogWriter,
-    /// Live state.
-    pub current: Version,
+    /// Live state, shared with in-flight read views. `log_and_apply`
+    /// never mutates a published version in place: it clones, applies the
+    /// edit, and swaps the `Arc`, so readers that pinned the old version
+    /// keep an immutable, consistent file listing (LevelDB's version-set
+    /// MVCC, minus the manual refcounting).
+    pub current: Arc<Version>,
     /// Next file number to hand out.
     pub next_file_number: u64,
     /// Highest committed sequence number.
@@ -489,7 +493,7 @@ impl VersionSet {
         Ok(VersionSet {
             storage,
             manifest,
-            current: Version::new(max_levels),
+            current: Arc::new(Version::new(max_levels)),
             next_file_number: 2,
             last_sequence: 0,
             log_number: 0,
@@ -545,7 +549,7 @@ impl VersionSet {
         let mut vs = VersionSet {
             storage,
             manifest,
-            current: version,
+            current: Arc::new(version),
             next_file_number,
             last_sequence,
             log_number,
@@ -595,7 +599,7 @@ impl VersionSet {
         let mut vs = VersionSet {
             storage,
             manifest,
-            current: version,
+            current: Arc::new(version),
             next_file_number: next_file_number.max(2),
             last_sequence,
             log_number: 0,
@@ -638,9 +642,13 @@ impl VersionSet {
         if let Some(v) = edit.log_number {
             self.log_number = v;
         }
-        apply_edit(&mut self.current, &edit)?;
-        recompute_refcounts(&mut self.current);
-        debug_assert!(self.current.check_invariants().is_ok());
+        // Copy-on-write publish: readers holding the old `Arc<Version>`
+        // keep a stable view while the new version becomes current.
+        let mut next = Version::clone(&self.current);
+        apply_edit(&mut next, &edit)?;
+        recompute_refcounts(&mut next);
+        debug_assert!(next.check_invariants().is_ok());
+        self.current = Arc::new(next);
         if self.manifest_bytes > MANIFEST_ROLLOVER_BYTES {
             let old = self.manifest.name().to_string();
             self.write_snapshot_manifest()?;

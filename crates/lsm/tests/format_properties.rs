@@ -86,7 +86,7 @@ proptest! {
             let hit = table.get(ukey, MAX_SEQUENCE, IoClass::UserRead).unwrap();
             let (_, vt, value) = hit.expect("present key");
             prop_assert_eq!(vt, ValueType::Value);
-            prop_assert_eq!(&value, v);
+            prop_assert_eq!(value.as_ref(), v.as_slice());
         }
         // Full iteration preserves order and content.
         let mut it = table.iter(IoClass::UserRead);
@@ -242,7 +242,7 @@ proptest! {
             for (k, v) in entries.iter().take(16) {
                 let ukey = ldc_lsm::types::user_key(k);
                 match table.get(ukey, MAX_SEQUENCE, IoClass::UserRead) {
-                    Ok(Some((_, _, value))) => prop_assert_eq!(&value, v),
+                    Ok(Some((_, _, value))) => prop_assert_eq!(value.as_ref(), v.as_slice()),
                     Ok(None) => {} // bloom bit flipped: a miss is safe
                     Err(_) => {}   // detected corruption is safe
                 }

@@ -56,11 +56,16 @@ pub enum EventKind {
     /// quarantined, `output_bytes` = WAL records salvaged into new
     /// tables.
     Repair,
+    /// A group-commit leader coalesced several writers' batches into one
+    /// WAL append. `input_files` = batches in the group, `input_bytes` =
+    /// merged batch bytes. Emitted only for groups larger than one, so
+    /// single-threaded traces are unchanged.
+    GroupCommit,
 }
 
 impl EventKind {
     /// Every kind, in a stable order.
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::Flush,
         EventKind::UdcMerge,
         EventKind::TrivialMove,
@@ -78,6 +83,7 @@ impl EventKind {
         EventKind::ScrubCorruption,
         EventKind::Quarantine,
         EventKind::Repair,
+        EventKind::GroupCommit,
     ];
 
     /// Stable snake_case label (used in JSONL and reports).
@@ -100,6 +106,7 @@ impl EventKind {
             EventKind::ScrubCorruption => "scrub_corruption",
             EventKind::Quarantine => "quarantine",
             EventKind::Repair => "repair",
+            EventKind::GroupCommit => "group_commit",
         }
     }
 

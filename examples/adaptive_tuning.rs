@@ -16,7 +16,7 @@ use ldc::{LdcDb, Options};
 const PHASE_OPS: u64 = 15_000;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = LdcDb::builder()
+    let db = LdcDb::builder()
         .options(Options {
             memtable_bytes: 512 << 10,
             sstable_bytes: 512 << 10,

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         eprintln!("in-memory store (pass a directory to persist)");
     }
-    let mut db = builder.build()?;
+    let db = builder.build()?;
     eprintln!("ldc shell — `help` for commands");
 
     let stdin = io::stdin();

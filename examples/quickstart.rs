@@ -10,7 +10,7 @@ use ldc::LdcDb;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A store with the paper's defaults: 2 MiB SSTables, fan-out 10,
     // SliceLink threshold = fan-out, on a simulated enterprise SSD.
-    let mut db = LdcDb::builder().build()?;
+    let db = LdcDb::builder().build()?;
 
     // Basic key-value operations.
     db.put(b"user:1001:name", b"Ada Lovelace")?;

@@ -35,7 +35,7 @@ fn run(udc: bool) -> Result<Outcome, Box<dyn std::error::Error>> {
     if udc {
         builder = builder.udc_baseline();
     }
-    let mut db = builder.build()?;
+    let db = builder.build()?;
     let clock = db.device().clock().clone();
 
     // Key layout: post:<user>:<seq> -> payload; timeline reads scan a

@@ -33,7 +33,7 @@ fn run(udc: bool) -> Result<(), Box<dyn std::error::Error>> {
     if udc {
         builder = builder.udc_baseline();
     }
-    let mut db = builder.build()?;
+    let db = builder.build()?;
 
     // Sustained overwrite-heavy ingest (the painful case for flash).
     for i in 0..OPS {

@@ -160,7 +160,7 @@ fn mid_wal_corruption_quarantines_and_recovers_point_in_time() {
             .build()
     };
     {
-        let mut db = open(&storage).unwrap();
+        let db = open(&storage).unwrap();
         for k in 0..10u32 {
             db.put(format!("k{k}").as_bytes(), b"unflushed").unwrap();
         }
@@ -175,7 +175,7 @@ fn mid_wal_corruption_quarantines_and_recovers_point_in_time() {
     data[10] ^= 0xff;
     storage.write_file(&log, &data, IoClass::Other).unwrap();
 
-    let mut db = open(&storage).unwrap();
+    let db = open(&storage).unwrap();
     let recovery = db.recovery_summary();
     assert_eq!(
         recovery.records_replayed, 0,
@@ -210,7 +210,7 @@ fn recovery_summary_surfaces_in_stats_report() {
             .unwrap()
     };
     {
-        let mut db = open(&storage);
+        let db = open(&storage);
         for k in 0..25u32 {
             db.put(format!("key{k:04}").as_bytes(), b"wal-resident")
                 .unwrap();

@@ -49,7 +49,7 @@ fn reopen_preserves_everything_across_generations() {
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         // Five sessions, each writing a slab then "crashing".
         for session in 0u16..5 {
-            let mut db = open(&storage, udc);
+            let db = open(&storage, udc);
             for k in 0..400u16 {
                 if (k + session) % 11 == 0 {
                     db.delete(&key(k)).unwrap();
@@ -64,7 +64,7 @@ fn reopen_preserves_everything_across_generations() {
                 assert_eq!(db.get(&key(k)).unwrap().as_ref(), model.get(&key(k)));
             }
         }
-        let mut db = open(&storage, udc);
+        let db = open(&storage, udc);
         let all = db.scan(b"", usize::MAX).unwrap();
         let want: Vec<(Vec<u8>, Vec<u8>)> =
             model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
@@ -77,13 +77,13 @@ fn reopen_preserves_everything_across_generations() {
 fn unflushed_wal_tail_survives() {
     let storage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::new(SsdConfig::default()));
     {
-        let mut db = open(&storage, false);
+        let db = open(&storage, false);
         // A handful of writes — too few to flush; they live only in WALs.
         for k in 0..5u16 {
             db.put(&key(k), &value(k, 1)).unwrap();
         }
     }
-    let mut db = open(&storage, false);
+    let db = open(&storage, false);
     for k in 0..5u16 {
         assert_eq!(db.get(&key(k)).unwrap(), Some(value(k, 1)));
     }
@@ -93,7 +93,7 @@ fn unflushed_wal_tail_survives() {
 fn ldc_frozen_state_reloads_and_keeps_working() {
     let storage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::new(SsdConfig::default()));
     {
-        let mut db = open(&storage, false);
+        let db = open(&storage, false);
         for round in 0u16..3 {
             for k in 0..500u16 {
                 db.put(&key(k), &value(k, round)).unwrap();
@@ -105,7 +105,7 @@ fn ldc_frozen_state_reloads_and_keeps_working() {
             "want live LDC metadata before the crash"
         );
     }
-    let mut db = open(&storage, false);
+    let db = open(&storage, false);
     db.engine_ref().version().check_invariants().unwrap();
     for k in (0..500u16).step_by(23) {
         assert_eq!(db.get(&key(k)).unwrap(), Some(value(k, 2)), "key {k}");
@@ -130,13 +130,13 @@ fn policy_can_change_across_restarts() {
     // policy-independent.
     let storage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::new(SsdConfig::default()));
     {
-        let mut db = open(&storage, false);
+        let db = open(&storage, false);
         for k in 0..600u16 {
             db.put(&key(k), &value(k, 1)).unwrap();
         }
     }
     {
-        let mut db = open(&storage, true); // UDC session
+        let db = open(&storage, true); // UDC session
         for k in (0..600u16).step_by(29) {
             assert_eq!(db.get(&key(k)).unwrap(), Some(value(k, 1)));
         }
@@ -151,7 +151,7 @@ fn policy_can_change_across_restarts() {
         }
         db.engine_ref().version().check_invariants().unwrap();
     }
-    let mut db = open(&storage, false); // back to LDC
+    let db = open(&storage, false); // back to LDC
     db.engine_ref().version().check_invariants().unwrap();
     assert!(db.get(&key(3)).unwrap().is_some());
 }
@@ -165,10 +165,10 @@ fn policy_can_change_across_restarts() {
 fn regression_single_wal_write_survives_ldc_crash() {
     let storage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::new(SsdConfig::default()));
     {
-        let mut db = open(&storage, false);
+        let db = open(&storage, false);
         db.put(&key(0), &value(0, 0)).unwrap();
     } // crash with the write only in the WAL
-    let mut db = open(&storage, false);
+    let db = open(&storage, false);
     assert_eq!(
         db.scan(b"", usize::MAX).unwrap(),
         vec![(key(0), value(0, 0))]
@@ -187,7 +187,7 @@ proptest! {
             MemStorage::new(SsdDevice::new(SsdConfig::default()));
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         {
-            let mut db = open(&storage, udc);
+            let db = open(&storage, udc);
             for i in 0..cut {
                 let k = (i % 211) as u16;
                 let v = (i / 211) as u16;
@@ -195,7 +195,7 @@ proptest! {
                 model.insert(key(k), value(k, v));
             }
         } // crash
-        let mut db = open(&storage, udc);
+        let db = open(&storage, udc);
         let all = db.scan(b"", usize::MAX).unwrap();
         let want: Vec<(Vec<u8>, Vec<u8>)> =
             model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();

@@ -53,7 +53,7 @@ fn build_store(
     let storage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::with_defaults());
     let mut model = BTreeMap::new();
     {
-        let mut db = LdcDb::builder()
+        let db = LdcDb::builder()
             .options(options.clone())
             .storage(Arc::clone(&storage))
             .build()
@@ -119,7 +119,7 @@ fn bit_flip_detection_sweep() {
             match open(&storage, &options) {
                 // Refusing the corrupt store entirely is detection.
                 Err(_) => {}
-                Ok(mut db) => {
+                Ok(db) => {
                     let report = db.scrub().unwrap();
                     if !report.corruptions.iter().any(|c| c.file == victim) {
                         // Undetected: the flipped bit must be one the
@@ -166,7 +166,7 @@ fn quarantine_keeps_serving_outside_the_corrupt_table() {
         .unwrap();
     flip_bit(&storage, &victim, 700);
 
-    let mut db = open(&storage, &options).expect("quarantine store reopens");
+    let db = open(&storage, &options).expect("quarantine store reopens");
     let report = db.scrub().unwrap();
     assert!(!report.is_clean(), "scrub missed the flipped bit");
     assert_eq!(db.quarantined().len(), 1, "exactly one table quarantined");
@@ -210,7 +210,7 @@ fn repair_recovers_a_damaged_store_to_model_equivalence() {
     assert_eq!(report.tables_quarantined, 1);
     assert!(report.tables_salvaged > 0);
 
-    let mut db = open(&storage, &options).expect("repaired store reopens");
+    let db = open(&storage, &options).expect("repaired store reopens");
     let mut surviving = 0u64;
     for (k, want) in &model {
         if let Some(v) = db.get(k).unwrap() {
@@ -245,7 +245,7 @@ proptest! {
         let storage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::with_defaults());
         let mut model = BTreeMap::new();
         {
-            let mut db = LdcDb::builder()
+            let db = LdcDb::builder()
                 .options(options.clone())
                 .storage(Arc::clone(&storage))
                 .build()
@@ -269,7 +269,7 @@ proptest! {
         prop_assert_eq!(second.orphans_deleted, 0);
         prop_assert_eq!(second.wal_records_salvaged, 0);
 
-        let mut db = open(&storage, &options).unwrap();
+        let db = open(&storage, &options).unwrap();
         for (k, want) in &model {
             let got = db.get(k).unwrap();
             prop_assert_eq!(got.as_ref(), Some(want));

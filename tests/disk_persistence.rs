@@ -58,7 +58,7 @@ fn store_survives_disk_reopen_with_ldc_state() {
     let root = TempRoot::new();
     let n = 1200u32;
     {
-        let mut db = open(&root, false);
+        let db = open(&root, false);
         for i in 0..n {
             db.put(&key(i), format!("value-{i}").as_bytes()).unwrap();
         }
@@ -76,7 +76,7 @@ fn store_survives_disk_reopen_with_ldc_state() {
     assert!(on_disk.iter().any(|f| f.starts_with("MANIFEST")));
     assert!(on_disk.iter().any(|f| f == "CURRENT"));
 
-    let mut db = open(&root, false);
+    let db = open(&root, false);
     db.engine_ref().version().check_invariants().unwrap();
     for i in (0..n).step_by(61) {
         let expect = if i == 7 {
@@ -111,7 +111,7 @@ fn reopen_preserves_everything_across_generations_on_disk() {
         let root = TempRoot::new();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         for session in 0u32..4 {
-            let mut db = open(&root, udc);
+            let db = open(&root, udc);
             for k in 0..300u32 {
                 if (k + session) % 11 == 0 {
                     db.delete(&key(k)).unwrap();
@@ -126,7 +126,7 @@ fn reopen_preserves_everything_across_generations_on_disk() {
                 assert_eq!(db.get(&key(k)).unwrap().as_ref(), model.get(&key(k)));
             }
         } // each drop is a crash
-        let mut db = open(&root, udc);
+        let db = open(&root, udc);
         db.engine_ref().version().check_invariants().unwrap();
         let all = db.scan(b"", usize::MAX).unwrap();
         let want: Vec<(Vec<u8>, Vec<u8>)> =
@@ -139,12 +139,12 @@ fn reopen_preserves_everything_across_generations_on_disk() {
 fn udc_store_on_disk_roundtrip() {
     let root = TempRoot::new();
     {
-        let mut db = open(&root, true);
+        let db = open(&root, true);
         for i in 0..800u32 {
             db.put(&key(i), b"v").unwrap();
         }
     }
-    let mut db = open(&root, true);
+    let db = open(&root, true);
     for i in (0..800u32).step_by(97) {
         assert_eq!(db.get(&key(i)).unwrap(), Some(b"v".to_vec()));
     }

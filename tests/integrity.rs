@@ -19,7 +19,7 @@ fn tiny_options() -> Options {
 
 #[test]
 fn healthy_store_verifies() {
-    let mut db = LdcDb::builder().options(tiny_options()).build().unwrap();
+    let db = LdcDb::builder().options(tiny_options()).build().unwrap();
     for i in 0..1500u32 {
         db.put(format!("k{i:06}").as_bytes(), format!("v{i}").as_bytes())
             .unwrap();
@@ -35,7 +35,7 @@ fn healthy_store_verifies() {
 #[test]
 fn corruption_is_detected_by_verify() {
     let storage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::new(SsdConfig::default()));
-    let mut db = LdcDb::builder()
+    let db = LdcDb::builder()
         .options(tiny_options())
         .storage(Arc::clone(&storage))
         .build()
@@ -60,7 +60,7 @@ fn corruption_is_detected_by_verify() {
 
     // Reopen so no cached Table/bloom state hides the damage.
     drop(db);
-    let mut db = LdcDb::builder()
+    let db = LdcDb::builder()
         .options(tiny_options())
         .storage(storage)
         .build()

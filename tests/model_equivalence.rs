@@ -62,7 +62,7 @@ fn check_sequence(policy: Policy, ops: &[Op]) {
         Policy::Tiered => builder.size_tiered(),
         Policy::Ldc => builder,
     };
-    let mut db = builder.build().expect("open");
+    let db = builder.build().expect("open");
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
 
     for op in ops {
