@@ -45,6 +45,11 @@ fn usage() -> ! {
     );
     eprintln!("  readwhilewriting  1 writer + N readers on a shared handle, UDC vs LDC");
     eprintln!("                    [--readers N] [--quick] [--out PATH] + common flags");
+    eprintln!("  tail              deterministic mixed load, UDC vs LDC: P50..P99.99 +");
+    eprintln!("                    per-blame breakdown -> BENCH_tail.json");
+    eprintln!("                    [--k N] [--quick] [--out PATH] + common flags");
+    eprintln!("  trace-report      same load; renders the worst-K trace reservoir as");
+    eprintln!("                    folded stacks [--k N] [--quick] + common flags");
     eprintln!();
     eprintln!("figure binaries live under --bin (e.g. --bin fig08_tail_latency)");
     std::process::exit(2);
@@ -109,6 +114,7 @@ struct RwwResult {
     writes: u64,
     reads: u64,
     read_latency_ns: Histogram,
+    write_latency_ns: Histogram,
     flushes: u64,
     compactions: u64,
 }
@@ -118,6 +124,10 @@ impl RwwResult {
         self.read_latency_ns.percentile(p) as f64 / 1e3
     }
 
+    fn wp_us(&self, p: f64) -> f64 {
+        self.write_latency_ns.percentile(p) as f64 / 1e3
+    }
+
     fn json(&self) -> String {
         format!(
             concat!(
@@ -125,6 +135,8 @@ impl RwwResult {
                 "\"writes_per_sec\":{:.0},\"reads\":{},\"reads_per_sec\":{:.0},",
                 "\"read_p50_us\":{:.1},\"read_p99_us\":{:.1},\"read_p999_us\":{:.1},",
                 "\"read_mean_us\":{:.1},\"read_max_us\":{:.1},",
+                "\"write_p50_us\":{:.1},\"write_p99_us\":{:.1},\"write_p999_us\":{:.1},",
+                "\"write_mean_us\":{:.1},\"write_max_us\":{:.1},",
                 "\"flushes\":{},\"compactions\":{}}}"
             ),
             self.mode,
@@ -138,6 +150,11 @@ impl RwwResult {
             self.p_us(99.9),
             self.read_latency_ns.mean() / 1e3,
             self.read_latency_ns.max() as f64 / 1e3,
+            self.wp_us(50.0),
+            self.wp_us(99.0),
+            self.wp_us(99.9),
+            self.write_latency_ns.mean() / 1e3,
+            self.write_latency_ns.max() as f64 / 1e3,
             self.flushes,
             self.compactions
         )
@@ -179,6 +196,7 @@ fn run_rww_mode(
     let reads = AtomicU64::new(0);
     let start = Instant::now();
     let mut merged = Histogram::new();
+    let mut write_hist = Histogram::new();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for r in 0..readers {
@@ -214,9 +232,15 @@ fn run_rww_mode(
         }
         // This thread is the writer: overwrite the preloaded keyspace so
         // flushes and compactions churn the files readers are pinned to.
+        // Write latency is measured the same way the readers measure
+        // theirs — host time around each call — so stalls and group-commit
+        // waits land in the write tail.
         for i in 0..args.ops {
             let idx = i % preload;
-            if let Err(e) = db.put(&codec.key(idx), &codec.value(idx, 1 + i / preload)) {
+            let t0 = Instant::now();
+            let put = db.put(&codec.key(idx), &codec.value(idx, 1 + i / preload));
+            write_hist.record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            if let Err(e) = put {
                 eprintln!("{mode}: writer error: {e}");
                 failed.store(true, Ordering::Relaxed);
                 break;
@@ -242,9 +266,140 @@ fn run_rww_mode(
         writes: args.ops,
         reads: reads.load(Ordering::Relaxed),
         read_latency_ns: merged,
+        write_latency_ns: write_hist,
         flushes: stats.flushes,
         compactions: stats.merges + stats.trivial_moves + stats.links + stats.ldc_merges,
     })
+}
+
+/// Deterministic readwhilewriting-style mixed load for tail attribution:
+/// single-threaded (so the virtual clock is exactly reproducible), one
+/// write every fourth op over a preloaded keyspace, uniform point gets in
+/// between. Returns the store with tracing still enabled so callers can
+/// render reports from its reservoir.
+fn run_tail_load(udc: bool, args: &CommonArgs, worst_k: usize) -> Result<LdcDb, String> {
+    let mut b = LdcDb::builder()
+        .options(paper_scaled_options())
+        .trace_worst_k(worst_k);
+    if udc {
+        b = b.udc_baseline();
+    }
+    let db = b.build().map_err(|e| e.to_string())?;
+    let codec = args.codec();
+    let preload = (args.ops / 2).max(1);
+    for i in 0..preload {
+        db.put(&codec.key(i), &codec.value(i, 0))
+            .map_err(|e| format!("preload: {e}"))?;
+    }
+    db.drain_background();
+    // Measure only the mixed phase: preload latencies, blame, and traces
+    // are cleared so both modes start from identical accounting.
+    db.metrics().reset();
+    db.reset_traces();
+
+    let mut rng = args.seed | 1;
+    for i in 0..args.ops {
+        if i % 4 == 0 {
+            let idx = i % preload;
+            db.put(&codec.key(idx), &codec.value(idx, 1 + i / preload))
+                .map_err(|e| format!("write op {i}: {e}"))?;
+        } else {
+            let idx = xorshift(&mut rng) % preload;
+            db.get_pinned(&codec.key(idx))
+                .map_err(|e| format!("read op {i}: {e}"))?;
+        }
+    }
+    Ok(db)
+}
+
+/// Emits one mode's JSON object for `BENCH_tail.json`: virtual-clock
+/// percentiles through P99.99 plus the per-blame nanosecond breakdown for
+/// each op type that ran.
+fn tail_mode_json(mode: &str, db: &LdcDb) -> Result<String, String> {
+    use ldc_obs::{Blame, OpType};
+    // Acceptance invariant: every captured trace's blame buckets must sum
+    // to its total latency exactly — attribution may never lose or invent
+    // a nanosecond.
+    for trace in db.worst_traces() {
+        let sum: u64 = trace.blame_breakdown().iter().sum();
+        if sum != trace.total {
+            return Err(format!(
+                "{mode}: trace {} #{} blame sum {} != total {}",
+                trace.op.label(),
+                trace.op_index,
+                sum,
+                trace.total
+            ));
+        }
+    }
+    let metrics = db.metrics();
+    let mut ops = Vec::new();
+    for op in OpType::ALL {
+        let h = metrics.latency(op);
+        if h.count() == 0 {
+            continue;
+        }
+        let blame = metrics.blame_totals(op);
+        let blame_fields: Vec<String> = Blame::ALL
+            .iter()
+            .zip(blame.iter())
+            .map(|(b, ns)| format!("\"{}\":{}", b.label(), ns))
+            .collect();
+        ops.push(format!(
+            concat!(
+                "\"{}\":{{\"count\":{},\"p50_us\":{:.1},\"p99_us\":{:.1},",
+                "\"p999_us\":{:.1},\"p9999_us\":{:.1},\"max_us\":{:.1},",
+                "\"blame_ns\":{{{}}}}}"
+            ),
+            op.label(),
+            h.count(),
+            h.percentile(50.0) as f64 / 1e3,
+            h.percentile(99.0) as f64 / 1e3,
+            h.percentile(99.9) as f64 / 1e3,
+            h.percentile(99.99) as f64 / 1e3,
+            h.max() as f64 / 1e3,
+            blame_fields.join(",")
+        ));
+    }
+    Ok(format!("{{\"mode\":\"{}\",{}}}", mode, ops.join(",")))
+}
+
+fn run_tail(args: CommonArgs, worst_k: usize, out: &str) -> Result<(), String> {
+    let udc = run_tail_load(true, &args, worst_k)?;
+    let ldc = run_tail_load(false, &args, worst_k)?;
+
+    for (mode, db) in [("UDC", &udc), ("LDC", &ldc)] {
+        println!("## {mode}");
+        print!("{}", db.tail_report());
+        println!();
+    }
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"tail\",\"ops\":{},\"value_bytes\":{},\"seed\":{},",
+            "\"worst_k\":{},\"modes\":[{},{}]}}\n"
+        ),
+        args.ops,
+        args.value_bytes,
+        args.seed,
+        worst_k,
+        tail_mode_json("UDC", &udc)?,
+        tail_mode_json("LDC", &ldc)?
+    );
+    std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn run_trace_report(args: CommonArgs, worst_k: usize) -> Result<(), String> {
+    for udc in [true, false] {
+        let db = run_tail_load(udc, &args, worst_k)?;
+        let mode = if udc { "UDC" } else { "LDC" };
+        println!("## {mode} worst-{worst_k} traces (folded stacks, virtual ns)");
+        print!("{}", db.trace_folded_report());
+        println!();
+    }
+    Ok(())
 }
 
 fn run_read_while_writing(args: CommonArgs, readers: u64, out: &str) -> Result<(), String> {
@@ -268,6 +423,9 @@ fn run_read_while_writing(args: CommonArgs, readers: u64, out: &str) -> Result<(
                 format!("{:.1}", r.p_us(50.0)),
                 format!("{:.1}", r.p_us(99.0)),
                 format!("{:.1}", r.p_us(99.9)),
+                format!("{:.1}", r.wp_us(50.0)),
+                format!("{:.1}", r.wp_us(99.0)),
+                format!("{:.1}", r.wp_us(99.9)),
                 format!("{}", r.flushes),
                 format!("{}", r.compactions),
             ]
@@ -286,6 +444,9 @@ fn run_read_while_writing(args: CommonArgs, readers: u64, out: &str) -> Result<(
             "read p50 (us)",
             "read p99 (us)",
             "read p99.9 (us)",
+            "write p50 (us)",
+            "write p99 (us)",
+            "write p99.9 (us)",
             "flushes",
             "compactions",
         ],
@@ -348,6 +509,37 @@ fn main() {
             let common = CommonArgs::from_iter(default_ops, rest);
             if let Err(detail) = run_read_while_writing(common, readers.max(1), &out) {
                 eprintln!("readwhilewriting FAILED: {detail}");
+                std::process::exit(1);
+            }
+        }
+        "tail" | "trace-report" => {
+            let mut worst_k = 8usize;
+            let mut quick = false;
+            let mut out = "BENCH_tail.json".to_string();
+            let mut rest = Vec::new();
+            let mut iter = args.peekable();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--k" => {
+                        worst_k = iter
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--k: integer"))
+                    }
+                    "--quick" => quick = true,
+                    "--out" => out = iter.next().unwrap_or_else(|| panic!("--out needs a value")),
+                    _ => rest.push(arg),
+                }
+            }
+            let default_ops = if quick { 2_000 } else { 20_000 };
+            let common = CommonArgs::from_iter(default_ops, rest);
+            let result = if sub == "tail" {
+                run_tail(common, worst_k.max(1), &out)
+            } else {
+                run_trace_report(common, worst_k.max(1))
+            };
+            if let Err(detail) = result {
+                eprintln!("{sub} FAILED: {detail}");
                 std::process::exit(1);
             }
         }

@@ -15,7 +15,7 @@ use ldc_lsm::compaction::{CompactionPolicy, UdcPolicy};
 use ldc_lsm::db::{Db, DbStats};
 use ldc_lsm::RecoverySummary;
 use ldc_lsm::{CacheCounters, Options, PinnedValue, Result};
-use ldc_obs::{MetricsRegistry, NoopSink, SharedSink};
+use ldc_obs::{MetricsRegistry, NoopSink, SharedSink, Trace};
 use ldc_ssd::{MemStorage, SsdConfig, SsdDevice, StorageBackend};
 
 use crate::policy::{LdcConfig, LdcPolicy};
@@ -39,6 +39,7 @@ pub struct LdcDbBuilder {
     mode: CompactionMode,
     storage: Option<Arc<dyn StorageBackend>>,
     sink: Option<SharedSink>,
+    trace_worst_k: Option<usize>,
 }
 
 impl LdcDbBuilder {
@@ -49,6 +50,7 @@ impl LdcDbBuilder {
             mode: CompactionMode::Ldc(LdcConfig::default()),
             storage: None,
             sink: None,
+            trace_worst_k: None,
         }
     }
 
@@ -126,6 +128,16 @@ impl LdcDbBuilder {
         self
     }
 
+    /// Enables per-operation request tracing with a deterministic
+    /// worst-`k` trace reservoir per op type (tie-broken from the engine
+    /// seed). Off by default; when off, no trace context is ever built,
+    /// and even when on the tracer only reads the virtual clock, so
+    /// traced and untraced runs are time-identical.
+    pub fn trace_worst_k(mut self, k: usize) -> Self {
+        self.trace_worst_k = Some(k);
+        self
+    }
+
     /// Opens the store.
     pub fn build(self) -> Result<LdcDb> {
         let storage = match self.storage {
@@ -149,7 +161,10 @@ impl LdcDbBuilder {
         // Open with the sink already attached so the recovery event emitted
         // during WAL replay / manifest recovery is captured too.
         let sink = self.sink.unwrap_or_else(|| Arc::new(NoopSink));
-        let inner = Db::open_with_sink(Arc::clone(&storage), self.options, policy, sink)?;
+        let mut inner = Db::open_with_sink(Arc::clone(&storage), self.options, policy, sink)?;
+        if let Some(k) = self.trace_worst_k {
+            inner.enable_tracing(k);
+        }
         Ok(LdcDb { inner, storage })
     }
 }
@@ -278,6 +293,31 @@ impl LdcDb {
     /// Human-readable engine report (LevelDB `leveldb.stats` style).
     pub fn stats_report(&self) -> String {
         self.inner.stats_report()
+    }
+
+    /// The worst-latency traces captured by the reservoir, grouped by op
+    /// type, worst first. Empty unless the store was built with
+    /// [`LdcDbBuilder::trace_worst_k`].
+    pub fn worst_traces(&self) -> Vec<Trace> {
+        self.inner.worst_traces()
+    }
+
+    /// Tail-latency report: per-op percentiles through P99.99, the blame
+    /// breakdown, and the worst captured traces.
+    pub fn tail_report(&self) -> String {
+        self.inner.tail_report()
+    }
+
+    /// The worst-K trace reservoir rendered as folded stacks (flamegraph
+    /// collapse format). Empty unless tracing was enabled.
+    pub fn trace_folded_report(&self) -> String {
+        self.inner.trace_folded_report()
+    }
+
+    /// Clears the worst-K reservoir and its arrival counters (e.g. after
+    /// a preload phase). No-op when tracing is off.
+    pub fn reset_traces(&self) {
+        self.inner.reset_traces()
     }
 
     /// Verifies every SSTable's checksums and ordering; returns entries

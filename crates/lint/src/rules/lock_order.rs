@@ -43,6 +43,7 @@ pub const SCOPED_FILES: &[&str] = &[
     "crates/lsm/src/cache.rs",
     "crates/obs/src/sink.rs",
     "crates/obs/src/metrics.rs",
+    "crates/obs/src/trace.rs",
 ];
 
 /// Is `path` (workspace-relative) in this rule's scope?

@@ -59,7 +59,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use ldc_obs::{Event, EventKind, LevelGauge, MetricsRegistry, NoopSink, OpType, SharedSink};
+use ldc_obs::{
+    Blame, Event, EventKind, LevelGauge, MetricsRegistry, NoopSink, OpType, SharedSink, Trace,
+    TraceCtx, TraceReservoir,
+};
 use ldc_ssd::{IoClass, Nanos, SsdDevice, StorageBackend, TimeCategory};
 use parking_lot::{Mutex, RwLock};
 
@@ -301,6 +304,12 @@ pub struct Db {
     sink: SharedSink,
     /// Per-level gauges and per-op latency histograms.
     metrics: Arc<MetricsRegistry>,
+    /// Worst-K trace reservoir; `None` (the default) disables per-op
+    /// tracing entirely — the op paths then never construct a
+    /// [`TraceCtx`], so the disabled engine is byte- and time-identical
+    /// to one built before tracing existed. Tracing only *reads* the
+    /// virtual clock, so even enabled runs charge identical time.
+    tracer: Option<Arc<TraceReservoir>>,
     core: Mutex<DbCore>,
     /// The state readers pin; republished at every commit boundary.
     view: RwLock<ReadView>,
@@ -486,6 +495,7 @@ impl Db {
             block_cache,
             sink,
             metrics,
+            tracer: None,
             core: Mutex::new(DbCore {
                 versions,
                 mem,
@@ -742,7 +752,10 @@ impl Db {
             }
         }
 
-        let _ = writeln!(out, "Op       Count   Mean(us)    P50(us)    P99(us)");
+        let _ = writeln!(
+            out,
+            "Op       Count   Mean(us)    P50(us)    P99(us)  P99.9(us) P99.99(us)"
+        );
         for op in OpType::ALL {
             let h = self.metrics.latency(op);
             if h.count() == 0 {
@@ -750,14 +763,17 @@ impl Db {
             }
             let _ = writeln!(
                 out,
-                "{:<6} {:>7}  {:>9.1}  {:>9.1}  {:>9.1}",
+                "{:<6} {:>7}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}",
                 op.label(),
                 h.count(),
                 h.mean() / 1e3,
                 h.percentile(50.0) as f64 / 1e3,
                 h.percentile(99.0) as f64 / 1e3,
+                h.percentile(99.9) as f64 / 1e3,
+                h.percentile(99.99) as f64 / 1e3,
             );
         }
+        self.write_blame_breakdown(&mut out);
 
         let dev = self.device.snapshot();
         let _ = writeln!(
@@ -778,6 +794,90 @@ impl Db {
             s.gets,
             s.scans
         );
+        out
+    }
+
+    /// Appends the per-op blame breakdown (nonzero buckets only) to a
+    /// stats report. Silent when tracing never attributed any time.
+    fn write_blame_breakdown(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let mut wrote_header = false;
+        for op in OpType::ALL {
+            let totals = self.metrics.blame_totals(op);
+            let sum: u64 = totals.iter().sum();
+            if sum == 0 {
+                continue;
+            }
+            if !wrote_header {
+                let _ = writeln!(out, "Blame breakdown (ms, share of traced op time):");
+                wrote_header = true;
+            }
+            let _ = write!(out, "  {:<6}", op.label());
+            for (nanos, blame) in totals.iter().zip(Blame::ALL) {
+                if *nanos == 0 {
+                    continue;
+                }
+                let _ = write!(
+                    out,
+                    " {} {:.3} ({:.1}%)",
+                    blame.label(),
+                    *nanos as f64 / 1e6,
+                    *nanos as f64 * 100.0 / sum as f64,
+                );
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    /// Tail-latency report: per-op percentiles through P99.99, the blame
+    /// breakdown, and the worst traces captured by the reservoir. Designed
+    /// for humans; `ldc-bench tail` emits the machine-readable version.
+    pub fn tail_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Op       Count     P50(us)    P99(us)  P99.9(us) P99.99(us)    Max(us)"
+        );
+        for op in OpType::ALL {
+            let h = self.metrics.latency(op);
+            if h.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<6} {:>7}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}",
+                op.label(),
+                h.count(),
+                h.percentile(50.0) as f64 / 1e3,
+                h.percentile(99.0) as f64 / 1e3,
+                h.percentile(99.9) as f64 / 1e3,
+                h.percentile(99.99) as f64 / 1e3,
+                h.max() as f64 / 1e3,
+            );
+        }
+        self.write_blame_breakdown(&mut out);
+        let worst = self.worst_traces();
+        if !worst.is_empty() {
+            let _ = writeln!(out, "Worst traces (total us, blame shares):");
+            for trace in &worst {
+                let _ = write!(
+                    out,
+                    "  {:<6} #{:<8} {:>9.1}",
+                    trace.op.label(),
+                    trace.op_index,
+                    trace.total as f64 / 1e3
+                );
+                let breakdown = trace.blame_breakdown();
+                for (nanos, blame) in breakdown.iter().zip(Blame::ALL) {
+                    if *nanos == 0 {
+                        continue;
+                    }
+                    let _ = write!(out, " {}={:.1}us", blame.label(), *nanos as f64 / 1e3);
+                }
+                let _ = writeln!(out);
+            }
+        }
         out
     }
 
@@ -816,6 +916,66 @@ impl Db {
     /// since this handle was opened, oldest first.
     pub fn quarantined(&self) -> Vec<QuarantinedFile> {
         self.core.lock().quarantined.clone()
+    }
+
+    /// Enables per-operation tracing with a worst-`k` reservoir per op
+    /// type, tie-broken deterministically from the options seed. Call
+    /// before sharing the handle (it takes `&mut self`); with tracing off
+    /// the op paths never allocate a context, and even with it on the
+    /// tracer only *reads* the virtual clock, so traced and untraced runs
+    /// are time-identical.
+    pub fn enable_tracing(&mut self, worst_k: usize) {
+        self.tracer = Some(Arc::new(TraceReservoir::new(worst_k, self.options.seed)));
+    }
+
+    /// Whether [`Db::enable_tracing`] was called.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The worst-latency traces captured so far, grouped by op type in
+    /// [`OpType::ALL`] order, worst first. Empty when tracing is off.
+    pub fn worst_traces(&self) -> Vec<Trace> {
+        self.tracer
+            .as_ref()
+            .map(|t| t.all_worst())
+            .unwrap_or_default()
+    }
+
+    /// The worst-K reservoir rendered as folded stacks (flamegraph input
+    /// format: `get;table_probe 1234` per line). Empty when tracing is off.
+    pub fn trace_folded_report(&self) -> String {
+        self.tracer
+            .as_ref()
+            .map(|t| t.folded_report())
+            .unwrap_or_default()
+    }
+
+    /// Clears the worst-K reservoir and its per-op arrival counters, e.g.
+    /// after a preload phase, so op indices restart at zero (keeping
+    /// same-seed reruns reproducible). No-op when tracing is off.
+    pub fn reset_traces(&self) {
+        if let Some(t) = self.tracer.as_ref() {
+            t.reset();
+        }
+    }
+
+    /// Starts a trace for `op` iff tracing is enabled.
+    fn trace_start(&self, op: OpType, now: Nanos) -> Option<TraceCtx> {
+        self.tracer.as_ref().map(|_| TraceCtx::new(op, now))
+    }
+
+    /// Seals `ctx`, folds its blame breakdown into the metrics registry,
+    /// and offers it to the worst-K reservoir.
+    fn trace_finish(&self, ctx: Option<TraceCtx>, end: Nanos) {
+        let Some(ctx) = ctx else { return };
+        let Some(tracer) = self.tracer.as_ref() else {
+            return;
+        };
+        let op = ctx.op();
+        let trace = ctx.finish(end, tracer.next_op_index(op));
+        self.metrics.record_blame(op, &trace.blame_breakdown());
+        tracer.offer(trace);
     }
 
     /// The event sink, for sibling modules (scrub) that emit events.
@@ -900,9 +1060,12 @@ impl Db {
         let mut batch = WriteBatch::new();
         batch.put(key, value);
         let t0 = self.device.clock().now();
-        let result = self.write(batch);
+        let mut ctx = self.trace_start(OpType::Put, t0);
+        let result = self.write_traced(batch, ctx.as_mut());
+        let end = self.device.clock().now();
         self.metrics
-            .record_latency(OpType::Put, self.device.clock().now().saturating_sub(t0));
+            .record_latency(OpType::Put, end.saturating_sub(t0));
+        self.trace_finish(ctx, end);
         result
     }
 
@@ -911,9 +1074,12 @@ impl Db {
         let mut batch = WriteBatch::new();
         batch.delete(key);
         let t0 = self.device.clock().now();
-        let result = self.write(batch);
+        let mut ctx = self.trace_start(OpType::Delete, t0);
+        let result = self.write_traced(batch, ctx.as_mut());
+        let end = self.device.clock().now();
         self.metrics
-            .record_latency(OpType::Delete, self.device.clock().now().saturating_sub(t0));
+            .record_latency(OpType::Delete, end.saturating_sub(t0));
+        self.trace_finish(ctx, end);
         result
     }
 
@@ -932,13 +1098,34 @@ impl Db {
     /// Level-0 slowdown, the Level-0 stop, and the wait for an immutable
     /// memtable slot at rotation.
     pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        self.write_traced(batch, None)
+    }
+
+    /// [`Db::write`] with an optional trace context. A follower's entire
+    /// wait is one [`Blame::GroupCommitWait`] span (the leader advanced the
+    /// clock on its behalf); a leader's commit is broken down inside
+    /// [`Db::commit_batches`].
+    fn write_traced(&self, batch: WriteBatch, mut trace: Option<&mut TraceCtx>) -> Result<()> {
+        let wait_t0 = if trace.is_some() {
+            self.device.clock().now()
+        } else {
+            0
+        };
         let ticket = self.commit.enqueue(batch);
         match self.commit.wait(ticket) {
-            Role::Done(result) => result,
+            Role::Done(result) => {
+                if let Some(t) = trace.as_deref_mut() {
+                    let now = self.device.clock().now();
+                    if now > wait_t0 {
+                        t.span(Blame::GroupCommitWait, "follower_wait", wait_t0, now);
+                    }
+                }
+                result
+            }
             Role::Leader(group) => {
                 let results = {
                     let mut core = self.core.lock();
-                    let results = self.commit_group(&mut core, group);
+                    let results = self.commit_group(&mut core, group, trace);
                     self.publish_view(&core);
                     if let Err(e) = self.reap_pending_deletes(&mut core) {
                         if core.bg_error.is_none() {
@@ -967,6 +1154,7 @@ impl Db {
         &self,
         core: &mut DbCore,
         group: Vec<(Ticket, WriteBatch)>,
+        trace: Option<&mut TraceCtx>,
     ) -> Vec<(Ticket, Result<()>)> {
         if let Some(e) = &core.bg_error {
             let e = e.clone();
@@ -989,7 +1177,7 @@ impl Db {
         if batches.is_empty() {
             return results;
         }
-        let outcome = self.commit_batches(core, batches);
+        let outcome = self.commit_batches(core, batches, trace);
         if let Err(e) = &outcome {
             // Fail-stop: a failed WAL/manifest append leaves that log's
             // record framing unknown, and appending more records after it
@@ -1005,7 +1193,12 @@ impl Db {
     /// The grouped write path: gates, one WAL append, memtable inserts,
     /// and rotation, all in virtual time. `batches` is non-empty and every
     /// batch in it is non-empty.
-    fn commit_batches(&self, core: &mut DbCore, mut batches: Vec<WriteBatch>) -> Result<()> {
+    fn commit_batches(
+        &self,
+        core: &mut DbCore,
+        mut batches: Vec<WriteBatch>,
+        mut trace: Option<&mut TraceCtx>,
+    ) -> Result<()> {
         {
             let mut policy = self.policy.lock();
             for _ in 0..batches.len() {
@@ -1046,6 +1239,9 @@ impl Db {
             if waited > 0 {
                 core.stats.stalls += 1;
                 core.stats.stall_nanos += waited;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.span(Blame::Stall, "l0_stop", t0, t0 + waited);
+                }
                 if self.sink.enabled() {
                     self.sink
                         .record(Event::span(EventKind::Stall, t0, t0 + waited).levels(0, 0));
@@ -1055,6 +1251,14 @@ impl Db {
             let t0 = self.device.clock().now();
             self.device.clock().advance(self.options.slowdown_delay_ns);
             core.stats.slowdowns += 1;
+            if let Some(t) = trace.as_deref_mut() {
+                t.span(
+                    Blame::Slowdown,
+                    "l0_slowdown",
+                    t0,
+                    t0 + self.options.slowdown_delay_ns,
+                );
+            }
             if self.sink.enabled() {
                 self.sink.record(
                     Event::span(EventKind::Slowdown, t0, t0 + self.options.slowdown_delay_ns)
@@ -1089,8 +1293,26 @@ impl Db {
         let count = u64::from(batch.count());
         if self.options.wal_sync {
             let t0 = self.device.clock().now();
+            let gc0 = if trace.is_some() {
+                self.device.gc_busy_nanos()
+            } else {
+                0
+            };
             core.wal.add_record(batch.encoded())?;
             core.wal.sync()?;
+            if let Some(t) = trace.as_deref_mut() {
+                let now = self.device.clock().now();
+                if now > t0 {
+                    t.span(Blame::WalSync, "wal_sync", t0, now);
+                    // Any GC relocation the device squeezed into this sync
+                    // is its own blame: the paper's write-amplification tax.
+                    t.carve_from_last(
+                        Blame::SsdGc,
+                        "ssd_gc",
+                        self.device.gc_busy_nanos().saturating_sub(gc0),
+                    );
+                }
+            }
             if self.sink.enabled() {
                 self.sink.record(
                     Event::span(EventKind::WalSync, t0, self.device.clock().now())
@@ -1111,7 +1333,20 @@ impl Db {
                 .store(bg.max(t0) + lane_cost, Ordering::SeqCst);
             // The buffered append still costs a syscall on the foreground.
             self.device.clock().advance(3_000);
+            if let Some(t) = trace.as_deref_mut() {
+                t.span(
+                    Blame::WalAppend,
+                    "wal_append",
+                    t0,
+                    self.device.clock().now(),
+                );
+            }
         }
+        let mem_t0 = if trace.is_some() {
+            self.device.clock().now()
+        } else {
+            0
+        };
         for item in batch.iter() {
             let (offset, op) = item?;
             let op_seq = seq + u64::from(offset);
@@ -1123,6 +1358,14 @@ impl Db {
         self.device
             .clock()
             .advance(self.options.memtable_write_ns * count);
+        if let Some(t) = trace.as_deref_mut() {
+            t.span(
+                Blame::Memtable,
+                "memtable_insert",
+                mem_t0,
+                self.device.clock().now(),
+            );
+        }
         core.versions.last_sequence = seq + count - 1;
         core.stats.writes += count;
         core.stats.user_bytes_written += batch.user_bytes();
@@ -1170,6 +1413,9 @@ impl Db {
                 if waited > 0 {
                     core.stats.stalls += 1;
                     core.stats.stall_nanos += waited;
+                    if let Some(t) = trace {
+                        t.span(Blame::Stall, "rotation_wait", t0, t0 + waited);
+                    }
                     if self.sink.enabled() {
                         self.sink
                             .record(Event::span(EventKind::Stall, t0, t0 + waited));
@@ -1398,6 +1644,7 @@ impl Db {
         self.policy.lock().observe_op(false);
         self.gets.fetch_add(1, Ordering::Relaxed);
         let start = self.device.clock().now();
+        let mut ctx = self.trace_start(OpType::Get, start);
         let fs_before = self.device.ledger().get(TimeCategory::FileSystem);
         let _pin = ReadPin::new(&self.read_pins);
         // Quarantine-retry loop: each successful quarantine publishes a
@@ -1406,7 +1653,7 @@ impl Db {
         let result = loop {
             let view = { self.view.read().clone() };
             let snapshot = seq.unwrap_or(view.seq);
-            match self.get_internal(&view, key, snapshot) {
+            match self.get_internal(&view, key, snapshot, ctx.as_mut()) {
                 Err(Error::Corruption(info)) => {
                     if !self.quarantine_corruption(&info)? {
                         break Err(Error::Corruption(info));
@@ -1415,8 +1662,18 @@ impl Db {
                 other => break other,
             }
         };
+        let cont_t0 = if ctx.is_some() {
+            self.device.clock().now()
+        } else {
+            0
+        };
         self.charge_read_contention(start);
         let end = self.device.clock().now();
+        if let Some(t) = ctx.as_mut() {
+            if end > cont_t0 {
+                t.span(Blame::CompactionInterference, "bg_contention", cont_t0, end);
+            }
+        }
         let fs_delta = self
             .device
             .ledger()
@@ -1428,6 +1685,7 @@ impl Db {
         );
         self.metrics
             .record_latency(OpType::Get, end.saturating_sub(start));
+        self.trace_finish(ctx, end);
         result
     }
 
@@ -1436,6 +1694,7 @@ impl Db {
         view: &ReadView,
         key: &[u8],
         snapshot: SequenceNumber,
+        mut trace: Option<&mut TraceCtx>,
     ) -> Result<Option<PinnedValue>> {
         match view.mem.get(key, snapshot) {
             LookupResult::Found(v) => return Ok(Some(PinnedValue::Inline(v))),
@@ -1460,7 +1719,7 @@ impl Db {
             if key < meta.smallest_ukey() || key > meta.largest_ukey() {
                 continue;
             }
-            if let Some(hit) = self.probe_table(meta.number, key, snapshot)? {
+            if let Some(hit) = self.probe_table(meta.number, key, snapshot, trace.as_deref_mut())? {
                 if best.as_ref().is_none_or(|b| hit.0 > b.0) {
                     best = Some(hit);
                 }
@@ -1491,14 +1750,16 @@ impl Db {
                 let Some(frozen) = frozen.map(|f| f.number) else {
                     continue;
                 };
-                if let Some(hit) = self.probe_table(frozen, key, snapshot)? {
+                if let Some(hit) = self.probe_table(frozen, key, snapshot, trace.as_deref_mut())? {
                     if best.as_ref().is_none_or(|b| hit.0 > b.0) {
                         best = Some(hit);
                     }
                 }
             }
             if key >= candidate.smallest_ukey() && key <= candidate.largest_ukey() {
-                if let Some(hit) = self.probe_table(candidate.number, key, snapshot)? {
+                if let Some(hit) =
+                    self.probe_table(candidate.number, key, snapshot, trace.as_deref_mut())?
+                {
                     if best.as_ref().is_none_or(|b| hit.0 > b.0) {
                         best = Some(hit);
                     }
@@ -1516,18 +1777,42 @@ impl Db {
 
     /// Bloom-checked point probe of one table file. The returned value is
     /// a zero-copy handle into the table's cached block.
+    ///
+    /// With tracing on, any probe that cost virtual time becomes a
+    /// [`Blame::CacheMissIo`] span (cache hits and bloom skips are free in
+    /// virtual time, so they produce no span), with the portion spent in
+    /// transient-read backoff carved out as [`Blame::Retry`].
     fn probe_table(
         &self,
         file_number: u64,
         key: &[u8],
         snapshot: SequenceNumber,
+        trace: Option<&mut TraceCtx>,
     ) -> Result<Option<(SequenceNumber, ValueType, Bytes)>> {
+        let (t0, retry0) = if trace.is_some() {
+            (self.device.clock().now(), self.metrics.retry_backoff_ns())
+        } else {
+            (0, 0)
+        };
         let table = self.table(file_number)?;
-        if !table.may_contain(key) {
+        let result = if !table.may_contain(key) {
             self.bloom_skips.fetch_add(1, Ordering::Relaxed);
-            return Ok(None);
+            Ok(None)
+        } else {
+            table.get(key, snapshot, IoClass::UserRead)
+        };
+        if let Some(t) = trace {
+            let now = self.device.clock().now();
+            if now > t0 {
+                t.span(Blame::CacheMissIo, "table_probe", t0, now);
+                t.carve_from_last(
+                    Blame::Retry,
+                    "retry_backoff",
+                    self.metrics.retry_backoff_ns().saturating_sub(retry0),
+                );
+            }
         }
-        table.get(key, snapshot, IoClass::UserRead)
+        result
     }
 
     /// Range scan: up to `limit` live entries with key >= `start`.
@@ -1544,13 +1829,31 @@ impl Db {
         self.policy.lock().observe_op(false);
         self.scans.fetch_add(1, Ordering::Relaxed);
         let t0 = self.device.clock().now();
+        let mut ctx = self.trace_start(OpType::Scan, t0);
         let fs_before = self.device.ledger().get(TimeCategory::FileSystem);
         let _pin = ReadPin::new(&self.read_pins);
 
         let out = loop {
             let view = { self.view.read().clone() };
             let snapshot = seq.unwrap_or(view.seq);
-            match self.scan_collect(&view, start, limit, snapshot) {
+            let (io_t0, retry0) = if ctx.is_some() {
+                (self.device.clock().now(), self.metrics.retry_backoff_ns())
+            } else {
+                (0, 0)
+            };
+            let attempt = self.scan_collect(&view, start, limit, snapshot);
+            if let Some(t) = ctx.as_mut() {
+                let now = self.device.clock().now();
+                if now > io_t0 {
+                    t.span(Blame::CacheMissIo, "scan_io", io_t0, now);
+                    t.carve_from_last(
+                        Blame::Retry,
+                        "retry_backoff",
+                        self.metrics.retry_backoff_ns().saturating_sub(retry0),
+                    );
+                }
+            }
+            match attempt {
                 Err(Error::Corruption(info)) => {
                     if !self.quarantine_corruption(&info)? {
                         break Err(Error::Corruption(info));
@@ -1560,18 +1863,30 @@ impl Db {
             }
         }?;
 
+        let cont_t0 = if ctx.is_some() {
+            self.device.clock().now()
+        } else {
+            0
+        };
         self.charge_read_contention(t0);
+        let end = self.device.clock().now();
+        if let Some(t) = ctx.as_mut() {
+            if end > cont_t0 {
+                t.span(Blame::CompactionInterference, "bg_contention", cont_t0, end);
+            }
+        }
         let fs_delta = self
             .device
             .ledger()
             .get(TimeCategory::FileSystem)
             .saturating_sub(fs_before);
-        let elapsed = self.device.clock().now().saturating_sub(t0);
+        let elapsed = end.saturating_sub(t0);
         self.device.ledger().record(
             TimeCategory::ForegroundRead,
             elapsed.saturating_sub(fs_delta),
         );
         self.metrics.record_latency(OpType::Scan, elapsed);
+        self.trace_finish(ctx, end);
         Ok(out)
     }
 

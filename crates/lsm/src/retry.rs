@@ -116,6 +116,7 @@ impl RetryStorage {
                     let start = clock.now();
                     let end = clock.advance(delay);
                     self.metrics.record_transient_retry();
+                    self.metrics.record_retry_backoff(delay);
                     if self.sink.enabled() {
                         self.sink.record(
                             Event::span(EventKind::Retry, start, end)

@@ -16,6 +16,10 @@
 //!   analysis).
 //! * [`MetricsRegistry`] — per-level gauges (files, bytes, compaction
 //!   score) and log-linear latency histograms per operation type.
+//! * [`TraceCtx`] / [`Blame`] / [`TraceReservoir`] — per-request span
+//!   trees with a blame taxonomy attributing every nanosecond of an op's
+//!   latency to one bucket, plus the deterministic worst-K reservoir
+//!   behind `ldc-bench tail` / `trace-report`.
 //!
 //! This crate is dependency-free (std only) so every other crate in the
 //! workspace — including `ldc-ssd` at the bottom of the stack — can
@@ -28,10 +32,12 @@ mod event;
 mod json;
 mod metrics;
 mod sink;
+mod trace;
 
 pub use event::{Event, EventKind, Nanos};
 pub use metrics::{DegradedCounters, LatencyHistogram, LevelGauge, MetricsRegistry, OpType};
 pub use sink::{parse_jsonl, JsonlSink, NoopSink, RingBufferSink, SharedSink};
+pub use trace::{Blame, Span, Trace, TraceCtx, TraceReservoir};
 
 /// The sink trait: where [`Event`]s are delivered.
 ///

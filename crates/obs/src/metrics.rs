@@ -3,6 +3,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::trace::Blame;
+
 /// The operation types the engine times.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpType {
@@ -30,7 +32,8 @@ impl OpType {
         }
     }
 
-    fn index(&self) -> usize {
+    /// Stable index into [`OpType::ALL`]-shaped arrays.
+    pub fn index(&self) -> usize {
         match self {
             OpType::Get => 0,
             OpType::Put => 1,
@@ -55,11 +58,13 @@ const SUB_BUCKETS: usize = 32;
 const SUB_BITS: u32 = 5;
 
 /// Log-linear latency histogram: 64 power-of-two magnitude bands, each
-/// split into 32 linear sub-buckets (<= ~3% relative error).
+/// split into 32 linear sub-buckets (<= ~3% relative error). The full
+/// range of `u64` nanoseconds is representable, so p999/p9999 queries at
+/// any magnitude come out of the same buckets.
 ///
-/// Same layout as `ldc-workload`'s `Histogram`, duplicated here because
-/// this crate sits *below* the workload crate in the dependency graph
-/// (`ldc-ssd` depends on it) — reusing it would create a cycle.
+/// This is the workspace's single histogram implementation: `ldc-workload`
+/// re-exports it as `Histogram` (the layering rule allows workload → obs,
+/// so the old duplicate there is gone).
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
@@ -202,6 +207,12 @@ pub struct MetricsRegistry {
     latencies: [Mutex<LatencyHistogram>; 4],
     ops: [AtomicU64; 4],
     degraded: [AtomicU64; 4],
+    /// Per-op × per-blame attributed nanoseconds (fed by the tracing
+    /// layer; all zero when tracing is off).
+    blame: [[AtomicU64; Blame::COUNT]; 4],
+    /// Accumulated transient-retry backoff nanoseconds (lets the tracing
+    /// layer carve retry time out of coarser I/O spans).
+    retry_backoff_ns: AtomicU64,
 }
 
 impl std::fmt::Debug for MetricsRegistry {
@@ -226,12 +237,51 @@ impl MetricsRegistry {
             latencies: std::array::from_fn(|_| Mutex::new(LatencyHistogram::new())),
             ops: std::array::from_fn(|_| AtomicU64::new(0)),
             degraded: std::array::from_fn(|_| AtomicU64::new(0)),
+            blame: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            retry_backoff_ns: AtomicU64::new(0),
         }
     }
 
     /// Records one retried transient read error.
     pub fn record_transient_retry(&self) {
         self.degraded[0].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accumulates `nanos` of transient-retry backoff charged to the
+    /// virtual clock.
+    pub fn record_retry_backoff(&self, nanos: u64) {
+        self.retry_backoff_ns.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total transient-retry backoff nanoseconds so far. Trace hooks read
+    /// this before/after an I/O phase to attribute the delta to
+    /// [`Blame::Retry`].
+    pub fn retry_backoff_ns(&self) -> u64 {
+        self.retry_backoff_ns.load(Ordering::Relaxed)
+    }
+
+    /// Adds a traced op's blame breakdown (indexed per [`Blame::ALL`]) to
+    /// the per-op totals.
+    pub fn record_blame(&self, op: OpType, breakdown: &[u64; Blame::COUNT]) {
+        if let Some(row) = self.blame.get(op.index()) {
+            for (slot, add) in row.iter().zip(breakdown) {
+                if *add > 0 {
+                    slot.fetch_add(*add, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Total attributed nanoseconds per blame bucket for `op`, indexed
+    /// per [`Blame::ALL`].
+    pub fn blame_totals(&self, op: OpType) -> [u64; Blame::COUNT] {
+        let mut out = [0u64; Blame::COUNT];
+        if let Some(row) = self.blame.get(op.index()) {
+            for (slot, v) in out.iter_mut().zip(row) {
+                *slot = v.load(Ordering::Relaxed);
+            }
+        }
+        out
     }
 
     /// Records `blocks` scrubbed blocks.
@@ -297,6 +347,12 @@ impl MetricsRegistry {
         for c in &self.degraded {
             c.store(0, Ordering::Relaxed);
         }
+        for row in &self.blame {
+            for c in row {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+        self.retry_backoff_ns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -405,5 +461,104 @@ mod tests {
     fn op_labels_are_stable() {
         let labels: Vec<_> = OpType::ALL.iter().map(|o| o.label()).collect();
         assert_eq!(labels, vec!["get", "put", "scan", "delete"]);
+    }
+
+    #[test]
+    fn percentile_bounds_p0_p100_single_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(12_345);
+        // A single sample dominates every rank, including the extremes.
+        assert_eq!(h.percentile(100.0), 12_345, "p100 is the exact max");
+        let p0 = h.percentile(0.0);
+        assert!(
+            (h.min()..=h.max()).contains(&p0),
+            "p0 clamps into the observed range: {p0}"
+        );
+        let p50 = h.percentile(50.0);
+        let err = (p50 as f64 - 12_345.0).abs() / 12_345.0;
+        assert!(err <= 0.04, "single-sample p50 within bucket error: {p50}");
+    }
+
+    #[test]
+    fn merge_with_empty_propagates_min_max() {
+        // Non-empty <- empty: nothing changes, and the empty side's
+        // u64::MAX min sentinel must not leak through.
+        let mut a = LatencyHistogram::new();
+        a.record(500);
+        a.record(9_000);
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 500);
+        assert_eq!(a.max(), 9_000);
+        // Empty <- non-empty: adopts the other's extremes.
+        let mut b = LatencyHistogram::new();
+        b.merge(&a);
+        assert_eq!(b.count(), 2);
+        assert_eq!(b.min(), 500);
+        assert_eq!(b.max(), 9_000);
+        assert_eq!(b.percentile(100.0), 9_000);
+    }
+
+    #[test]
+    fn bucket_boundary_rounding_is_monotone_and_bounded() {
+        // Values straddling power-of-two band boundaries: each must land
+        // in a bucket whose representative value is within the layout's
+        // ~3% relative error, and bucket indices must be monotone.
+        let mut last_idx = 0usize;
+        for v in [
+            31u64,
+            32,
+            33,
+            63,
+            64,
+            65,
+            1_023,
+            1_024,
+            1_025,
+            (1 << 40) - 1,
+            1 << 40,
+        ] {
+            let idx = LatencyHistogram::index_for(v);
+            assert!(idx >= last_idx, "index_for must be monotone at {v}");
+            last_idx = idx;
+            let rep = LatencyHistogram::bucket_value(idx);
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(
+                err <= 0.04,
+                "boundary {v}: representative {rep} (err {err})"
+            );
+        }
+        // Sub-32 values are exact (one bucket per integer); zero shares
+        // bucket 1 (`index_for` clamps to 1 before taking the magnitude).
+        for v in 1u64..32 {
+            assert_eq!(
+                LatencyHistogram::bucket_value(LatencyHistogram::index_for(v)),
+                v
+            );
+        }
+        assert_eq!(
+            LatencyHistogram::index_for(0),
+            LatencyHistogram::index_for(1)
+        );
+    }
+
+    #[test]
+    fn blame_totals_accumulate_and_reset() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.blame_totals(OpType::Get), [0; Blame::COUNT]);
+        let mut bd = [0u64; Blame::COUNT];
+        bd[Blame::CacheMissIo.index()] = 1_000;
+        bd[Blame::Engine.index()] = 200;
+        reg.record_blame(OpType::Get, &bd);
+        reg.record_blame(OpType::Get, &bd);
+        let got = reg.blame_totals(OpType::Get);
+        assert_eq!(got[Blame::CacheMissIo.index()], 2_000);
+        assert_eq!(got[Blame::Engine.index()], 400);
+        assert_eq!(reg.blame_totals(OpType::Put), [0; Blame::COUNT]);
+        reg.record_retry_backoff(77);
+        assert_eq!(reg.retry_backoff_ns(), 77);
+        reg.reset();
+        assert_eq!(reg.blame_totals(OpType::Get), [0; Blame::COUNT]);
+        assert_eq!(reg.retry_backoff_ns(), 0);
     }
 }

@@ -1,0 +1,615 @@
+//! Per-operation tracing with tail-latency blame attribution.
+//!
+//! PR 1's flat event stream and per-op histograms can say *that* a request
+//! was slow, but not *why*. This module answers "why": every traced
+//! read/write/scan carries a [`TraceCtx`] that records virtual-clock-stamped
+//! phase spans (WAL append, group-commit wait, L0 stall/slowdown sleep,
+//! memtable insert, SSTable block I/O, SSD GC carve-outs, retry backoff)
+//! into a span tree, and a **blame taxonomy** ([`Blame`]) that attributes
+//! every nanosecond of the op's latency to exactly one bucket.
+//!
+//! Attribution rule: each span's *self time* (its duration minus the total
+//! duration of its direct children) is charged to its blame. Span 0 is the
+//! root and covers the whole operation with the catch-all [`Blame::Engine`],
+//! so the blame buckets sum to the op's total latency **exactly** — there is
+//! no "unaccounted" residue by construction (see [`Trace::blame_breakdown`]).
+//!
+//! On top sits the [`TraceReservoir`]: a fixed-size worst-K store per op
+//! type that keeps the slowest requests with their full span trees. It is
+//! deterministic: ordering is (latency desc, seeded-hash tie-break, arrival
+//! order), so same seed + same single-threaded run ⇒ byte-identical
+//! reservoir contents.
+//!
+//! Zero-cost rule: nothing in this module ever *advances* the virtual
+//! clock — tracing only reads timestamps the engine already produced. An
+//! engine run with tracing enabled is therefore time-identical to one with
+//! tracing disabled, and a disabled tracer costs one `Option` branch per op.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::Nanos;
+use crate::metrics::OpType;
+
+/// Who a slice of latency is blamed on. Every nanosecond of a traced op
+/// lands in exactly one bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Blame {
+    /// Synchronous WAL append + fsync (`wal_sync` mode).
+    WalSync,
+    /// Buffered WAL append (syscall cost; device write is async).
+    WalAppend,
+    /// Waiting for a commit-group leader to post this batch's result.
+    GroupCommitWait,
+    /// Hard write gate: L0 stop or memtable-rotation wait.
+    Stall,
+    /// Soft write gate: the L0 slowdown sleep.
+    Slowdown,
+    /// Memtable insert/probe CPU cost.
+    Memtable,
+    /// SSTable block/index/filter I/O on a cache miss (zero on a hit —
+    /// cached reads cost no virtual time).
+    CacheMissIo,
+    /// Foreground bandwidth lost to concurrent flush/compaction.
+    CompactionInterference,
+    /// Transient-read retry backoff at the storage boundary.
+    Retry,
+    /// SSD garbage-collection relocation absorbed by a foreground write.
+    SsdGc,
+    /// Everything else: engine CPU, filesystem metadata, seeks. The root
+    /// span's catch-all — its self time is the op's unattributed residue.
+    Engine,
+}
+
+impl Blame {
+    /// Number of blame buckets.
+    pub const COUNT: usize = 11;
+
+    /// Every bucket, in stable report order.
+    pub const ALL: [Blame; Blame::COUNT] = [
+        Blame::WalSync,
+        Blame::WalAppend,
+        Blame::GroupCommitWait,
+        Blame::Stall,
+        Blame::Slowdown,
+        Blame::Memtable,
+        Blame::CacheMissIo,
+        Blame::CompactionInterference,
+        Blame::Retry,
+        Blame::SsdGc,
+        Blame::Engine,
+    ];
+
+    /// Stable snake_case label (used in folded stacks and JSON keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Blame::WalSync => "wal_sync",
+            Blame::WalAppend => "wal_append",
+            Blame::GroupCommitWait => "group_commit_wait",
+            Blame::Stall => "stall",
+            Blame::Slowdown => "slowdown",
+            Blame::Memtable => "memtable",
+            Blame::CacheMissIo => "cache_miss_io",
+            Blame::CompactionInterference => "compaction_interference",
+            Blame::Retry => "retry",
+            Blame::SsdGc => "ssd_gc",
+            Blame::Engine => "engine",
+        }
+    }
+
+    /// Stable index into [`Blame::ALL`]-shaped arrays.
+    pub fn index(&self) -> usize {
+        match self {
+            Blame::WalSync => 0,
+            Blame::WalAppend => 1,
+            Blame::GroupCommitWait => 2,
+            Blame::Stall => 3,
+            Blame::Slowdown => 4,
+            Blame::Memtable => 5,
+            Blame::CacheMissIo => 6,
+            Blame::CompactionInterference => 7,
+            Blame::Retry => 8,
+            Blame::SsdGc => 9,
+            Blame::Engine => 10,
+        }
+    }
+}
+
+/// One phase of a traced operation: a closed interval of virtual time with
+/// a blame bucket and a position in the span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Which bucket this span's self time is charged to.
+    pub blame: Blame,
+    /// Static phase label ("l0_stop", "table_probe", ...).
+    pub label: &'static str,
+    /// Virtual start time.
+    pub start: Nanos,
+    /// Virtual end time (>= start).
+    pub end: Nanos,
+    /// Index of the parent span; the root (index 0) points at itself.
+    pub parent: usize,
+}
+
+impl Span {
+    /// Span duration in nanoseconds.
+    pub fn duration(&self) -> Nanos {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A live, per-operation trace being built on the request path.
+///
+/// The context never touches the clock itself: callers pass in `now`
+/// values they already read, so tracing cannot perturb virtual time.
+#[derive(Debug)]
+pub struct TraceCtx {
+    op: OpType,
+    spans: Vec<Span>,
+    /// Open-span stack (indices into `spans`); the root stays open until
+    /// [`TraceCtx::finish`].
+    open: Vec<usize>,
+}
+
+impl TraceCtx {
+    /// Starts a trace for `op` at virtual time `now`. The root span covers
+    /// the whole operation under [`Blame::Engine`].
+    pub fn new(op: OpType, now: Nanos) -> Self {
+        Self {
+            op,
+            spans: vec![Span {
+                blame: Blame::Engine,
+                label: op.label(),
+                start: now,
+                end: now,
+                parent: 0,
+            }],
+            open: vec![0],
+        }
+    }
+
+    /// The operation this trace was started for.
+    pub fn op(&self) -> OpType {
+        self.op
+    }
+
+    /// Opens a child span under the innermost open span. Pair with
+    /// [`TraceCtx::exit`].
+    pub fn enter(&mut self, blame: Blame, label: &'static str, now: Nanos) {
+        let parent = self.open.last().copied().unwrap_or(0);
+        let idx = self.spans.len();
+        self.spans.push(Span {
+            blame,
+            label,
+            start: now,
+            end: now,
+            parent,
+        });
+        self.open.push(idx);
+    }
+
+    /// Closes the innermost open span at `now`. Closing the root is a
+    /// no-op ([`TraceCtx::finish`] owns that).
+    pub fn exit(&mut self, now: Nanos) {
+        if self.open.len() <= 1 {
+            return;
+        }
+        if let Some(idx) = self.open.pop() {
+            if let Some(span) = self.spans.get_mut(idx) {
+                span.end = span.end.max(now);
+            }
+        }
+    }
+
+    /// Records an already-measured closed phase `[start, end]` as a child
+    /// of the innermost open span.
+    pub fn span(&mut self, blame: Blame, label: &'static str, start: Nanos, end: Nanos) {
+        self.enter(blame, label, start);
+        self.exit(end);
+    }
+
+    /// Reclassifies the trailing `nanos` of the innermost *closed* span as
+    /// a child with a different blame — used to carve retry backoff or SSD
+    /// GC time out of a coarser I/O span after the fact. The carve is
+    /// clamped to the target span's duration so nesting stays valid.
+    pub fn carve_from_last(&mut self, blame: Blame, label: &'static str, nanos: Nanos) {
+        if nanos == 0 {
+            return;
+        }
+        let target = self.spans.len().saturating_sub(1);
+        let Some(parent_span) = self.spans.get(target) else {
+            return;
+        };
+        let carve = nanos.min(parent_span.duration());
+        if carve == 0 {
+            return;
+        }
+        let (start, end) = (parent_span.end - carve, parent_span.end);
+        self.spans.push(Span {
+            blame,
+            label,
+            start,
+            end,
+            parent: target,
+        });
+    }
+
+    /// Closes the trace at `now` and returns the immutable [`Trace`].
+    /// `op_index` is the per-op-type arrival number (the reservoir's
+    /// deterministic tie-break input).
+    pub fn finish(mut self, now: Nanos, op_index: u64) -> Trace {
+        // Close any spans a caller left open (error paths), then the root.
+        for &idx in self.open.iter().rev() {
+            if let Some(span) = self.spans.get_mut(idx) {
+                span.end = span.end.max(now);
+            }
+        }
+        let total = self.spans.first().map(Span::duration).unwrap_or_default();
+        Trace {
+            op: self.op,
+            op_index,
+            total,
+            spans: self.spans,
+        }
+    }
+}
+
+/// A completed per-operation trace: the span tree plus identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Operation type.
+    pub op: OpType,
+    /// Per-op-type arrival number (0-based) at record time.
+    pub op_index: u64,
+    /// Total latency: the root span's duration.
+    pub total: Nanos,
+    /// Preorder span list; index 0 is the root.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Attributes every nanosecond of `total` to exactly one [`Blame`]
+    /// bucket: each span's self time (duration minus direct children) goes
+    /// to its blame. Under properly nested spans (guaranteed by
+    /// [`TraceCtx`] on a monotone clock) the buckets sum to `total`
+    /// exactly.
+    pub fn blame_breakdown(&self) -> [Nanos; Blame::COUNT] {
+        let mut child_time = vec![0u64; self.spans.len()];
+        for span in self.spans.iter().skip(1) {
+            if let Some(slot) = child_time.get_mut(span.parent) {
+                *slot += span.duration();
+            }
+        }
+        let mut out = [0u64; Blame::COUNT];
+        for (idx, span) in self.spans.iter().enumerate() {
+            let children = child_time.get(idx).copied().unwrap_or_default();
+            let self_time = span.duration().saturating_sub(children);
+            if let Some(slot) = out.get_mut(span.blame.index()) {
+                *slot += self_time;
+            }
+        }
+        out
+    }
+
+    /// Renders the span tree as folded stacks (flamegraph-collapsed
+    /// format): one `stack;frames count` line per span with nonzero self
+    /// time, rooted at the op label. Deterministic: preorder span order.
+    pub fn folded_stacks(&self) -> Vec<(String, Nanos)> {
+        let mut child_time = vec![0u64; self.spans.len()];
+        for span in self.spans.iter().skip(1) {
+            if let Some(slot) = child_time.get_mut(span.parent) {
+                *slot += span.duration();
+            }
+        }
+        let mut paths: Vec<String> = Vec::with_capacity(self.spans.len());
+        let mut out = Vec::new();
+        for (idx, span) in self.spans.iter().enumerate() {
+            let path = if idx == 0 {
+                span.label.to_string()
+            } else {
+                let parent = paths.get(span.parent).cloned().unwrap_or_default();
+                format!("{parent};{}", span.label)
+            };
+            let self_time = span
+                .duration()
+                .saturating_sub(child_time.get(idx).copied().unwrap_or_default());
+            if self_time > 0 {
+                out.push((format!("{path};{}", span.blame.label()), self_time));
+            }
+            paths.push(path);
+        }
+        out
+    }
+}
+
+/// splitmix64 — the reservoir's seeded tie-break hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One reservoir entry: the trace plus its precomputed ordering key.
+#[derive(Debug, Clone)]
+struct Ranked {
+    /// Seeded tie-break: equal-latency traces are kept or dropped by this
+    /// hash of (seed, op index), not by arrival luck.
+    tie: u64,
+    trace: Trace,
+}
+
+#[derive(Debug, Default)]
+struct ReservoirState {
+    /// Worst-K per op type, sorted worst-first, indexed by `OpType::index`.
+    worst: [Vec<Ranked>; 4],
+}
+
+/// Fixed-size worst-K trace store per op type.
+///
+/// Always-on while tracing is enabled: every finished trace is offered and
+/// the K highest-latency ones (per op type) are kept. Ordering is total
+/// latency descending, then `splitmix64(seed ^ op_index)` descending, then
+/// op index ascending — fully deterministic for a given seed and op
+/// sequence, which is what makes `BENCH_tail.json` reservoirs byte-stable
+/// across reruns.
+#[derive(Debug)]
+pub struct TraceReservoir {
+    k: usize,
+    seed: u64,
+    /// Per-op-type arrival counters (assign `op_index` at record time).
+    arrivals: [AtomicU64; 4],
+    inner: Mutex<ReservoirState>,
+}
+
+impl TraceReservoir {
+    /// A reservoir keeping the worst `k` traces per op type; `seed` fixes
+    /// the tie-break order.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self {
+            k: k.max(1),
+            seed,
+            arrivals: std::array::from_fn(|_| AtomicU64::new(0)),
+            inner: Mutex::new(ReservoirState::default()),
+        }
+    }
+
+    /// Capacity per op type.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Claims the next arrival number for `op`. Call once per traced op,
+    /// before [`TraceReservoir::offer`].
+    pub fn next_op_index(&self, op: OpType) -> u64 {
+        self.arrivals
+            .get(op.index())
+            .map(|a| a.fetch_add(1, Ordering::Relaxed))
+            .unwrap_or_default()
+    }
+
+    /// Offers a finished trace; it is kept iff it ranks in the worst K of
+    /// its op type.
+    pub fn offer(&self, trace: Trace) {
+        let tie = splitmix64(self.seed ^ trace.op_index);
+        let entry = Ranked { tie, trace };
+        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(bucket) = st.worst.get_mut(entry.trace.op.index()) else {
+            return;
+        };
+        let pos = bucket.partition_point(|r| {
+            (r.trace.total, r.tie, std::cmp::Reverse(r.trace.op_index))
+                >= (
+                    entry.trace.total,
+                    entry.tie,
+                    std::cmp::Reverse(entry.trace.op_index),
+                )
+        });
+        if pos >= self.k {
+            return;
+        }
+        bucket.insert(pos, entry);
+        bucket.truncate(self.k);
+    }
+
+    /// The worst traces for `op`, worst-first.
+    pub fn worst(&self, op: OpType) -> Vec<Trace> {
+        let st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        st.worst
+            .get(op.index())
+            .map(|b| b.iter().map(|r| r.trace.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// The worst traces across all op types, grouped by op in
+    /// [`OpType::ALL`] order, worst-first within each group.
+    pub fn all_worst(&self) -> Vec<Trace> {
+        OpType::ALL.iter().flat_map(|&op| self.worst(op)).collect()
+    }
+
+    /// Renders the whole reservoir as a deterministic folded-stack text
+    /// dump (flamegraph-collapsed format), aggregating self time over all
+    /// kept traces per stack path.
+    pub fn folded_report(&self) -> String {
+        use std::collections::BTreeMap;
+        let mut agg: BTreeMap<String, Nanos> = BTreeMap::new();
+        for trace in self.all_worst() {
+            for (stack, nanos) in trace.folded_stacks() {
+                *agg.entry(stack).or_insert(0) += nanos;
+            }
+        }
+        let mut out = String::new();
+        for (stack, nanos) in agg {
+            out.push_str(&stack);
+            out.push(' ');
+            out.push_str(&nanos.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Clears all kept traces and arrival counters.
+    pub fn reset(&self) {
+        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for bucket in st.worst.iter_mut() {
+            bucket.clear();
+        }
+        drop(st);
+        for a in &self.arrivals {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with(op: OpType, op_index: u64, total: Nanos) -> Trace {
+        let ctx = TraceCtx::new(op, 1_000);
+        ctx.finish(1_000 + total, op_index)
+    }
+
+    #[test]
+    fn blame_sums_equal_total_for_nested_spans() {
+        let mut ctx = TraceCtx::new(OpType::Put, 100);
+        ctx.span(Blame::Slowdown, "l0_slowdown", 100, 1_000_100);
+        ctx.enter(Blame::WalSync, "wal_sync", 1_000_100);
+        ctx.span(Blame::SsdGc, "gc", 1_200_000, 1_400_000);
+        ctx.exit(2_000_000);
+        ctx.span(Blame::Memtable, "memtable_insert", 2_000_000, 2_000_500);
+        let trace = ctx.finish(2_100_000, 0);
+        let bd = trace.blame_breakdown();
+        let sum: u64 = bd.iter().sum();
+        assert_eq!(sum, trace.total, "blame must account for every nanosecond");
+        assert_eq!(bd[Blame::Slowdown.index()], 1_000_000);
+        assert_eq!(bd[Blame::SsdGc.index()], 200_000);
+        // wal_sync self time excludes the carved GC child.
+        assert_eq!(bd[Blame::WalSync.index()], 999_900 - 200_000);
+        assert_eq!(bd[Blame::Memtable.index()], 500);
+        // Root catch-all gets the residue.
+        assert_eq!(
+            bd[Blame::Engine.index()],
+            trace.total - 1_000_000 - 999_900 - 500
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_all_engine() {
+        let trace = trace_with(OpType::Get, 0, 777);
+        let bd = trace.blame_breakdown();
+        assert_eq!(bd[Blame::Engine.index()], 777);
+        assert_eq!(bd.iter().sum::<u64>(), 777);
+    }
+
+    #[test]
+    fn unclosed_spans_are_closed_by_finish() {
+        let mut ctx = TraceCtx::new(OpType::Scan, 0);
+        ctx.enter(Blame::CacheMissIo, "scan_io", 10);
+        // no exit — error path
+        let trace = ctx.finish(100, 0);
+        assert_eq!(trace.total, 100);
+        let bd = trace.blame_breakdown();
+        assert_eq!(bd[Blame::CacheMissIo.index()], 90);
+        assert_eq!(bd[Blame::Engine.index()], 10);
+    }
+
+    #[test]
+    fn carve_clamps_to_span_duration() {
+        let mut ctx = TraceCtx::new(OpType::Get, 0);
+        ctx.span(Blame::CacheMissIo, "table_probe", 0, 100);
+        ctx.carve_from_last(Blame::Retry, "retry_backoff", 5_000);
+        let trace = ctx.finish(100, 0);
+        let bd = trace.blame_breakdown();
+        assert_eq!(bd[Blame::Retry.index()], 100);
+        assert_eq!(bd[Blame::CacheMissIo.index()], 0);
+        assert_eq!(bd.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn folded_stacks_are_rooted_and_self_timed() {
+        let mut ctx = TraceCtx::new(OpType::Get, 0);
+        ctx.enter(Blame::CacheMissIo, "table_probe", 10);
+        ctx.span(Blame::Retry, "retry_backoff", 20, 30);
+        ctx.exit(60);
+        let trace = ctx.finish(100, 0);
+        let folded = trace.folded_stacks();
+        assert_eq!(
+            folded,
+            vec![
+                ("get;engine".to_string(), 50),
+                ("get;table_probe;cache_miss_io".to_string(), 40),
+                ("get;table_probe;retry_backoff;retry".to_string(), 10),
+            ]
+        );
+    }
+
+    #[test]
+    fn reservoir_keeps_worst_k_per_op() {
+        let r = TraceReservoir::new(2, 42);
+        for (i, total) in [10u64, 500, 20, 900, 30].into_iter().enumerate() {
+            let idx = r.next_op_index(OpType::Get);
+            assert_eq!(idx, i as u64);
+            r.offer(trace_with(OpType::Get, idx, total));
+        }
+        let worst = r.worst(OpType::Get);
+        let totals: Vec<u64> = worst.iter().map(|t| t.total).collect();
+        assert_eq!(totals, vec![900, 500]);
+        assert!(r.worst(OpType::Put).is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let r = TraceReservoir::new(3, seed);
+            // Many equal-latency traces: only the tie-break decides.
+            for _ in 0..50 {
+                let idx = r.next_op_index(OpType::Put);
+                r.offer(trace_with(OpType::Put, idx, 1_000));
+            }
+            r.worst(OpType::Put)
+                .iter()
+                .map(|t| t.op_index)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed must reproduce the reservoir");
+        assert_ne!(run(7), run(8), "tie-break must be seed-dependent");
+    }
+
+    #[test]
+    fn folded_report_aggregates_deterministically() {
+        let build = || {
+            let r = TraceReservoir::new(4, 1);
+            for total in [100u64, 200, 300] {
+                let idx = r.next_op_index(OpType::Get);
+                let mut ctx = TraceCtx::new(OpType::Get, 0);
+                ctx.span(Blame::CacheMissIo, "table_probe", 0, total / 2);
+                r.offer(ctx.finish(total, idx));
+            }
+            r.folded_report()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("get;table_probe;cache_miss_io 300\n"));
+        assert!(a.contains("get;engine 300\n"));
+    }
+
+    #[test]
+    fn reset_clears_reservoir_and_arrivals() {
+        let r = TraceReservoir::new(2, 0);
+        let idx = r.next_op_index(OpType::Get);
+        r.offer(trace_with(OpType::Get, idx, 50));
+        r.reset();
+        assert!(r.all_worst().is_empty());
+        assert_eq!(r.next_op_index(OpType::Get), 0);
+    }
+
+    #[test]
+    fn blame_labels_and_indices_are_stable() {
+        for (i, b) in Blame::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+            assert!(!b.label().is_empty());
+        }
+        assert_eq!(Blame::ALL.len(), Blame::COUNT);
+    }
+}

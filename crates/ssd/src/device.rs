@@ -7,7 +7,7 @@
 //! write pressure degrades effective write bandwidth — the behaviour the
 //! paper's SSD-oriented argument depends on.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ldc_obs::{Event, EventKind, NoopSink, SharedSink};
@@ -50,6 +50,10 @@ pub struct SsdDevice {
     // Mirrors `sink.enabled()` so the GC hot path can skip the sink mutex
     // entirely when tracing is off.
     sink_on: AtomicBool,
+    // Accumulated GC relocation time ever charged to the clock. Request
+    // tracing reads before/after deltas of this to blame foreground
+    // latency absorbed by garbage collection.
+    gc_nanos: AtomicU64,
 }
 
 impl std::fmt::Debug for SsdDevice {
@@ -78,6 +82,7 @@ impl SsdDevice {
             io: IoStats::new(),
             sink: Mutex::new(Arc::new(NoopSink)),
             sink_on: AtomicBool::new(false),
+            gc_nanos: AtomicU64::new(0),
         })
     }
 
@@ -183,6 +188,7 @@ impl SsdDevice {
         let t = bytes * 1_000_000_000 / self.cfg.write_bandwidth;
         let start = self.clock.now();
         self.clock.advance(t);
+        self.gc_nanos.fetch_add(t, Ordering::Relaxed);
         if self.sink_on.load(Ordering::Acquire) {
             // `input_files`/`output_files` double as relocated-pages /
             // erased-blocks counts for GC events.
@@ -218,6 +224,13 @@ impl SsdDevice {
     /// Number of logical pages the device exposes.
     pub fn logical_pages(&self) -> u64 {
         self.cfg.logical_pages()
+    }
+
+    /// Total GC relocation nanoseconds ever charged to the clock. Monotone;
+    /// callers diff two readings to know how much garbage-collection work a
+    /// phase of theirs absorbed (the tracing layer's `SsdGc` blame).
+    pub fn gc_busy_nanos(&self) -> Nanos {
+        self.gc_nanos.load(Ordering::Relaxed)
     }
 
     /// Full observability snapshot.

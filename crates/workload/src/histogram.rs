@@ -1,135 +1,16 @@
 //! Latency histogram with high-percentile queries.
 //!
-//! A log-linear layout (like HDR histograms): 64 power-of-two magnitude
-//! bands, each split into 32 linear sub-buckets, giving <= ~3% relative
-//! error on any recorded nanosecond latency while using a few KiB. Fig 8's
-//! P90–P99.99 series comes straight out of [`Histogram::percentile`].
+//! One implementation serves the whole workspace: `ldc-obs` owns the
+//! log-linear layout (64 power-of-two magnitude bands × 32 linear
+//! sub-buckets, <= ~3% relative error — like HDR histograms) and this
+//! crate re-exports it under its historical name. Fig 8's P90–P99.99
+//! series comes straight out of [`Histogram::percentile`], and the same
+//! buckets back the engine's `MetricsRegistry`, so benchmark-side and
+//! engine-side percentiles are always computed identically.
 
-const SUB_BUCKETS: usize = 32;
-const SUB_BITS: u32 = 5;
-
-/// Latency histogram over u64 nanoseconds.
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    buckets: Vec<u64>,
-    count: u64,
-    sum: u128,
-    max: u64,
-    min: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: vec![0; 64 * SUB_BUCKETS],
-            count: 0,
-            sum: 0,
-            max: 0,
-            min: u64::MAX,
-        }
-    }
-
-    fn index_for(value: u64) -> usize {
-        let v = value.max(1);
-        let magnitude = 63 - v.leading_zeros();
-        if magnitude < SUB_BITS {
-            return v as usize;
-        }
-        let shift = magnitude - SUB_BITS;
-        let sub = ((v >> shift) as usize) & (SUB_BUCKETS - 1);
-        ((magnitude - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
-    }
-
-    fn bucket_value(index: usize) -> u64 {
-        if index < SUB_BUCKETS {
-            return index as u64;
-        }
-        let band = index / SUB_BUCKETS;
-        let sub = index % SUB_BUCKETS;
-        let shift = (band - 1) as u32;
-        ((SUB_BUCKETS + sub) as u64) << shift
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, value: u64) {
-        let idx = Self::index_for(value);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum += u128::from(value);
-        self.max = self.max.max(value);
-        self.min = self.min.min(value);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean of samples (0 if empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Largest sample (0 if empty).
-    pub fn max(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.max
-        }
-    }
-
-    /// Smallest sample (0 if empty).
-    pub fn min(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Value at percentile `p` in [0, 100]; approximate to bucket
-    /// resolution (<= ~3% relative error). 0 if empty.
-    pub fn percentile(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        if p >= 100.0 {
-            return self.max;
-        }
-        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut acc = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            acc += c;
-            if acc >= rank {
-                return Self::bucket_value(i).max(self.min).min(self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-        self.min = self.min.min(other.min);
-    }
-}
+/// Latency histogram over u64 nanoseconds (the workspace-wide
+/// implementation, re-exported from `ldc-obs`).
+pub use ldc_obs::LatencyHistogram as Histogram;
 
 #[cfg(test)]
 mod tests {

@@ -10,7 +10,8 @@
 //!   latest, and hotspot key choosers;
 //! * [`KeyCodec`] — scrambled 16-byte keys and sized values;
 //! * [`WorkloadSpec`] — the paper's workload mixes as data;
-//! * [`Histogram`] — log-linear latency histogram (P90–P99.99 for Fig 8);
+//! * [`Histogram`] — log-linear latency histogram (P90–P99.99 for Fig 8),
+//!   the workspace-wide implementation re-exported from `ldc-obs`;
 //! * [`run_workload`] — drives any [`KvInterface`] store and reports
 //!   latencies, throughput, and the Fig 1 per-second trace.
 
