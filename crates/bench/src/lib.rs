@@ -18,12 +18,14 @@
 pub mod adapter;
 pub mod cli;
 pub mod experiment;
+pub mod ycsb_net;
 
 pub use adapter::DbAdapter;
 pub use cli::{mib, pct, print_table, CommonArgs};
 pub use experiment::{
     paper_scaled_options, run_both, run_experiment, ExperimentResult, StoreConfig, System,
 };
+pub use ycsb_net::{run_ycsb_net, NetBenchArgs};
 
 /// Convenience re-exports for the figure binaries.
 pub mod prelude {

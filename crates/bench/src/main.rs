@@ -50,6 +50,10 @@ fn usage() -> ! {
     eprintln!("                    [--k N] [--quick] [--out PATH] + common flags");
     eprintln!("  trace-report      same load; renders the worst-K trace reservoir as");
     eprintln!("                    folded stacks [--k N] [--quick] + common flags");
+    eprintln!("  ycsb-net          YCSB A-F over loopback TCP against ldc-server, UDC vs");
+    eprintln!("                    LDC, closed + open loop -> BENCH_net.json");
+    eprintln!("                    [--shards N] [--queue-capacity N] [--rate R]");
+    eprintln!("                    [--closed-only] [--quick] [--out PATH] + common flags");
     eprintln!();
     eprintln!("figure binaries live under --bin (e.g. --bin fig08_tail_latency)");
     std::process::exit(2);
@@ -540,6 +544,55 @@ fn main() {
             };
             if let Err(detail) = result {
                 eprintln!("{sub} FAILED: {detail}");
+                std::process::exit(1);
+            }
+        }
+        "ycsb-net" => {
+            let mut net = ldc_bench::NetBenchArgs {
+                common: CommonArgs::from_iter(3_000, std::iter::empty::<String>()),
+                shards: 4,
+                queue_capacity: 64,
+                rate_per_sec: 20_000.0,
+                closed_only: false,
+                out: "BENCH_net.json".to_string(),
+            };
+            let mut quick = false;
+            let mut rest = Vec::new();
+            let mut iter = args.peekable();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--shards" => {
+                        net.shards = iter
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--shards: integer"))
+                    }
+                    "--queue-capacity" => {
+                        net.queue_capacity = iter
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--queue-capacity: integer"))
+                    }
+                    "--rate" => {
+                        net.rate_per_sec = iter
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--rate: number"))
+                    }
+                    "--closed-only" => net.closed_only = true,
+                    "--quick" => quick = true,
+                    "--out" => {
+                        net.out = iter.next().unwrap_or_else(|| panic!("--out needs a value"))
+                    }
+                    _ => rest.push(arg),
+                }
+            }
+            let default_ops = if quick { 800 } else { 3_000 };
+            net.common = CommonArgs::from_iter(default_ops, rest);
+            net.shards = net.shards.max(1);
+            net.queue_capacity = net.queue_capacity.max(1);
+            if let Err(detail) = ldc_bench::run_ycsb_net(&net) {
+                eprintln!("ycsb-net FAILED: {detail}");
                 std::process::exit(1);
             }
         }

@@ -1,0 +1,349 @@
+//! Synchronous and pipelined TCP clients for `ldc-server`.
+//!
+//! [`Client`] owns one connection. `call` is strict request/response;
+//! [`Client::pipeline`] writes a whole batch before reading any replies,
+//! tolerating out-of-order completion across shards (responses are
+//! matched by request id and returned in request order). For fully
+//! decoupled open-loop load generation, [`Client::split`] hands back an
+//! independent sender/receiver pair over cloned socket handles.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{
+    decode_response, encode_request, read_frame, write_frame, FrameError, ProtoError, Request,
+    Response, ResponseBody, ServerStats, Status,
+};
+
+/// Client-side failure taxonomy.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server's reply could not be decoded.
+    Proto(ProtoError),
+    /// The stream ended mid-frame.
+    TornFrame,
+    /// The server closed the connection before replying.
+    Disconnected,
+    /// The server answered with a non-Ok status.
+    Remote {
+        /// The wire status.
+        status: Status,
+        /// Retry hint in milliseconds, when the server provided one
+        /// (overload rejections always do).
+        retry_after_ms: Option<u32>,
+        /// Human-readable detail, when the server provided one.
+        message: String,
+    },
+    /// The server answered Ok but with a payload shape that does not
+    /// match the request (a server bug, surfaced rather than panicking).
+    UnexpectedBody,
+}
+
+impl NetError {
+    /// Whether retrying (possibly after a delay) may succeed.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Remote { status, .. } => status.is_retryable(),
+            _ => false,
+        }
+    }
+
+    fn from_frame(err: FrameError) -> NetError {
+        match err {
+            FrameError::Eof => NetError::Disconnected,
+            FrameError::TruncatedFrame { .. } => NetError::TornFrame,
+            FrameError::TooLarge { len } => NetError::Proto(ProtoError::TooLarge { len }),
+            FrameError::Io(e) => NetError::Io(e),
+        }
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Proto(e) => write!(f, "protocol: {e}"),
+            NetError::TornFrame => write!(f, "connection ended mid-frame"),
+            NetError::Disconnected => write!(f, "server closed the connection"),
+            NetError::Remote {
+                status,
+                retry_after_ms,
+                message,
+            } => {
+                write!(f, "server error {}", status.label())?;
+                if let Some(ms) = retry_after_ms {
+                    write!(f, " (retry after {ms}ms)")?;
+                }
+                if !message.is_empty() {
+                    write!(f, ": {message}")?;
+                }
+                Ok(())
+            }
+            NetError::UnexpectedBody => write!(f, "response payload does not match request"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Key-ordered `(key, value)` rows returned by a scan.
+pub type ScanRows = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// Per-key results of a batched lookup, in request order.
+pub type BatchValues = Vec<Option<Vec<u8>>>;
+
+/// Per-response server-side timing, surfaced with every successful call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetMeta {
+    /// Shard that served the request.
+    pub shard: u16,
+    /// Host nanoseconds spent in the admission queue.
+    pub queue_ns: u64,
+    /// Virtual engine nanoseconds spent serving.
+    pub service_ns: u64,
+}
+
+impl NetMeta {
+    fn of(resp: &Response) -> NetMeta {
+        NetMeta {
+            shard: resp.shard,
+            queue_ns: resp.queue_ns,
+            service_ns: resp.service_ns,
+        }
+    }
+}
+
+fn check_status(resp: &Response) -> Result<(), NetError> {
+    if resp.status == Status::Ok {
+        return Ok(());
+    }
+    let (retry_after_ms, message) = match &resp.body {
+        ResponseBody::RetryAfterMs(ms) => (Some(*ms), String::new()),
+        ResponseBody::Message(m) => (None, m.clone()),
+        _ => (None, String::new()),
+    };
+    Err(NetError::Remote {
+        status: resp.status,
+        retry_after_ms,
+        message,
+    })
+}
+
+/// One synchronous connection to an `ldc-server`.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects over TCP. `TCP_NODELAY` is set: the protocol is
+    /// latency-bound small frames.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 1,
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<u64, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let body = encode_request(id, request);
+        write_frame(&mut self.writer, &body)?;
+        Ok(id)
+    }
+
+    fn recv(&mut self) -> Result<Response, NetError> {
+        let body = read_frame(&mut self.reader).map_err(NetError::from_frame)?;
+        decode_response(&body).map_err(NetError::Proto)
+    }
+
+    /// One strict request/response round trip. Returns the raw
+    /// [`Response`] (including error statuses) so callers that care about
+    /// the overload hint can see it; the typed helpers below convert
+    /// non-Ok statuses into [`NetError::Remote`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        let id = self.send(request)?;
+        self.writer.flush()?;
+        let resp = self.recv()?;
+        if resp.req_id != id {
+            // Strict call mode never has more than one request in flight,
+            // so an id mismatch means the stream is desynchronized.
+            return Err(NetError::Proto(ProtoError::BadOpcode(0)));
+        }
+        Ok(resp)
+    }
+
+    /// Writes every request, flushes once, then reads until every reply
+    /// arrived. Replies are returned in request order regardless of the
+    /// order shards completed them. Per-request errors (overload,
+    /// storage) come back as statuses in the responses, not as `Err`.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, NetError> {
+        let mut ids = Vec::with_capacity(requests.len());
+        for request in requests {
+            ids.push(self.send(request)?);
+        }
+        self.writer.flush()?;
+        let mut by_id: HashMap<u64, Response> = HashMap::with_capacity(ids.len());
+        while by_id.len() < ids.len() {
+            let resp = self.recv()?;
+            by_id.insert(resp.req_id, resp);
+        }
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            match by_id.remove(&id) {
+                Some(resp) => out.push(resp),
+                None => return Err(NetError::Disconnected),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inserts or overwrites one key.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<NetMeta, NetError> {
+        let resp = self.call(&Request::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })?;
+        check_status(&resp)?;
+        Ok(NetMeta::of(&resp))
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Result<(Option<Vec<u8>>, NetMeta), NetError> {
+        let resp = self.call(&Request::Get { key: key.to_vec() })?;
+        check_status(&resp)?;
+        let meta = NetMeta::of(&resp);
+        match resp.body {
+            ResponseBody::Value(v) => Ok((v, meta)),
+            _ => Err(NetError::UnexpectedBody),
+        }
+    }
+
+    /// Tombstones one key.
+    pub fn delete(&mut self, key: &[u8]) -> Result<NetMeta, NetError> {
+        let resp = self.call(&Request::Delete { key: key.to_vec() })?;
+        check_status(&resp)?;
+        Ok(NetMeta::of(&resp))
+    }
+
+    /// Cross-shard merged range scan.
+    pub fn scan(&mut self, start: &[u8], limit: u32) -> Result<(ScanRows, NetMeta), NetError> {
+        let resp = self.call(&Request::Scan {
+            start: start.to_vec(),
+            limit,
+        })?;
+        check_status(&resp)?;
+        let meta = NetMeta::of(&resp);
+        match resp.body {
+            ResponseBody::Entries(entries) => Ok((entries, meta)),
+            _ => Err(NetError::UnexpectedBody),
+        }
+    }
+
+    /// Batched point lookups; each shard answers its keys from one
+    /// pinned snapshot.
+    pub fn multi_get(&mut self, keys: &[&[u8]]) -> Result<(BatchValues, NetMeta), NetError> {
+        let resp = self.call(&Request::MultiGet {
+            keys: keys.iter().map(|k| k.to_vec()).collect(),
+        })?;
+        check_status(&resp)?;
+        let meta = NetMeta::of(&resp);
+        match resp.body {
+            ResponseBody::Values(values) => Ok((values, meta)),
+            _ => Err(NetError::UnexpectedBody),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        let resp = self.call(&Request::Ping)?;
+        check_status(&resp)
+    }
+
+    /// Fetches the server's per-shard admission statistics.
+    pub fn stats(&mut self) -> Result<ServerStats, NetError> {
+        let resp = self.call(&Request::Stats)?;
+        check_status(&resp)?;
+        match resp.body {
+            ResponseBody::Stats(stats) => Ok(stats),
+            _ => Err(NetError::UnexpectedBody),
+        }
+    }
+
+    /// Splits the connection into an independent sender and receiver so
+    /// one thread can issue open-loop load while another drains replies.
+    pub fn split(self) -> Result<(NetSender, NetReceiver), NetError> {
+        let Client {
+            reader,
+            writer,
+            next_id,
+        } = self;
+        Ok((NetSender { writer, next_id }, NetReceiver { reader }))
+    }
+}
+
+/// Write half of a split connection.
+#[derive(Debug)]
+pub struct NetSender {
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl NetSender {
+    /// Frames and buffers one request; returns its id for matching.
+    pub fn send(&mut self, request: &Request) -> Result<u64, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let body = encode_request(id, request);
+        write_frame(&mut self.writer, &body)?;
+        Ok(id)
+    }
+
+    /// Flushes buffered frames to the socket.
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Shuts down the write direction so the server's reader sees EOF.
+    pub fn finish(mut self) -> Result<(), NetError> {
+        self.writer.flush()?;
+        self.writer.get_ref().shutdown(std::net::Shutdown::Write)?;
+        Ok(())
+    }
+}
+
+/// Read half of a split connection.
+#[derive(Debug)]
+pub struct NetReceiver {
+    reader: BufReader<TcpStream>,
+}
+
+impl NetReceiver {
+    /// Blocks for the next response, in whatever order the server
+    /// completed them. Returns `Ok(None)` on clean end of stream.
+    pub fn recv(&mut self) -> Result<Option<Response>, NetError> {
+        match read_frame(&mut self.reader) {
+            Ok(body) => Ok(Some(decode_response(&body).map_err(NetError::Proto)?)),
+            Err(FrameError::Eof) => Ok(None),
+            Err(e) => Err(NetError::from_frame(e)),
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! `ldc-client`: wire protocol and client library for the `ldc-net`
+//! service layer.
+//!
+//! Two halves:
+//!
+//! * [`proto`] — the shared wire format. Length-prefixed binary frames
+//!   carrying a request id, opcode, and payload; a [`proto::Status`]
+//!   taxonomy that maps the engine's transient/permanent error split
+//!   (plus admission-control rejections) onto the wire; and decoders
+//!   that turn torn frames, oversized length prefixes, and unknown
+//!   opcodes into clean [`proto::ProtoError`]s — never panics.
+//!   `ldc-server` consumes this module for its side of the connection.
+//! * [`Client`] / [`NetSender`] / [`NetReceiver`] — a synchronous
+//!   request/response client, a pipelined batch mode that tolerates
+//!   out-of-order completion across shards, and a split sender/receiver
+//!   pair for open-loop load generation.
+//!
+//! Layering: this crate sits beside `ldc-workload` — it may use
+//! `ldc-obs` but never the engine crates, and never `ldc-server`
+//! (servers embed clients' protocol, not the reverse).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+pub mod proto;
+
+pub use client::{Client, NetError, NetMeta, NetReceiver, NetSender};

@@ -1,0 +1,847 @@
+//! `ldc-net` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Shared by `ldc-client` (this crate) and `ldc-server`. A frame is a
+//! 4-byte little-endian body length followed by the body; bodies carry a
+//! request id (so pipelined responses can return out of order), an opcode
+//! or status byte, and op-specific payloads. Every decode path returns a
+//! structured [`ProtoError`] — truncated frames, oversized length
+//! prefixes, unknown opcodes, and trailing garbage are *protocol errors*,
+//! never panics (the same discipline the WAL applies to torn tails).
+//!
+//! The [`Status`] taxonomy mirrors the engine's error split: transient
+//! storage faults (`SsdError::TransientIo`) and admission rejections are
+//! retryable; permanent storage errors, corruption, and argument errors
+//! are not. Responses also carry the serving shard, the admission-queue
+//! wait (host ns), and the engine service time (virtual ns) so tail
+//! attribution extends over the wire.
+
+use std::io::{Read, Write};
+
+/// Hard ceiling on a frame body. A length prefix above this is a protocol
+/// error (a torn or hostile stream), not an allocation request.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Sentinel shard id for responses not routed to a shard (protocol
+/// errors, pings, stats).
+pub const NO_SHARD: u16 = u16::MAX;
+
+/// A client → server operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Insert or overwrite one key.
+    Put {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Point lookup.
+    Get {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Tombstone one key.
+    Delete {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Range scan: up to `limit` live entries with key >= `start`,
+    /// merged across every shard.
+    Scan {
+        /// Inclusive start key.
+        start: Vec<u8>,
+        /// Maximum entries returned.
+        limit: u32,
+    },
+    /// Batched point lookups; each shard resolves its keys against one
+    /// pinned snapshot.
+    MultiGet {
+        /// Keys to look up, answered in order.
+        keys: Vec<Vec<u8>>,
+    },
+    /// Liveness probe; never enters an admission queue.
+    Ping,
+    /// Server/shard statistics snapshot; never enters an admission queue.
+    Stats,
+}
+
+impl Request {
+    fn opcode(&self) -> u8 {
+        match self {
+            Request::Put { .. } => 1,
+            Request::Get { .. } => 2,
+            Request::Delete { .. } => 3,
+            Request::Scan { .. } => 4,
+            Request::MultiGet { .. } => 5,
+            Request::Ping => 6,
+            Request::Stats => 7,
+        }
+    }
+
+    /// Stable label for metrics/report keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::Put { .. } => "put",
+            Request::Get { .. } => "get",
+            Request::Delete { .. } => "delete",
+            Request::Scan { .. } => "scan",
+            Request::MultiGet { .. } => "multi_get",
+            Request::Ping => "ping",
+            Request::Stats => "stats",
+        }
+    }
+}
+
+/// Outcome taxonomy carried in every response. Maps the engine's
+/// transient/permanent error split onto the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Success.
+    Ok,
+    /// Admission control rejected the request: the target shard's queue
+    /// was full. Retry after the hinted delay. Retryable.
+    Overloaded,
+    /// A transient storage fault (`SsdError::TransientIo`) exhausted the
+    /// engine's retry budget. Retryable.
+    TransientStorage,
+    /// A permanent storage error (missing file, device full, hard I/O).
+    Storage,
+    /// On-disk data failed validation server-side.
+    Corruption,
+    /// The request was malformed at the engine level (empty key, ...).
+    InvalidArgument,
+    /// The store refuses the operation in its current state.
+    InvalidState,
+    /// The server could not parse the request frame.
+    Protocol,
+    /// The server is draining; no new work is admitted. Retryable
+    /// against a replica, not against this process.
+    ShuttingDown,
+}
+
+impl Status {
+    /// Whether retrying the same request may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Status::Overloaded | Status::TransientStorage | Status::ShuttingDown
+        )
+    }
+
+    fn code(&self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Overloaded => 1,
+            Status::TransientStorage => 2,
+            Status::Storage => 3,
+            Status::Corruption => 4,
+            Status::InvalidArgument => 5,
+            Status::InvalidState => 6,
+            Status::Protocol => 7,
+            Status::ShuttingDown => 8,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Status, ProtoError> {
+        Ok(match code {
+            0 => Status::Ok,
+            1 => Status::Overloaded,
+            2 => Status::TransientStorage,
+            3 => Status::Storage,
+            4 => Status::Corruption,
+            5 => Status::InvalidArgument,
+            6 => Status::InvalidState,
+            7 => Status::Protocol,
+            8 => Status::ShuttingDown,
+            other => return Err(ProtoError::BadStatus(other)),
+        })
+    }
+
+    /// Stable snake_case label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Overloaded => "overloaded",
+            Status::TransientStorage => "transient_storage",
+            Status::Storage => "storage",
+            Status::Corruption => "corruption",
+            Status::InvalidArgument => "invalid_argument",
+            Status::InvalidState => "invalid_state",
+            Status::Protocol => "protocol",
+            Status::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// One shard's admission/queue counters in a [`Request::Stats`] reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Requests admitted into this shard's queue since start.
+    pub accepted: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected: u64,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Current queue depth.
+    pub depth: u32,
+    /// Queue capacity (admission bound).
+    pub capacity: u32,
+    /// High-water queue depth observed.
+    pub depth_high_water: u32,
+}
+
+/// Server statistics snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Per-shard counters, indexed by shard id.
+    pub shards: Vec<ShardStat>,
+    /// Malformed request frames the server answered with
+    /// [`Status::Protocol`].
+    pub protocol_errors: u64,
+}
+
+/// Result payload of a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseBody {
+    /// No payload (put/delete/ping acks, most errors).
+    None,
+    /// Get result.
+    Value(Option<Vec<u8>>),
+    /// Scan result entries, key-ordered.
+    Entries(Vec<(Vec<u8>, Vec<u8>)>),
+    /// MultiGet results, one per requested key, in request order.
+    Values(Vec<Option<Vec<u8>>>),
+    /// Stats snapshot.
+    Stats(ServerStats),
+    /// Overload hint: retry after this many milliseconds.
+    RetryAfterMs(u32),
+    /// Human-readable error detail for non-Ok statuses.
+    Message(String),
+}
+
+/// A server → client reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echoes the request id.
+    pub req_id: u64,
+    /// Outcome.
+    pub status: Status,
+    /// Shard that served the request ([`NO_SHARD`] when unrouted).
+    pub shard: u16,
+    /// Host nanoseconds the request sat in the admission queue.
+    pub queue_ns: u64,
+    /// Virtual engine nanoseconds spent serving the request
+    /// (deterministic for a deterministic op sequence).
+    pub service_ns: u64,
+    /// Result payload.
+    pub body: ResponseBody,
+}
+
+impl Response {
+    /// A minimal error response for `req_id`.
+    pub fn error(req_id: u64, status: Status, message: impl Into<String>) -> Self {
+        Response {
+            req_id,
+            status,
+            shard: NO_SHARD,
+            queue_ns: 0,
+            service_ns: 0,
+            body: ResponseBody::Message(message.into()),
+        }
+    }
+}
+
+/// Structured decode failure. Every variant is a clean error — decoding
+/// never panics and never over-allocates on hostile input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The body ended before a field's declared length.
+    Truncated {
+        /// Bytes the field needed.
+        need: u64,
+        /// Bytes remaining.
+        have: u64,
+    },
+    /// A length prefix exceeded [`MAX_FRAME`].
+    TooLarge {
+        /// The declared length.
+        len: u64,
+    },
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Unknown status byte.
+    BadStatus(u8),
+    /// Bytes left over after a complete message.
+    Trailing {
+        /// Leftover byte count.
+        extra: u64,
+    },
+    /// An error-message field was not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated { need, have } => {
+                write!(f, "truncated frame: field needs {need} bytes, {have} left")
+            }
+            ProtoError::TooLarge { len } => {
+                write!(f, "length prefix {len} exceeds max frame {MAX_FRAME}")
+            }
+            ProtoError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            ProtoError::BadStatus(s) => write!(f, "unknown status {s}"),
+            ProtoError::Trailing { extra } => write!(f, "{extra} trailing bytes after message"),
+            ProtoError::BadUtf8 => write!(f, "error message is not utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Bounds-checked reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8], ProtoError> {
+        if len > MAX_FRAME as usize {
+            return Err(ProtoError::TooLarge { len: len as u64 });
+        }
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(ProtoError::TooLarge { len: len as u64 })?;
+        let slice = self.buf.get(self.pos..end).ok_or(ProtoError::Truncated {
+            need: len as u64,
+            have: self.remaining() as u64,
+        })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn len_bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = self.u32()?;
+        Ok(self.bytes(len as usize)?.to_vec())
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.remaining() > 0 {
+            return Err(ProtoError::Trailing {
+                extra: self.remaining() as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn put_len_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Encodes a request body (without the frame length prefix).
+pub fn encode_request(req_id: u64, request: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.push(request.opcode());
+    match request {
+        Request::Put { key, value } => {
+            put_len_bytes(&mut out, key);
+            put_len_bytes(&mut out, value);
+        }
+        Request::Get { key } | Request::Delete { key } => put_len_bytes(&mut out, key),
+        Request::Scan { start, limit } => {
+            put_len_bytes(&mut out, start);
+            out.extend_from_slice(&limit.to_le_bytes());
+        }
+        Request::MultiGet { keys } => {
+            out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+            for key in keys {
+                put_len_bytes(&mut out, key);
+            }
+        }
+        Request::Ping | Request::Stats => {}
+    }
+    out
+}
+
+/// Decodes a request body. Malformed input yields a [`ProtoError`].
+pub fn decode_request(body: &[u8]) -> Result<(u64, Request), ProtoError> {
+    let mut cur = Cursor::new(body);
+    let req_id = cur.u64()?;
+    let opcode = cur.u8()?;
+    let request = match opcode {
+        1 => Request::Put {
+            key: cur.len_bytes()?,
+            value: cur.len_bytes()?,
+        },
+        2 => Request::Get {
+            key: cur.len_bytes()?,
+        },
+        3 => Request::Delete {
+            key: cur.len_bytes()?,
+        },
+        4 => Request::Scan {
+            start: cur.len_bytes()?,
+            limit: cur.u32()?,
+        },
+        5 => {
+            let count = cur.u32()?;
+            // Each key costs at least 4 bytes of length prefix; a count
+            // the remaining bytes cannot hold is a truncation, caught by
+            // the per-key reads — but bound the allocation up front.
+            let cap = (count as usize).min(cur.remaining() / 4 + 1);
+            let mut keys = Vec::with_capacity(cap);
+            for _ in 0..count {
+                keys.push(cur.len_bytes()?);
+            }
+            Request::MultiGet { keys }
+        }
+        6 => Request::Ping,
+        7 => Request::Stats,
+        other => return Err(ProtoError::BadOpcode(other)),
+    };
+    cur.finish()?;
+    Ok((req_id, request))
+}
+
+/// Encodes a response body (without the frame length prefix).
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40);
+    out.extend_from_slice(&response.req_id.to_le_bytes());
+    out.push(response.status.code());
+    out.extend_from_slice(&response.shard.to_le_bytes());
+    out.extend_from_slice(&response.queue_ns.to_le_bytes());
+    out.extend_from_slice(&response.service_ns.to_le_bytes());
+    match &response.body {
+        ResponseBody::None => out.push(0),
+        ResponseBody::Value(v) => {
+            out.push(1);
+            match v {
+                None => out.push(0),
+                Some(value) => {
+                    out.push(1);
+                    put_len_bytes(&mut out, value);
+                }
+            }
+        }
+        ResponseBody::Entries(entries) => {
+            out.push(2);
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (k, v) in entries {
+                put_len_bytes(&mut out, k);
+                put_len_bytes(&mut out, v);
+            }
+        }
+        ResponseBody::Values(values) => {
+            out.push(3);
+            out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+            for v in values {
+                match v {
+                    None => out.push(0),
+                    Some(value) => {
+                        out.push(1);
+                        put_len_bytes(&mut out, value);
+                    }
+                }
+            }
+        }
+        ResponseBody::Stats(stats) => {
+            out.push(4);
+            out.extend_from_slice(&(stats.shards.len() as u32).to_le_bytes());
+            for s in &stats.shards {
+                out.extend_from_slice(&s.accepted.to_le_bytes());
+                out.extend_from_slice(&s.rejected.to_le_bytes());
+                out.extend_from_slice(&s.completed.to_le_bytes());
+                out.extend_from_slice(&s.depth.to_le_bytes());
+                out.extend_from_slice(&s.capacity.to_le_bytes());
+                out.extend_from_slice(&s.depth_high_water.to_le_bytes());
+            }
+            out.extend_from_slice(&stats.protocol_errors.to_le_bytes());
+        }
+        ResponseBody::RetryAfterMs(ms) => {
+            out.push(5);
+            out.extend_from_slice(&ms.to_le_bytes());
+        }
+        ResponseBody::Message(msg) => {
+            out.push(6);
+            put_len_bytes(&mut out, msg.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a response body. Malformed input yields a [`ProtoError`].
+pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
+    let mut cur = Cursor::new(body);
+    let req_id = cur.u64()?;
+    let status = Status::from_code(cur.u8()?)?;
+    let shard = cur.u16()?;
+    let queue_ns = cur.u64()?;
+    let service_ns = cur.u64()?;
+    let body = match cur.u8()? {
+        0 => ResponseBody::None,
+        1 => ResponseBody::Value(match cur.u8()? {
+            0 => None,
+            _ => Some(cur.len_bytes()?),
+        }),
+        2 => {
+            let count = cur.u32()?;
+            let cap = (count as usize).min(cur.remaining() / 8 + 1);
+            let mut entries = Vec::with_capacity(cap);
+            for _ in 0..count {
+                let k = cur.len_bytes()?;
+                let v = cur.len_bytes()?;
+                entries.push((k, v));
+            }
+            ResponseBody::Entries(entries)
+        }
+        3 => {
+            let count = cur.u32()?;
+            let cap = (count as usize).min(cur.remaining() + 1);
+            let mut values = Vec::with_capacity(cap);
+            for _ in 0..count {
+                values.push(match cur.u8()? {
+                    0 => None,
+                    _ => Some(cur.len_bytes()?),
+                });
+            }
+            ResponseBody::Values(values)
+        }
+        4 => {
+            let count = cur.u32()?;
+            let cap = (count as usize).min(cur.remaining() / 36 + 1);
+            let mut shards = Vec::with_capacity(cap);
+            for _ in 0..count {
+                shards.push(ShardStat {
+                    accepted: cur.u64()?,
+                    rejected: cur.u64()?,
+                    completed: cur.u64()?,
+                    depth: cur.u32()?,
+                    capacity: cur.u32()?,
+                    depth_high_water: cur.u32()?,
+                });
+            }
+            let protocol_errors = cur.u64()?;
+            ResponseBody::Stats(ServerStats {
+                shards,
+                protocol_errors,
+            })
+        }
+        5 => ResponseBody::RetryAfterMs(cur.u32()?),
+        6 => {
+            let bytes = cur.len_bytes()?;
+            ResponseBody::Message(String::from_utf8(bytes).map_err(|_| ProtoError::BadUtf8)?)
+        }
+        other => return Err(ProtoError::BadOpcode(other)),
+    };
+    cur.finish()?;
+    Ok(Response {
+        req_id,
+        status,
+        shard,
+        queue_ns,
+        service_ns,
+        body,
+    })
+}
+
+/// How a frame read ended without producing a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end of stream at a frame boundary.
+    Eof,
+    /// The stream ended mid-frame (a torn frame).
+    TruncatedFrame {
+        /// Bytes the frame still needed.
+        need: u64,
+    },
+    /// The length prefix exceeded [`MAX_FRAME`].
+    TooLarge {
+        /// Declared body length.
+        len: u64,
+    },
+    /// An I/O error from the transport.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "end of stream"),
+            FrameError::TruncatedFrame { need } => {
+                write!(f, "stream ended mid-frame ({need} bytes short)")
+            }
+            FrameError::TooLarge { len } => {
+                write!(f, "frame length {len} exceeds max {MAX_FRAME}")
+            }
+            FrameError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame: 4-byte little-endian length, then the body.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Reads one frame body. [`FrameError::Eof`] means the peer closed the
+/// stream cleanly between frames; EOF anywhere else is a torn frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    FrameError::Eof
+                } else {
+                    FrameError::TruncatedFrame {
+                        need: (4 - filled) as u64,
+                    }
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge {
+            len: u64::from(len),
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    let mut got = 0usize;
+    while got < body.len() {
+        match r.read(&mut body[got..]) {
+            Ok(0) => {
+                return Err(FrameError::TruncatedFrame {
+                    need: (body.len() - got) as u64,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let body = encode_request(42, &req);
+        let (id, back) = decode_request(&body).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Put {
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        });
+        roundtrip_req(Request::Get { key: b"k".to_vec() });
+        roundtrip_req(Request::Delete { key: Vec::new() });
+        roundtrip_req(Request::Scan {
+            start: b"a".to_vec(),
+            limit: 100,
+        });
+        roundtrip_req(Request::MultiGet {
+            keys: vec![b"a".to_vec(), Vec::new(), b"ccc".to_vec()],
+        });
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Stats);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let cases = vec![
+            ResponseBody::None,
+            ResponseBody::Value(None),
+            ResponseBody::Value(Some(b"v".to_vec())),
+            ResponseBody::Entries(vec![(b"k".to_vec(), b"v".to_vec())]),
+            ResponseBody::Values(vec![None, Some(b"x".to_vec())]),
+            ResponseBody::Stats(ServerStats {
+                shards: vec![ShardStat {
+                    accepted: 10,
+                    rejected: 2,
+                    completed: 8,
+                    depth: 1,
+                    capacity: 64,
+                    depth_high_water: 5,
+                }],
+                protocol_errors: 3,
+            }),
+            ResponseBody::RetryAfterMs(25),
+            ResponseBody::Message("storage: io error".to_string()),
+        ];
+        for body in cases {
+            let resp = Response {
+                req_id: 7,
+                status: Status::Ok,
+                shard: 3,
+                queue_ns: 123,
+                service_ns: 456,
+                body,
+            };
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_are_clean_errors() {
+        let body = encode_request(
+            1,
+            &Request::Put {
+                key: b"key".to_vec(),
+                value: b"value".to_vec(),
+            },
+        );
+        for cut in 0..body.len() {
+            let err = decode_request(&body[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+        let resp = encode_response(&Response::error(9, Status::Storage, "boom"));
+        for cut in 0..resp.len() {
+            assert!(decode_response(&resp[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut body = encode_request(1, &Request::Ping);
+        body.push(0xFF);
+        assert!(matches!(
+            decode_request(&body),
+            Err(ProtoError::Trailing { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_opcode_and_status() {
+        let mut body = encode_request(1, &Request::Ping);
+        body[8] = 200;
+        assert!(matches!(
+            decode_request(&body),
+            Err(ProtoError::BadOpcode(200))
+        ));
+        let mut resp = encode_response(&Response::error(1, Status::Ok, ""));
+        resp[8] = 99;
+        assert!(matches!(
+            decode_response(&resp),
+            Err(ProtoError::BadStatus(99))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_protocol_error_not_alloc() {
+        // A MultiGet claiming u32::MAX keys must fail without trying to
+        // reserve that much.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.push(5); // MultiGet
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&body).is_err());
+    }
+
+    #[test]
+    fn frame_io_roundtrip_and_torn_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = std::io::Cursor::new(buf.clone());
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+
+        // Every strict prefix that cuts a frame is torn, not Eof.
+        for cut in 1..buf.len() {
+            let mut r = std::io::Cursor::new(buf[..cut].to_vec());
+            let mut saw_torn = false;
+            loop {
+                match read_frame(&mut r) {
+                    Ok(_) => continue,
+                    Err(FrameError::Eof) => break,
+                    Err(FrameError::TruncatedFrame { .. }) => {
+                        saw_torn = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            // cut == 9 lands exactly between the two frames: clean Eof.
+            let boundary = cut == 4 + 5;
+            assert_eq!(saw_torn, !boundary, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_frame_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut r = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn retryable_statuses() {
+        assert!(Status::Overloaded.is_retryable());
+        assert!(Status::TransientStorage.is_retryable());
+        assert!(Status::ShuttingDown.is_retryable());
+        for s in [
+            Status::Ok,
+            Status::Storage,
+            Status::Corruption,
+            Status::InvalidArgument,
+            Status::InvalidState,
+            Status::Protocol,
+        ] {
+            assert!(!s.is_retryable(), "{s:?}");
+        }
+    }
+}

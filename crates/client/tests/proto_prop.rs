@@ -1,0 +1,180 @@
+//! Property tests for the wire protocol: encode/decode round trips, and
+//! the torn-frame guarantee — any truncation, mutation, or garbage input
+//! decodes to a clean `ProtoError`, never a panic and never a bogus Ok.
+
+use ldc_client::proto::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    FrameError, Request, Response, ResponseBody, ServerStats, ShardStat, Status,
+};
+use proptest::prelude::*;
+
+fn request_from(tag: u8, a: Vec<u8>, b: Vec<u8>, n: u32, keys: Vec<Vec<u8>>) -> Request {
+    match tag % 7 {
+        0 => Request::Put { key: a, value: b },
+        1 => Request::Get { key: a },
+        2 => Request::Delete { key: a },
+        3 => Request::Scan { start: a, limit: n },
+        4 => Request::MultiGet { keys },
+        5 => Request::Ping,
+        _ => Request::Stats,
+    }
+}
+
+fn status_from(tag: u8) -> Status {
+    match tag % 9 {
+        0 => Status::Ok,
+        1 => Status::Overloaded,
+        2 => Status::TransientStorage,
+        3 => Status::Storage,
+        4 => Status::Corruption,
+        5 => Status::InvalidArgument,
+        6 => Status::InvalidState,
+        7 => Status::Protocol,
+        _ => Status::ShuttingDown,
+    }
+}
+
+fn body_from(tag: u8, a: Vec<u8>, entries: Vec<(Vec<u8>, Vec<u8>)>, n: u32) -> ResponseBody {
+    match tag % 7 {
+        0 => ResponseBody::None,
+        1 => ResponseBody::Value(if n.is_multiple_of(2) { None } else { Some(a) }),
+        2 => ResponseBody::Entries(entries),
+        3 => ResponseBody::Values(
+            entries
+                .into_iter()
+                .map(|(k, _)| if k.is_empty() { None } else { Some(k) })
+                .collect(),
+        ),
+        4 => ResponseBody::Stats(ServerStats {
+            shards: vec![ShardStat {
+                accepted: u64::from(n),
+                rejected: u64::from(n / 3),
+                completed: u64::from(n / 2),
+                depth: n % 128,
+                capacity: 128,
+                depth_high_water: n % 200,
+            }],
+            protocol_errors: u64::from(n % 5),
+        }),
+        5 => ResponseBody::RetryAfterMs(n),
+        _ => ResponseBody::Message(String::from_utf8_lossy(&a).into_owned()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    /// Requests survive an encode/decode round trip byte-exactly.
+    #[test]
+    fn request_roundtrip(
+        req_id in any::<u64>(),
+        tag in any::<u8>(),
+        a in prop::collection::vec(any::<u8>(), 0..64),
+        b in prop::collection::vec(any::<u8>(), 0..256),
+        n in any::<u32>(),
+        keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..24), 0..12),
+    ) {
+        let req = request_from(tag, a, b, n, keys);
+        let bytes = encode_request(req_id, &req);
+        let (id, back) = decode_request(&bytes).unwrap();
+        prop_assert_eq!(id, req_id);
+        prop_assert_eq!(back, req);
+    }
+
+    /// Responses survive an encode/decode round trip byte-exactly.
+    #[test]
+    fn response_roundtrip(
+        req_id in any::<u64>(),
+        stag in any::<u8>(),
+        btag in any::<u8>(),
+        shard in any::<u16>(),
+        queue_ns in any::<u64>(),
+        service_ns in any::<u64>(),
+        a in prop::collection::vec(any::<u8>(), 0..64),
+        entries in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 0..16),
+             prop::collection::vec(any::<u8>(), 0..32)), 0..8),
+        n in any::<u32>(),
+    ) {
+        let resp = Response {
+            req_id,
+            status: status_from(stag),
+            shard,
+            queue_ns,
+            service_ns,
+            body: body_from(btag, a, entries, n),
+        };
+        let bytes = encode_response(&resp);
+        prop_assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+
+    /// Every strict prefix of an encoded request fails to decode cleanly:
+    /// truncation is an error, never a panic, never a silent success.
+    #[test]
+    fn truncated_request_is_clean_error(
+        tag in any::<u8>(),
+        a in prop::collection::vec(any::<u8>(), 0..48),
+        b in prop::collection::vec(any::<u8>(), 0..48),
+        n in any::<u32>(),
+        keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 0..6),
+        frac in 0u32..1000,
+    ) {
+        let req = request_from(tag, a, b, n, keys);
+        let bytes = encode_request(9, &req);
+        let cut = (bytes.len() * frac as usize / 1000).min(bytes.len().saturating_sub(1));
+        prop_assert!(decode_request(&bytes[..cut]).is_err());
+    }
+
+    /// Arbitrary garbage never panics the decoders.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    /// Single-byte mutations decode to either a clean error or a valid
+    /// (possibly different) message — never a panic.
+    #[test]
+    fn mutated_request_never_panics(
+        a in prop::collection::vec(any::<u8>(), 1..48),
+        b in prop::collection::vec(any::<u8>(), 0..48),
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_request(3, &Request::Put { key: a, value: b });
+        let idx = pos % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = decode_request(&bytes);
+    }
+
+    /// Torn streams: cutting a framed stream at any byte yields frames up
+    /// to the cut, then a truncated-frame error or clean EOF exactly at a
+    /// frame boundary — never a panic, never a phantom frame.
+    #[test]
+    fn torn_stream_yields_clean_frame_errors(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 1..6),
+        frac in 0u32..1000,
+    ) {
+        let mut stream = Vec::new();
+        let mut boundaries = vec![0usize];
+        for body in &bodies {
+            write_frame(&mut stream, body).unwrap();
+            boundaries.push(stream.len());
+        }
+        let cut = stream.len() * frac as usize / 1000;
+        let mut r = std::io::Cursor::new(stream[..cut].to_vec());
+        let mut seen = 0usize;
+        let ended_clean = loop {
+            match read_frame(&mut r) {
+                Ok(frame) => {
+                    prop_assert_eq!(&frame, &bodies[seen]);
+                    seen += 1;
+                }
+                Err(FrameError::Eof) => break true,
+                Err(FrameError::TruncatedFrame { .. }) => break false,
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+            }
+        };
+        prop_assert_eq!(ended_clean, boundaries.contains(&cut));
+    }
+}

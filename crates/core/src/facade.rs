@@ -138,6 +138,38 @@ impl LdcDbBuilder {
         self
     }
 
+    /// Opens `shards` independent stores with identical configuration —
+    /// the construction path for a hash-range-sharded service (each shard
+    /// owns its own simulated device, WAL, and compaction state). A
+    /// caller-supplied storage backend cannot be split between shards, so
+    /// it is rejected; the shared event sink, if any, receives events from
+    /// every shard.
+    pub fn build_shards(self, shards: usize) -> Result<Vec<LdcDb>> {
+        if shards == 0 {
+            return Err(ldc_lsm::Error::InvalidArgument(
+                "build_shards: shard count must be >= 1".to_string(),
+            ));
+        }
+        if self.storage.is_some() {
+            return Err(ldc_lsm::Error::InvalidArgument(
+                "build_shards: a single storage backend cannot back multiple shards".to_string(),
+            ));
+        }
+        let mut out = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let builder = LdcDbBuilder {
+                options: self.options.clone(),
+                ssd: self.ssd.clone(),
+                mode: self.mode.clone(),
+                storage: None,
+                sink: self.sink.clone(),
+                trace_worst_k: self.trace_worst_k,
+            };
+            out.push(builder.build()?);
+        }
+        Ok(out)
+    }
+
     /// Opens the store.
     pub fn build(self) -> Result<LdcDb> {
         let storage = match self.storage {
@@ -202,6 +234,32 @@ impl LdcDb {
     /// Deletes a key.
     pub fn delete(&self, key: &[u8]) -> Result<()> {
         self.inner.delete(key)
+    }
+
+    /// Batched point lookups against **one** pinned snapshot: every key is
+    /// resolved at the same sequence number, so the results are mutually
+    /// consistent even while concurrent writers advance the store (an
+    /// atomically written batch is observed either entirely or not at
+    /// all). Returns one entry per input key, in order.
+    pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        let snapshot = self.inner.snapshot();
+        let mut out = Vec::with_capacity(keys.len());
+        let mut failed = None;
+        for key in keys {
+            match self.inner.get_at(key, &snapshot) {
+                Ok(value) => out.push(value),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        // Always unpin, error or not — a leaked snapshot pins files forever.
+        self.inner.release_snapshot(snapshot);
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Range scan: up to `limit` live entries with key >= `start`.

@@ -174,6 +174,94 @@ fn concurrent_batch_writers_all_commit() {
     assert_eq!(stats.writes, WRITERS * BATCHES * 4);
 }
 
+/// `multi_get` snapshot consistency: a writer flips pairs of keys
+/// atomically (one WriteBatch per version) while readers batch-read both
+/// keys; every `multi_get` must observe a single version for the whole
+/// pair — one pinned snapshot, never a torn mix of two batches.
+#[test]
+fn multi_get_observes_one_snapshot() {
+    let db = LdcDb::builder()
+        .options(Options::small_for_tests())
+        .build()
+        .unwrap();
+    const PAIRS: u64 = 8;
+    const VERSIONS: u64 = 120;
+    let key = |p: u64, side: &str| format!("mg{p:02}{side}").into_bytes();
+    let val = |v: u64| format!("ver-{v:06}-{}", "m".repeat(48)).into_bytes();
+    for p in 0..PAIRS {
+        let mut batch = WriteBatch::new();
+        batch.put(&key(p, "a"), &val(0));
+        batch.put(&key(p, "b"), &val(0));
+        db.write(batch).unwrap();
+    }
+    db.drain_background();
+
+    std::thread::scope(|s| {
+        for r in 0..4u64 {
+            let db = &db;
+            s.spawn(move || {
+                let mut p = r;
+                for _ in 0..400 {
+                    p = (p + 1) % PAIRS;
+                    let (ka, kb) = (key(p, "a"), key(p, "b"));
+                    let got = db.multi_get(&[&ka, &kb]).unwrap();
+                    let a = got[0].clone().expect("pair key a missing");
+                    let b = got[1].clone().expect("pair key b missing");
+                    assert_eq!(
+                        a,
+                        b,
+                        "multi_get tore across a batch on pair {p}: {:?} vs {:?}",
+                        String::from_utf8_lossy(&a),
+                        String::from_utf8_lossy(&b)
+                    );
+                }
+            });
+        }
+        // Writer: bump every pair through VERSIONS atomic versions with
+        // enough payload to force flushes mid-run.
+        for v in 1..=VERSIONS {
+            for p in 0..PAIRS {
+                let mut batch = WriteBatch::new();
+                batch.put(&key(p, "a"), &val(v));
+                batch.put(&key(p, "b"), &val(v));
+                db.write(batch).unwrap();
+            }
+        }
+    });
+    db.drain_background();
+    let ka = key(3, "a");
+    let kb = key(3, "b");
+    let got = db.multi_get(&[&ka, &kb, b"absent-key"]).unwrap();
+    assert_eq!(got[0], Some(val(VERSIONS)));
+    assert_eq!(got[1], Some(val(VERSIONS)));
+    assert_eq!(got[2], None);
+}
+
+/// `build_shards` opens N independent stores: disjoint devices, shared
+/// configuration, and no cross-shard visibility.
+#[test]
+fn build_shards_yields_independent_stores() {
+    let shards = LdcDb::builder()
+        .options(Options::small_for_tests())
+        .build_shards(4)
+        .unwrap();
+    assert_eq!(shards.len(), 4);
+    for (i, db) in shards.iter().enumerate() {
+        db.put(format!("shard{i}").as_bytes(), b"own").unwrap();
+    }
+    for (i, db) in shards.iter().enumerate() {
+        for j in 0..4 {
+            let got = db.get(format!("shard{j}").as_bytes()).unwrap();
+            if i == j {
+                assert_eq!(got, Some(b"own".to_vec()));
+            } else {
+                assert_eq!(got, None, "shard {i} saw shard {j}'s key");
+            }
+        }
+    }
+    assert!(LdcDb::builder().build_shards(0).is_err());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 

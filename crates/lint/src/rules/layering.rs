@@ -2,14 +2,20 @@
 //!
 //! ```text
 //! obs  <-  ssd  <-  lsm  <-  core  <-  {chaos, workload}  <-  bench
+//!                            core  <-  client  <-  server  <-  bench
 //! ```
 //!
 //! Lower layers must never know about higher layers: `ldc-obs` is pure
 //! observability, `ldc-ssd` is the device model, `ldc-lsm` the engine,
 //! `ldc-core` the LDC policy glue, and `chaos`/`workload`/`bench` are
-//! harnesses on top. Both `Cargo.toml` `[dependencies]` sections and
-//! `use ldc_*` tokens in source are checked, so an accidental `use
-//! ldc_core::...` inside `ldc-lsm` fails even before the build does.
+//! harnesses on top. The network tier sits beside the harnesses:
+//! `client` (wire protocol + connection) and `server` may speak to the
+//! engine only through `core`'s facade — never `lsm` or `ssd` directly —
+//! and `client` must not know `server` exists (the protocol module lives
+//! client-side precisely so the dependency points that way). Both
+//! `Cargo.toml` `[dependencies]` sections and `use ldc_*` tokens in
+//! source are checked, so an accidental `use ldc_core::...` inside
+//! `ldc-lsm` fails even before the build does.
 
 use std::collections::BTreeMap;
 
@@ -29,7 +35,14 @@ pub fn allowed_deps() -> BTreeMap<&'static str, &'static [&'static str]> {
     m.insert("core", &["obs", "ssd", "lsm"]);
     m.insert("chaos", &["obs", "ssd", "lsm", "core"]);
     m.insert("workload", &["obs", "ssd", "lsm", "core"]);
-    m.insert("bench", &["obs", "ssd", "lsm", "core", "chaos", "workload"]);
+    m.insert("client", &["obs", "core", "workload"]);
+    m.insert("server", &["obs", "core", "workload", "client"]);
+    m.insert(
+        "bench",
+        &[
+            "obs", "ssd", "lsm", "core", "chaos", "workload", "client", "server",
+        ],
+    );
     m.insert("lint", &[]);
     m
 }
@@ -106,7 +119,9 @@ pub fn check_source(path: &str, view: &SourceView) -> Vec<Diagnostic> {
         return Vec::new();
     };
     let mut out = Vec::new();
-    for layer in ["obs", "ssd", "lsm", "core", "chaos", "workload", "bench"] {
+    for layer in [
+        "obs", "ssd", "lsm", "core", "chaos", "workload", "client", "server", "bench",
+    ] {
         if layer == krate || allow.contains(&layer) {
             continue;
         }

@@ -141,6 +141,37 @@ fn layering_fixture_pass() {
 }
 
 #[test]
+fn layering_net_tier_fixture_fail() {
+    // Server reaching under the core facade to the engine crate.
+    let manifest = include_str!("fixtures/layering_net_fail.toml");
+    let diags = layering::check_manifest("crates/server/Cargo.toml", manifest);
+    assert_eq!(errors_of(&diags).len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("must not depend on `ldc-lsm`"));
+
+    // Client referencing the server — the arrow must point the other way.
+    let view = SourceView::new(include_str!("fixtures/layering_net_fail.rs"));
+    let diags = layering::check_source("crates/client/src/client.rs", &view);
+    assert_eq!(errors_of(&diags).len(), 2, "{diags:?}"); // `use` line + qualified path
+    assert!(diags[0].message.contains("ldc_server"));
+}
+
+#[test]
+fn layering_net_tier_allowances() {
+    // The real dependency direction passes: server -> client/core/obs.
+    let ok = "[package]\nname = \"ldc-server\"\n\n[dependencies]\n\
+              ldc-obs.workspace = true\nldc-core.workspace = true\n\
+              ldc-client.workspace = true\n";
+    assert!(layering::check_manifest("crates/server/Cargo.toml", ok).is_empty());
+    let view = SourceView::new("use ldc_client::proto::Request;\nuse ldc_core::LdcDb;\n");
+    assert!(layering::check_source("crates/server/src/server.rs", &view).is_empty());
+
+    // But the server must use core's re-exports, not the engine directly.
+    let bad = SourceView::new("use ldc_lsm::Options;\n");
+    let diags = layering::check_source("crates/server/src/server.rs", &bad);
+    assert_eq!(errors_of(&diags).len(), 1, "{diags:?}");
+}
+
+#[test]
 fn json_output_is_parseable_shape() {
     let d = ldc_lint::Diagnostic::error(
         "crates/lsm/src/db.rs",

@@ -1,0 +1,10 @@
+// Fixture (checked as crates/client/src/client.rs): the client must not
+// know the server exists — the wire protocol lives client-side so the
+// dependency arrow points server -> client, never back.
+use ldc_server::ServerConfig; // flagged
+
+fn connect_locally() -> u16 {
+    ldc_server::LdcServer::start(ServerConfig::default()) // flagged: qualified path
+        .map(|s| s.local_addr().port())
+        .unwrap_or(0)
+}

@@ -35,7 +35,9 @@ mod sink;
 mod trace;
 
 pub use event::{Event, EventKind, Nanos};
-pub use metrics::{DegradedCounters, LatencyHistogram, LevelGauge, MetricsRegistry, OpType};
+pub use metrics::{
+    DegradedCounters, LatencyHistogram, LevelGauge, MetricsRegistry, NetCounters, OpType,
+};
 pub use sink::{parse_jsonl, JsonlSink, NoopSink, RingBufferSink, SharedSink};
 pub use trace::{Blame, Span, Trace, TraceCtx, TraceReservoir};
 

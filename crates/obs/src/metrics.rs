@@ -199,6 +199,20 @@ pub struct DegradedCounters {
     pub files_quarantined: u64,
 }
 
+/// Monotonic counters for the network service layer (`ldc-server`):
+/// admission decisions and wire traffic. All zero for embedded stores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Requests admitted into a shard queue.
+    pub accepted: u64,
+    /// Requests rejected with retry-after because a shard queue was full.
+    pub rejected: u64,
+    /// Request bytes read off the wire (frame payloads).
+    pub bytes_in: u64,
+    /// Response bytes written to the wire (frame payloads).
+    pub bytes_out: u64,
+}
+
 /// Shared registry: per-level gauges plus one latency histogram per
 /// operation type. All methods take `&self`; interior locking keeps the
 /// registry shareable behind an `Arc` across the whole engine.
@@ -207,6 +221,8 @@ pub struct MetricsRegistry {
     latencies: [Mutex<LatencyHistogram>; 4],
     ops: [AtomicU64; 4],
     degraded: [AtomicU64; 4],
+    /// Net-layer counters: accepted, rejected, bytes in, bytes out.
+    net: [AtomicU64; 4],
     /// Per-op × per-blame attributed nanoseconds (fed by the tracing
     /// layer; all zero when tracing is off).
     blame: [[AtomicU64; Blame::COUNT]; 4],
@@ -237,6 +253,7 @@ impl MetricsRegistry {
             latencies: std::array::from_fn(|_| Mutex::new(LatencyHistogram::new())),
             ops: std::array::from_fn(|_| AtomicU64::new(0)),
             degraded: std::array::from_fn(|_| AtomicU64::new(0)),
+            net: std::array::from_fn(|_| AtomicU64::new(0)),
             blame: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
             retry_backoff_ns: AtomicU64::new(0),
         }
@@ -299,6 +316,36 @@ impl MetricsRegistry {
         self.degraded[3].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one request admitted into a shard queue.
+    pub fn record_net_accept(&self) {
+        self.net[0].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request rejected by admission control (queue full).
+    pub fn record_net_reject(&self) {
+        self.net[1].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accumulates request bytes read off the wire.
+    pub fn record_net_bytes_in(&self, bytes: u64) {
+        self.net[2].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Accumulates response bytes written to the wire.
+    pub fn record_net_bytes_out(&self, bytes: u64) {
+        self.net[3].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the net-layer counters.
+    pub fn net_counters(&self) -> NetCounters {
+        NetCounters {
+            accepted: self.net[0].load(Ordering::Relaxed),
+            rejected: self.net[1].load(Ordering::Relaxed),
+            bytes_in: self.net[2].load(Ordering::Relaxed),
+            bytes_out: self.net[3].load(Ordering::Relaxed),
+        }
+    }
+
     /// Snapshot of the degraded-mode counters.
     pub fn degraded_counters(&self) -> DegradedCounters {
         DegradedCounters {
@@ -345,6 +392,9 @@ impl MetricsRegistry {
             c.store(0, Ordering::Relaxed);
         }
         for c in &self.degraded {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.net {
             c.store(0, Ordering::Relaxed);
         }
         for row in &self.blame {

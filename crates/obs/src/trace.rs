@@ -56,6 +56,12 @@ pub enum Blame {
     Retry,
     /// SSD garbage-collection relocation absorbed by a foreground write.
     SsdGc,
+    /// Time spent queued in a server-side admission queue before a shard
+    /// worker picked the request up (ldc-server; zero for embedded use).
+    Admission,
+    /// Network service overhead outside the engine and the admission
+    /// queue: framing, routing, response dispatch (ldc-server).
+    Net,
     /// Everything else: engine CPU, filesystem metadata, seeks. The root
     /// span's catch-all — its self time is the op's unattributed residue.
     Engine,
@@ -63,7 +69,7 @@ pub enum Blame {
 
 impl Blame {
     /// Number of blame buckets.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 13;
 
     /// Every bucket, in stable report order.
     pub const ALL: [Blame; Blame::COUNT] = [
@@ -77,6 +83,8 @@ impl Blame {
         Blame::CompactionInterference,
         Blame::Retry,
         Blame::SsdGc,
+        Blame::Admission,
+        Blame::Net,
         Blame::Engine,
     ];
 
@@ -93,6 +101,8 @@ impl Blame {
             Blame::CompactionInterference => "compaction_interference",
             Blame::Retry => "retry",
             Blame::SsdGc => "ssd_gc",
+            Blame::Admission => "admission",
+            Blame::Net => "net",
             Blame::Engine => "engine",
         }
     }
@@ -110,7 +120,9 @@ impl Blame {
             Blame::CompactionInterference => 7,
             Blame::Retry => 8,
             Blame::SsdGc => 9,
-            Blame::Engine => 10,
+            Blame::Admission => 10,
+            Blame::Net => 11,
+            Blame::Engine => 12,
         }
     }
 }

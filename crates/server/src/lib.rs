@@ -1,0 +1,33 @@
+//! `ldc-server`: a multi-shard TCP service layer over [`ldc_core::LdcDb`].
+//!
+//! The paper's engine work (lower-level driven compaction) lives below
+//! this crate; `ldc-server` turns N independent engine instances into
+//! one network service so the tail-latency story can be measured where
+//! users feel it — over the wire:
+//!
+//! * [`ShardRouter`] — stable hash-range partitioning of the key space
+//!   across N shards, with cross-shard merged scans and index-preserving
+//!   multi-get grouping.
+//! * [`AdmissionQueue`] — bounded per-shard queues with deterministic
+//!   reject-with-retry-after backpressure; saturation is observable
+//!   (metrics + wire `Stats`), never fatal.
+//! * [`LdcServer`] — accept/reader/writer threads speaking the
+//!   `ldc-client` wire protocol, one worker lane per shard, per-request
+//!   blame traces (`admission` / `net` / `engine`), and a strict
+//!   drain-and-flush shutdown ordering.
+//!
+//! Layering: depends on `ldc-core` (the engine facade), `ldc-client`
+//! (the shared wire protocol), and `ldc-obs` — never on `ldc-lsm` or
+//! `ldc-ssd` directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod admission;
+mod router;
+mod server;
+
+pub use admission::{AdmissionQueue, ShardState};
+pub use router::{merge_scan_parts, stable_hash, ShardRouter};
+pub use server::{LdcServer, ServerConfig, ShardPauseGuard};

@@ -1,0 +1,230 @@
+//! Hash-range shard routing.
+//!
+//! Every key is hashed with a fixed FNV-1a function and the 64-bit hash
+//! space is split into `n` contiguous equal ranges — shard `i` owns
+//! hashes in `[i * 2^64/n, (i+1) * 2^64/n)`. The mapping is a pure
+//! function of the key bytes and the shard count: stable across runs,
+//! processes, and platforms, which is what makes same-seed benchmark
+//! reruns byte-identical and lets tests enumerate a shard's keys.
+//!
+//! Cross-shard reads: shards own *hash* ranges, so a key-ordered scan
+//! touches every shard; [`merge_scan_parts`] merges the per-shard sorted
+//! results back into one key-ordered list. Shards hold disjoint key
+//! sets, so the merge never sees duplicates.
+
+/// Fixed 64-bit FNV-1a with an avalanche finalizer. Not DoS-resistant —
+/// this is a benchmark harness, and stability across runs is worth more
+/// than keyed hashing. The finalizer (MurmurHash3's fmix64) matters:
+/// raw FNV disperses short, similar keys poorly in the *high* bits, and
+/// the range partition below consumes exactly those bits.
+pub fn stable_hash(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// Maps keys to one of `n` shards by contiguous hash range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`. Multiplicative range split: the hash is
+    /// scaled into `[0, shards)` without modulo bias.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        ((u128::from(stable_hash(key)) * self.shards as u128) >> 64) as usize
+    }
+
+    /// The half-open hash range `[start, end)` shard `i` owns; the last
+    /// shard's `end` is reported as `u64::MAX` inclusive via saturation.
+    pub fn range_of(&self, shard: usize) -> (u64, u64) {
+        let width = (1u128 << 64) / self.shards as u128;
+        let start = (width * shard as u128) as u64;
+        let end = if shard + 1 == self.shards {
+            u64::MAX
+        } else {
+            (width * (shard + 1) as u128) as u64
+        };
+        (start, end)
+    }
+
+    /// Splits `keys` into per-shard `(original_index, key)` groups so a
+    /// batched read can dispatch one sub-request per shard and write
+    /// results back into request order.
+    pub fn group_keys(&self, keys: &[Vec<u8>]) -> Vec<Vec<(usize, Vec<u8>)>> {
+        let mut groups: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); self.shards];
+        for (i, key) in keys.iter().enumerate() {
+            groups[self.shard_of(key)].push((i, key.clone()));
+        }
+        groups
+    }
+}
+
+/// Merges per-shard sorted scan results into one key-ordered list of at
+/// most `limit` entries. Inputs must each be sorted by key (which the
+/// engine guarantees); key sets are disjoint across shards, so equal
+/// keys never collide.
+pub fn merge_scan_parts(
+    mut parts: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+    limit: usize,
+) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut cursors = vec![0usize; parts.len()];
+    let mut out = Vec::new();
+    while out.len() < limit {
+        let mut best: Option<usize> = None;
+        for (i, part) in parts.iter().enumerate() {
+            let Some((key, _)) = part.get(cursors[i]) else {
+                continue;
+            };
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    if key < &parts[b][cursors[b]].0 {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        let Some(b) = best else { break };
+        let idx = cursors[b];
+        cursors[b] += 1;
+        out.push(std::mem::take(&mut parts[b][idx]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let router = ShardRouter::new(4);
+        for i in 0..2000u64 {
+            let key = format!("user{i:08}").into_bytes();
+            let s = router.shard_of(&key);
+            assert!(s < 4);
+            assert_eq!(s, router.shard_of(&key), "unstable routing for {i}");
+        }
+    }
+
+    #[test]
+    fn known_hashes_are_pinned() {
+        // Anchors the hash function: changing it silently would re-shard
+        // every deployed key space.
+        assert_eq!(stable_hash(b""), 0xefd0_1f60_ba99_2926);
+        assert_eq!(stable_hash(b"a"), 0x82a2_a958_a9be_ce5b);
+        assert_eq!(stable_hash(b"key"), 0xcf8c_7983_8f3b_3030);
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_agree_with_shard_of() {
+        for n in [1usize, 2, 3, 4, 7, 16] {
+            let router = ShardRouter::new(n);
+            // Ranges tile the hash space with no gaps.
+            let mut prev_end = 0u64;
+            for s in 0..n {
+                let (start, end) = router.range_of(s);
+                assert_eq!(start, prev_end, "gap before shard {s} of {n}");
+                assert!(end > start);
+                prev_end = end;
+            }
+            assert_eq!(prev_end, u64::MAX);
+            // shard_of agrees with the ranges.
+            for i in 0..500u64 {
+                let key = i.to_le_bytes().to_vec();
+                let h = stable_hash(&key);
+                let s = router.shard_of(&key);
+                let (start, end) = router.range_of(s);
+                assert!(
+                    h >= start && (h < end || (s + 1 == n && h <= end)),
+                    "hash {h:#x} outside shard {s} range [{start:#x},{end:#x})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_shards() {
+        let router = ShardRouter::new(8);
+        let mut counts = [0usize; 8];
+        for i in 0..8000u64 {
+            counts[router.shard_of(format!("k{i}").as_bytes())] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            // 1000 expected per shard; allow a generous band.
+            assert!((600..=1400).contains(&c), "shard {s} got {c} of 8000");
+        }
+    }
+
+    #[test]
+    fn group_keys_preserves_indices() {
+        let router = ShardRouter::new(4);
+        let keys: Vec<Vec<u8>> = (0..50u8).map(|i| vec![i, i ^ 7]).collect();
+        let groups = router.group_keys(&keys);
+        assert_eq!(groups.len(), 4);
+        let mut seen = vec![false; keys.len()];
+        for (shard, group) in groups.iter().enumerate() {
+            for (idx, key) in group {
+                assert_eq!(router.shard_of(key), shard);
+                assert_eq!(&keys[*idx], key);
+                assert!(!seen[*idx], "index {idx} appeared twice");
+                seen[*idx] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn merge_scan_parts_interleaves_and_truncates() {
+        let parts = vec![
+            vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"d".to_vec(), b"4".to_vec()),
+            ],
+            vec![
+                (b"b".to_vec(), b"2".to_vec()),
+                (b"e".to_vec(), b"5".to_vec()),
+            ],
+            vec![],
+            vec![(b"c".to_vec(), b"3".to_vec())],
+        ];
+        let merged = merge_scan_parts(parts.clone(), 10);
+        let keys: Vec<&[u8]> = merged.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"b", b"c", b"d", b"e"]);
+        assert!(merged.windows(2).all(|w| w[0].0 < w[1].0));
+        let truncated = merge_scan_parts(parts, 3);
+        assert_eq!(truncated.len(), 3);
+        assert_eq!(truncated[2].0, b"c".to_vec());
+    }
+
+    #[test]
+    fn single_shard_router_routes_everything_to_zero() {
+        let router = ShardRouter::new(1);
+        for i in 0..100u64 {
+            assert_eq!(router.shard_of(&i.to_le_bytes()), 0);
+        }
+        assert_eq!(router.range_of(0), (0, u64::MAX));
+    }
+}

@@ -1,0 +1,164 @@
+//! Model equivalence: an N-shard store behind `ShardRouter` must be
+//! observationally identical to one unsharded `LdcDb` oracle — same
+//! gets, same merged scans, same multi-get batches — for any operation
+//! sequence. Runs the routing/merging machinery directly (no TCP) so a
+//! failure localizes to the router, not the transport.
+
+use ldc_core::lsm::Options;
+use ldc_core::LdcDb;
+use ldc_server::{merge_scan_parts, ShardRouter};
+
+struct Sharded {
+    router: ShardRouter,
+    shards: Vec<LdcDb>,
+}
+
+impl Sharded {
+    fn new(n: usize) -> Self {
+        Self {
+            router: ShardRouter::new(n),
+            shards: LdcDb::builder()
+                .options(Options::small_for_tests())
+                .build_shards(n)
+                .unwrap(),
+        }
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.shards[self.router.shard_of(key)]
+            .put(key, value)
+            .unwrap();
+    }
+
+    fn delete(&self, key: &[u8]) {
+        self.shards[self.router.shard_of(key)].delete(key).unwrap();
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.shards[self.router.shard_of(key)].get(key).unwrap()
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let parts = self
+            .shards
+            .iter()
+            .map(|db| db.scan(start, limit).unwrap())
+            .collect();
+        merge_scan_parts(parts, limit)
+    }
+
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        let groups = self.router.group_keys(keys);
+        let mut out = vec![None; keys.len()];
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let refs: Vec<&[u8]> = group.iter().map(|(_, k)| k.as_slice()).collect();
+            let values = self.shards[shard].multi_get(&refs).unwrap();
+            for ((idx, _), value) in group.into_iter().zip(values) {
+                out[idx] = value;
+            }
+        }
+        out
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Drives the same deterministic mixed op sequence through a 5-shard
+/// routed store and a single-store oracle, cross-checking every read.
+#[test]
+fn sharded_store_matches_single_shard_oracle() {
+    const OPS: usize = 4000;
+    const KEY_SPACE: u64 = 400;
+    let sharded = Sharded::new(5);
+    let oracle = LdcDb::builder()
+        .options(Options::small_for_tests())
+        .build()
+        .unwrap();
+
+    let mut rng = 0x1dc_5eedu64;
+    let key = |i: u64| format!("mkey{:016x}", i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).into_bytes();
+    for step in 0..OPS {
+        let r = xorshift(&mut rng);
+        let k = key(r % KEY_SPACE);
+        match r % 100 {
+            // 45% puts.
+            0..=44 => {
+                let v = format!("v{step:06}-{}", "x".repeat((r % 48) as usize)).into_bytes();
+                sharded.put(&k, &v);
+                oracle.put(&k, &v).unwrap();
+            }
+            // 10% deletes.
+            45..=54 => {
+                sharded.delete(&k);
+                oracle.delete(&k).unwrap();
+            }
+            // 25% point reads.
+            55..=79 => {
+                assert_eq!(sharded.get(&k), oracle.get(&k).unwrap(), "get {step}");
+            }
+            // 10% scans from a random prefix point.
+            80..=89 => {
+                let limit = 1 + (r % 40) as usize;
+                let got = sharded.scan(&k, limit);
+                let want = oracle.scan(&k, limit).unwrap();
+                assert_eq!(got, want, "scan at step {step}");
+                assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+            }
+            // 10% multi-gets over a random key batch.
+            _ => {
+                let batch: Vec<Vec<u8>> = (0..(1 + r % 12))
+                    .map(|j| key((r / 7 + j * 31) % KEY_SPACE))
+                    .collect();
+                let got = sharded.multi_get(&batch);
+                let want: Vec<Option<Vec<u8>>> =
+                    batch.iter().map(|k| oracle.get(k).unwrap()).collect();
+                assert_eq!(got, want, "multi_get at step {step}");
+            }
+        }
+    }
+
+    // Full final sweep: every key and the complete merged scan agree.
+    for i in 0..KEY_SPACE {
+        let k = key(i);
+        assert_eq!(sharded.get(&k), oracle.get(&k).unwrap());
+    }
+    let full_sharded = sharded.scan(b"", usize::MAX / 2);
+    let full_oracle = oracle.scan(b"", usize::MAX / 2).unwrap();
+    assert_eq!(full_sharded, full_oracle);
+    assert!(!full_sharded.is_empty());
+}
+
+/// Shard count must not change observable contents: the same writes
+/// through 1, 2, and 7 shards yield identical merged scans.
+#[test]
+fn shard_count_is_transparent() {
+    let configs = [1usize, 2, 7];
+    let stores: Vec<Sharded> = configs.iter().map(|&n| Sharded::new(n)).collect();
+    for i in 0..300u64 {
+        let k = format!("t{:012x}", i.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)).into_bytes();
+        let v = format!("val{i}").into_bytes();
+        for s in &stores {
+            s.put(&k, &v);
+        }
+        if i % 3 == 0 {
+            for s in &stores {
+                s.delete(&k);
+            }
+        }
+    }
+    let base = stores[0].scan(b"", 1000);
+    assert_eq!(base.len(), 200);
+    for s in &stores[1..] {
+        assert_eq!(s.scan(b"", 1000), base);
+    }
+}

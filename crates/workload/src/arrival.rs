@@ -1,0 +1,136 @@
+//! Deterministic open-loop arrival schedules.
+//!
+//! Closed-loop benchmarks (issue the next request when the previous one
+//! completes) hide queueing: a slow store simply gets offered less load.
+//! Open-loop benchmarks decide *in advance* when every request arrives —
+//! the schedule does not care whether the store is ready — which is how
+//! flash-friendly backpressure and admission control are actually
+//! evaluated ("How to Write to SSDs", VLDB 2026). This module generates
+//! those schedules deterministically: same parameters + same seed ⇒ the
+//! same nanosecond offsets, so an over-the-wire run is replayable.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How inter-arrival gaps are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Uniform spacing: every gap is exactly `1/rate`.
+    Fixed,
+    /// Poisson arrivals: exponential gaps with mean `1/rate`, drawn from a
+    /// seeded RNG (deterministic per seed).
+    Poisson {
+        /// RNG seed for the exponential draws.
+        seed: u64,
+    },
+}
+
+/// A deterministic open-loop arrival schedule: `ops` send times (in
+/// nanoseconds from the start of the run) at a target `rate_per_sec`.
+#[derive(Debug, Clone)]
+pub struct ArrivalSchedule {
+    rate_per_sec: f64,
+    ops: u64,
+    process: ArrivalProcess,
+}
+
+impl ArrivalSchedule {
+    /// Fixed-rate schedule: op `i` arrives at `i / rate` seconds.
+    pub fn fixed(rate_per_sec: f64, ops: u64) -> Self {
+        Self {
+            rate_per_sec: rate_per_sec.max(1e-9),
+            ops,
+            process: ArrivalProcess::Fixed,
+        }
+    }
+
+    /// Poisson schedule with mean rate `rate_per_sec`, seeded.
+    pub fn poisson(rate_per_sec: f64, ops: u64, seed: u64) -> Self {
+        Self {
+            rate_per_sec: rate_per_sec.max(1e-9),
+            ops,
+            process: ArrivalProcess::Poisson { seed },
+        }
+    }
+
+    /// Target arrival rate (requests per second).
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Number of scheduled arrivals.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The schedule: monotone nondecreasing nanosecond offsets from the
+    /// run start, one per op. Deterministic for fixed parameters.
+    pub fn offsets_ns(&self) -> Vec<u64> {
+        let mean_gap_ns = 1e9 / self.rate_per_sec;
+        let mut out = Vec::with_capacity(self.ops as usize);
+        match self.process {
+            ArrivalProcess::Fixed => {
+                for i in 0..self.ops {
+                    out.push((i as f64 * mean_gap_ns) as u64);
+                }
+            }
+            ArrivalProcess::Poisson { seed } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut t = 0.0f64;
+                for _ in 0..self.ops {
+                    out.push(t as u64);
+                    // Inverse-CDF exponential; clamp U away from 0 so the
+                    // gap is finite.
+                    let u: f64 = rng.gen::<f64>().max(1e-12);
+                    t += -u.ln() * mean_gap_ns;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_schedule_is_uniformly_spaced() {
+        let s = ArrivalSchedule::fixed(1000.0, 5);
+        assert_eq!(
+            s.offsets_ns(),
+            vec![0, 1_000_000, 2_000_000, 3_000_000, 4_000_000]
+        );
+    }
+
+    #[test]
+    fn poisson_schedule_is_deterministic_and_monotone() {
+        let a = ArrivalSchedule::poisson(500.0, 1000, 42).offsets_ns();
+        let b = ArrivalSchedule::poisson(500.0, 1000, 42).offsets_ns();
+        assert_eq!(a, b);
+        assert!(
+            a.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        let c = ArrivalSchedule::poisson(500.0, 1000, 43).offsets_ns();
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn poisson_mean_gap_approximates_rate() {
+        let rate = 10_000.0;
+        let offs = ArrivalSchedule::poisson(rate, 20_000, 7).offsets_ns();
+        let span_ns = *offs.last().unwrap() as f64;
+        let mean_gap = span_ns / (offs.len() - 1) as f64;
+        let expect = 1e9 / rate;
+        assert!(
+            (mean_gap - expect).abs() / expect < 0.05,
+            "mean gap {mean_gap} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn zero_ops_is_empty() {
+        assert!(ArrivalSchedule::fixed(100.0, 0).offsets_ns().is_empty());
+    }
+}

@@ -10,6 +10,8 @@
 //!   latest, and hotspot key choosers;
 //! * [`KeyCodec`] — scrambled 16-byte keys and sized values;
 //! * [`WorkloadSpec`] — the paper's workload mixes as data;
+//! * [`ArrivalSchedule`] — deterministic open-loop arrival schedules
+//!   (fixed-rate and seeded-Poisson) for driven-load benches;
 //! * [`Histogram`] — log-linear latency histogram (P90–P99.99 for Fig 8),
 //!   the workspace-wide implementation re-exported from `ldc-obs`;
 //! * [`run_workload`] — drives any [`KvInterface`] store and reports
@@ -18,12 +20,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod arrival;
 mod distribution;
 mod histogram;
 mod keys;
 mod runner;
 mod spec;
 
+pub use arrival::{ArrivalProcess, ArrivalSchedule};
 pub use distribution::{Distribution, Sampler};
 pub use histogram::Histogram;
 pub use keys::KeyCodec;

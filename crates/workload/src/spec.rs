@@ -29,6 +29,11 @@ pub struct WorkloadSpec {
     pub key_space: u64,
     /// Keys inserted (unmeasured) before the run so reads can hit.
     pub preload: u64,
+    /// Fraction of operations that are read-modify-writes (YCSB F). An
+    /// RMW reads the key, then writes back an updated value; drivers that
+    /// cannot express RMW may treat these as writes. Disjoint from
+    /// `write_ratio`: op classes are drawn as write / rmw / read.
+    pub rmw_ratio: f64,
     /// Key-choice distribution for reads and overwrites.
     pub distribution: Distribution,
     /// Key/value shape.
@@ -52,6 +57,7 @@ impl WorkloadSpec {
             // Workloads with reads need data in place; write-only starts
             // cold like the paper's insertion benchmarks.
             preload: if write_ratio >= 1.0 { 0 } else { key_space },
+            rmw_ratio: 0.0,
             distribution: Distribution::Uniform,
             codec: KeyCodec::paper_default(),
             seed: 0x5eed,
@@ -127,6 +133,26 @@ impl WorkloadSpec {
             .with_distribution(Distribution::Zipfian { theta: 0.99 });
         spec.scan_length = 50;
         spec
+    }
+
+    /// YCSB core workload F: 50% reads / 50% read-modify-writes, zipfian.
+    pub fn ycsb_f(ops: u64) -> Self {
+        let mut spec = Self::base("YCSB-F", ops, 0.0, ReadKind::Point)
+            .with_distribution(Distribution::Zipfian { theta: 0.99 });
+        spec.rmw_ratio = 0.5;
+        spec
+    }
+
+    /// The six YCSB core workloads A–F at `ops` operations each.
+    pub fn ycsb_all(ops: u64) -> Vec<WorkloadSpec> {
+        vec![
+            Self::ycsb_a(ops),
+            Self::ycsb_b(ops),
+            Self::ycsb_c(ops),
+            Self::ycsb_d(ops),
+            Self::ycsb_e(ops),
+            Self::ycsb_f(ops),
+        ]
     }
 
     /// All eight workloads of Table III at `ops` operations each.
@@ -224,6 +250,16 @@ mod tests {
         let e = WorkloadSpec::ycsb_e(1000);
         assert_eq!(e.read_kind, ReadKind::Range);
         assert_eq!(e.scan_length, 50);
+        let f = WorkloadSpec::ycsb_f(1000);
+        assert_eq!(f.rmw_ratio, 0.5);
+        assert_eq!(f.write_ratio, 0.0);
+        assert!(f.preload > 0);
+        assert!(matches!(f.distribution, Distribution::Zipfian { .. }));
+        let all = WorkloadSpec::ycsb_all(1000);
+        assert_eq!(
+            all.iter().map(|w| w.name.as_str()).collect::<Vec<_>>(),
+            vec!["YCSB-A", "YCSB-B", "YCSB-C", "YCSB-D", "YCSB-E", "YCSB-F"]
+        );
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   baseline compaction policy;
 //! * [`core`] — the LDC mechanism itself (link & merge, slice links,
 //!   adaptive threshold) and the high-level [`LdcDb`] store;
-//! * [`workload`] — YCSB-style workload generation and measurement.
+//! * [`workload`] — YCSB-style workload generation and measurement;
+//!
+//! plus the network tier (DESIGN.md §13): [`client`] (wire protocol and
+//! TCP clients) and [`server`] (multi-shard hosting with admission
+//! control).
 //!
 //! ```
 //! use ldc::LdcDb;
@@ -24,9 +28,11 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! binaries that regenerate every table and figure of the paper.
 
+pub use ldc_client as client;
 pub use ldc_core as core;
 pub use ldc_lsm as lsm;
 pub use ldc_obs as obs;
+pub use ldc_server as server;
 pub use ldc_ssd as ssd;
 pub use ldc_workload as workload;
 
