@@ -1,0 +1,391 @@
+//! Workspace symbol table and approximate call graph over the
+//! [`parse`](crate::parse) item index.
+//!
+//! Resolution is deliberately conservative — a call edge exists only when
+//! the target is unambiguous:
+//!
+//! * `helper(..)` (bare): resolved against free functions, preferring the
+//!   same file, then the same crate, then a workspace-unique name.
+//! * `self.m(..)`: resolved against the enclosing impl type's methods.
+//! * `Type::m(..)` / `Self::m(..)`: resolved by qualifier.
+//! * `recv.m(..)` (non-self method): resolved only when exactly one
+//!   function named `m` exists in the whole workspace — otherwise the
+//!   receiver's type is unknown and guessing would fabricate edges.
+//!
+//! Unresolvable calls (std, shims, ambiguous names) simply produce no
+//! edge; the taint and lock rules treat missing edges as "no flow", which
+//! keeps them quiet rather than noisy.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::SourceView;
+use crate::parse::{FileIndex, FnItem};
+
+/// Index of one function: `(file index, fn index within file)`.
+pub type FnId = (usize, usize);
+
+/// How a call site names its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper(..)`
+    Bare,
+    /// `self.m(..)`
+    SelfMethod,
+    /// `recv.m(..)` where `recv` is not literally `self`
+    Method,
+    /// `Type::m(..)` (the qualifier is recorded)
+    Path,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Called name (last path segment).
+    pub name: String,
+    /// Qualifier for [`CallKind::Path`] calls (`Type` in `Type::m(..)`).
+    pub qual: Option<String>,
+    pub kind: CallKind,
+    /// Byte offset of the name in `view.code`.
+    pub pos: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// The whole parsed workspace: files, functions, and call sites.
+pub struct Workspace {
+    /// Per-file item indexes, aligned with the `files` slice handed to
+    /// [`Workspace::build`].
+    pub files: Vec<FileIndex>,
+    /// Call sites per function, aligned with `files[i].fns[j]`.
+    pub calls: Vec<Vec<Vec<Call>>>,
+    /// name → every function with that name.
+    by_name: BTreeMap<String, Vec<FnId>>,
+}
+
+impl Workspace {
+    /// Parses every file and extracts call sites.
+    pub fn build(files: &[(String, SourceView)]) -> Workspace {
+        let parsed: Vec<FileIndex> = files
+            .iter()
+            .map(|(path, view)| crate::parse::parse_file(path, view))
+            .collect();
+        let mut by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        for (fi, file) in parsed.iter().enumerate() {
+            for (ji, f) in file.fns.iter().enumerate() {
+                by_name.entry(f.name.clone()).or_default().push((fi, ji));
+            }
+        }
+        let calls = parsed
+            .iter()
+            .enumerate()
+            .map(|(fi, file)| {
+                file.fns
+                    .iter()
+                    .map(|f| match f.body {
+                        Some((open, close)) => extract_calls(&files[fi].1, open, close),
+                        None => Vec::new(),
+                    })
+                    .collect()
+            })
+            .collect();
+        Workspace {
+            files: parsed,
+            calls,
+            by_name,
+        }
+    }
+
+    /// The function item for an id.
+    pub fn item(&self, id: FnId) -> &FnItem {
+        &self.files[id.0].fns[id.1]
+    }
+
+    /// The file path for an id.
+    pub fn path(&self, id: FnId) -> &str {
+        &self.files[id.0].path
+    }
+
+    /// Every function with the given bare name.
+    pub fn named(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Looks a function up by file-path suffix, qualifier, and name.
+    pub fn find(&self, path_suffix: &str, qual: Option<&str>, name: &str) -> Option<FnId> {
+        self.named(name).iter().copied().find(|&id| {
+            self.path(id).ends_with(path_suffix) && self.item(id).qual.as_deref() == qual
+        })
+    }
+
+    /// Resolves one call site made from inside `caller`. `None` when the
+    /// target is outside the workspace or ambiguous.
+    pub fn resolve(&self, caller: FnId, call: &Call) -> Option<FnId> {
+        let caller_item = self.item(caller);
+        let candidates = self.named(&call.name);
+        match call.kind {
+            CallKind::SelfMethod => {
+                let qual = caller_item.qual.as_deref()?;
+                candidates
+                    .iter()
+                    .copied()
+                    .find(|&id| self.item(id).qual.as_deref() == Some(qual))
+            }
+            CallKind::Path => {
+                let mut qual = call.qual.as_deref()?;
+                if qual == "Self" {
+                    qual = caller_item.qual.as_deref()?;
+                }
+                candidates
+                    .iter()
+                    .copied()
+                    .find(|&id| self.item(id).qual.as_deref() == Some(qual))
+            }
+            CallKind::Bare => {
+                let free: Vec<FnId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.item(id).qual.is_none())
+                    .collect();
+                // Same file, then same crate, then workspace-unique.
+                let same_file: Vec<FnId> = free
+                    .iter()
+                    .copied()
+                    .filter(|&id| id.0 == caller.0)
+                    .collect();
+                if let [one] = same_file[..] {
+                    return Some(one);
+                }
+                let same_crate: Vec<FnId> = free
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.files[id.0].crate_name == self.files[caller.0].crate_name)
+                    .collect();
+                if let [one] = same_crate[..] {
+                    return Some(one);
+                }
+                match free[..] {
+                    [one] => Some(one),
+                    _ => None,
+                }
+            }
+            CallKind::Method => match candidates {
+                [one] => Some(*one),
+                _ => None,
+            },
+        }
+    }
+
+    /// Resolved callees of a function, in call-site order.
+    pub fn callees(&self, id: FnId) -> Vec<FnId> {
+        self.calls[id.0][id.1]
+            .iter()
+            .filter_map(|c| self.resolve(id, c))
+            .collect()
+    }
+
+    /// Transitive resolved-callee closure, excluding `id` itself unless
+    /// it is reachable through recursion.
+    pub fn transitive_callees(&self, id: FnId) -> BTreeSet<FnId> {
+        let mut acc = BTreeSet::new();
+        let mut stack = self.callees(id);
+        while let Some(next) = stack.pop() {
+            if acc.insert(next) {
+                stack.extend(self.callees(next));
+            }
+        }
+        acc
+    }
+
+    /// All function ids, file order then item order.
+    pub fn all_fns(&self) -> impl Iterator<Item = FnId> + '_ {
+        self.files
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, f)| (0..f.fns.len()).map(move |ji| (fi, ji)))
+    }
+}
+
+/// Extracts call sites from `view.code[open..=close]` (a fn body).
+fn extract_calls(view: &SourceView, open: usize, close: usize) -> Vec<Call> {
+    let code = &view.code;
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = open;
+    let end = close.min(bytes.len());
+    while i < end {
+        let b = bytes[i];
+        if !(b.is_ascii_alphabetic() || b == b'_') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < end && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        let word = &code[start..i];
+        let mut k = i;
+        while bytes.get(k).is_some_and(|b| b.is_ascii_whitespace()) {
+            k += 1;
+        }
+        // `name!(` is a macro, `name::(`/turbofish handled below; only
+        // plain `name(` counts, and keywords never do.
+        if bytes.get(k) != Some(&b'(')
+            || matches!(
+                word,
+                "if" | "while" | "match" | "for" | "fn" | "return" | "loop" | "move" | "in"
+            )
+        {
+            continue;
+        }
+        let before = code[..start].trim_end();
+        if before.ends_with("fn") || before.ends_with('!') {
+            continue; // definition or macro tail
+        }
+        let (kind, qual) = if let Some(stripped) = before.strip_suffix("::") {
+            (CallKind::Path, Some(last_ident(stripped)))
+        } else if before.ends_with("self.") {
+            (CallKind::SelfMethod, None)
+        } else if before.ends_with('.') {
+            (CallKind::Method, None)
+        } else {
+            (CallKind::Bare, None)
+        };
+        let qual = match qual {
+            Some(q) if q.is_empty() => continue, // `<T as X>::call` — skip
+            other => other,
+        };
+        out.push(Call {
+            name: word.to_string(),
+            qual,
+            kind,
+            pos: start,
+            line: view.line_of(start),
+        });
+    }
+    out
+}
+
+/// Trailing identifier of a path prefix (`a::b::Type` → `Type`), stripping
+/// one generics suffix (`Vec<u8>` → `Vec`).
+fn last_ident(prefix: &str) -> String {
+    let prefix = prefix.trim_end();
+    let prefix = prefix.strip_suffix('>').map_or(prefix, |p| {
+        // Walk back over one balanced generics group.
+        let bytes = p.as_bytes();
+        let mut depth = 1i64;
+        let mut i = bytes.len();
+        while i > 0 && depth > 0 {
+            i -= 1;
+            match bytes[i] {
+                b'>' => depth += 1,
+                b'<' => depth -= 1,
+                _ => {}
+            }
+        }
+        &p[..i]
+    });
+    prefix
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> (Workspace, Vec<(String, SourceView)>) {
+        let files: Vec<(String, SourceView)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), SourceView::new(s)))
+            .collect();
+        (Workspace::build(&files), files)
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file_then_crate() {
+        let (w, _) = ws(&[
+            (
+                "crates/lsm/src/a.rs",
+                "fn caller() { helper(); }\nfn helper() {}\n",
+            ),
+            ("crates/ssd/src/b.rs", "fn helper() {}\n"),
+        ]);
+        let caller = w.find("a.rs", None, "caller").unwrap();
+        let callees = w.callees(caller);
+        assert_eq!(callees, vec![w.find("a.rs", None, "helper").unwrap()]);
+    }
+
+    #[test]
+    fn self_and_path_calls_resolve_by_impl_type() {
+        let (w, _) = ws(&[(
+            "crates/lsm/src/a.rs",
+            "struct A; struct B;\n\
+             impl A {\n  fn go(&self) { self.step(); B::jump(); }\n  fn step(&self) {}\n}\n\
+             impl B {\n  fn jump() {}\n  fn step(&self) {}\n}\n",
+        )]);
+        let go = w.find("a.rs", Some("A"), "go").unwrap();
+        let callees = w.callees(go);
+        assert!(callees.contains(&w.find("a.rs", Some("A"), "step").unwrap()));
+        assert!(callees.contains(&w.find("a.rs", Some("B"), "jump").unwrap()));
+        assert!(!callees.contains(&w.find("a.rs", Some("B"), "step").unwrap()));
+    }
+
+    #[test]
+    fn ambiguous_method_calls_do_not_resolve() {
+        let (w, _) = ws(&[(
+            "crates/lsm/src/a.rs",
+            "struct A; struct B;\n\
+             impl A { fn poke(&self) {} }\n\
+             impl B { fn poke(&self) {} }\n\
+             fn caller(x: &A) { x.poke(); }\n",
+        )]);
+        let caller = w.find("a.rs", None, "caller").unwrap();
+        assert!(w.callees(caller).is_empty());
+    }
+
+    #[test]
+    fn unique_method_calls_resolve_workspace_wide() {
+        let (w, _) = ws(&[
+            (
+                "crates/lsm/src/a.rs",
+                "fn caller(x: &W) { x.only_one_of_these(); }\n",
+            ),
+            (
+                "crates/ssd/src/b.rs",
+                "struct W; impl W { fn only_one_of_these(&self) {} }\n",
+            ),
+        ]);
+        let caller = w.find("a.rs", None, "caller").unwrap();
+        assert_eq!(
+            w.callees(caller),
+            vec![w.find("b.rs", Some("W"), "only_one_of_these").unwrap()]
+        );
+    }
+
+    #[test]
+    fn transitive_closure_follows_chains_and_recursion() {
+        let (w, _) = ws(&[(
+            "crates/lsm/src/a.rs",
+            "fn a() { b(); }\nfn b() { c(); b(); }\nfn c() {}\n",
+        )]);
+        let a = w.find("a.rs", None, "a").unwrap();
+        let closure = w.transitive_callees(a);
+        assert_eq!(closure.len(), 2);
+        assert!(closure.contains(&w.find("a.rs", None, "c").unwrap()));
+    }
+
+    #[test]
+    fn macros_are_not_calls() {
+        let (w, _) = ws(&[(
+            "crates/lsm/src/a.rs",
+            "fn caller() { println!(\"x\"); write(); }\nfn write() {}\n",
+        )]);
+        let caller = w.find("a.rs", None, "caller").unwrap();
+        assert_eq!(w.callees(caller).len(), 1);
+    }
+}

@@ -28,6 +28,10 @@ pub struct SourceView {
     /// Same length as the original source; comment and literal contents
     /// replaced by spaces.
     pub code: String,
+    /// The original, unblanked source. Rules that need the *contents* of
+    /// a literal (e.g. the lock-id string at a `Mutex::new("…", …)` call
+    /// found via `code` offsets) read it from here; offsets are shared.
+    pub raw: String,
     /// Byte offset of the start of each line (index 0 = line 1).
     line_starts: Vec<usize>,
     /// `true` for lines inside test-only regions (0-indexed).
@@ -124,6 +128,7 @@ impl SourceView {
         let test_lines = mark_test_regions(&code, line_starts.len());
         SourceView {
             code,
+            raw: src.to_string(),
             line_starts,
             test_lines,
             suppressions,
@@ -256,19 +261,28 @@ fn scan_prefixed_string(bytes: &[u8], start: usize) -> usize {
 fn scan_char_literal(bytes: &[u8], start: usize) -> Option<usize> {
     let next = *bytes.get(start + 1)?;
     if next == b'\\' {
-        // Escaped char: scan to the closing quote.
-        let mut i = start + 2;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'\\' => i += 2,
-                b'\'' => return Some(i + 1),
-                _ => i += 1,
+        // `'\x'`: the backslash escapes exactly the one char after it
+        // (`\u{…}` sequences contain no quotes), so skip the quote, the
+        // backslash, and the escaped char, then run to the closing quote.
+        // Crucially `'\\'` must not treat its *second* backslash as a new
+        // escape — that used to swallow the closing quote and blank real
+        // code until the next stray `'`. A literal never spans a line, so
+        // an unmatched quote before the newline is not a literal.
+        let mut i = start + 3;
+        while i < bytes.len() && bytes[i] != b'\n' {
+            if bytes[i] == b'\'' {
+                return Some(i + 1);
             }
+            i += 1;
         }
-        return Some(bytes.len());
+        return None;
     }
     // `'x'` is a literal; `'a` (no closing quote right after one char) is a
-    // lifetime. Multi-byte UTF-8 chars: find the quote within 5 bytes.
+    // lifetime. Multi-byte UTF-8 chars: find the quote within 5 bytes —
+    // but any *ASCII* byte after the first position means this is a
+    // lifetime (a one-ASCII-char literal closes at offset 1), which keeps
+    // consecutive lifetimes like `<'a, 'b>` from being eaten as one
+    // literal (`'a, '` — the old desync).
     for (off, &b) in bytes[start + 1..].iter().take(5).enumerate() {
         if b == b'\'' {
             return if off == 0 {
@@ -278,8 +292,14 @@ fn scan_char_literal(bytes: &[u8], start: usize) -> Option<usize> {
             };
         }
         if off == 0 && !(is_ident_char(b) || b >= 0x80) {
-            // e.g. `'(` cannot start a lifetime; treat as stray quote.
-            return None;
+            // `'}` cannot start a lifetime: it is a punctuation char
+            // literal if (and only if) it closes immediately (`'}'`) —
+            // otherwise a stray quote. Either way brace-significant
+            // punctuation must not leak into blanked code.
+            return (bytes.get(start + 2) == Some(&b'\'')).then_some(start + 3);
+        }
+        if off > 0 && b < 0x80 {
+            return None; // lifetime followed by ASCII punctuation
         }
     }
     None
@@ -444,6 +464,53 @@ mod tests {
         assert!(v.is_suppressed(3, "panic_safety"));
         // Reason-less suppression is inert.
         assert!(!v.is_suppressed(5, "lock_order"));
+    }
+
+    #[test]
+    fn consecutive_lifetimes_are_not_a_char_literal() {
+        let v = SourceView::new("fn f<'a, 'b>(x: &'a str, y: &'b [u8]) -> Instant {}");
+        assert!(v.code.contains("<'a, 'b>"));
+        assert!(v.code.contains("Instant"));
+    }
+
+    #[test]
+    fn escaped_backslash_char_literal_does_not_desync() {
+        // `'\\'` used to swallow its own closing quote, blanking real
+        // code (including allow-comments) until the next stray quote.
+        let src =
+            "let c = '\\\\';\nlet t = Instant::now(); // ldc-lint: allow(determinism) — why\n";
+        let v = SourceView::new(src);
+        assert!(v.code.contains("Instant::now"));
+        assert!(v.is_suppressed(2, "determinism"));
+    }
+
+    #[test]
+    fn raw_string_hash_runs_and_quotes_inside_do_not_desync() {
+        let src = "let a = r##\"one \"# two\"##; let t = Instant::now(); // ldc-lint: allow(determinism) — why";
+        let v = SourceView::new(src);
+        assert!(!v.code.contains("one"));
+        assert!(!v.code.contains("two"));
+        assert!(v.code.contains("Instant::now"));
+        assert!(v.is_suppressed(1, "determinism"));
+    }
+
+    #[test]
+    fn nested_block_comments_keep_line_numbers_aligned() {
+        let src = "/* outer /* inner */ still comment */\nlet t = Instant::now();\n// ldc-lint: allow(determinism) — why\nlet u = SystemTime::now();\n";
+        let v = SourceView::new(src);
+        assert!(v.code.contains("Instant::now"));
+        let at = v.code.find("Instant").unwrap();
+        assert_eq!(v.line_of(at), 2);
+        assert!(v.is_suppressed(4, "determinism"));
+    }
+
+    #[test]
+    fn raw_source_is_retained_with_shared_offsets() {
+        let src = "let m = Mutex::new(\"lsm/db::core\", 7);";
+        let v = SourceView::new(src);
+        assert!(!v.code.contains("lsm/db::core"));
+        let open = v.code.find('(').unwrap();
+        assert_eq!(&v.raw[open + 1..open + 15], "\"lsm/db::core\"");
     }
 
     #[test]

@@ -1,14 +1,22 @@
 //! `ldc-lint` — dependency-free static analysis for the LDC workspace.
 //!
-//! Four rule families guard the invariants the paper reproduction depends
+//! Six rule families guard the invariants the paper reproduction depends
 //! on (see `crates/lint/src/rules/`):
 //!
-//! | rule id        | invariant                                              |
-//! |----------------|--------------------------------------------------------|
-//! | `determinism`  | no wall-clock / entropy / hash-order in simulated code |
-//! | `panic_safety` | production I/O paths return `Result`, ratcheted debt   |
-//! | `lock_order`   | lock acquisitions follow the DESIGN.md hierarchy       |
-//! | `layering`     | crate deps respect obs <- ssd <- lsm <- core <- tools  |
+//! | rule id             | invariant                                               |
+//! |---------------------|---------------------------------------------------------|
+//! | `determinism`       | no wall-clock / entropy / hash-order in simulated code  |
+//! | `determinism_taint` | host-derived values never flow into deterministic sinks |
+//! | `panic_safety`      | production I/O paths return `Result`, ratcheted debt    |
+//! | `lock_order`        | acquisitions follow `crates/lint/lock_order.toml` ranks |
+//! | `must_use_result`   | storage-tier `Result`s are never silently discarded     |
+//! | `layering`          | crate deps respect obs <- ssd <- lsm <- core <- tools   |
+//!
+//! `determinism_taint`, `must_use_result`, and `lock_order` run over a
+//! workspace-wide symbol table and approximate call graph
+//! ([`parse`]/[`graph`]); the rest are per-file token passes. The lock
+//! table is shared with the runtime sanitizer (`ldc_obs::lockcheck`), so
+//! the static hierarchy and the dynamic witness ranks cannot drift.
 //!
 //! Run as a binary (`cargo run -p ldc-lint -- --workspace`) or through the
 //! root `tests/lint_gate.rs` integration test that gates `cargo test`.
@@ -20,7 +28,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 pub mod diag;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 pub use diag::{Diagnostic, Severity};
@@ -126,9 +136,22 @@ pub fn lint_workspace(root: &Path, update_baseline: bool) -> Result<Report, Stri
         None
     };
 
-    // 5. lock order (needs DESIGN.md).
-    let design = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
-    diagnostics.extend(rules::lock_order::check(&files, &design));
+    // 5. lock order (needs the shared lock table).
+    match fs::read_to_string(root.join(rules::lock_order::TABLE_PATH)) {
+        Ok(table) => diagnostics.extend(rules::lock_order::check(&files, &table)),
+        Err(e) => diagnostics.push(Diagnostic::error(
+            rules::lock_order::TABLE_PATH,
+            0,
+            rules::lock_order::RULE,
+            format!("cannot read the lock table: {e}"),
+            "restore crates/lint/lock_order.toml — the runtime sanitizer embeds it too",
+        )),
+    }
+
+    // 6. workspace-graph rules: determinism taint + must-use.
+    let ws = graph::Workspace::build(&files);
+    diagnostics.extend(rules::taint::check(&ws, &files));
+    diagnostics.extend(rules::must_use::check(&ws, &files));
 
     diagnostics
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));

@@ -43,7 +43,9 @@ pub fn allowed_deps() -> BTreeMap<&'static str, &'static [&'static str]> {
             "obs", "ssd", "lsm", "core", "chaos", "workload", "client", "server",
         ],
     );
-    m.insert("lint", &[]);
+    // The lint crate reads the lock table through the runtime sanitizer's
+    // parser (`ldc_obs::lockcheck`), so the two can never disagree.
+    m.insert("lint", &["obs"]);
     m
 }
 

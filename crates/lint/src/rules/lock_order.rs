@@ -1,11 +1,16 @@
-//! Rule `lock_order`: lock acquisitions must follow the order declared in
-//! `DESIGN.md`, and the may-hold-while-acquiring graph must be acyclic.
+//! Rule `lock_order`: lock acquisitions must follow the ranks declared in
+//! `crates/lint/lock_order.toml`, and the may-hold-while-acquiring graph
+//! must be acyclic.
+//!
+//! The same table drives the *runtime* sanitizer
+//! (`ldc_obs::lockcheck`) — this rule shares its parser, so the static
+//! and dynamic checkers can never drift apart.
 //!
 //! The analysis is lexical but liveness-aware:
 //!
 //! 1. **Lock discovery** — every `Mutex<...>`/`RwLock<...>` field declared
 //!    in the scoped files becomes a lock named `<crate>/<file-stem>::<field>`
-//!    (e.g. `lsm/db::tables`).
+//!    (e.g. `lsm/db::core`).
 //! 2. **Acquisition sites** — `.lock()`, `.read()`, `.write()` calls whose
 //!    receiver's last path segment names a known lock field. A guard bound
 //!    with `let` lives until its enclosing block closes or it is `drop`ped;
@@ -13,27 +18,25 @@
 //! 3. **May-hold-while-acquiring edges** — lock B acquired (directly, or
 //!    transitively through a call to another scoped function) while a guard
 //!    on lock A is live adds edge A → B.
-//! 4. **Checking** — every discovered lock must appear in the declared
-//!    order; every edge must point forward in it (a self-edge is a
-//!    re-entrant acquisition: `parking_lot` locks are not re-entrant); and
-//!    the edge graph must be acyclic even where declarations are missing.
-//!
-//! The declared order lives in DESIGN.md inside an HTML comment block:
-//!
-//! ```text
-//! <!-- ldc-lint: lock-order
-//! lsm/db::tables
-//! ...
-//! -->
-//! ```
+//! 4. **Checking** — every discovered lock must appear in the table; every
+//!    edge must climb strictly in rank (a self-edge on a non-sharded lock
+//!    is a re-entrant acquisition; sharded locks may nest across
+//!    *instances*, which only the runtime checker can tell apart); the
+//!    edge graph must be acyclic even where declarations are missing; and
+//!    every `lockcheck::Mutex::new("<id>", ..)` constructor must name an
+//!    id from the table that matches the file it lives in.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::diag::Diagnostic;
 use crate::lexer::{match_brace, SourceView};
+use ldc_obs::lockcheck::{parse_lock_table, LockDef};
 
 /// Stable rule id.
 pub const RULE: &str = "lock_order";
+
+/// Workspace-relative path of the shared lock table.
+pub const TABLE_PATH: &str = "crates/lint/lock_order.toml";
 
 /// Files whose locks participate in the ordered hierarchy.
 pub const SCOPED_FILES: &[&str] = &[
@@ -44,28 +47,12 @@ pub const SCOPED_FILES: &[&str] = &[
     "crates/obs/src/sink.rs",
     "crates/obs/src/metrics.rs",
     "crates/obs/src/trace.rs",
+    "crates/server/src/server.rs",
 ];
 
 /// Is `path` (workspace-relative) in this rule's scope?
 pub fn in_scope(path: &str) -> bool {
     SCOPED_FILES.contains(&path)
-}
-
-/// Extracts the declared order from DESIGN.md: the lines between
-/// `<!-- ldc-lint: lock-order` and `-->`.
-pub fn parse_declared_order(design: &str) -> Option<Vec<String>> {
-    let start = design.find("<!-- ldc-lint: lock-order")?;
-    let body = &design[start..];
-    let end = body.find("-->")?;
-    Some(
-        body[..end]
-            .lines()
-            .skip(1)
-            .map(|l| l.trim())
-            .filter(|l| !l.is_empty())
-            .map(|l| l.to_string())
-            .collect(),
-    )
 }
 
 /// `crates/lsm/src/db.rs` → `lsm/db`.
@@ -113,8 +100,9 @@ pub struct Edge {
     pub line: usize,
 }
 
-/// Runs the rule over `(path, view)` pairs plus the DESIGN.md text.
-pub fn check(files: &[(String, SourceView)], design: &str) -> Vec<Diagnostic> {
+/// Runs the rule over `(path, view)` pairs plus the text of
+/// [`TABLE_PATH`] (the same TOML the runtime sanitizer embeds).
+pub fn check(files: &[(String, SourceView)], table_text: &str) -> Vec<Diagnostic> {
     let scoped: Vec<&(String, SourceView)> = files.iter().filter(|(p, _)| in_scope(p)).collect();
     let mut out = Vec::new();
 
@@ -129,24 +117,25 @@ pub fn check(files: &[(String, SourceView)], design: &str) -> Vec<Diagnostic> {
         }
     }
 
-    // 2. Declared order.
-    let declared = match parse_declared_order(design) {
-        Some(d) => d,
-        None => {
+    // 2. Declared table, via the runtime sanitizer's own parser.
+    let declared: Vec<LockDef> = match parse_lock_table(table_text) {
+        Ok(d) => d,
+        Err(e) => {
             out.push(Diagnostic::error(
-                "DESIGN.md",
+                TABLE_PATH,
                 0,
                 RULE,
-                "no `<!-- ldc-lint: lock-order ... -->` block found",
-                "declare the engine lock order in DESIGN.md (see the Lock order section)",
+                format!("lock table does not parse: {e}"),
+                "fix the [[lock]] entries; the runtime sanitizer reads the same file",
             ));
             Vec::new()
         }
     };
-    let rank: BTreeMap<&str, usize> = declared
+    let rank: BTreeMap<&str, u32> = declared.iter().map(|d| (d.id.as_str(), d.rank)).collect();
+    let sharded: BTreeSet<&str> = declared
         .iter()
-        .enumerate()
-        .map(|(i, l)| (l.as_str(), i))
+        .filter(|d| d.sharded)
+        .map(|d| d.id.as_str())
         .collect();
     for (lock, (file, line)) in &locks {
         if !rank.contains_key(lock.as_str()) && !declared.is_empty() {
@@ -154,20 +143,64 @@ pub fn check(files: &[(String, SourceView)], design: &str) -> Vec<Diagnostic> {
                 file,
                 *line,
                 RULE,
-                format!("lock `{lock}` is not in the declared order in DESIGN.md"),
-                "add it to the `ldc-lint: lock-order` block at its hierarchy position",
+                format!("lock `{lock}` is not declared in {TABLE_PATH}"),
+                "add a [[lock]] entry at its hierarchy rank so the runtime \
+                 sanitizer knows about it too",
             ));
         }
     }
-    for lock in &declared {
-        if !locks.contains_key(lock) {
+    for def in &declared {
+        if !locks.contains_key(&def.id) {
             out.push(Diagnostic::info(
-                "DESIGN.md",
+                TABLE_PATH,
                 0,
                 RULE,
-                format!("declared lock `{lock}` was not found in the scanned sources"),
-                "remove the stale entry from the lock-order block",
+                format!(
+                    "declared lock `{}` was not found in the scanned sources",
+                    def.id
+                ),
+                "remove the stale [[lock]] entry",
             ));
+        }
+    }
+
+    // 2b. Constructor ids: every `Mutex::new("<id>", ..)` /
+    // `RwLock::new("<id>", ..)` in scope must name a declared id whose
+    // `<crate>/<file-stem>` prefix matches the file. String literals are
+    // blanked in `code`, so the literal is read out of `raw` (offsets are
+    // shared between the two views).
+    for (path, view) in &scoped {
+        let key = lock_file_key(path);
+        for (ctor, line, id) in ctor_ids(view) {
+            let Some(id) = id else {
+                out.push(Diagnostic::error(
+                    path,
+                    line,
+                    RULE,
+                    format!("`{ctor}::new(..)` does not name its lock id as a string literal"),
+                    "pass the `<crate>/<file-stem>::<field>` id from lock_order.toml \
+                     as the first argument",
+                ));
+                continue;
+            };
+            if !rank.contains_key(id.as_str()) && !declared.is_empty() {
+                out.push(Diagnostic::error(
+                    path,
+                    line,
+                    RULE,
+                    format!("constructor names lock id `{id}`, which is not in {TABLE_PATH}"),
+                    "add the [[lock]] entry or fix the id string",
+                ));
+            } else if id.split("::").next() != Some(key.as_str()) {
+                out.push(Diagnostic::error(
+                    path,
+                    line,
+                    RULE,
+                    format!("lock id `{id}` does not match this file's key `{key}`"),
+                    "ids are `<crate>/<file-stem>::<field>`; name the lock after \
+                     the file that owns it",
+                ));
+            }
         }
     }
 
@@ -236,16 +269,21 @@ pub fn check(files: &[(String, SourceView)], design: &str) -> Vec<Diagnostic> {
             continue;
         }
         if e.from == e.to {
-            out.push(Diagnostic::error(
-                &e.file,
-                e.line,
-                RULE,
-                format!(
-                    "lock `{}` may be acquired while already held (re-entrant deadlock)",
-                    e.from
-                ),
-                "scope the first guard so it drops before the second acquisition",
-            ));
+            // Sharded locks may nest across distinct instances; only the
+            // runtime sanitizer can tell instances apart, so the static
+            // rule stays quiet there.
+            if !sharded.contains(e.from.as_str()) {
+                out.push(Diagnostic::error(
+                    &e.file,
+                    e.line,
+                    RULE,
+                    format!(
+                        "lock `{}` may be acquired while already held (re-entrant deadlock)",
+                        e.from
+                    ),
+                    "scope the first guard so it drops before the second acquisition",
+                ));
+            }
             continue;
         }
         if let (Some(&ra), Some(&rb)) = (rank.get(e.from.as_str()), rank.get(e.to.as_str())) {
@@ -256,10 +294,10 @@ pub fn check(files: &[(String, SourceView)], design: &str) -> Vec<Diagnostic> {
                     RULE,
                     format!(
                         "lock `{}` acquired while holding `{}` violates the declared order \
-                         (DESIGN.md ranks it earlier)",
+                         ({TABLE_PATH} ranks it lower)",
                         e.to, e.from
                     ),
-                    "acquire locks in declared order, restructure to drop the outer guard first, \
+                    "acquire locks in rank order, restructure to drop the outer guard first, \
                      or suppress with `// ldc-lint: allow(lock_order) — <proof it cannot deadlock>`",
                 ));
             }
@@ -269,7 +307,7 @@ pub fn check(files: &[(String, SourceView)], design: &str) -> Vec<Diagnostic> {
     // 7. Cycle detection on the raw edge graph (covers undeclared locks).
     if let Some(cycle) = find_cycle(&edges) {
         out.push(Diagnostic::error(
-            "DESIGN.md",
+            TABLE_PATH,
             0,
             RULE,
             format!("lock acquisition graph has a cycle: {}", cycle.join(" -> ")),
@@ -317,6 +355,49 @@ fn lock_fields(code: &str, view: &SourceView) -> Vec<(String, usize)> {
     }
     out.sort();
     out.dedup();
+    out
+}
+
+/// `Mutex::new(` / `RwLock::new(` constructor sites outside test code:
+/// `(ctor kind, line, first-argument string literal if present)`. The
+/// literal comes from `raw`; `code` has it blanked.
+fn ctor_ids(view: &SourceView) -> Vec<(&'static str, usize, Option<String>)> {
+    let code = &view.code;
+    let raw = view.raw.as_bytes();
+    let mut out = Vec::new();
+    for kind in ["Mutex", "RwLock"] {
+        for at in crate::lexer::token_positions(code, kind) {
+            let rest = &code[at + kind.len()..];
+            let Some(after) = rest.strip_prefix("::new") else {
+                continue;
+            };
+            if !after.trim_start().starts_with('(') {
+                continue;
+            }
+            let line = view.line_of(at);
+            if view.is_test_line(line) {
+                continue;
+            }
+            // First argument, read from the raw text.
+            let open = at + kind.len() + rest.len() - after.trim_start().len();
+            let mut i = open + 1;
+            while raw.get(i).is_some_and(|b| b.is_ascii_whitespace()) {
+                i += 1;
+            }
+            let lit = if raw.get(i) == Some(&b'"') {
+                let start = i + 1;
+                let mut j = start;
+                while raw.get(j).is_some_and(|&b| b != b'"' && b != b'\n') {
+                    j += 1;
+                }
+                (raw.get(j) == Some(&b'"'))
+                    .then(|| String::from_utf8_lossy(&raw[start..j]).into_owned())
+            } else {
+                None
+            };
+            out.push((kind, line, lit));
+        }
+    }
     out
 }
 
@@ -592,7 +673,8 @@ fn find_cycle(edges: &BTreeSet<Edge>) -> Option<Vec<String>> {
 mod tests {
     use super::*;
 
-    const ORDER: &str = "<!-- ldc-lint: lock-order\nlsm/db::tables\nlsm/cache::inner\n-->";
+    const ORDER: &str = "[[lock]]\nid = \"lsm/db::tables\"\nrank = 10\n\n\
+                         [[lock]]\nid = \"lsm/cache::inner\"\nrank = 20\nsharded = true\n";
 
     fn run(db_src: &str, cache_src: &str) -> Vec<Diagnostic> {
         let files = vec![
@@ -672,8 +754,7 @@ mod tests {
         let db = "struct Db { tables: Mutex<u32>, extra: RwLock<u8> }\n";
         let d = run(db, CACHE_OK);
         assert!(
-            d.iter()
-                .any(|d| d.message.contains("not in the declared order")),
+            d.iter().any(|d| d.message.contains("is not declared in")),
             "{d:?}"
         );
     }
@@ -686,9 +767,57 @@ mod tests {
     }
 
     #[test]
-    fn missing_design_block_is_an_error() {
+    fn malformed_table_is_an_error() {
         let files = vec![("crates/lsm/src/db.rs".to_string(), SourceView::new(""))];
-        let d = check(&files, "no block here");
-        assert!(d.iter().any(|d| d.message.contains("lock-order")), "{d:?}");
+        let d = check(&files, "not toml at all");
+        assert!(
+            d.iter().any(|d| d.message.contains("does not parse")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_self_edge_is_allowed_statically() {
+        // Two cache-shard guards held together: distinct instances at
+        // runtime, indistinguishable statically — must not error because
+        // the table marks the lock sharded.
+        let cache = "struct C { inner: Mutex<u32> }\nimpl C {\n  fn merge(&self, o: &C) {\n    let a = self.inner.lock();\n    let b = o.inner.lock();\n  }\n}\n";
+        let d = run(DB_OK, cache);
+        assert!(d.iter().all(|d| !d.message.contains("re-entrant")), "{d:?}");
+    }
+
+    #[test]
+    fn ctor_id_must_match_table_and_file() {
+        // Correct id passes.
+        let ok = "struct C { inner: Mutex<u32> }\nimpl C {\n  fn new() -> C { C { inner: Mutex::new(\"lsm/cache::inner\", 0) } }\n}\n";
+        let d = run(DB_OK, ok);
+        assert!(
+            d.iter().all(|d| d.severity != crate::diag::Severity::Error),
+            "{d:?}"
+        );
+        // Unknown id is flagged.
+        let bad = "struct C { inner: Mutex<u32> }\nimpl C {\n  fn new() -> C { C { inner: Mutex::new(\"lsm/cache::wrong\", 0) } }\n}\n";
+        let d = run(DB_OK, bad);
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("not in crates/lint/lock_order.toml")),
+            "{d:?}"
+        );
+        // Id owned by another file is flagged.
+        let wrong_file = "struct C { inner: Mutex<u32> }\nimpl C {\n  fn new() -> C { C { inner: Mutex::new(\"lsm/db::tables\", 0) } }\n}\n";
+        let d = run(DB_OK, wrong_file);
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("does not match this file's key")),
+            "{d:?}"
+        );
+        // A missing literal is flagged.
+        let no_lit = "struct C { inner: Mutex<u32> }\nimpl C {\n  fn new() -> C { C { inner: Mutex::new(0) } }\n}\n";
+        let d = run(DB_OK, no_lit);
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("does not name its lock id")),
+            "{d:?}"
+        );
     }
 }

@@ -5,4 +5,6 @@
 pub mod determinism;
 pub mod layering;
 pub mod lock_order;
+pub mod must_use;
 pub mod panic_safety;
+pub mod taint;

@@ -1,0 +1,185 @@
+//! `must_use_result` — discarded I/O results in the storage tiers.
+//!
+//! `let _ = fallible_io()` silently swallows a `Result` that, in the ssd
+//! and lsm crates, almost always carries a disk-corruption or crash-
+//! recovery signal. The rule finds `let _ =` statements whose trailing
+//! call resolves (via the workspace symbol table) to a function returning
+//! a `Result`, and demands either real handling or an explicit
+//! `// ldc-lint: allow(must_use_result) — reason` acknowledging why the
+//! error is droppable at that site.
+//!
+//! Only the *outermost* call of the discarded expression is considered
+//! (`let _ = retry(|| write(..))` resolves `retry`, not `write`), and
+//! unresolvable names (std, trait objects, ambiguous) are skipped —
+//! missing a site is better than nagging about `Sender::send`.
+
+use crate::diag::Diagnostic;
+use crate::graph::Workspace;
+use crate::lexer::SourceView;
+
+pub const RULE: &str = "must_use_result";
+
+/// Crates whose I/O results must not be silently discarded.
+const SCOPED_CRATES: &[&str] = &["ssd", "lsm"];
+
+pub fn in_scope(path: &str) -> bool {
+    SCOPED_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/")))
+}
+
+/// `files` must be the slice the workspace was built from.
+pub fn check(ws: &Workspace, files: &[(String, SourceView)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (path, view) in files {
+        if !in_scope(path) {
+            continue;
+        }
+        let code = &view.code;
+        let bytes = code.as_bytes();
+        for at in crate::lexer::token_positions(code, "let") {
+            // `let _ =` with exactly `_` as the pattern.
+            let mut i = at + 3;
+            while bytes.get(i).is_some_and(|b| b.is_ascii_whitespace()) {
+                i += 1;
+            }
+            if bytes.get(i) != Some(&b'_') {
+                continue;
+            }
+            i += 1;
+            while bytes.get(i).is_some_and(|b| b.is_ascii_whitespace()) {
+                i += 1;
+            }
+            if bytes.get(i) != Some(&b'=') || bytes.get(i + 1) == Some(&b'=') {
+                continue;
+            }
+            let line = view.line_of(at);
+            if view.is_test_line(line) || view.is_suppressed(line, RULE) {
+                continue;
+            }
+            let rhs_end = statement_end(bytes, i + 1);
+            let rhs = &code[i + 1..rhs_end];
+            let Some(name) = outermost_call(rhs) else {
+                continue;
+            };
+            let candidates = ws.named(&name);
+            if candidates.is_empty() {
+                continue; // outside the workspace
+            }
+            let all_result = candidates
+                .iter()
+                .all(|&id| ws.item(id).ret.contains("Result"));
+            if !all_result {
+                continue;
+            }
+            diags.push(Diagnostic::error(
+                path,
+                line,
+                RULE,
+                format!("`let _ =` discards the `Result` returned by `{name}`"),
+                "handle or propagate the error; if dropping it is deliberate, \
+                 annotate with `// ldc-lint: allow(must_use_result) — reason`",
+            ));
+        }
+    }
+    diags
+}
+
+/// Name of the last top-level `ident(` call in the expression — the
+/// outermost call producing the discarded value. Macros (`name!(..)`)
+/// and nested (parenthesised) calls don't count.
+fn outermost_call(expr: &str) -> Option<String> {
+    let bytes = expr.as_bytes();
+    let mut depth = 0i64;
+    let mut last = None;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'(' | b'[' | b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                i += 1;
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if depth == 0
+                    && bytes.get(i) == Some(&b'(')
+                    && bytes.get(start.wrapping_sub(1)) != Some(&b'!')
+                {
+                    last = Some(expr[start..i].to_string());
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    last
+}
+
+/// Offset of the statement-terminating `;` at nesting depth zero.
+fn statement_end(bytes: &[u8], from: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b';' if depth <= 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let files = vec![("crates/lsm/src/x.rs".to_string(), SourceView::new(src))];
+        let ws = Workspace::build(&files);
+        check(&ws, &files)
+    }
+
+    #[test]
+    fn discarded_result_is_flagged() {
+        let diags = run("fn io() -> Result<(), E> { Ok(()) }\nfn caller() { let _ = io(); }\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`io`"), "{diags:?}");
+    }
+
+    #[test]
+    fn non_result_and_unknown_calls_are_ignored() {
+        let diags = run(
+            "fn pure() -> u64 { 1 }\n\
+             fn caller(tx: &Sender<u8>) {\n    let _ = pure();\n    let _ = tx.send(1);\n    let _ = writeln!(f, \"x\");\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_comment_and_tests_are_exempt() {
+        let diags = run(
+            "fn io() -> Result<(), E> { Ok(()) }\n\
+             fn caller() {\n    // ldc-lint: allow(must_use_result) — best-effort cleanup\n    let _ = io();\n}\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { let _ = super::io(); }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn outermost_call_wins_over_inner() {
+        let diags = run(
+            "fn io() -> Result<(), E> { Ok(()) }\nfn wrap(r: Result<(), E>) -> u64 { 0 }\n\
+             fn caller() { let _ = wrap(io()); }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

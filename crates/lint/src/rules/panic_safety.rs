@@ -30,6 +30,8 @@ pub const SCOPED_FILES: &[&str] = &[
     "crates/lsm/src/repair.rs",
     "crates/ssd/src/disk.rs",
     "crates/ssd/src/storage.rs",
+    "crates/server/src/server.rs",
+    "crates/client/src/client.rs",
 ];
 
 /// Panicking calls flagged in scope.

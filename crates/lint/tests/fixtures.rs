@@ -3,8 +3,9 @@
 //! does. The snippets live in `tests/fixtures/` so they double as
 //! documentation of what each rule accepts and rejects.
 
+use ldc_lint::graph::Workspace;
 use ldc_lint::lexer::SourceView;
-use ldc_lint::rules::{determinism, layering, lock_order, panic_safety};
+use ldc_lint::rules::{determinism, layering, lock_order, panic_safety, taint};
 use ldc_lint::Severity;
 
 fn errors_of(diags: &[ldc_lint::Diagnostic]) -> Vec<&ldc_lint::Diagnostic> {
@@ -76,8 +77,9 @@ fn panic_safety_ratchet_blocks_regressions() {
     );
 }
 
-const DESIGN: &str =
-    "<!-- ldc-lint: lock-order\nlsm/db::tables\nlsm/cache::inner\nobs/metrics::levels\n-->";
+const DESIGN: &str = "[[lock]]\nid = \"lsm/db::tables\"\nrank = 10\n\n\
+                      [[lock]]\nid = \"lsm/cache::inner\"\nrank = 20\n\n\
+                      [[lock]]\nid = \"obs/metrics::levels\"\nrank = 30\n";
 const DB_DECL: &str = "struct Db { tables: Mutex<u32> }\n";
 const METRICS_DECL: &str = "struct Metrics { levels: Mutex<u32> }\n";
 
@@ -169,6 +171,98 @@ fn layering_net_tier_allowances() {
     let bad = SourceView::new("use ldc_lsm::Options;\n");
     let diags = layering::check_source("crates/server/src/server.rs", &bad);
     assert_eq!(errors_of(&diags).len(), 1, "{diags:?}");
+}
+
+// Stub declarations for every sink file the taint fixtures reference.
+// Paths must match the SINKS table suffixes exactly; each file declares
+// all of its table entries so the missing-sink diagnostic stays quiet.
+const WAL_STUB: &str = "pub struct LogWriter;\nimpl LogWriter {\n    \
+     pub fn add_record(&mut self, payload: &[u8]) -> Result<(), ()> { let _ = payload; Ok(()) }\n    \
+     pub fn emit(&mut self, kind: u8, payload: &[u8]) -> Result<(), ()> { let _ = (kind, payload); Ok(()) }\n}\n";
+const BUILDER_STUB: &str = "pub struct TableBuilder;\nimpl TableBuilder {\n    \
+     pub fn add(&mut self, key: &[u8], value: &[u8]) { let _ = (key, value); }\n    \
+     pub fn finish(&mut self) -> u64 { 0 }\n}\n";
+const VERSION_STUB: &str = "pub struct VersionEdit;\nimpl VersionEdit {\n    \
+     pub fn encode(&self) -> Vec<u8> { Vec::new() }\n}\n\
+     pub struct VersionSet;\nimpl VersionSet {\n    \
+     pub fn log_and_apply(&mut self, seq: u64) { let _ = seq; }\n    \
+     pub fn write_snapshot_manifest(&mut self) {}\n}\n";
+const CLOCK_STUB: &str = "pub struct VirtualClock;\nimpl VirtualClock {\n    \
+     pub fn advance(&self, d: u64) -> u64 { d }\n    \
+     pub fn advance_micros(&self, m: u64) -> u64 { m }\n    \
+     pub fn rewind_to(&self, t: u64) { let _ = t; }\n}\n";
+const PROTO_STUB: &str =
+    "pub fn encode_request(id: u64, op: u64) -> Vec<u8> { let _ = (id, op); Vec::new() }\n\
+     pub fn encode_response(id: u64) -> Vec<u8> { let _ = id; Vec::new() }\n";
+const YCSB_STUB: &str = "pub struct ClosedResult;\nimpl ClosedResult {\n    \
+     pub fn json(&self, seed: u64) -> String { let _ = seed; String::new() }\n}\n";
+
+fn taint_run(fixture_src: &str) -> Vec<ldc_lint::Diagnostic> {
+    let files: Vec<(String, SourceView)> = vec![
+        (
+            "crates/lsm/src/wal.rs".to_string(),
+            SourceView::new(WAL_STUB),
+        ),
+        (
+            "crates/lsm/src/table/builder.rs".to_string(),
+            SourceView::new(BUILDER_STUB),
+        ),
+        (
+            "crates/lsm/src/version.rs".to_string(),
+            SourceView::new(VERSION_STUB),
+        ),
+        (
+            "crates/ssd/src/clock.rs".to_string(),
+            SourceView::new(CLOCK_STUB),
+        ),
+        (
+            "crates/client/src/proto.rs".to_string(),
+            SourceView::new(PROTO_STUB),
+        ),
+        (
+            "crates/bench/src/ycsb_net.rs".to_string(),
+            SourceView::new(YCSB_STUB),
+        ),
+        (
+            "crates/server/src/fixture.rs".to_string(),
+            SourceView::new(fixture_src),
+        ),
+    ];
+    let ws = Workspace::build(&files);
+    taint::check(&ws, &files)
+}
+
+#[test]
+fn taint_fixture_fail_flags_every_sink_class() {
+    let diags = taint_run(include_str!("fixtures/taint_fail.rs"));
+    let errs = errors_of(&diags);
+    assert_eq!(errs.len(), 6, "{diags:?}"); // one flow per sink class
+    for class in [
+        "wal",
+        "sstable",
+        "manifest",
+        "virtual-clock",
+        "wire",
+        "bench-json",
+    ] {
+        assert!(
+            errs.iter()
+                .any(|d| d.message.contains(&format!("({class})"))),
+            "no finding for sink class {class}: {diags:?}"
+        );
+    }
+    // Every finding names the tainted local that flowed in.
+    assert!(
+        errs.iter()
+            .all(|d| d.message.contains("host-derived value")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn taint_fixture_pass_is_clean() {
+    let diags = taint_run(include_str!("fixtures/taint_pass.rs"));
+    assert!(errors_of(&diags).is_empty(), "{diags:?}");
 }
 
 #[test]

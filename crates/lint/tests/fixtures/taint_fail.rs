@@ -1,0 +1,38 @@
+// determinism_taint fixture — every sink class receives a host-derived
+// value. Each call line below must produce exactly one finding.
+
+fn poison() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+fn wal_flow(w: &mut LogWriter) {
+    let stamp = poison();
+    let buf = stamp.to_le_bytes();
+    LogWriter::add_record(w, &buf);
+}
+
+fn sstable_flow(b: &mut TableBuilder) {
+    let stamp = poison();
+    let val = stamp.to_le_bytes();
+    TableBuilder::add(b, b"key", &val);
+}
+
+fn manifest_flow(vs: &mut VersionSet) {
+    let seq = poison();
+    VersionSet::log_and_apply(vs, seq);
+}
+
+fn clock_flow(c: &VirtualClock) {
+    let delta = poison();
+    c.advance(delta);
+}
+
+fn wire_flow() {
+    let stamp = poison();
+    encode_request(stamp, 0);
+}
+
+fn bench_flow(r: &ClosedResult) {
+    let seed = poison();
+    ClosedResult::json(r, seed);
+}

@@ -1,0 +1,37 @@
+// determinism_taint fixture — every sink call is fed deterministic data,
+// plus one intentional host-time flow carrying an allow annotation.
+// Must produce zero findings.
+
+fn wal_flow(w: &mut LogWriter, seq: u64) {
+    let buf = seq.to_le_bytes();
+    LogWriter::add_record(w, &buf);
+}
+
+fn sstable_flow(b: &mut TableBuilder, seq: u64) {
+    let val = seq.to_le_bytes();
+    TableBuilder::add(b, b"key", &val);
+}
+
+fn manifest_flow(vs: &mut VersionSet, seq: u64) {
+    VersionSet::log_and_apply(vs, seq);
+}
+
+fn clock_flow(c: &VirtualClock) {
+    let delta = 42;
+    c.advance(delta);
+}
+
+fn wire_flow(req_id: u64) {
+    encode_request(req_id, 0);
+}
+
+fn bench_flow(r: &ClosedResult, seed: u64) {
+    ClosedResult::json(r, seed);
+}
+
+fn annotated_flow(w: &mut LogWriter) {
+    let stamp = Instant::now().elapsed().as_nanos() as u64;
+    let buf = stamp.to_le_bytes();
+    // ldc-lint: allow(determinism_taint) — fixture: intentional metadata flow
+    LogWriter::add_record(w, &buf);
+}

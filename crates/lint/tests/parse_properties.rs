@@ -1,0 +1,139 @@
+//! Property tests for the item-level parser: rendering a synthetic item
+//! list to Rust source and parsing it back must recover every function
+//! with its name, impl owner, return type, and a body — regardless of
+//! generics, where-clauses, and brace-bearing junk (strings, comments,
+//! raw strings, nested blocks) inside the bodies.
+
+use proptest::prelude::*;
+
+use ldc_lint::lexer::SourceView;
+use ldc_lint::parse::parse_file;
+
+/// Return-type menu; index 0 means "no return type".
+const RETS: &[&str] = &["", "u64", "Result<(), Error>", "Vec<T>", "Option<Box<F>>"];
+
+/// Body fillers that have historically desynced naive scanners: braces in
+/// strings, comments, raw strings, char literals, and comparisons.
+const JUNK: &[&str] = &[
+    "let s = \"}{ not a brace }\";",
+    "/* { nested /* deeper { */ } */",
+    "let r = r##\"} quote \"# inside\"##;",
+    "if a < b { helper(); }",
+    "let c = '}'; let l: &'static str = \"x\";",
+    "{ let inner = 1; { let deeper = inner; } }",
+];
+
+#[derive(Debug, Clone)]
+struct FnSpec {
+    generics: bool,
+    ret: usize,
+    has_where: bool,
+    junk: usize,
+}
+
+fn fn_spec() -> impl Strategy<Value = FnSpec> {
+    (
+        any::<bool>(),
+        0usize..RETS.len(),
+        any::<bool>(),
+        0usize..JUNK.len(),
+    )
+        .prop_map(|(generics, ret, has_where, junk)| FnSpec {
+            generics,
+            ret,
+            has_where,
+            junk,
+        })
+}
+
+fn render_fn(name: &str, spec: &FnSpec, indent: &str) -> String {
+    let generics = if spec.generics {
+        "<T: Clone, F: Fn(u32) -> u64>"
+    } else {
+        ""
+    };
+    let ret = if RETS[spec.ret].is_empty() {
+        String::new()
+    } else {
+        format!(" -> {}", RETS[spec.ret])
+    };
+    let where_clause = if spec.has_where {
+        " where T: Clone"
+    } else {
+        ""
+    };
+    format!(
+        "{indent}fn {name}{generics}(a: u32, b: &[u8]){ret}{where_clause} {{ {} a }}\n",
+        JUNK[spec.junk]
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rendered_items_parse_back(
+        free in prop::collection::vec(fn_spec(), 0..4),
+        methods in prop::collection::vec(fn_spec(), 0..4),
+        trait_impl in any::<bool>(),
+    ) {
+        let mut src = String::new();
+        let mut expected: Vec<(String, Option<String>, usize)> = Vec::new();
+        for (i, spec) in free.iter().enumerate() {
+            let name = format!("free{i}");
+            src.push_str(&render_fn(&name, spec, ""));
+            expected.push((name, None, spec.ret));
+        }
+        if !methods.is_empty() {
+            src.push_str("struct Owner;\n");
+            if trait_impl {
+                src.push_str("impl core::fmt::Debug for Owner {\n");
+            } else {
+                src.push_str("impl Owner {\n");
+            }
+            for (i, spec) in methods.iter().enumerate() {
+                let name = format!("method{i}");
+                src.push_str(&render_fn(&name, spec, "    "));
+                expected.push((name, Some("Owner".to_string()), spec.ret));
+            }
+            src.push_str("}\n");
+        }
+
+        let view = SourceView::new(&src);
+        let idx = parse_file("crates/lsm/src/gen.rs", &view);
+        prop_assert_eq!(idx.fns.len(), expected.len(), "source:\n{}", src);
+        for (item, (name, qual, ret)) in idx.fns.iter().zip(&expected) {
+            prop_assert_eq!(&item.name, name, "source:\n{}", src);
+            prop_assert_eq!(&item.qual, qual, "source:\n{}", src);
+            prop_assert_eq!(&item.ret, RETS[*ret], "source:\n{}", src);
+            let (open, close) = item.body.expect("every rendered fn has a body");
+            prop_assert_eq!(view.code.as_bytes()[open], b'{', "source:\n{}", src);
+            prop_assert_eq!(view.code.as_bytes()[close], b'}', "source:\n{}", src);
+            prop_assert!(close > open, "source:\n{}", src);
+        }
+        prop_assert_eq!(&idx.crate_name, "lsm");
+    }
+
+    #[test]
+    fn bodyless_trait_methods_roundtrip(
+        specs in prop::collection::vec(fn_spec(), 1..4),
+    ) {
+        let mut src = String::from("trait Contract {\n");
+        for (i, spec) in specs.iter().enumerate() {
+            let ret = if RETS[spec.ret].is_empty() {
+                String::new()
+            } else {
+                format!(" -> {}", RETS[spec.ret])
+            };
+            src.push_str(&format!("    fn decl{i}(&self, a: u32){ret};\n"));
+        }
+        src.push_str("}\n");
+        let view = SourceView::new(&src);
+        let idx = parse_file("crates/lsm/src/gen.rs", &view);
+        prop_assert_eq!(idx.fns.len(), specs.len(), "source:\n{}", src);
+        for (item, spec) in idx.fns.iter().zip(&specs) {
+            prop_assert!(item.body.is_none(), "source:\n{}", src);
+            prop_assert_eq!(&item.ret, RETS[spec.ret], "source:\n{}", src);
+        }
+    }
+}

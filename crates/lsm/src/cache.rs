@@ -25,7 +25,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use ldc_obs::lockcheck::Mutex;
 
 use crate::block::Block;
 use crate::error::Result;
@@ -71,13 +71,16 @@ struct Shard {
 impl Shard {
     fn new() -> Self {
         Self {
-            inner: Mutex::new(ShardInner {
-                map: HashMap::new(),
-                lru: BTreeMap::new(),
-                used_bytes: 0,
-                pinned_bytes: 0,
-                next_tick: 0,
-            }),
+            inner: Mutex::new(
+                "lsm/cache::inner",
+                ShardInner {
+                    map: HashMap::new(),
+                    lru: BTreeMap::new(),
+                    used_bytes: 0,
+                    pinned_bytes: 0,
+                    next_tick: 0,
+                },
+            ),
         }
     }
 }
@@ -343,11 +346,14 @@ impl TableCache {
         Self {
             capacity: capacity.max(1),
             block_cache,
-            map: Mutex::new(TableCacheInner {
-                entries: HashMap::new(),
-                lru: BTreeMap::new(),
-                next_tick: 0,
-            }),
+            map: Mutex::new(
+                "lsm/cache::map",
+                TableCacheInner {
+                    entries: HashMap::new(),
+                    lru: BTreeMap::new(),
+                    next_tick: 0,
+                },
+            ),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }

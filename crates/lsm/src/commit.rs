@@ -13,14 +13,15 @@
 //! occurs when real threads overlap, where the engine promises
 //! correctness, not timing reproducibility.
 //!
-//! This module uses `std::sync::Mutex` + `Condvar` (not the parking-lot
-//! shim, which has no condvar). Lock poisoning is deliberately ignored
-//! (`into_inner`): the queue state is a plain value and every transition
-//! is a single atomic critical section, so a panicking writer leaves it
-//! consistent.
+//! This module uses [`ldc_obs::lockcheck`]'s rank-witnessed `Mutex` +
+//! `Condvar` (id `lsm/commit::state` in `crates/lint/lock_order.toml`).
+//! The lockcheck types never poison: the queue state is a plain value
+//! and every transition is a single atomic critical section, so a
+//! panicking writer leaves it consistent.
 
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex, MutexGuard};
+
+use ldc_obs::lockcheck::{Condvar, Mutex, MutexGuard};
 
 use crate::batch::WriteBatch;
 use crate::error::Result;
@@ -50,7 +51,6 @@ struct QueueState {
 }
 
 /// The write-group queue; see the module docs.
-#[derive(Default)]
 pub(crate) struct CommitQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
@@ -58,11 +58,14 @@ pub(crate) struct CommitQueue {
 
 impl CommitQueue {
     pub(crate) fn new() -> Self {
-        Self::default()
+        CommitQueue {
+            state: Mutex::new("lsm/commit::state", QueueState::default()),
+            ready: Condvar::new(),
+        }
     }
 
     fn lock(&self) -> MutexGuard<'_, QueueState> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        self.state.lock()
     }
 
     /// Enqueues `batch` and returns the ticket identifying its result.
@@ -94,7 +97,7 @@ impl CommitQueue {
                 debug_assert!(group.iter().any(|(t, _)| *t == ticket));
                 return Role::Leader(group);
             }
-            st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            st = st.wait(&self.ready);
         }
     }
 

@@ -20,7 +20,7 @@
 //! ## Concurrency model
 //!
 //! Every public operation takes `&self`. Mutable engine state lives in one
-//! [`parking_lot::Mutex`]`<DbCore>`; readers never touch it. Instead they
+//! a rank-witnessed [`ldc_obs::lockcheck::Mutex`]`<DbCore>`; readers never touch it. Instead they
 //! clone the published [`ReadView`] — `Arc`s to the current [`Version`],
 //! the live memtable, and the immutable memtable, plus the last published
 //! sequence number — and serve the whole operation from that pinned,
@@ -59,12 +59,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use ldc_obs::lockcheck::{Mutex, RwLock};
 use ldc_obs::{
     Blame, Event, EventKind, LevelGauge, MetricsRegistry, NoopSink, OpType, SharedSink, Trace,
     TraceCtx, TraceReservoir,
 };
 use ldc_ssd::{IoClass, Nanos, SsdDevice, StorageBackend, TimeCategory};
-use parking_lot::{Mutex, RwLock};
 
 use crate::batch::{BatchOp, WriteBatch};
 use crate::cache::{BlockCache, CacheCounters, TableCache};
@@ -321,6 +321,13 @@ pub struct Db {
     /// through rotation stalls and bandwidth contention — which is where
     /// the paper's tail latency comes from.
     bg_until: AtomicU64,
+    /// High-water mark (virtual ns) through which foreground reads have
+    /// already been charged for background contention. Concurrent readers
+    /// claim disjoint `[cursor, window_end)` slices via CAS so the same
+    /// overlap is never double-charged — without this, each reader's
+    /// contention `advance` inflates the next reader's window and the
+    /// clock runs away exponentially under multi-threaded load.
+    contended_until: AtomicU64,
     /// Point lookups served (read path is lock-free w.r.t. the core).
     gets: AtomicU64,
     /// Range scans served.
@@ -439,6 +446,7 @@ impl Db {
                             // replayed data is flushed. Backends without
                             // truncate just keep the tail; replay re-skips it.
                             recovery.bytes_truncated += torn;
+                            // ldc-lint: allow(must_use_result) — best-effort cleanup; replay re-skips the tail if it survives
                             let _ = storage.truncate(name, reader.clean_prefix());
                         }
                     }
@@ -490,28 +498,32 @@ impl Db {
             options,
             storage,
             device,
-            policy: Mutex::new(policy),
+            policy: Mutex::new("lsm/db::policy", policy),
             tables,
             block_cache,
             sink,
             metrics,
             tracer: None,
-            core: Mutex::new(DbCore {
-                versions,
-                mem,
-                imm: None,
-                imm_wal_to_delete: None,
-                wal,
-                stats: DbStats::default(),
-                snapshots: std::collections::BTreeMap::new(),
-                trace: ExecTrace::default(),
-                bg_error: None,
-                quarantined: Vec::new(),
-                pending_deletes: Vec::new(),
-            }),
-            view: RwLock::new(view),
+            core: Mutex::new(
+                "lsm/db::core",
+                DbCore {
+                    versions,
+                    mem,
+                    imm: None,
+                    imm_wal_to_delete: None,
+                    wal,
+                    stats: DbStats::default(),
+                    snapshots: std::collections::BTreeMap::new(),
+                    trace: ExecTrace::default(),
+                    bg_error: None,
+                    quarantined: Vec::new(),
+                    pending_deletes: Vec::new(),
+                },
+            ),
+            view: RwLock::new("lsm/db::view", view),
             commit: CommitQueue::new(),
             bg_until: AtomicU64::new(0),
+            contended_until: AtomicU64::new(0),
             gets: AtomicU64::new(0),
             scans: AtomicU64::new(0),
             bloom_skips: AtomicU64::new(0),
@@ -1535,14 +1547,32 @@ impl Db {
     /// pushed out by the same amount.
     fn charge_read_contention(&self, op_start: Nanos) {
         let end = self.device.clock().now();
-        let overlap = self
-            .bg_until
-            .load(Ordering::SeqCst)
-            .min(end)
-            .saturating_sub(op_start);
-        if overlap > 0 {
-            self.device.clock().advance(overlap);
-            self.bg_until.fetch_add(overlap, Ordering::SeqCst);
+        let window_end = self.bg_until.load(Ordering::SeqCst).min(end);
+        // Claim [start, window_end) exactly once across all readers: the
+        // cursor CAS hands each slice of the contention window to exactly
+        // one op. Single-threaded this is byte-identical to charging
+        // `window_end - op_start` directly (the cursor always trails
+        // op_start), which keeps same-seed runs reproducible.
+        let mut claimed = self.contended_until.load(Ordering::SeqCst);
+        loop {
+            let start = op_start.max(claimed);
+            if window_end <= start {
+                return;
+            }
+            match self.contended_until.compare_exchange(
+                claimed,
+                window_end,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    let overlap = window_end - start;
+                    self.device.clock().advance(overlap);
+                    self.bg_until.fetch_add(overlap, Ordering::SeqCst);
+                    return;
+                }
+                Err(current) => claimed = current,
+            }
         }
     }
 

@@ -11,7 +11,7 @@
 //! so publishing writes into a shared memtable is safe before the new
 //! sequence is published.
 
-use parking_lot::{RwLock, RwLockReadGuard};
+use ldc_obs::lockcheck::{RwLock, RwLockReadGuard};
 
 use crate::skiplist::SkipList;
 use crate::types::{
@@ -43,7 +43,7 @@ impl MemTable {
     /// Creates an empty memtable; `seed` determinizes skiplist heights.
     pub fn new(seed: u64) -> Self {
         Self {
-            list: RwLock::new(SkipList::new(seed)),
+            list: RwLock::new("lsm/memtable::list", SkipList::new(seed)),
         }
     }
 

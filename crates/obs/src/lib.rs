@@ -28,6 +28,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
+pub mod lockcheck;
+
 mod event;
 mod json;
 mod metrics;

@@ -1,7 +1,8 @@
 //! Per-level gauges and per-operation latency histograms.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+
+use crate::lockcheck::Mutex;
 
 use crate::trace::Blame;
 
@@ -249,8 +250,10 @@ impl MetricsRegistry {
     /// Empty registry.
     pub fn new() -> Self {
         Self {
-            levels: Mutex::new(Vec::new()),
-            latencies: std::array::from_fn(|_| Mutex::new(LatencyHistogram::new())),
+            levels: Mutex::new("obs/metrics::levels", Vec::new()),
+            latencies: std::array::from_fn(|_| {
+                Mutex::new("obs/metrics::latencies", LatencyHistogram::new())
+            }),
             ops: std::array::from_fn(|_| AtomicU64::new(0)),
             degraded: std::array::from_fn(|_| AtomicU64::new(0)),
             net: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -358,23 +361,23 @@ impl MetricsRegistry {
 
     /// Replaces the per-level gauges (one entry per level, L0 first).
     pub fn set_level_gauges(&self, gauges: Vec<LevelGauge>) {
-        *self.levels.lock().unwrap() = gauges;
+        *self.levels.lock() = gauges;
     }
 
     /// Snapshot of the per-level gauges.
     pub fn level_gauges(&self) -> Vec<LevelGauge> {
-        self.levels.lock().unwrap().clone()
+        self.levels.lock().clone()
     }
 
     /// Records one operation latency.
     pub fn record_latency(&self, op: OpType, nanos: u64) {
-        self.latencies[op.index()].lock().unwrap().record(nanos);
+        self.latencies[op.index()].lock().record(nanos);
         self.ops[op.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot of one op type's latency histogram.
     pub fn latency(&self, op: OpType) -> LatencyHistogram {
-        self.latencies[op.index()].lock().unwrap().clone()
+        self.latencies[op.index()].lock().clone()
     }
 
     /// Total operations recorded for `op`.
@@ -384,9 +387,9 @@ impl MetricsRegistry {
 
     /// Clears gauges and histograms.
     pub fn reset(&self) {
-        self.levels.lock().unwrap().clear();
+        self.levels.lock().clear();
         for h in &self.latencies {
-            *h.lock().unwrap() = LatencyHistogram::new();
+            *h.lock() = LatencyHistogram::new();
         }
         for c in &self.ops {
             c.store(0, Ordering::Relaxed);

@@ -4,7 +4,9 @@ use crate::{Event, EventSink};
 use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::lockcheck::Mutex;
 
 /// The shared-ownership sink handle every layer of the stack holds.
 pub type SharedSink = Arc<dyn EventSink>;
@@ -47,19 +49,22 @@ impl RingBufferSink {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity: capacity.max(1),
-            buffer: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            buffer: Mutex::new(
+                "obs/sink::buffer",
+                VecDeque::with_capacity(capacity.clamp(1, 4096)),
+            ),
             dropped: AtomicU64::new(0),
         }
     }
 
     /// Snapshot of the buffered events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.buffer.lock().unwrap().iter().cloned().collect()
+        self.buffer.lock().iter().cloned().collect()
     }
 
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
-        self.buffer.lock().unwrap().len()
+        self.buffer.lock().len()
     }
 
     /// Whether the buffer is empty.
@@ -74,13 +79,13 @@ impl RingBufferSink {
 
     /// Drops all buffered events (the dropped counter is unaffected).
     pub fn clear(&self) {
-        self.buffer.lock().unwrap().clear();
+        self.buffer.lock().clear();
     }
 }
 
 impl EventSink for RingBufferSink {
     fn record(&self, event: Event) {
-        let mut buffer = self.buffer.lock().unwrap();
+        let mut buffer = self.buffer.lock();
         if buffer.len() == self.capacity {
             buffer.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -106,13 +111,13 @@ impl<W: Write + Send> JsonlSink<W> {
     /// Wraps a writer.
     pub fn new(writer: W) -> Self {
         Self {
-            writer: Mutex::new(writer),
+            writer: Mutex::new("obs/sink::writer", writer),
         }
     }
 
     /// Flushes and returns the writer.
     pub fn into_inner(self) -> W {
-        let mut w = self.writer.into_inner().unwrap();
+        let mut w = self.writer.into_inner();
         let _ = w.flush();
         w
     }
@@ -120,7 +125,7 @@ impl<W: Write + Send> JsonlSink<W> {
 
 impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn record(&self, event: Event) {
-        let mut w = self.writer.lock().unwrap();
+        let mut w = self.writer.lock();
         // Sink errors must never take down the engine; drop the event.
         let _ = writeln!(w, "{}", event.to_json());
     }

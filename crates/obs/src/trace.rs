@@ -26,7 +26,8 @@
 //! tracing disabled, and a disabled tracer costs one `Option` branch per op.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+
+use crate::lockcheck::Mutex;
 
 use crate::event::Nanos;
 use crate::metrics::OpType;
@@ -382,7 +383,7 @@ impl TraceReservoir {
             k: k.max(1),
             seed,
             arrivals: std::array::from_fn(|_| AtomicU64::new(0)),
-            inner: Mutex::new(ReservoirState::default()),
+            inner: Mutex::new("obs/trace::inner", ReservoirState::default()),
         }
     }
 
@@ -405,7 +406,7 @@ impl TraceReservoir {
     pub fn offer(&self, trace: Trace) {
         let tie = splitmix64(self.seed ^ trace.op_index);
         let entry = Ranked { tie, trace };
-        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.inner.lock();
         let Some(bucket) = st.worst.get_mut(entry.trace.op.index()) else {
             return;
         };
@@ -426,7 +427,7 @@ impl TraceReservoir {
 
     /// The worst traces for `op`, worst-first.
     pub fn worst(&self, op: OpType) -> Vec<Trace> {
-        let st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let st = self.inner.lock();
         st.worst
             .get(op.index())
             .map(|b| b.iter().map(|r| r.trace.clone()).collect())
@@ -462,7 +463,7 @@ impl TraceReservoir {
 
     /// Clears all kept traces and arrival counters.
     pub fn reset(&self) {
-        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.inner.lock();
         for bucket in st.worst.iter_mut() {
             bucket.clear();
         }

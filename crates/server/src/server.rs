@@ -37,7 +37,7 @@ use std::io::Write as _;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -47,6 +47,7 @@ use ldc_client::proto::{
 };
 use ldc_core::lsm::{Error as EngineError, Options};
 use ldc_core::{CompactionMode, LdcConfig, LdcDb};
+use ldc_obs::lockcheck::{Condvar, Mutex};
 use ldc_obs::{Blame, MetricsRegistry, OpType, Trace, TraceCtx, TraceReservoir};
 
 use crate::admission::{AdmissionQueue, ShardState};
@@ -121,7 +122,13 @@ impl ServerConfig {
     }
 }
 
-type PauseGate = Arc<(Mutex<bool>, Condvar)>;
+#[derive(Debug)]
+struct PauseGateInner {
+    released: Mutex<bool>,
+    cv: Condvar,
+}
+
+type PauseGate = Arc<PauseGateInner>;
 
 /// Releases a paused shard worker when dropped (see
 /// [`LdcServer::pause_shard`]).
@@ -132,11 +139,8 @@ pub struct ShardPauseGuard {
 
 impl Drop for ShardPauseGuard {
     fn drop(&mut self) {
-        let (lock, cv) = &*self.gate;
-        if let Ok(mut released) = lock.lock() {
-            *released = true;
-        }
-        cv.notify_all();
+        *self.gate.released.lock() = true;
+        self.gate.cv.notify_all();
     }
 }
 
@@ -259,7 +263,7 @@ fn send_response(reply: &Sender<Vec<u8>>, resp: &Response) {
 
 fn finalize_agg(ctx: &ServerCtx, agg: &Agg) {
     let (status, body, queue_ns, service_ns) = {
-        let mut st = agg.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = agg.state.lock();
         let queue_ns = st.max_queue_ns;
         let service_ns = st.max_service_ns;
         let (status, body) = match st.error.take() {
@@ -313,10 +317,9 @@ fn shard_worker(
         match job {
             Job::Stop => break,
             Job::Pause { gate } => {
-                let (lock, cv) = &*gate;
-                let mut released = lock.lock().unwrap_or_else(|e| e.into_inner());
+                let mut released = gate.released.lock();
                 while !*released {
-                    released = cv.wait(released).unwrap_or_else(|e| e.into_inner());
+                    released = released.wait(&gate.cv);
                 }
             }
             Job::Single {
@@ -347,6 +350,7 @@ fn shard_worker(
                 // that snapshots stats after its response always sees its
                 // own op in `completed` (deterministic bench accounting).
                 state.on_complete();
+                // ldc-lint: allow(determinism_taint) — queue_ns is host-time metadata; payload bytes stay deterministic
                 send_response(
                     &reply,
                     &Response {
@@ -382,7 +386,7 @@ fn shard_worker(
                 };
                 let service_ns = db.device().clock().now().saturating_sub(clock0);
                 {
-                    let mut st = agg.state.lock().unwrap_or_else(|e| e.into_inner());
+                    let mut st = agg.state.lock();
                     st.max_queue_ns = st.max_queue_ns.max(queue_ns);
                     st.max_service_ns = st.max_service_ns.max(service_ns);
                     match outcome {
@@ -420,12 +424,18 @@ enum PartResult {
 }
 
 fn admit_part(ctx: &ServerCtx, shard: usize, job: Job, agg: &Arc<Agg>) {
-    match ctx.queues[shard].try_admit(job) {
+    // An out-of-range shard (impossible via the router) counts as a
+    // rejection so the aggregate still finalizes.
+    let outcome = match ctx.queues.get(shard) {
+        Some(queue) => queue.try_admit(job),
+        None => Err(job),
+    };
+    match outcome {
         Ok(()) => ctx.registry.record_net_accept(),
         Err(_rejected) => {
             ctx.registry.record_net_reject();
             {
-                let mut st = agg.state.lock().unwrap_or_else(|e| e.into_inner());
+                let mut st = agg.state.lock();
                 if st.error.is_none() {
                     st.error = Some((
                         Status::Overloaded,
@@ -474,11 +484,7 @@ fn dispatch(
             reply,
             &Response::error(req_id, Status::ShuttingDown, "server is draining"),
         ),
-        Request::Put { .. } | Request::Get { .. } | Request::Delete { .. } => {
-            let key = match &request {
-                Request::Put { key, .. } | Request::Get { key } | Request::Delete { key } => key,
-                _ => unreachable!(),
-            };
+        Request::Put { ref key, .. } | Request::Get { ref key } | Request::Delete { ref key } => {
             let shard = ctx.router.shard_of(key);
             let job = Job::Single {
                 req_id,
@@ -487,7 +493,13 @@ fn dispatch(
                 recv_ns,
                 enqueue_ns: ctx.now_ns(),
             };
-            match ctx.queues[shard].try_admit(job) {
+            // The router only hands out in-range shards; a missing queue
+            // is treated as a rejection rather than indexed blindly.
+            let outcome = match ctx.queues.get(shard) {
+                Some(queue) => queue.try_admit(job),
+                None => Err(job),
+            };
+            match outcome {
                 Ok(()) => ctx.registry.record_net_accept(),
                 Err(_rejected) => {
                     ctx.registry.record_net_reject();
@@ -516,7 +528,7 @@ fn dispatch(
                 kind: AggKind::Scan {
                     limit: limit as usize,
                 },
-                state: Mutex::new(AggState::default()),
+                state: Mutex::new("server/server::state", AggState::default()),
             });
             for shard in 0..shards {
                 let job = Job::Part {
@@ -527,6 +539,7 @@ fn dispatch(
                     },
                     enqueue_ns: ctx.now_ns(),
                 };
+                // ldc-lint: allow(determinism_taint) — enqueue stamp is host-time metadata for queue-wait reporting
                 admit_part(ctx, shard, job, &agg);
             }
         }
@@ -560,10 +573,13 @@ fn dispatch(
                 recv_ns,
                 pending: AtomicUsize::new(parts.len()),
                 kind: AggKind::MultiGet,
-                state: Mutex::new(AggState {
-                    values: vec![None; total],
-                    ..AggState::default()
-                }),
+                state: Mutex::new(
+                    "server/server::state",
+                    AggState {
+                        values: vec![None; total],
+                        ..AggState::default()
+                    },
+                ),
             });
             for (shard, group) in parts {
                 let job = Job::Part {
@@ -571,6 +587,7 @@ fn dispatch(
                     part: Part::MultiGet { keys: group },
                     enqueue_ns: ctx.now_ns(),
                 };
+                // ldc-lint: allow(determinism_taint) — enqueue stamp is host-time metadata for queue-wait reporting
                 admit_part(ctx, shard, job, &agg);
             }
         }
@@ -617,10 +634,7 @@ fn serve_connection(ctx: Arc<ServerCtx>, stream: TcpStream) {
     let (reply_tx, reply_rx) = channel::<Vec<u8>>();
     let wctx = Arc::clone(&ctx);
     let writer = std::thread::spawn(move || writer_loop(wctx, write_half, reply_rx));
-    ctx.threads
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .push(writer);
+    ctx.threads.lock().push(writer);
 
     let mut reader = BufReader::new(stream);
     loop {
@@ -646,6 +660,7 @@ fn serve_connection(ctx: Arc<ServerCtx>, stream: TcpStream) {
         ctx.registry.record_net_bytes_in(body.len() as u64 + 4);
         let recv_ns = ctx.now_ns();
         match decode_request(&body) {
+            // ldc-lint: allow(determinism_taint) — receive stamp is host-time metadata for latency spans
             Ok((req_id, request)) => dispatch(&ctx, req_id, request, &reply_tx, recv_ns),
             Err(e) => {
                 // Framing is intact (the frame itself was well-delimited),
@@ -674,16 +689,10 @@ fn accept_loop(ctx: Arc<ServerCtx>, listener: TcpListener) {
         let Ok(track) = stream.try_clone() else {
             continue;
         };
-        ctx.conns
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(track);
+        ctx.conns.lock().push(track);
         let cctx = Arc::clone(&ctx);
         let handle = std::thread::spawn(move || serve_connection(cctx, stream));
-        ctx.threads
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(handle);
+        ctx.threads.lock().push(handle);
     }
 }
 
@@ -727,6 +736,9 @@ impl LdcServer {
         }
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
+        // Grab the per-shard states before the queues move into `ctx`, so
+        // the worker spawn loop needs no positional indexing.
+        let states: Vec<_> = queues.iter().map(|q| Arc::clone(q.state())).collect();
         let ctx = Arc::new(ServerCtx {
             registry: Arc::new(MetricsRegistry::new()),
             reservoir: TraceReservoir::new(config.net_trace_worst_k.max(1), 0x6e65_745f),
@@ -736,20 +748,24 @@ impl LdcServer {
             shutting_down: AtomicBool::new(false),
             retry_after_ms: config.retry_after_ms.max(1),
             start: Instant::now(),
-            conns: Mutex::new(Vec::new()),
-            threads: Mutex::new(Vec::new()),
+            conns: Mutex::new("server/server::conns", Vec::new()),
+            threads: Mutex::new("server/server::threads", Vec::new()),
         });
         let workers = dbs
             .into_iter()
             .zip(receivers)
+            .zip(states)
             .enumerate()
-            .map(|(i, (db, rx))| {
+            .map(|(i, ((db, rx), state))| {
                 let wctx = Arc::clone(&ctx);
-                let state = Arc::clone(ctx.queues[i].state());
+                // Reply frames carry host queue/service waits as metadata;
+                // replay-compared payload bytes come from the engine only.
+                // ldc-lint: allow(determinism_taint) — host queue metadata in reply frames is intentional
                 std::thread::spawn(move || shard_worker(wctx, db, i as u16, rx, state))
             })
             .collect();
         let actx = Arc::clone(&ctx);
+        // ldc-lint: allow(determinism_taint) — connection loop stamps host receive times by design
         let accept = std::thread::spawn(move || accept_loop(actx, listener));
         Ok(LdcServer {
             ctx,
@@ -800,7 +816,10 @@ impl LdcServer {
     /// guard before `shutdown()`.
     pub fn pause_shard(&self, shard: usize) -> Option<ShardPauseGuard> {
         let queue = self.ctx.queues.get(shard)?;
-        let gate: PauseGate = Arc::new((Mutex::new(false), Condvar::new()));
+        let gate: PauseGate = Arc::new(PauseGateInner {
+            released: Mutex::new("server/server::released", false),
+            cv: Condvar::new(),
+        });
         if queue.force(Job::Pause {
             gate: Arc::clone(&gate),
         }) {
@@ -827,13 +846,7 @@ impl LdcServer {
         }
         // Half-close read sides: readers wind down, clients still
         // receive every in-flight reply.
-        for conn in self
-            .ctx
-            .conns
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .drain(..)
-        {
+        for conn in self.ctx.conns.lock().drain(..) {
             let _ = conn.shutdown(Shutdown::Read);
         }
         // Stop sentinels queue *behind* all admitted work: workers drain
@@ -849,7 +862,7 @@ impl LdcServer {
         // writer's handle, so the list can grow while we join.
         loop {
             let handles: Vec<JoinHandle<()>> = {
-                let mut guard = self.ctx.threads.lock().unwrap_or_else(|e| e.into_inner());
+                let mut guard = self.ctx.threads.lock();
                 guard.drain(..).collect()
             };
             if handles.is_empty() {

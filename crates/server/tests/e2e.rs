@@ -289,3 +289,30 @@ fn udc_mode_serves_identically() {
     assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
     server.shutdown();
 }
+
+#[test]
+fn lockcheck_sanitizer_clean_session() {
+    // Turn the runtime lock-order sanitizer on for the whole process
+    // (equivalent to LDC_LOCKCHECK=1) and drive a busy mixed session over
+    // every shard. Any rank inversion panics the acquiring thread, which
+    // surfaces here as a request error or a hung shutdown.
+    ldc_obs::lockcheck::enable();
+    let server = start_small();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for i in 0..300u32 {
+        let key = format!("lk{i:05}").into_bytes();
+        client.put(&key, format!("v{i}").as_bytes()).unwrap();
+        if i % 3 == 0 {
+            let (value, _) = client.get(&key).unwrap();
+            assert_eq!(value, Some(format!("v{i}").into_bytes()));
+        }
+    }
+    let (rows, _) = client.scan(b"lk", 64).unwrap();
+    assert_eq!(rows.len(), 64);
+    client.stats().unwrap();
+    server.shutdown();
+    // A clean run leaves this thread holding no ranked locks, and the
+    // sanitizer is active in debug builds / compiled out in release.
+    assert_eq!(ldc_obs::lockcheck::held_depth(), 0);
+    assert_eq!(ldc_obs::lockcheck::is_active(), cfg!(debug_assertions));
+}
