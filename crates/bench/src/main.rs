@@ -43,6 +43,8 @@ fn usage() -> ! {
     eprintln!(
         "  repair            degraded-mode pipeline: scrub -> quarantine -> repair -> verify"
     );
+    eprintln!("  backup            checkpoint -> incremental stream -> crash -> restore ->");
+    eprintln!("                    verify, plus follower apply-crash recovery, UDC and LDC");
     eprintln!("  readwhilewriting  1 writer + N readers on a shared handle, UDC vs LDC");
     eprintln!("                    [--readers N] [--quick] [--out PATH] + common flags");
     eprintln!("  tail              deterministic mixed load, UDC vs LDC: P50..P99.99 +");
@@ -107,6 +109,100 @@ fn run_repair(args: CommonArgs) -> Result<(), String> {
     if report.surviving_keys == 0 {
         return Err("repair lost every key".to_string());
     }
+    println!("OK");
+    Ok(())
+}
+
+/// The crash-mid-backup pipeline from EXPERIMENTS.md, end to end: profile
+/// the backup's op timeline, kill the power inside checkpoint creation and
+/// mid-ship, restore (or prove the torn checkpoint is refused), bootstrap
+/// a follower from the surviving stream, then crash the follower itself
+/// mid-apply and recover it via the documented recipe. Every line prints
+/// the `(seed, crash op)` pair that replays it.
+fn run_backup(args: CommonArgs) -> Result<(), String> {
+    println!("# backup pipeline (seed {})", args.seed);
+    for (label, mode) in [
+        ("UDC", CompactionMode::Udc),
+        ("LDC", CompactionMode::Ldc(LdcConfig::default())),
+    ] {
+        let config = ChaosConfig {
+            ops: args.ops,
+            ..ChaosConfig::quick(args.seed, mode)
+        };
+        let harness = ChaosHarness::new(config);
+        let profile = harness.measure_backup_ops().map_err(|f| f.to_string())?;
+        println!(
+            "## {label}: checkpoint spans storage ops {}..={}, pipeline total {}",
+            profile.before_checkpoint + 1,
+            profile.checkpoint_done,
+            profile.total
+        );
+
+        // One point inside checkpoint creation, one just before its
+        // completeness marker, one in the shipping workload after it.
+        let points = [
+            profile.before_checkpoint + 1,
+            profile.checkpoint_done.saturating_sub(1),
+            (profile.checkpoint_done + profile.total) / 2,
+        ];
+        let reports = harness
+            .backup_crash_sweep(points)
+            .map_err(|f| f.to_string())?;
+        for r in &reports {
+            let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+            println!(
+                "crash @{}: {} acked writes, backup {}, restored prefix {}, follower cursor {}",
+                r.crash_op,
+                r.acked_writes,
+                if r.backup_complete {
+                    "complete"
+                } else {
+                    "incomplete (restore refused)"
+                },
+                opt(r.restored_prefix),
+                opt(r.follower_cursor),
+            );
+            if !r.crashed {
+                return Err(format!("{label}: crash point {} never fired", r.crash_op));
+            }
+        }
+        let last = reports.last().expect("sweep over three points");
+        if !last.backup_complete || last.restored_prefix.is_none() {
+            return Err(format!(
+                "{label}: a mid-ship crash must leave a restorable backup"
+            ));
+        }
+
+        // Follower side: crash the apply path, recover per the recipe
+        // (reopen from the durable cursor, or wipe and re-bootstrap), and
+        // require catch-up to the full stream a clean run reaches.
+        let clean = harness.run_apply_crash(0).map_err(|f| f.to_string())?;
+        let applies = harness
+            .apply_crash_sweep([3, clean.follower_ops.saturating_sub(5)])
+            .map_err(|f| f.to_string())?;
+        for r in &applies {
+            println!(
+                "apply crash @{}: durable cursor {} at crash, {} after recovery (stream {})",
+                r.crash_op, r.applied_before_crash, r.final_cursor, clean.final_cursor
+            );
+            if !r.crashed {
+                return Err(format!(
+                    "{label}: apply crash point {} never fired",
+                    r.crash_op
+                ));
+            }
+            if r.final_cursor != clean.final_cursor {
+                return Err(format!(
+                    "{label}: follower recovered to cursor {}, clean run reaches {}",
+                    r.final_cursor, clean.final_cursor
+                ));
+            }
+        }
+    }
+    println!(
+        "replay: ldc-bench backup --seed {} --ops {} reproduces every line",
+        args.seed, args.ops
+    );
     println!("OK");
     Ok(())
 }
@@ -485,6 +581,13 @@ fn main() {
             let common = CommonArgs::from_iter(400, args);
             if let Err(detail) = run_repair(common) {
                 eprintln!("repair pipeline FAILED: {detail}");
+                std::process::exit(1);
+            }
+        }
+        "backup" => {
+            let common = CommonArgs::from_iter(300, args);
+            if let Err(detail) = run_backup(common) {
+                eprintln!("backup pipeline FAILED: {detail}");
                 std::process::exit(1);
             }
         }

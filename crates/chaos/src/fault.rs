@@ -376,6 +376,24 @@ impl StorageBackend for FaultStorage {
         }
     }
 
+    fn link_file(&self, from: &str, to: &str, class: IoClass) -> SsdResult<()> {
+        match self.mutate_gate("link_file", to)? {
+            None => self.inner.link_file(from, to, class),
+            Some(mut ctx) => {
+                // Like write_file and rename, a link is a metadata op:
+                // power loss leaves it fully applied or not at all.
+                if ctx.rng.gen_bool(0.5) {
+                    self.inner.link_file(from, to, class)?;
+                }
+                Err(Self::power_loss_error(self.mutating_ops(), "link_file"))
+            }
+        }
+    }
+
+    fn list_dir(&self, prefix: &str) -> Vec<String> {
+        self.inner.list_dir(prefix)
+    }
+
     fn list(&self) -> Vec<String> {
         self.inner.list()
     }

@@ -24,10 +24,15 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use ldc_core::{CompactionMode, LdcDb};
-use ldc_lsm::{repair_db, CorruptionPolicy, Options, RecoverySummary, RepairReport};
+use ldc_core::{CompactionMode, LdcDb, LdcDbBuilder};
+use ldc_lsm::backup::for_each_stream_edit;
+use ldc_lsm::{
+    backup_prefix, checkpoint_complete, repair_db, restore_backup, CorruptionPolicy, Options,
+    RecoverySummary, RepairReport,
+};
 use ldc_obs::{EventKind, RingBufferSink, SharedSink};
 use ldc_ssd::{MemStorage, SsdDevice, StorageBackend};
+use ldc_sync::Follower;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -202,6 +207,76 @@ pub struct IoErrorReport {
     pub injected_errors: u64,
     /// Workload index of the first failed operation, if any failed.
     pub first_error_op: Option<u64>,
+}
+
+/// Mutating-op landmarks of the benign backup pipeline, for aiming crash
+/// points at specific phases (see [`ChaosHarness::measure_backup_ops`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackupOpsProfile {
+    /// Mutating ops performed before `backup_begin` was called; crash
+    /// points in `before_checkpoint+1 ..= checkpoint_done` land inside
+    /// base-checkpoint creation.
+    pub before_checkpoint: u64,
+    /// Mutating ops when `backup_begin` returned.
+    pub checkpoint_done: u64,
+    /// Total mutating ops of the full pipeline; crash points in
+    /// `checkpoint_done+1 ..= total` land in the shipping workload.
+    pub total: u64,
+}
+
+/// Result of one primary-side backup crash run (checkpoint creation or
+/// stream shipping interrupted by power loss).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackupCrashReport {
+    /// The mutating-op index the power died on.
+    pub crash_op: u64,
+    /// Whether the crash actually fired.
+    pub crashed: bool,
+    /// Writes acknowledged before the crash.
+    pub acked_writes: u64,
+    /// What the power cycle discarded.
+    pub power_cycle: PowerCycleReport,
+    /// Whether the backup's base checkpoint survived complete (its
+    /// `CURRENT` marker is durable).
+    pub backup_complete: bool,
+    /// The acknowledged-history prefix the restored copy matched:
+    /// restored state == state after this many acknowledged writes
+    /// (`acked_writes + 1` encodes "final state plus the in-flight
+    /// write"). `None` when the backup was incomplete and refused.
+    pub restored_prefix: Option<u64>,
+    /// Replication cursor of a follower bootstrapped from the surviving
+    /// backup, when it was complete.
+    pub follower_cursor: Option<u64>,
+}
+
+/// Result of one follower-side apply crash run (power loss during
+/// bootstrap restore or stream apply on the follower's storage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyCrashReport {
+    /// The mutating-op index (on the follower's storage) the power died on.
+    pub crash_op: u64,
+    /// Whether the crash actually fired.
+    pub crashed: bool,
+    /// The follower's durable cursor right after the interrupted poll.
+    pub applied_before_crash: u64,
+    /// Cursor after recovery and catch-up — the full stream length.
+    pub final_cursor: u64,
+    /// Total mutating ops the pipeline performed on the follower's
+    /// storage (the crash-point space for [`ChaosHarness::run_apply_crash`]).
+    pub follower_ops: u64,
+}
+
+/// What [`ChaosHarness::drive_backup_primary`] observed before stopping.
+struct BackupPrimaryRun {
+    /// Final acknowledged key space.
+    model: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// `boundaries[n]` is the key space after the first `n` acknowledged
+    /// writes; a restored backup must land on one of these states.
+    boundaries: Vec<BTreeMap<Vec<u8>, Vec<u8>>>,
+    in_flight: Option<(Vec<u8>, Option<Vec<u8>>)>,
+    acked: u64,
+    before_checkpoint: u64,
+    checkpoint_done: Option<u64>,
 }
 
 /// Deterministic fault-injection verifier over one [`ChaosConfig`].
@@ -455,6 +530,395 @@ impl ChaosHarness {
         points
             .into_iter()
             .map(|p| self.run_crash_point(p))
+            .collect()
+    }
+
+    fn builder(&self) -> LdcDbBuilder {
+        LdcDb::builder()
+            .options(self.config.options.clone())
+            .mode(self.config.mode.clone())
+    }
+
+    /// The primary side of the backup pipeline: first half of the
+    /// workload, `backup_begin` (base checkpoint + armed stream), second
+    /// half with periodic flushes so the stream grows, final flush. Stops
+    /// at the first error (the crash point) and reports what was
+    /// acknowledged and where the checkpoint phase sat in mutating-op
+    /// space.
+    fn drive_backup_primary(
+        &self,
+        storage: &Arc<dyn StorageBackend>,
+        fault: &FaultStorage,
+    ) -> BackupPrimaryRun {
+        let mut run = BackupPrimaryRun {
+            model: BTreeMap::new(),
+            boundaries: vec![BTreeMap::new()],
+            in_flight: None,
+            acked: 0,
+            before_checkpoint: 0,
+            checkpoint_done: None,
+        };
+        let db = match self.open(storage, None) {
+            Ok(db) => db,
+            Err(_) => return run,
+        };
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ WORKLOAD_STREAM);
+        let half = self.config.ops / 2;
+        for i in 0..self.config.ops {
+            if i == half {
+                db.drain_background();
+                run.before_checkpoint = fault.mutating_ops();
+                if db.backup_begin("chaos").is_err() {
+                    return run;
+                }
+                run.checkpoint_done = Some(fault.mutating_ops());
+            }
+            let (key, value) = self.gen_op(&mut rng, i);
+            let result = match &value {
+                Some(v) => db.put(&key, v),
+                None => db.delete(&key),
+            };
+            match result {
+                Ok(()) => {
+                    run.acked += 1;
+                    match value {
+                        Some(v) => {
+                            run.model.insert(key, v);
+                        }
+                        None => {
+                            run.model.remove(&key);
+                        }
+                    }
+                    run.boundaries.push(run.model.clone());
+                }
+                Err(_) => {
+                    run.in_flight = Some((key, value));
+                    return run;
+                }
+            }
+            if i >= half && (i - half) % 20 == 19 && db.flush().is_err() {
+                return run;
+            }
+        }
+        if db.flush().is_err() {
+            return run;
+        }
+        db.drain_background();
+        let _ = db.backup_end();
+        run
+    }
+
+    /// Runs the backup pipeline with a benign plan and returns its
+    /// mutating-op landmarks, so a sweep can aim crash points at the
+    /// checkpoint-creation and stream-shipping windows specifically.
+    pub fn measure_backup_ops(&self) -> Result<BackupOpsProfile, ChaosFailure> {
+        let fault = FaultStorage::new(
+            MemStorage::new(SsdDevice::with_defaults()),
+            FaultPlan::new(self.config.seed),
+        );
+        let storage: Arc<dyn StorageBackend> = fault.clone();
+        let run = self.drive_backup_primary(&storage, &fault);
+        let Some(checkpoint_done) = run.checkpoint_done else {
+            return Err(self.fail(
+                &fault,
+                "benign backup pipeline did not complete its checkpoint".to_string(),
+            ));
+        };
+        Ok(BackupOpsProfile {
+            before_checkpoint: run.before_checkpoint,
+            checkpoint_done,
+            total: fault.mutating_ops(),
+        })
+    }
+
+    /// Kills the power on mutating storage operation `crash_op` anywhere
+    /// in the primary-side backup pipeline — mid-checkpoint, mid-ship, or
+    /// mid-workload — then verifies every crash-consistency contract: the
+    /// primary recovers to exactly the acknowledged state; a complete
+    /// surviving backup restores (and bootstraps a follower) to a state
+    /// on the acknowledged-history prefix; an incomplete one is refused.
+    pub fn run_backup_crash(&self, crash_op: u64) -> Result<BackupCrashReport, ChaosFailure> {
+        let fault = FaultStorage::new(
+            MemStorage::new(SsdDevice::with_defaults()),
+            FaultPlan::crash_at(self.config.seed, crash_op),
+        );
+        let storage: Arc<dyn StorageBackend> = fault.clone();
+        let run = self.drive_backup_primary(&storage, &fault);
+        let crashed = fault.powered_off();
+        let power_cycle = fault
+            .power_cycle()
+            .map_err(|e| self.fail(&fault, format!("power cycle failed: {e}")))?;
+
+        // The primary itself recovers to exactly the acknowledged state.
+        let mut db = self
+            .open(&storage, None)
+            .map_err(|e| self.fail(&fault, format!("primary reopen failed: {e}")))?;
+        self.verify_exact(&mut db, &run.model, run.in_flight.as_ref())
+            .map_err(|d| self.fail(&fault, format!("primary after crash: {d}")))?;
+        drop(db);
+
+        // The in-flight write may have reached a shipped flush before the
+        // crash cut its put short — one more acceptable restore state.
+        let mut with_in_flight = run.model.clone();
+        if let Some((k, new)) = &run.in_flight {
+            match new {
+                Some(v) => {
+                    with_in_flight.insert(k.clone(), v.clone());
+                }
+                None => {
+                    with_in_flight.remove(k);
+                }
+            }
+        }
+        let on_prefix = |state: &BTreeMap<Vec<u8>, Vec<u8>>| -> Option<u64> {
+            match run.boundaries.iter().position(|b| b == state) {
+                Some(n) => Some(n as u64),
+                None if run.in_flight.is_some() && *state == with_in_flight => Some(run.acked + 1),
+                None => None,
+            }
+        };
+
+        let prefix = backup_prefix("chaos");
+        let backup_complete = checkpoint_complete(storage.as_ref(), &prefix);
+        let mut restored_prefix = None;
+        let mut follower_cursor = None;
+        if backup_complete {
+            let dst: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::with_defaults());
+            restore_backup(&storage, &prefix, &dst, self.config.options.max_levels).map_err(
+                |e| self.fail(&fault, format!("restore of complete backup failed: {e}")),
+            )?;
+            let restored_db = self
+                .open(&dst, None)
+                .map_err(|e| self.fail(&fault, format!("restored store failed to open: {e}")))?;
+            let restored: BTreeMap<Vec<u8>, Vec<u8>> = restored_db
+                .scan(b"", usize::MAX)
+                .map_err(|e| self.fail(&fault, format!("restored scan failed: {e}")))?
+                .into_iter()
+                .collect();
+            drop(restored_db);
+            restored_prefix = Some(on_prefix(&restored).ok_or_else(|| {
+                self.fail(
+                    &fault,
+                    format!(
+                        "restored backup ({} keys) matches no acknowledged-history prefix",
+                        restored.len()
+                    ),
+                )
+            })?);
+
+            // The real follower bootstraps from the same surviving backup
+            // and must land on an acknowledged prefix too.
+            let follower = Follower::bootstrap(
+                &storage,
+                "chaos",
+                self.builder(),
+                MemStorage::new(SsdDevice::with_defaults()),
+            )
+            .map_err(|e| self.fail(&fault, format!("follower bootstrap failed: {e}")))?;
+            follower
+                .poll()
+                .map_err(|e| self.fail(&fault, format!("follower poll failed: {e}")))?;
+            let fstate: BTreeMap<Vec<u8>, Vec<u8>> = follower
+                .db()
+                .scan(b"", usize::MAX)
+                .map_err(|e| self.fail(&fault, format!("follower scan failed: {e}")))?
+                .into_iter()
+                .collect();
+            if on_prefix(&fstate).is_none() {
+                return Err(self.fail(
+                    &fault,
+                    "follower state matches no acknowledged-history prefix".to_string(),
+                ));
+            }
+            follower_cursor = Some(follower.db().replication_cursor());
+        } else {
+            // Incomplete checkpoints must be refused, not half-restored.
+            let dst: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::with_defaults());
+            if restore_backup(&storage, &prefix, &dst, self.config.options.max_levels).is_ok() {
+                return Err(self.fail(&fault, "restore accepted an incomplete backup".to_string()));
+            }
+        }
+
+        Ok(BackupCrashReport {
+            crash_op,
+            crashed,
+            acked_writes: run.acked,
+            power_cycle,
+            backup_complete,
+            restored_prefix,
+            follower_cursor,
+        })
+    }
+
+    /// Sweeps [`ChaosHarness::run_backup_crash`] over `points`.
+    pub fn backup_crash_sweep(
+        &self,
+        points: impl IntoIterator<Item = u64>,
+    ) -> Result<Vec<BackupCrashReport>, ChaosFailure> {
+        points
+            .into_iter()
+            .map(|p| self.run_backup_crash(p))
+            .collect()
+    }
+
+    /// Kills the power on mutating storage operation `crash_op` of the
+    /// *follower's* storage — during the bootstrap restore or during a
+    /// stream-apply poll — then recovers via the documented recipe
+    /// (reopen when the store exists, wipe and re-bootstrap when the
+    /// crash predated its creation) and verifies the follower converges
+    /// exactly to the primary's final state. `crash_op = 0` never fires
+    /// and measures the benign pipeline instead.
+    pub fn run_apply_crash(&self, crash_op: u64) -> Result<ApplyCrashReport, ChaosFailure> {
+        let fault = FaultStorage::new(
+            MemStorage::new(SsdDevice::with_defaults()),
+            FaultPlan::crash_at(self.config.seed, crash_op),
+        );
+        let fdst: Arc<dyn StorageBackend> = fault.clone();
+
+        // The primary runs clean on its own storage; only the follower's
+        // disk is faulted.
+        let pstorage: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::with_defaults());
+        let db = self
+            .open(&pstorage, None)
+            .map_err(|e| self.fail(&fault, format!("primary open failed: {e}")))?;
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ WORKLOAD_STREAM);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let half = self.config.ops / 2;
+        let write =
+            |db: &LdcDb, i: u64, rng: &mut SmallRng, model: &mut BTreeMap<Vec<u8>, Vec<u8>>| {
+                let (key, value) = self.gen_op(rng, i);
+                match &value {
+                    Some(v) => db.put(&key, v),
+                    None => db.delete(&key),
+                }
+                .map_err(|e| self.fail(&fault, format!("primary write {i} failed: {e}")))?;
+                match value {
+                    Some(v) => {
+                        model.insert(key, v);
+                    }
+                    None => {
+                        model.remove(&key);
+                    }
+                }
+                Ok(())
+            };
+        for i in 0..half {
+            write(&db, i, &mut rng, &mut model)?;
+        }
+        db.drain_background();
+        db.backup_begin("chaos")
+            .map_err(|e| self.fail(&fault, format!("backup_begin failed: {e}")))?;
+
+        // Bootstrap through the fault storage: the crash point may land
+        // inside the base restore itself.
+        let mut follower =
+            Follower::bootstrap(&pstorage, "chaos", self.builder(), Arc::clone(&fdst)).ok();
+
+        // Grow the stream past the base checkpoint.
+        for i in half..self.config.ops {
+            write(&db, i, &mut rng, &mut model)?;
+            if (i - half) % 20 == 19 {
+                db.flush()
+                    .map_err(|e| self.fail(&fault, format!("primary flush failed: {e}")))?;
+            }
+        }
+        db.flush()
+            .map_err(|e| self.fail(&fault, format!("primary final flush failed: {e}")))?;
+        db.drain_background();
+
+        // Tail it; the crash point fires during the follower's table
+        // copies or manifest appends.
+        let mut applied_before_crash = 0;
+        if let Some(f) = &follower {
+            if f.poll().is_err() {
+                applied_before_crash = f.db().replication_cursor();
+            }
+        }
+        let crashed = fault.powered_off();
+        if crashed {
+            fault
+                .power_cycle()
+                .map_err(|e| self.fail(&fault, format!("follower power cycle failed: {e}")))?;
+            drop(follower.take());
+            let recovered = if fdst.exists("CURRENT") {
+                Follower::reopen(&pstorage, "chaos", self.builder(), Arc::clone(&fdst))
+            } else {
+                for name in fdst.list() {
+                    fdst.delete(&name)
+                        .map_err(|e| self.fail(&fault, format!("wipe failed: {e}")))?;
+                }
+                Follower::bootstrap(&pstorage, "chaos", self.builder(), Arc::clone(&fdst))
+            }
+            .map_err(|e| self.fail(&fault, format!("follower recovery failed: {e}")))?;
+            follower = Some(recovered);
+        }
+        let follower = follower.ok_or_else(|| {
+            self.fail(
+                &fault,
+                "follower bootstrap failed without a crash".to_string(),
+            )
+        })?;
+        follower
+            .poll()
+            .map_err(|e| self.fail(&fault, format!("catch-up poll failed: {e}")))?;
+
+        // Exact convergence with the primary's final state.
+        for idx in 0..self.config.key_space {
+            let key = Self::key_for(idx);
+            let got = follower
+                .db()
+                .get(&key)
+                .map_err(|e| self.fail(&fault, format!("follower get failed: {e}")))?;
+            if got.as_deref() != model.get(&key).map(|v| v.as_slice()) {
+                return Err(self.fail(
+                    &fault,
+                    format!(
+                        "follower diverged on key {} after recovery",
+                        String::from_utf8_lossy(&key)
+                    ),
+                ));
+            }
+        }
+        if follower.lag() != 0 {
+            return Err(self.fail(
+                &fault,
+                format!(
+                    "follower still lags {} records after catch-up",
+                    follower.lag()
+                ),
+            ));
+        }
+        let total = for_each_stream_edit(
+            pstorage.as_ref(),
+            &backup_prefix("chaos"),
+            u64::MAX,
+            |_, _| Ok(()),
+        )
+        .map_err(|e| self.fail(&fault, format!("stream count failed: {e}")))?;
+        let final_cursor = follower.db().replication_cursor();
+        if final_cursor != total {
+            return Err(self.fail(
+                &fault,
+                format!("follower cursor {final_cursor} != stream length {total}"),
+            ));
+        }
+        Ok(ApplyCrashReport {
+            crash_op,
+            crashed,
+            applied_before_crash,
+            final_cursor,
+            follower_ops: fault.mutating_ops(),
+        })
+    }
+
+    /// Sweeps [`ChaosHarness::run_apply_crash`] over `points`.
+    pub fn apply_crash_sweep(
+        &self,
+        points: impl IntoIterator<Item = u64>,
+    ) -> Result<Vec<ApplyCrashReport>, ChaosFailure> {
+        points
+            .into_iter()
+            .map(|p| self.run_apply_crash(p))
             .collect()
     }
 
@@ -1002,6 +1466,86 @@ mod tests {
             report.surviving_keys > 0,
             "repair lost every key: {report:?}"
         );
+    }
+
+    #[test]
+    fn backup_crash_sweep_lands_on_acknowledged_prefixes() {
+        use ldc_core::LdcConfig;
+        for mode in [
+            CompactionMode::Udc,
+            CompactionMode::Ldc(LdcConfig::default()),
+        ] {
+            let h = ChaosHarness::new(ChaosConfig {
+                ops: 120,
+                ..ChaosConfig::quick(21, mode)
+            });
+            let profile = h.measure_backup_ops().unwrap();
+            assert!(profile.before_checkpoint < profile.checkpoint_done);
+            assert!(profile.checkpoint_done < profile.total);
+            // One point early in checkpoint creation, one just before its
+            // CURRENT marker, one in the middle of the shipping workload.
+            let mid_checkpoint = profile.before_checkpoint + 1;
+            let late_checkpoint = profile.checkpoint_done - 1;
+            let mid_ship = (profile.checkpoint_done + profile.total) / 2;
+            let reports = h
+                .backup_crash_sweep([mid_checkpoint, late_checkpoint, mid_ship])
+                .unwrap();
+            assert!(reports.iter().all(|r| r.crashed));
+            // Crashes before the marker leave an incomplete (refused)
+            // backup; after it, the backup restores to an acknowledged
+            // prefix and a follower bootstraps from it.
+            assert!(!reports[0].backup_complete);
+            assert!(reports[2].backup_complete);
+            assert!(reports[2].restored_prefix.is_some());
+            assert!(reports[2].follower_cursor.is_some());
+        }
+    }
+
+    #[test]
+    fn backup_crash_is_deterministic() {
+        let h = harness(22);
+        let profile = h.measure_backup_ops().unwrap();
+        let p = (profile.checkpoint_done + profile.total) / 2;
+        assert_eq!(
+            h.run_backup_crash(p).unwrap(),
+            h.run_backup_crash(p).unwrap()
+        );
+    }
+
+    #[test]
+    fn apply_crash_recovers_via_documented_recipe() {
+        use ldc_core::LdcConfig;
+        for mode in [
+            CompactionMode::Udc,
+            CompactionMode::Ldc(LdcConfig::default()),
+        ] {
+            let h = ChaosHarness::new(ChaosConfig {
+                ops: 120,
+                ..ChaosConfig::quick(23, mode)
+            });
+            // crash_op 0 never fires: measures the follower-side op space.
+            let clean = h.run_apply_crash(0).unwrap();
+            assert!(!clean.crashed);
+            assert!(clean.final_cursor > 0);
+            // Early point lands in the bootstrap restore (wipe +
+            // re-bootstrap recovery); late point in the apply poll
+            // (reopen + resume from the durable cursor).
+            let reports = h
+                .apply_crash_sweep([3, clean.follower_ops.saturating_sub(5)])
+                .unwrap();
+            for r in &reports {
+                assert!(r.crashed, "point did not fire: {r:?}");
+                assert_eq!(r.final_cursor, clean.final_cursor);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_crash_is_deterministic() {
+        let h = harness(24);
+        let clean = h.run_apply_crash(0).unwrap();
+        let p = clean.follower_ops / 2;
+        assert_eq!(h.run_apply_crash(p).unwrap(), h.run_apply_crash(p).unwrap());
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   engine's bounded retry budget masks them completely.
 //! * The full **degraded-mode pipeline** — scrub → quarantine → repair →
 //!   verify — over a bit-flipped store.
+//! * **Backup & replication crashes** — power loss mid-checkpoint,
+//!   mid-ship, and mid-apply — proving a surviving backup restores (and a
+//!   follower converges) to a state on the acknowledged-history prefix,
+//!   and an incomplete checkpoint is refused rather than half-restored.
 //!
 //! Everything derives from a seed: a failing run is reproducible from the
 //! `(seed, crash point)` pair its [`ChaosFailure`] prints.
@@ -31,7 +35,8 @@ mod plan;
 
 pub use fault::{FaultStorage, PowerCycleReport};
 pub use harness::{
-    BitFlipOutcome, BitFlipReport, ChaosConfig, ChaosFailure, ChaosHarness, CrashPointReport,
-    IoErrorReport, ScrubRepairReport, TransientReadReport,
+    ApplyCrashReport, BackupCrashReport, BackupOpsProfile, BitFlipOutcome, BitFlipReport,
+    ChaosConfig, ChaosFailure, ChaosHarness, CrashPointReport, IoErrorReport, ScrubRepairReport,
+    TransientReadReport,
 };
 pub use plan::{BitFlipTarget, FaultPlan};

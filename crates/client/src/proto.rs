@@ -117,6 +117,9 @@ pub enum Status {
     /// The server is draining; no new work is admitted. Retryable
     /// against a replica, not against this process.
     ShuttingDown,
+    /// The shard is a read-only replication follower; writes must go to
+    /// the primary. Not retryable here.
+    ReadOnly,
 }
 
 impl Status {
@@ -139,6 +142,7 @@ impl Status {
             Status::InvalidState => 6,
             Status::Protocol => 7,
             Status::ShuttingDown => 8,
+            Status::ReadOnly => 9,
         }
     }
 
@@ -153,6 +157,7 @@ impl Status {
             6 => Status::InvalidState,
             7 => Status::Protocol,
             8 => Status::ShuttingDown,
+            9 => Status::ReadOnly,
             other => return Err(ProtoError::BadStatus(other)),
         })
     }
@@ -169,6 +174,7 @@ impl Status {
             Status::InvalidState => "invalid_state",
             Status::Protocol => "protocol",
             Status::ShuttingDown => "shutting_down",
+            Status::ReadOnly => "read_only",
         }
     }
 }
@@ -198,6 +204,14 @@ pub struct ServerStats {
     /// Malformed request frames the server answered with
     /// [`Status::Protocol`].
     pub protocol_errors: u64,
+    /// Whether this process is a read-only replication follower.
+    pub follower: bool,
+    /// Follower only: stream records shipped by the primary but not yet
+    /// applied here, as of the last tailing round.
+    pub follower_lag: u64,
+    /// Follower only: stream records applied over the store's lifetime
+    /// (its durable replication cursor).
+    pub follower_cursor: u64,
 }
 
 /// Result payload of a response.
@@ -490,6 +504,9 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 out.extend_from_slice(&s.depth_high_water.to_le_bytes());
             }
             out.extend_from_slice(&stats.protocol_errors.to_le_bytes());
+            out.push(stats.follower as u8);
+            out.extend_from_slice(&stats.follower_lag.to_le_bytes());
+            out.extend_from_slice(&stats.follower_cursor.to_le_bytes());
         }
         ResponseBody::RetryAfterMs(ms) => {
             out.push(5);
@@ -555,9 +572,15 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
                 });
             }
             let protocol_errors = cur.u64()?;
+            let follower = cur.u8()? != 0;
+            let follower_lag = cur.u64()?;
+            let follower_cursor = cur.u64()?;
             ResponseBody::Stats(ServerStats {
                 shards,
                 protocol_errors,
+                follower,
+                follower_lag,
+                follower_cursor,
             })
         }
         5 => ResponseBody::RetryAfterMs(cur.u32()?),
@@ -712,6 +735,9 @@ mod tests {
                     depth_high_water: 5,
                 }],
                 protocol_errors: 3,
+                follower: true,
+                follower_lag: 7,
+                follower_cursor: 42,
             }),
             ResponseBody::RetryAfterMs(25),
             ResponseBody::Message("storage: io error".to_string()),
@@ -840,8 +866,17 @@ mod tests {
             Status::InvalidArgument,
             Status::InvalidState,
             Status::Protocol,
+            Status::ReadOnly,
         ] {
             assert!(!s.is_retryable(), "{s:?}");
         }
+    }
+
+    #[test]
+    fn read_only_status_roundtrips() {
+        assert_eq!(Status::ReadOnly.label(), "read_only");
+        let resp = Response::error(7, Status::ReadOnly, "follower shard refuses writes");
+        let decoded = decode_response(&encode_response(&resp)).unwrap();
+        assert_eq!(decoded, resp);
     }
 }

@@ -55,6 +55,9 @@ fn body_from(tag: u8, a: Vec<u8>, entries: Vec<(Vec<u8>, Vec<u8>)>, n: u32) -> R
                 depth_high_water: n % 200,
             }],
             protocol_errors: u64::from(n % 5),
+            follower: n.is_multiple_of(3),
+            follower_lag: u64::from(n % 7),
+            follower_cursor: u64::from(n),
         }),
         5 => ResponseBody::RetryAfterMs(n),
         _ => ResponseBody::Message(String::from_utf8_lossy(&a).into_owned()),

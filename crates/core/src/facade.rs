@@ -60,6 +60,12 @@ impl LdcDbBuilder {
         self
     }
 
+    /// The options the store will open with (read-only; e.g. a follower
+    /// bootstrap needs `max_levels` before the store exists).
+    pub fn options_ref(&self) -> &Options {
+        &self.options
+    }
+
     /// Replaces the simulated-SSD profile.
     pub fn ssd_config(mut self, ssd: SsdConfig) -> Self {
         self.ssd = ssd;
@@ -402,6 +408,55 @@ impl LdcDb {
     /// the virtual nanoseconds waited. Call at measurement boundaries.
     pub fn drain_background(&self) -> u64 {
         self.inner.drain_background()
+    }
+
+    /// Flushes both memtables and rotates the WAL, so the version alone
+    /// captures every acknowledged write.
+    pub fn flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    /// Creates an online, crash-consistent checkpoint named `name` under
+    /// the `ckpt-<name>@` prefix on this store's storage. Restore it with
+    /// [`ldc_lsm::restore_checkpoint`].
+    pub fn checkpoint(&self, name: &str) -> Result<ldc_lsm::CheckpointReport> {
+        self.inner.checkpoint(name)
+    }
+
+    /// Starts incremental backup `name`: a base checkpoint under
+    /// `backup-<name>@` plus an armed edit-stream shipper that appends
+    /// every subsequent version change (and links its new SSTables) until
+    /// [`LdcDb::backup_end`]. Restore with [`ldc_lsm::restore_backup`].
+    pub fn backup_begin(&self, name: &str) -> Result<ldc_lsm::CheckpointReport> {
+        self.inner.backup_begin(name)
+    }
+
+    /// Stops the active backup stream, returning `(edits, files, bytes)`
+    /// shipped, or `None` when no stream was armed.
+    pub fn backup_end(&self) -> Option<(u64, u64, u64)> {
+        self.inner.backup_end()
+    }
+
+    /// Whether an incremental backup stream is currently armed.
+    pub fn shipping(&self) -> bool {
+        self.inner.shipping()
+    }
+
+    /// Progress of the armed backup stream as `(edits, files, bytes)`.
+    pub fn shipper_progress(&self) -> Option<(u64, u64, u64)> {
+        self.inner.shipper_progress()
+    }
+
+    /// How many backup-stream records this store has applied (nonzero
+    /// only on followers / restored backups).
+    pub fn replication_cursor(&self) -> u64 {
+        self.inner.replication_cursor()
+    }
+
+    /// Applies one replicated version edit (the read-only follower's
+    /// write path; see `ldc-sync`).
+    pub fn apply_remote_edit(&self, edit: &ldc_lsm::version::VersionEdit) -> Result<()> {
+        self.inner.apply_remote_edit(edit)
     }
 
     /// Access to the underlying engine (experiments, tests). The engine

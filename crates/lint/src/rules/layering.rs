@@ -1,8 +1,9 @@
 //! Rule `layering`: crate dependencies must respect the layer DAG
 //!
 //! ```text
-//! obs  <-  ssd  <-  lsm  <-  core  <-  {chaos, workload}  <-  bench
+//! obs  <-  ssd  <-  lsm  <-  core  <-  {chaos, workload, sync}  <-  bench
 //!                            core  <-  client  <-  server  <-  bench
+//!                            sync  <-  {chaos, server}
 //! ```
 //!
 //! Lower layers must never know about higher layers: `ldc-obs` is pure
@@ -33,14 +34,18 @@ pub fn allowed_deps() -> BTreeMap<&'static str, &'static [&'static str]> {
     m.insert("ssd", &["obs"]);
     m.insert("lsm", &["obs", "ssd"]);
     m.insert("core", &["obs", "ssd", "lsm"]);
-    m.insert("chaos", &["obs", "ssd", "lsm", "core"]);
+    // The chaos harness also drives the real replication follower.
+    m.insert("chaos", &["obs", "ssd", "lsm", "core", "sync"]);
     m.insert("workload", &["obs", "ssd", "lsm", "core"]);
+    // The replication follower reaches the engine only through `core`'s
+    // facade and re-exports, exactly like the network tier.
+    m.insert("sync", &["obs", "core"]);
     m.insert("client", &["obs", "core", "workload"]);
-    m.insert("server", &["obs", "core", "workload", "client"]);
+    m.insert("server", &["obs", "core", "workload", "client", "sync"]);
     m.insert(
         "bench",
         &[
-            "obs", "ssd", "lsm", "core", "chaos", "workload", "client", "server",
+            "obs", "ssd", "lsm", "core", "chaos", "workload", "sync", "client", "server",
         ],
     );
     // The lint crate reads the lock table through the runtime sanitizer's
@@ -122,7 +127,7 @@ pub fn check_source(path: &str, view: &SourceView) -> Vec<Diagnostic> {
     };
     let mut out = Vec::new();
     for layer in [
-        "obs", "ssd", "lsm", "core", "chaos", "workload", "client", "server", "bench",
+        "obs", "ssd", "lsm", "core", "chaos", "workload", "sync", "client", "server", "bench",
     ] {
         if layer == krate || allow.contains(&layer) {
             continue;

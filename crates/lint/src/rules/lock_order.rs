@@ -48,6 +48,7 @@ pub const SCOPED_FILES: &[&str] = &[
     "crates/obs/src/metrics.rs",
     "crates/obs/src/trace.rs",
     "crates/server/src/server.rs",
+    "crates/sync/src/tailer.rs",
 ];
 
 /// Is `path` (workspace-relative) in this rule's scope?

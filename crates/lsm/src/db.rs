@@ -66,6 +66,7 @@ use ldc_obs::{
 };
 use ldc_ssd::{IoClass, Nanos, SsdDevice, StorageBackend, TimeCategory};
 
+use crate::backup::{self, CheckpointReport};
 use crate::batch::{BatchOp, WriteBatch};
 use crate::cache::{BlockCache, CacheCounters, TableCache};
 use crate::commit::{CommitQueue, Role, Ticket};
@@ -81,7 +82,8 @@ use crate::types::{
     MAX_SEQUENCE, TYPE_FOR_SEEK,
 };
 use crate::version::{
-    log_file_name, table_file_name, FileMeta, SliceLink, Version, VersionEdit, VersionSet,
+    log_file_name, table_file_name, FileMeta, Shipper, SliceLink, Version, VersionEdit, VersionSet,
+    STREAM_FILE,
 };
 use crate::wal::{LogReader, LogWriter};
 
@@ -118,6 +120,10 @@ pub struct DbStats {
     pub write_groups: u64,
     /// Batches committed inside those multi-batch groups (sizes summed).
     pub grouped_batches: u64,
+    /// Online checkpoints created (including backup base images).
+    pub checkpoints: u64,
+    /// Replicated version edits applied (follower side).
+    pub edits_applied: u64,
 }
 
 /// What one [`Db::open`] recovery did: replay volume, torn tails cut, and
@@ -336,6 +342,10 @@ pub struct Db {
     bloom_skips: AtomicU64,
     /// Reads currently in flight (holding a pinned view).
     read_pins: AtomicU64,
+    /// Checkpoint creations currently in flight. While nonzero, physical
+    /// deletion of dropped tables is deferred: the checkpoint's phase 2
+    /// links files from a pinned version without holding the core lock.
+    ckpt_pins: AtomicU64,
     /// What the opening recovery replayed/discarded.
     recovery: RecoverySummary,
 }
@@ -528,6 +538,7 @@ impl Db {
             scans: AtomicU64::new(0),
             bloom_skips: AtomicU64::new(0),
             read_pins: AtomicU64::new(0),
+            ckpt_pins: AtomicU64::new(0),
             recovery,
         };
 
@@ -650,12 +661,14 @@ impl Db {
     /// the simulated SSD's GC/wear state.
     pub fn stats_report(&self) -> String {
         use std::fmt::Write as _;
-        let (s, version, quarantined) = {
+        let (s, version, quarantined, ship, cursor) = {
             let core = self.core.lock();
             (
                 self.fold_stats(core.stats),
                 Arc::clone(&core.versions.current),
                 core.quarantined.clone(),
+                core.versions.shipper_stats(),
+                core.versions.replication_cursor,
             )
         };
         self.refresh_level_gauges(&version);
@@ -703,6 +716,30 @@ impl Db {
                 "Write groups: {} groups coalescing {} batches",
                 s.write_groups, s.grouped_batches
             );
+        }
+        // Printed only when the machinery was used, so stores that never
+        // checkpoint/replicate emit byte-identical reports to older builds.
+        if s.checkpoints + s.edits_applied + cursor > 0 || ship.is_some() {
+            if let Some((edits, files, bytes)) = ship {
+                self.metrics.set_edits_shipped(edits);
+                let _ = writeln!(
+                    out,
+                    "Replication: {} checkpoints, {} edits shipped \
+                     ({} files, {:.1} MB), {} edits applied (cursor {})",
+                    s.checkpoints,
+                    edits,
+                    files,
+                    mb(bytes),
+                    s.edits_applied,
+                    cursor
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "Replication: {} checkpoints, {} edits applied (cursor {})",
+                    s.checkpoints, s.edits_applied, cursor
+                );
+            }
         }
 
         let cache = self.block_cache.counters();
@@ -1515,7 +1552,10 @@ impl Db {
     /// delete cost (a filesystem op per file) is booked on the background
     /// lane, like the compaction work that orphaned the files.
     fn reap_pending_deletes(&self, core: &mut DbCore) -> Result<()> {
-        if core.pending_deletes.is_empty() || self.read_pins.load(Ordering::SeqCst) != 0 {
+        if core.pending_deletes.is_empty()
+            || self.read_pins.load(Ordering::SeqCst) != 0
+            || self.ckpt_pins.load(Ordering::SeqCst) != 0
+        {
             return Ok(());
         }
         let t0 = self.device.clock().now();
@@ -1988,6 +2028,244 @@ impl Db {
         self.tables.remove(file_number);
         self.block_cache.evict_file(file_number);
         core.pending_deletes.push(file_number);
+    }
+}
+
+impl Db {
+    // ------------------------------------------------------------------
+    // Checkpoints, incremental backup, replication
+    // ------------------------------------------------------------------
+
+    /// Flushes both memtables to Level 0 and rotates the WAL, so the
+    /// version alone captures every acknowledged write. Public so
+    /// harnesses can force a durable cut; checkpoint creation uses it as
+    /// its phase 1.
+    pub fn flush(&self) -> Result<()> {
+        let mut core = self.core.lock();
+        if let Some(e) = &core.bg_error {
+            return Err(e.clone());
+        }
+        let outcome = self.flush_all(&mut core);
+        if let Err(e) = &outcome {
+            core.bg_error = Some(e.clone());
+        }
+        self.publish_view(&core);
+        if let Err(e) = self.reap_pending_deletes(&mut core) {
+            if core.bg_error.is_none() {
+                core.bg_error = Some(e);
+            }
+        }
+        outcome
+    }
+
+    /// Flushes the pending immutable memtable (if any), then rotates the
+    /// WAL and flushes the active memtable — the write path's rotation
+    /// sequence, without parking the memtable in the `imm` slot.
+    fn flush_all(&self, core: &mut DbCore) -> Result<()> {
+        if let Some(imm) = core.imm.take() {
+            let wal = core.imm_wal_to_delete.take();
+            self.flush_table(core, &imm, None)?;
+            if let Some(wal) = wal {
+                if self.storage.exists(&wal) {
+                    self.storage.delete(&wal)?;
+                }
+            }
+        }
+        if core.mem.is_empty() {
+            return Ok(());
+        }
+        let mut new_log_number = core.versions.new_file_number();
+        while self.storage.exists(&log_file_name(new_log_number)) {
+            new_log_number = core.versions.new_file_number();
+        }
+        let old_log = core.wal.name().to_string();
+        core.wal = LogWriter::new(
+            Arc::clone(&self.storage),
+            log_file_name(new_log_number),
+            IoClass::WalWrite,
+        );
+        let seed = self.options.seed ^ core.versions.next_file_number;
+        let full = std::mem::replace(&mut core.mem, Arc::new(MemTable::new(seed)));
+        self.flush_table(core, &full, Some(new_log_number))?;
+        if old_log != log_file_name(new_log_number) && self.storage.exists(&old_log) {
+            self.storage.delete(&old_log)?;
+        }
+        Ok(())
+    }
+
+    /// Creates online checkpoint `name`: a crash-consistent image of the
+    /// store under the `ckpt-<name>@` prefix on the same storage, openable
+    /// after [`backup::restore_checkpoint`] copies it out. Writers keep
+    /// running during phase 2 (the bulk of the work); the image reflects
+    /// exactly the writes acknowledged before the internal pin.
+    pub fn checkpoint(&self, name: &str) -> Result<CheckpointReport> {
+        backup::validate_name(name)?;
+        self.checkpoint_to(&backup::checkpoint_prefix(name), false)
+    }
+
+    /// Starts incremental backup `name`: writes a base checkpoint under
+    /// the `backup-<name>@` prefix and arms the edit-stream shipper, so
+    /// every subsequent version change is appended to
+    /// `backup-<name>@EDITS` (with its new SSTables linked alongside)
+    /// until [`Db::backup_end`]. Restore with [`backup::restore_backup`].
+    pub fn backup_begin(&self, name: &str) -> Result<CheckpointReport> {
+        backup::validate_name(name)?;
+        let prefix = backup::backup_prefix(name);
+        if self.storage.exists(&format!("{prefix}{STREAM_FILE}")) {
+            return Err(Error::InvalidArgument(format!(
+                "backup {name:?} already has an edit stream \
+                 (complete, or crashed mid-backup; delete its files first)"
+            )));
+        }
+        self.checkpoint_to(&prefix, true)
+    }
+
+    /// Stops shipping to the active backup stream, returning its totals
+    /// as `(edits_shipped, files_shipped, bytes_shipped)`; `None` if no
+    /// stream was armed. The stream stays on storage — restore still
+    /// replays everything shipped so far.
+    pub fn backup_end(&self) -> Option<(u64, u64, u64)> {
+        let mut core = self.core.lock();
+        let stats = core
+            .versions
+            .disarm_shipper()
+            .map(|s| (s.edits_shipped, s.files_shipped, s.bytes_shipped));
+        if let Some((edits, _, _)) = stats {
+            self.metrics.set_edits_shipped(edits);
+        }
+        stats
+    }
+
+    /// Whether an incremental backup stream is currently armed.
+    pub fn shipping(&self) -> bool {
+        self.core.lock().versions.shipping()
+    }
+
+    /// Progress of the armed backup stream as `(edits, files, bytes)`
+    /// shipped, or `None` when no stream is armed.
+    pub fn shipper_progress(&self) -> Option<(u64, u64, u64)> {
+        self.core.lock().versions.shipper_stats()
+    }
+
+    /// How many backup-stream records this store has applied (nonzero
+    /// only on followers / restored backups).
+    pub fn replication_cursor(&self) -> u64 {
+        self.core.lock().versions.replication_cursor
+    }
+
+    /// Both phases of checkpoint creation. Phase 1 runs under the core
+    /// lock: flush everything, pin the resulting version (and arm the
+    /// shipper, for backups, in the same critical section — no edit can
+    /// slip between the base image and the stream). Phase 2 runs without
+    /// the lock, under a checkpoint pin that defers physical deletion of
+    /// any table it still has to link.
+    fn checkpoint_to(&self, prefix: &str, arm_stream: bool) -> Result<CheckpointReport> {
+        if backup::checkpoint_complete(self.storage.as_ref(), prefix) {
+            return Err(Error::InvalidArgument(format!(
+                "checkpoint {prefix:?} already exists"
+            )));
+        }
+        let t0 = self.device.clock().now();
+        let (version, next_file_number, last_sequence, compact_pointers, _pin) = {
+            let mut core = self.core.lock();
+            if let Some(e) = &core.bg_error {
+                return Err(e.clone());
+            }
+            if arm_stream && core.versions.shipping() {
+                return Err(Error::InvalidState(
+                    "a backup stream is already armed".to_string(),
+                ));
+            }
+            if let Err(e) = self.flush_all(&mut core) {
+                core.bg_error = Some(e.clone());
+                return Err(e);
+            }
+            self.publish_view(&core);
+            if arm_stream {
+                core.versions.arm_shipper(
+                    Shipper::new(Arc::clone(&self.storage), prefix.to_string())
+                        .with_sink(Arc::clone(&self.sink)),
+                );
+            }
+            (
+                Arc::clone(&core.versions.current),
+                core.versions.next_file_number,
+                core.versions.last_sequence,
+                core.versions.compact_pointers.clone(),
+                ReadPin::new(&self.ckpt_pins),
+            )
+        };
+        let report = match backup::write_checkpoint_files(
+            &self.storage,
+            prefix,
+            &version,
+            next_file_number,
+            last_sequence,
+            &compact_pointers,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                if arm_stream {
+                    // Don't leave the primary shipping onto a dead backup.
+                    self.core.lock().versions.disarm_shipper();
+                }
+                return Err(e);
+            }
+        };
+        self.core.lock().stats.checkpoints += 1;
+        self.metrics.record_checkpoint();
+        if self.sink.enabled() {
+            self.sink.record(
+                Event::span(EventKind::Checkpoint, t0, self.device.clock().now())
+                    .files(u32::try_from(report.files_linked).unwrap_or(u32::MAX), 0)
+                    .bytes(report.bytes_linked, 0),
+            );
+        }
+        Ok(report)
+    }
+
+    /// Applies one replicated [`VersionEdit`] from a backup stream (the
+    /// read-only follower's write path). The caller must have copied any
+    /// SSTables the edit adds into this store's storage first; files the
+    /// edit removes are reaped like a local compaction's.
+    pub fn apply_remote_edit(&self, edit: &VersionEdit) -> Result<()> {
+        let t0 = self.device.clock().now();
+        let mut core = self.core.lock();
+        if let Some(e) = &core.bg_error {
+            return Err(e.clone());
+        }
+        if let Err(e) = core.versions.apply_remote_edit(edit) {
+            core.bg_error = Some(e.clone());
+            return Err(e);
+        }
+        for (_, number) in &edit.deleted_files {
+            // A trivial move carries the same number in deleted_files and
+            // new_files (level change only) — the table is still live.
+            if edit.new_files.iter().any(|(_, m)| m.number == *number) {
+                continue;
+            }
+            self.drop_table_file(&mut core, *number);
+        }
+        for number in &edit.deleted_frozen {
+            self.drop_table_file(&mut core, *number);
+        }
+        core.stats.edits_applied += 1;
+        self.publish_view(&core);
+        if let Err(e) = self.reap_pending_deletes(&mut core) {
+            if core.bg_error.is_none() {
+                core.bg_error = Some(e);
+            }
+        }
+        self.refresh_level_gauges(&core.versions.current);
+        self.metrics.record_repl_apply();
+        if self.sink.enabled() {
+            self.sink.record(
+                Event::span(EventKind::ReplApply, t0, self.device.clock().now())
+                    .files(edit.new_files.len() as u32, 0)
+                    .bytes(core.versions.replication_cursor, 0),
+            );
+        }
+        Ok(())
     }
 }
 

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backup;
 pub mod batch;
 pub mod block;
 pub mod cache;
@@ -40,6 +41,10 @@ pub mod types;
 pub mod version;
 pub mod wal;
 
+pub use backup::{
+    backup_prefix, checkpoint_complete, checkpoint_prefix, restore_backup, restore_checkpoint,
+    CheckpointReport, RestoreReport,
+};
 pub use batch::{BatchOp, WriteBatch};
 pub use cache::CacheCounters;
 pub use db::{Db, DbStats, PinnedValue, QuarantinedFile, RecoverySummary, Snapshot};

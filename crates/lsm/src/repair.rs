@@ -124,6 +124,14 @@ pub fn repair_db_with_sink(
     let mut logs: Vec<(u64, String)> = Vec::new();
     let mut max_number_seen = 0u64;
     for name in &listing {
+        // Checkpoint/backup namespaces (`ckpt-<name>@...`,
+        // `backup-<name>@...`) are self-contained images, not part of the
+        // live store: repair must neither salvage nor delete them. The
+        // suffix parses below would skip them anyway (the prefix breaks
+        // the number parse) — this guard makes the contract explicit.
+        if name.starts_with("ckpt-") || name.starts_with("backup-") {
+            continue;
+        }
         if let Some(n) = name
             .strip_suffix(".sst")
             .and_then(|s| s.parse::<u64>().ok())
@@ -578,6 +586,45 @@ mod tests {
 
         let db = open(s);
         for i in 0..50 {
+            assert_eq!(db.get(&key(i)).unwrap(), Some(value(i)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn repair_preserves_checkpoint_namespaces() {
+        let s = storage();
+        let mut db = open(s.clone());
+        fill(&mut db, 300);
+        db.checkpoint("nightly").unwrap();
+        drop(db);
+
+        let before: Vec<String> = {
+            let mut v = s.list_dir("ckpt-nightly@");
+            v.sort();
+            v
+        };
+        assert!(!before.is_empty(), "checkpoint produced no files");
+
+        // Lose the live store's manifest; repair re-homes live tables but
+        // must leave the checkpoint image untouched.
+        s.delete(CURRENT_FILE).unwrap();
+        let report = repair_db(s.clone(), &Options::small_for_tests()).unwrap();
+        assert!(!report.manifest_recovered);
+
+        let after: Vec<String> = {
+            let mut v = s.list_dir("ckpt-nightly@");
+            v.sort();
+            v
+        };
+        assert_eq!(before, after, "repair touched the checkpoint namespace");
+
+        // The checkpoint still restores to a working store.
+        let restored = storage();
+        let dst: Arc<dyn StorageBackend> = restored.clone();
+        let src: Arc<dyn StorageBackend> = s.clone();
+        crate::backup::restore_checkpoint(&src, "ckpt-nightly@", &dst).unwrap();
+        let db = open(restored);
+        for i in 0..300 {
             assert_eq!(db.get(&key(i)).unwrap(), Some(value(i)), "key {i}");
         }
     }

@@ -186,6 +186,15 @@ impl StorageBackend for RetryStorage {
         self.inner.truncate(name, len)
     }
 
+    fn link_file(&self, from: &str, to: &str, class: IoClass) -> SsdResult<()> {
+        // Write-path operation: pass through unretried like the others.
+        self.inner.link_file(from, to, class)
+    }
+
+    fn list_dir(&self, prefix: &str) -> Vec<String> {
+        self.inner.list_dir(prefix)
+    }
+
     fn list(&self) -> Vec<String> {
         self.inner.list()
     }

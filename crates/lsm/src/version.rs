@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use ldc_obs::{Event, EventKind, NoopSink, SharedSink};
 use ldc_ssd::{IoClass, StorageBackend};
 
 use crate::encoding::{get_length_prefixed, get_varint64, put_length_prefixed, put_varint64};
@@ -253,6 +254,11 @@ pub struct VersionEdit {
     pub new_links: Vec<(u64, SliceLink)>,
     /// Frozen files fully consumed and deleted.
     pub deleted_frozen: Vec<u64>,
+    /// Replication stream position: how many backup-stream records this
+    /// store has applied (follower-side bookkeeping; never set by the
+    /// primary's own edits). Persisted so a restarted follower resumes
+    /// the stream where it left off instead of re-applying history.
+    pub replication_cursor: Option<u64>,
 }
 
 const TAG_LOG_NUMBER: u64 = 1;
@@ -264,6 +270,7 @@ const TAG_NEW_FILE: u64 = 6;
 const TAG_FROZEN_FILE: u64 = 7;
 const TAG_NEW_LINK: u64 = 8;
 const TAG_DELETED_FROZEN: u64 = 9;
+const TAG_REPLICATION_CURSOR: u64 = 10;
 
 impl VersionEdit {
     /// Serializes to a manifest record payload.
@@ -322,6 +329,10 @@ impl VersionEdit {
         for number in &self.deleted_frozen {
             put_varint64(&mut out, TAG_DELETED_FROZEN);
             put_varint64(&mut out, *number);
+        }
+        if let Some(v) = self.replication_cursor {
+            put_varint64(&mut out, TAG_REPLICATION_CURSOR);
+            put_varint64(&mut out, v);
         }
         out
     }
@@ -401,6 +412,7 @@ impl VersionEdit {
                     ));
                 }
                 TAG_DELETED_FROZEN => edit.deleted_frozen.push(varint(&mut data)?),
+                TAG_REPLICATION_CURSOR => edit.replication_cursor = Some(varint(&mut data)?),
                 t => return Err(corruption(format!("unknown edit tag {t}"))),
             }
         }
@@ -436,6 +448,13 @@ pub struct VersionSet {
     /// Torn-tail bytes discarded from the manifest during the last
     /// [`VersionSet::recover`] (zero for a fresh set or a clean manifest).
     pub recovered_manifest_tail_bytes: u64,
+    /// Backup-stream records applied so far (follower-side; stays 0 on a
+    /// primary). Persisted with every applied record and in snapshot
+    /// manifests so a restarted follower resumes, not replays.
+    pub replication_cursor: u64,
+    /// When armed, every applied edit is also shipped into an incremental
+    /// backup stream (see [`Shipper`]).
+    shipper: Option<Shipper>,
 }
 
 /// Manifest size that triggers a rollover to a fresh snapshot manifest.
@@ -501,6 +520,8 @@ impl VersionSet {
             link_counter: 0,
             manifest_bytes: 0,
             recovered_manifest_tail_bytes: 0,
+            replication_cursor: 0,
+            shipper: None,
         })
     }
 
@@ -515,6 +536,7 @@ impl VersionSet {
         let mut log_number = 0;
         let mut compact_pointers = vec![Vec::new(); max_levels];
         let mut link_counter = 0;
+        let mut replication_cursor = 0;
         let mut reader = LogReader::open(storage.as_ref(), &manifest_name)?;
         reader.for_each(|record| {
             let edit = VersionEdit::decode(record)?;
@@ -534,6 +556,9 @@ impl VersionSet {
             }
             for (_, link) in &edit.new_links {
                 link_counter = link_counter.max(link.link_seq + 1);
+            }
+            if let Some(v) = edit.replication_cursor {
+                replication_cursor = v;
             }
             apply_edit(&mut version, &edit)
         })?;
@@ -557,6 +582,8 @@ impl VersionSet {
             link_counter,
             manifest_bytes: 0,
             recovered_manifest_tail_bytes: manifest_tail_bytes,
+            replication_cursor,
+            shipper: None,
         };
         vs.write_snapshot_manifest()?;
         Ok(vs)
@@ -607,6 +634,8 @@ impl VersionSet {
             link_counter,
             manifest_bytes: 0,
             recovered_manifest_tail_bytes: 0,
+            replication_cursor: 0,
+            shipper: None,
         };
         vs.write_snapshot_manifest()?;
         Ok(vs)
@@ -649,6 +678,14 @@ impl VersionSet {
         recompute_refcounts(&mut next);
         debug_assert!(next.check_invariants().is_ok());
         self.current = Arc::new(next);
+        // Ship after the local manifest sync + publish: the edit is already
+        // committed locally, so the backup stream never runs ahead of the
+        // primary. A ship failure propagates (the caller latches bg_error)
+        // because silently diverging from the stream would hand a follower
+        // an undetectably stale history.
+        if let Some(shipper) = &mut self.shipper {
+            shipper.ship(&edit)?;
+        }
         if self.manifest_bytes > MANIFEST_ROLLOVER_BYTES {
             let old = self.manifest.name().to_string();
             self.write_snapshot_manifest()?;
@@ -657,6 +694,80 @@ impl VersionSet {
             }
         }
         Ok(())
+    }
+
+    /// Applies an edit received from a primary's backup stream: adopts the
+    /// primary's counters instead of stamping our own, logs the record to
+    /// our manifest (with the advanced replication cursor, so a restart
+    /// resumes the stream instead of replaying it), and publishes the new
+    /// version. The caller has already materialized any SSTables the edit
+    /// references.
+    pub fn apply_remote_edit(&mut self, edit: &VersionEdit) -> Result<()> {
+        // Counters travel inside the shipped edit (`log_and_apply` stamps
+        // them on the primary). Adopt by max: the follower allocates its
+        // own numbers for its WAL and manifest rollovers, which may run
+        // ahead of the primary's high-water mark.
+        if let Some(v) = edit.next_file_number {
+            self.next_file_number = self.next_file_number.max(v);
+        }
+        if let Some(v) = edit.last_sequence {
+            self.last_sequence = self.last_sequence.max(v);
+        }
+        if let Some(v) = edit.log_number {
+            self.log_number = self.log_number.max(v);
+        }
+        for (level, key) in &edit.compact_pointers {
+            if let Some(slot) = self.compact_pointers.get_mut(*level as usize) {
+                *slot = key.clone();
+            }
+        }
+        for (_, link) in &edit.new_links {
+            self.link_counter = self.link_counter.max(link.link_seq + 1);
+        }
+        self.replication_cursor += 1;
+        let mut record_edit = edit.clone();
+        record_edit.replication_cursor = Some(self.replication_cursor);
+        let record = record_edit.encode();
+        self.manifest.add_record(&record)?;
+        self.manifest.sync()?;
+        self.manifest_bytes += record.len() as u64;
+        let mut next = Version::clone(&self.current);
+        apply_edit(&mut next, edit)?;
+        recompute_refcounts(&mut next);
+        debug_assert!(next.check_invariants().is_ok());
+        self.current = Arc::new(next);
+        if self.manifest_bytes > MANIFEST_ROLLOVER_BYTES {
+            let old = self.manifest.name().to_string();
+            self.write_snapshot_manifest()?;
+            if self.storage.exists(&old) {
+                self.storage.delete(&old)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Arms incremental shipping: every subsequent `log_and_apply` also
+    /// appends its edit to `shipper`'s stream. Call with the version-set
+    /// lock held so no edit slips between the base checkpoint and record 1.
+    pub fn arm_shipper(&mut self, shipper: Shipper) {
+        self.shipper = Some(shipper);
+    }
+
+    /// Disarms incremental shipping, returning the shipper's final stats.
+    pub fn disarm_shipper(&mut self) -> Option<Shipper> {
+        self.shipper.take()
+    }
+
+    /// Whether a backup stream is currently armed.
+    pub fn shipping(&self) -> bool {
+        self.shipper.is_some()
+    }
+
+    /// Stream stats of the armed shipper: (edits, files, bytes shipped).
+    pub fn shipper_stats(&self) -> Option<(u64, u64, u64)> {
+        self.shipper
+            .as_ref()
+            .map(|s| (s.edits_shipped, s.files_shipped, s.bytes_shipped))
     }
 
     /// Rolls the manifest: writes a new manifest containing one snapshot
@@ -676,52 +787,175 @@ impl VersionSet {
             name.clone(),
             IoClass::ManifestWrite,
         );
-        let mut edit = VersionEdit {
-            next_file_number: Some(self.next_file_number),
-            last_sequence: Some(self.last_sequence),
-            log_number: Some(self.log_number),
-            ..Default::default()
-        };
-        for (level, key) in self.compact_pointers.iter().enumerate() {
-            if !key.is_empty() {
-                edit.compact_pointers.push((level as u32, key.clone()));
-            }
-        }
-        for (level, files) in self.current.levels.iter().enumerate() {
-            for f in files {
-                let mut meta = f.clone();
-                let slices = std::mem::take(&mut meta.slices);
-                edit.new_files.push((level as u32, meta));
-                for link in slices {
-                    edit.new_links.push((f.number, link));
-                }
-            }
-        }
-        // Frozen files are re-created as snapshot adds to a pseudo level,
-        // then frozen; simplest encoding: add to their original level 0 and
-        // freeze immediately (level choice is irrelevant once frozen).
-        for frozen in self.current.frozen.values() {
-            edit.new_files.push((
-                0,
-                FileMeta {
-                    number: frozen.number,
-                    size: frozen.size,
-                    smallest: frozen.smallest.clone(),
-                    largest: frozen.largest.clone(),
-                    slices: Vec::new(),
-                },
-            ));
-            edit.frozen_files.push((0, frozen.number));
-        }
-        // Keep link/new_file ordering valid: links must come after both the
-        // freeze of their source and the add of their target, which holds
-        // because apply_edit processes adds, then freezes, then links.
+        let edit = snapshot_edit(
+            &self.current,
+            self.next_file_number,
+            self.last_sequence,
+            self.log_number,
+            &self.compact_pointers,
+            self.replication_cursor,
+        );
         writer.add_record(&edit.encode())?;
         writer.sync()?;
         self.storage
             .write_file(CURRENT_FILE, name.as_bytes(), IoClass::ManifestWrite)?;
         self.manifest = writer;
         self.manifest_bytes = 0;
+        Ok(())
+    }
+}
+
+/// Builds the single [`VersionEdit`] that reproduces `version` and the
+/// given counters from an empty state — the payload of every snapshot
+/// manifest, and of a checkpoint's synthesized manifest.
+pub fn snapshot_edit(
+    version: &Version,
+    next_file_number: u64,
+    last_sequence: SequenceNumber,
+    log_number: u64,
+    compact_pointers: &[Vec<u8>],
+    replication_cursor: u64,
+) -> VersionEdit {
+    let mut edit = VersionEdit {
+        next_file_number: Some(next_file_number),
+        last_sequence: Some(last_sequence),
+        log_number: Some(log_number),
+        replication_cursor: (replication_cursor > 0).then_some(replication_cursor),
+        ..Default::default()
+    };
+    for (level, key) in compact_pointers.iter().enumerate() {
+        if !key.is_empty() {
+            edit.compact_pointers.push((level as u32, key.clone()));
+        }
+    }
+    for (level, files) in version.levels.iter().enumerate() {
+        for f in files {
+            let mut meta = f.clone();
+            let slices = std::mem::take(&mut meta.slices);
+            edit.new_files.push((level as u32, meta));
+            for link in slices {
+                edit.new_links.push((f.number, link));
+            }
+        }
+    }
+    // Frozen files are re-created as snapshot adds to a pseudo level,
+    // then frozen; simplest encoding: add to their original level 0 and
+    // freeze immediately (level choice is irrelevant once frozen).
+    for frozen in version.frozen.values() {
+        edit.new_files.push((
+            0,
+            FileMeta {
+                number: frozen.number,
+                size: frozen.size,
+                smallest: frozen.smallest.clone(),
+                largest: frozen.largest.clone(),
+                slices: Vec::new(),
+            },
+        ));
+        edit.frozen_files.push((0, frozen.number));
+    }
+    // Keep link/new_file ordering valid: links must come after both the
+    // freeze of their source and the add of their target, which holds
+    // because apply_edit processes adds, then freezes, then links.
+    edit
+}
+
+/// Appends applied [`VersionEdit`]s to an incremental backup stream:
+/// `<prefix>EDITS`, CRC-framed exactly like the WAL, preceded for each
+/// record by links of any referenced new SSTables into the backup prefix.
+/// Link-before-append means a durable stream record never references a
+/// file the backup is missing; a crash between the two leaves an orphan
+/// link that restore simply ignores.
+pub struct Shipper {
+    storage: Arc<dyn StorageBackend>,
+    prefix: String,
+    writer: LogWriter,
+    /// Where per-record [`EventKind::BackupShip`] events go.
+    sink: SharedSink,
+    /// Stream records appended (and synced) so far.
+    pub edits_shipped: u64,
+    /// SSTables linked into the backup prefix so far.
+    pub files_shipped: u64,
+    /// Total bytes of those SSTables.
+    pub bytes_shipped: u64,
+}
+
+impl std::fmt::Debug for Shipper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shipper")
+            .field("prefix", &self.prefix)
+            .field("edits_shipped", &self.edits_shipped)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Name of the edit-stream file inside a backup prefix.
+pub const STREAM_FILE: &str = "EDITS";
+
+impl Shipper {
+    /// Opens (or continues) the stream at `<prefix>EDITS` on `storage`.
+    pub fn new(storage: Arc<dyn StorageBackend>, prefix: String) -> Shipper {
+        let writer = LogWriter::new(
+            Arc::clone(&storage),
+            format!("{prefix}{STREAM_FILE}"),
+            IoClass::ManifestWrite,
+        );
+        Shipper {
+            storage,
+            prefix,
+            writer,
+            sink: Arc::new(NoopSink),
+            edits_shipped: 0,
+            files_shipped: 0,
+            bytes_shipped: 0,
+        }
+    }
+
+    /// Routes per-record ship events to `sink`.
+    pub fn with_sink(mut self, sink: SharedSink) -> Shipper {
+        self.sink = sink;
+        self
+    }
+
+    /// The backup prefix this shipper writes under.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Ships one applied edit: links its new SSTables into the backup
+    /// prefix, then appends + syncs the encoded edit as one stream record.
+    pub fn ship(&mut self, edit: &VersionEdit) -> Result<()> {
+        let t0 = self.storage.device().clock().now();
+        let mut record_files = 0u64;
+        let mut record_bytes = 0u64;
+        for (_, meta) in &edit.new_files {
+            let src = table_file_name(meta.number);
+            let dst = format!("{}{src}", self.prefix);
+            // Trivial moves re-add a file the base checkpoint (or an
+            // earlier record) already shipped.
+            if self.storage.exists(&dst) {
+                continue;
+            }
+            self.storage.link_file(&src, &dst, IoClass::Other)?;
+            record_files += 1;
+            record_bytes += meta.size;
+        }
+        self.writer.add_record(&edit.encode())?;
+        self.writer.sync()?;
+        self.files_shipped += record_files;
+        self.bytes_shipped += record_bytes;
+        self.edits_shipped += 1;
+        if self.sink.enabled() {
+            self.sink.record(
+                Event::span(
+                    EventKind::BackupShip,
+                    t0,
+                    self.storage.device().clock().now(),
+                )
+                .files(record_files as u32, 0)
+                .bytes(record_bytes, 0),
+            );
+        }
         Ok(())
     }
 }
@@ -886,8 +1120,67 @@ mod tests {
             },
         ));
         edit.deleted_frozen.push(5);
+        edit.replication_cursor = Some(17);
         let decoded = VersionEdit::decode(&edit.encode()).unwrap();
         assert_eq!(decoded, edit);
+    }
+
+    #[test]
+    fn replication_cursor_survives_recovery() {
+        let s = storage();
+        {
+            let mut primary = VersionSet::create(storage(), 4).unwrap();
+            let mut follower = VersionSet::create(s.clone(), 4).unwrap();
+            let f1 = primary.new_file_number();
+            // Primary logs an edit; the follower materializes the file and
+            // applies the same edit remotely.
+            let edit = VersionEdit {
+                new_files: vec![(1, meta(f1, b"a", b"c"))],
+                ..Default::default()
+            };
+            primary.log_and_apply(edit.clone()).unwrap();
+            let mut shipped = edit;
+            shipped.next_file_number = Some(primary.next_file_number);
+            shipped.last_sequence = Some(primary.last_sequence);
+            follower.apply_remote_edit(&shipped).unwrap();
+            assert_eq!(follower.replication_cursor, 1);
+            assert_eq!(follower.current.level_files(1), 1);
+            assert!(follower.next_file_number >= primary.next_file_number);
+        }
+        let follower = VersionSet::recover(s, 4).unwrap();
+        assert_eq!(follower.replication_cursor, 1);
+        assert_eq!(follower.current.level_files(1), 1);
+    }
+
+    #[test]
+    fn shipper_links_files_and_streams_edits() {
+        let s = storage();
+        let mut vs = VersionSet::create(s.clone(), 4).unwrap();
+        let f1 = vs.new_file_number();
+        s.write_file(&table_file_name(f1), b"sstable bytes", IoClass::Other)
+            .unwrap();
+        vs.arm_shipper(Shipper::new(s.clone(), "backup-t@".to_string()));
+        vs.log_and_apply(VersionEdit {
+            new_files: vec![(1, meta(f1, b"a", b"c"))],
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(s.exists(&format!("backup-t@{}", table_file_name(f1))));
+        assert!(s.exists("backup-t@EDITS"));
+        let (edits, files, _) = vs.shipper_stats().unwrap();
+        assert_eq!((edits, files), (1, 1));
+        // A trivial move re-adds the same file: stream grows, no new link.
+        vs.log_and_apply(VersionEdit {
+            deleted_files: vec![(1, f1)],
+            new_files: vec![(2, meta(f1, b"a", b"c"))],
+            ..Default::default()
+        })
+        .unwrap();
+        let (edits, files, _) = vs.shipper_stats().unwrap();
+        assert_eq!((edits, files), (2, 1));
+        assert!(vs.shipping());
+        assert!(vs.disarm_shipper().is_some());
+        assert!(!vs.shipping());
     }
 
     #[test]

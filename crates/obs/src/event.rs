@@ -61,11 +61,22 @@ pub enum EventKind {
     /// merged batch bytes. Emitted only for groups larger than one, so
     /// single-threaded traces are unchanged.
     GroupCommit,
+    /// An online checkpoint was created. `input_files` = SSTables linked
+    /// into the checkpoint prefix, `input_bytes` = their total size.
+    Checkpoint,
+    /// One version edit was shipped onto an incremental backup stream.
+    /// `input_files` = SSTables linked for this record, `input_bytes` =
+    /// their total size.
+    BackupShip,
+    /// A follower applied one replicated version edit. `input_files` =
+    /// new tables the edit added, `input_bytes` = the replication cursor
+    /// after the apply.
+    ReplApply,
 }
 
 impl EventKind {
     /// Every kind, in a stable order.
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 21] = [
         EventKind::Flush,
         EventKind::UdcMerge,
         EventKind::TrivialMove,
@@ -84,6 +95,9 @@ impl EventKind {
         EventKind::Quarantine,
         EventKind::Repair,
         EventKind::GroupCommit,
+        EventKind::Checkpoint,
+        EventKind::BackupShip,
+        EventKind::ReplApply,
     ];
 
     /// Stable snake_case label (used in JSONL and reports).
@@ -107,6 +121,9 @@ impl EventKind {
             EventKind::Quarantine => "quarantine",
             EventKind::Repair => "repair",
             EventKind::GroupCommit => "group_commit",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::BackupShip => "backup_ship",
+            EventKind::ReplApply => "repl_apply",
         }
     }
 

@@ -39,6 +39,7 @@ mod trace;
 pub use event::{Event, EventKind, Nanos};
 pub use metrics::{
     DegradedCounters, LatencyHistogram, LevelGauge, MetricsRegistry, NetCounters, OpType,
+    ReplicationCounters,
 };
 pub use sink::{parse_jsonl, JsonlSink, NoopSink, RingBufferSink, SharedSink};
 pub use trace::{Blame, Span, Trace, TraceCtx, TraceReservoir};

@@ -214,6 +214,21 @@ pub struct NetCounters {
     pub bytes_out: u64,
 }
 
+/// Monotonic counters (plus one gauge) for the checkpoint/backup/
+/// replication machinery. All zero for stores that never checkpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationCounters {
+    /// Online checkpoints created.
+    pub checkpoints: u64,
+    /// Version edits shipped onto incremental backup streams.
+    pub edits_shipped: u64,
+    /// Version edits applied from a backup stream (follower side).
+    pub edits_applied: u64,
+    /// Gauge: stream records the primary has shipped but this follower
+    /// has not yet applied.
+    pub lag_edits: u64,
+}
+
 /// Shared registry: per-level gauges plus one latency histogram per
 /// operation type. All methods take `&self`; interior locking keeps the
 /// registry shareable behind an `Arc` across the whole engine.
@@ -224,6 +239,9 @@ pub struct MetricsRegistry {
     degraded: [AtomicU64; 4],
     /// Net-layer counters: accepted, rejected, bytes in, bytes out.
     net: [AtomicU64; 4],
+    /// Replication counters: checkpoints, edits shipped, edits applied,
+    /// lag gauge.
+    repl: [AtomicU64; 4],
     /// Per-op × per-blame attributed nanoseconds (fed by the tracing
     /// layer; all zero when tracing is off).
     blame: [[AtomicU64; Blame::COUNT]; 4],
@@ -257,6 +275,7 @@ impl MetricsRegistry {
             ops: std::array::from_fn(|_| AtomicU64::new(0)),
             degraded: std::array::from_fn(|_| AtomicU64::new(0)),
             net: std::array::from_fn(|_| AtomicU64::new(0)),
+            repl: std::array::from_fn(|_| AtomicU64::new(0)),
             blame: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
             retry_backoff_ns: AtomicU64::new(0),
         }
@@ -349,6 +368,38 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records one completed online checkpoint.
+    pub fn record_checkpoint(&self) {
+        self.repl[0].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the total edits shipped onto backup streams. Set-style rather
+    /// than increment: the shipper owns the authoritative count and the
+    /// engine mirrors it here at report boundaries.
+    pub fn set_edits_shipped(&self, total: u64) {
+        self.repl[1].store(total, Ordering::Relaxed);
+    }
+
+    /// Records one version edit applied from a backup stream.
+    pub fn record_repl_apply(&self) {
+        self.repl[2].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the replication-lag gauge (shipped-but-unapplied records).
+    pub fn set_repl_lag(&self, lag_edits: u64) {
+        self.repl[3].store(lag_edits, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the replication counters.
+    pub fn replication_counters(&self) -> ReplicationCounters {
+        ReplicationCounters {
+            checkpoints: self.repl[0].load(Ordering::Relaxed),
+            edits_shipped: self.repl[1].load(Ordering::Relaxed),
+            edits_applied: self.repl[2].load(Ordering::Relaxed),
+            lag_edits: self.repl[3].load(Ordering::Relaxed),
+        }
+    }
+
     /// Snapshot of the degraded-mode counters.
     pub fn degraded_counters(&self) -> DegradedCounters {
         DegradedCounters {
@@ -398,6 +449,9 @@ impl MetricsRegistry {
             c.store(0, Ordering::Relaxed);
         }
         for c in &self.net {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.repl {
             c.store(0, Ordering::Relaxed);
         }
         for row in &self.blame {
@@ -508,6 +562,29 @@ mod tests {
         h.merge(&other);
         assert_eq!(h.count(), 2);
         assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn replication_counters_mix_monotonic_and_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.record_checkpoint();
+        reg.record_repl_apply();
+        reg.record_repl_apply();
+        reg.set_edits_shipped(5);
+        reg.set_repl_lag(3);
+        let c = reg.replication_counters();
+        assert_eq!(c.checkpoints, 1);
+        assert_eq!(c.edits_shipped, 5);
+        assert_eq!(c.edits_applied, 2);
+        assert_eq!(c.lag_edits, 3);
+        // Set-style fields overwrite, not accumulate.
+        reg.set_edits_shipped(7);
+        reg.set_repl_lag(0);
+        let c = reg.replication_counters();
+        assert_eq!(c.edits_shipped, 7);
+        assert_eq!(c.lag_edits, 0);
+        reg.reset();
+        assert_eq!(reg.replication_counters(), ReplicationCounters::default());
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //!   exactly one thread, so the per-shard operation order determines the
 //!   per-shard virtual clock deterministically.
 //!
+//! A server can also host a **read-only follower**
+//! ([`LdcServer::start_follower`]): one shard whose store was
+//! bootstrapped from a primary's backup and whose worker tails the
+//! backup's edit stream on idle ticks. Writes are rejected with
+//! [`Status::ReadOnly`] at dispatch, before admission; `Stats` reports
+//! the replication lag and cursor.
+//!
 //! # Admission control
 //!
 //! Every shard worker drains a bounded queue ([`AdmissionQueue`]); a
@@ -36,19 +43,21 @@ use std::io::BufWriter;
 use std::io::Write as _;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ldc_client::proto::{
     decode_request, encode_response, read_frame, write_frame, FrameError, Request, Response,
     ResponseBody, ServerStats, Status, MAX_FRAME, NO_SHARD,
 };
 use ldc_core::lsm::{Error as EngineError, Options};
+use ldc_core::ssd::{MemStorage, SsdConfig, SsdDevice, StorageBackend};
 use ldc_core::{CompactionMode, LdcConfig, LdcDb};
 use ldc_obs::lockcheck::{Condvar, Mutex};
 use ldc_obs::{Blame, MetricsRegistry, OpType, Trace, TraceCtx, TraceReservoir};
+use ldc_sync::Follower;
 
 use crate::admission::{AdmissionQueue, ShardState};
 use crate::router::{merge_scan_parts, ShardRouter};
@@ -176,6 +185,28 @@ struct Agg {
     state: Mutex<AggState>,
 }
 
+/// How long an idle follower worker waits for a job before running a
+/// tailing round against the primary's backup stream.
+const FOLLOWER_IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// What a shard worker drives: a writable primary store, or a read-only
+/// replication follower whose only mutation path is stream tailing. The
+/// worker thread is the sole caller of [`Follower::poll`], so applies
+/// are serialized even though the handle is shared with stats readers.
+enum ShardEngine {
+    Primary(Box<LdcDb>),
+    Follower(Arc<Follower>),
+}
+
+impl ShardEngine {
+    fn db(&self) -> &LdcDb {
+        match self {
+            ShardEngine::Primary(db) => db,
+            ShardEngine::Follower(f) => f.db(),
+        }
+    }
+}
+
 enum Job {
     Single {
         req_id: u64,
@@ -192,6 +223,11 @@ enum Job {
     Pause {
         gate: PauseGate,
     },
+    /// Explicit tailing round on a follower worker (see
+    /// [`LdcServer::poll_follower`]); primaries answer `None`.
+    Poll {
+        done: Sender<Option<u64>>,
+    },
     Stop,
 }
 
@@ -202,6 +238,9 @@ struct ServerCtx {
     queues: Vec<AdmissionQueue<Job>>,
     protocol_errors: AtomicU64,
     shutting_down: AtomicBool,
+    /// Present only on a follower server; read for stats and the
+    /// dispatch-level write rejection. Polling stays on the worker.
+    follower: Option<Arc<Follower>>,
     retry_after_ms: u32,
     start: Instant,
     conns: Mutex<Vec<TcpStream>>,
@@ -215,9 +254,19 @@ impl ServerCtx {
     }
 
     fn stats_snapshot(&self) -> ServerStats {
+        let (follower, follower_lag, follower_cursor) = match &self.follower {
+            Some(f) => {
+                let repl = f.stats();
+                (true, repl.lag_edits, repl.cursor)
+            }
+            None => (false, 0, 0),
+        };
         ServerStats {
             shards: self.queues.iter().map(|q| q.state().stat()).collect(),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            follower,
+            follower_lag,
+            follower_cursor,
         }
     }
 
@@ -308,14 +357,38 @@ fn finalize_agg(ctx: &ServerCtx, agg: &Agg) {
 
 fn shard_worker(
     ctx: Arc<ServerCtx>,
-    db: LdcDb,
+    engine: ShardEngine,
     shard: u16,
     jobs: Receiver<Job>,
     state: Arc<ShardState>,
 ) {
-    while let Ok(job) = jobs.recv() {
+    loop {
+        let job = match &engine {
+            ShardEngine::Primary(_) => match jobs.recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            },
+            // A follower worker tails the primary's stream whenever its
+            // queue goes idle; a poll failure is retried next tick.
+            ShardEngine::Follower(follower) => match jobs.recv_timeout(FOLLOWER_IDLE_POLL) {
+                Ok(job) => job,
+                Err(RecvTimeoutError::Timeout) => {
+                    let _ = follower.poll();
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            },
+        };
+        let db = engine.db();
         match job {
             Job::Stop => break,
+            Job::Poll { done } => {
+                let applied = match &engine {
+                    ShardEngine::Follower(follower) => follower.poll().ok(),
+                    ShardEngine::Primary(_) => None,
+                };
+                let _ = done.send(applied);
+            }
             Job::Pause { gate } => {
                 let mut released = gate.released.lock();
                 while !*released {
@@ -415,7 +488,7 @@ fn shard_worker(
     }
     // Part of the shutdown contract: settle all background debt before
     // the shard goes away.
-    db.drain_background();
+    engine.db().drain_background();
 }
 
 enum PartResult {
@@ -483,6 +556,16 @@ fn dispatch(
         _ if ctx.shutting_down.load(Ordering::SeqCst) => send_response(
             reply,
             &Response::error(req_id, Status::ShuttingDown, "server is draining"),
+        ),
+        // Rejected before admission: a follower's only mutation path is
+        // the replication stream, so writes never reach a worker.
+        Request::Put { .. } | Request::Delete { .. } if ctx.follower.is_some() => send_response(
+            reply,
+            &Response::error(
+                req_id,
+                Status::ReadOnly,
+                "read-only replication follower; send writes to the primary",
+            ),
         ),
         Request::Put { ref key, .. } | Request::Get { ref key } | Request::Delete { ref key } => {
             let shard = ctx.router.shard_of(key);
@@ -717,9 +800,6 @@ impl LdcServer {
     /// Builds the shards, binds a loopback listener on an ephemeral
     /// port, and starts serving. Use [`LdcServer::local_addr`] to learn
     /// the address.
-    // Host time is legitimate in the network tier: queue waits are real
-    // waits. Virtual time stays per-shard, measured by the workers.
-    #[allow(clippy::disallowed_methods)]
     pub fn start(config: ServerConfig) -> std::io::Result<LdcServer> {
         let shards = config.shards.max(1);
         let dbs = LdcDb::builder()
@@ -727,6 +807,47 @@ impl LdcServer {
             .mode(config.mode.clone())
             .build_shards(shards)
             .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let engines = dbs
+            .into_iter()
+            .map(|db| ShardEngine::Primary(Box::new(db)))
+            .collect();
+        Self::start_with_engines(&config, engines, None)
+    }
+
+    /// Starts a **read-only follower** server: bootstraps a single store
+    /// from backup `backup_name` on `src` (the primary's storage), then
+    /// serves reads from it while its worker tails the backup's edit
+    /// stream on idle ticks. Writes are answered with
+    /// [`Status::ReadOnly`] before admission. A follower replicates one
+    /// primary stream, so it always runs exactly one shard regardless of
+    /// `config.shards`; `config.options.max_levels` must match the
+    /// primary's.
+    pub fn start_follower(
+        config: ServerConfig,
+        src: Arc<dyn StorageBackend>,
+        backup_name: &str,
+    ) -> std::io::Result<LdcServer> {
+        let builder = LdcDb::builder()
+            .options(config.options.clone())
+            .mode(config.mode.clone());
+        let dst: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::new(SsdConfig::default()));
+        let follower = Arc::new(
+            Follower::bootstrap(&src, backup_name, builder, dst)
+                .map_err(|e| std::io::Error::other(e.to_string()))?,
+        );
+        let engines = vec![ShardEngine::Follower(Arc::clone(&follower))];
+        Self::start_with_engines(&config, engines, Some(follower))
+    }
+
+    // Host time is legitimate in the network tier: queue waits are real
+    // waits. Virtual time stays per-shard, measured by the workers.
+    #[allow(clippy::disallowed_methods)]
+    fn start_with_engines(
+        config: &ServerConfig,
+        engines: Vec<ShardEngine>,
+        follower: Option<Arc<Follower>>,
+    ) -> std::io::Result<LdcServer> {
+        let shards = engines.len();
         let mut queues = Vec::with_capacity(shards);
         let mut receivers = Vec::with_capacity(shards);
         for _ in 0..shards {
@@ -746,22 +867,23 @@ impl LdcServer {
             queues,
             protocol_errors: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
+            follower,
             retry_after_ms: config.retry_after_ms.max(1),
             start: Instant::now(),
             conns: Mutex::new("server/server::conns", Vec::new()),
             threads: Mutex::new("server/server::threads", Vec::new()),
         });
-        let workers = dbs
+        let workers = engines
             .into_iter()
             .zip(receivers)
             .zip(states)
             .enumerate()
-            .map(|(i, ((db, rx), state))| {
+            .map(|(i, ((engine, rx), state))| {
                 let wctx = Arc::clone(&ctx);
                 // Reply frames carry host queue/service waits as metadata;
                 // replay-compared payload bytes come from the engine only.
                 // ldc-lint: allow(determinism_taint) — host queue metadata in reply frames is intentional
-                std::thread::spawn(move || shard_worker(wctx, db, i as u16, rx, state))
+                std::thread::spawn(move || shard_worker(wctx, engine, i as u16, rx, state))
             })
             .collect();
         let actx = Arc::clone(&ctx);
@@ -796,6 +918,25 @@ impl LdcServer {
     /// (the same snapshot the wire `Stats` op returns).
     pub fn stats_snapshot(&self) -> ServerStats {
         self.ctx.stats_snapshot()
+    }
+
+    /// Follower only: runs one synchronous tailing round on the shard
+    /// worker (the sole `poll` caller, so applies stay serialized) and
+    /// returns how many stream records it applied. `None` on a primary
+    /// server, when the worker is gone, or when the poll itself failed.
+    pub fn poll_follower(&self) -> Option<u64> {
+        self.ctx.follower.as_ref()?;
+        let (done_tx, done_rx) = channel();
+        if !self.ctx.queues.first()?.force(Job::Poll { done: done_tx }) {
+            return None;
+        }
+        done_rx.recv().ok().flatten()
+    }
+
+    /// Follower only: stream records shipped by the primary but not yet
+    /// applied here, as of the last tailing round. `None` on a primary.
+    pub fn replication_lag(&self) -> Option<u64> {
+        self.ctx.follower.as_ref().map(|f| f.lag())
     }
 
     /// Instantaneous per-shard queue depths (benchmark sampling).

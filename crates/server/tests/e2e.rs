@@ -316,3 +316,80 @@ fn lockcheck_sanitizer_clean_session() {
     assert_eq!(ldc_obs::lockcheck::held_depth(), 0);
     assert_eq!(ldc_obs::lockcheck::is_active(), cfg!(debug_assertions));
 }
+
+#[test]
+fn follower_serves_reads_rejects_writes_and_catches_up() {
+    use ldc_core::lsm::Options;
+    use ldc_core::ssd::{MemStorage, SsdConfig, SsdDevice, StorageBackend};
+    use ldc_core::LdcDb;
+    use std::sync::Arc;
+
+    let key = |i: u32| format!("fk{i:05}").into_bytes();
+    let value = |i: u32| format!("fv-{i:05}-{}", "x".repeat(48)).into_bytes();
+
+    // A primary store (no server needed) publishes a backup on its own
+    // storage; the follower server bootstraps straight from it.
+    let src: Arc<dyn StorageBackend> = MemStorage::new(SsdDevice::new(SsdConfig::tiny_for_tests()));
+    let primary = LdcDb::builder()
+        .options(Options::small_for_tests())
+        .storage(Arc::clone(&src))
+        .build()
+        .unwrap();
+    for i in 0..200 {
+        primary.put(&key(i), &value(i)).unwrap();
+    }
+    primary.drain_background();
+    primary.backup_begin("e2e").unwrap();
+
+    let server =
+        LdcServer::start_follower(ServerConfig::small_for_tests(), Arc::clone(&src), "e2e")
+            .unwrap();
+    assert_eq!(server.shard_count(), 1, "a follower is a single shard");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Bootstrap state served over the wire, including merged scans.
+    let (v, meta) = client.get(&key(7)).unwrap();
+    assert_eq!(v, Some(value(7)));
+    assert_eq!(meta.shard, 0);
+    let (rows, _) = client.scan(b"fk", 25).unwrap();
+    assert_eq!(rows.len(), 25);
+    assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+
+    // Writes bounce at dispatch with the dedicated non-retryable status.
+    for result in [client.put(b"w", b"x"), client.delete(&key(0))] {
+        match result {
+            Err(NetError::Remote { status, .. }) => {
+                assert_eq!(status, Status::ReadOnly);
+                assert!(!status.is_retryable());
+            }
+            other => panic!("expected ReadOnly rejection, got {other:?}"),
+        }
+    }
+    let (still, _) = client.get(&key(0)).unwrap();
+    assert_eq!(still, Some(value(0)), "rejected delete must not apply");
+
+    // New primary writes flow through the stream; poll_follower gives a
+    // deterministic catch-up handle (the idle poller also runs).
+    for i in 200..300 {
+        primary.put(&key(i), &value(i)).unwrap();
+    }
+    primary.flush().unwrap();
+    primary.drain_background();
+    let mut rounds = 0;
+    loop {
+        server.poll_follower().expect("poll must run on a follower");
+        let (v, _) = client.get(&key(299)).unwrap();
+        if v == Some(value(299)) {
+            break;
+        }
+        rounds += 1;
+        assert!(rounds < 100, "follower failed to catch up");
+    }
+    assert_eq!(server.replication_lag(), Some(0));
+
+    let stats = client.stats().unwrap();
+    assert!(stats.follower, "stats must mark the follower");
+    assert_eq!(stats.follower_lag, 0);
+    assert!(stats.follower_cursor > 0, "cursor must reflect applies");
+    server.shutdown();
+}

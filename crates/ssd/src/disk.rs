@@ -165,6 +165,32 @@ impl StorageBackend for DiskStorage {
         file.set_len(len).map_err(|e| Self::io_err(name, e))
     }
 
+    fn link_file(&self, from: &str, to: &str, class: IoClass) -> SsdResult<()> {
+        let from_path = self.path(from)?;
+        let to_path = self.path(to)?;
+        if to_path.exists() {
+            return Err(SsdError::InvalidArgument(format!(
+                "link_file: destination {to:?} already exists"
+            )));
+        }
+        if !from_path.exists() {
+            return Err(SsdError::NotFound(from.to_string()));
+        }
+        self.device.fs_op();
+        // Hard links make checkpoints O(1) in bytes; fall back to a full
+        // copy on file systems without link support. The copy is charged
+        // as real traffic, the link only as a metadata op.
+        if fs::hard_link(&from_path, &to_path).is_err() {
+            let size = fs::metadata(&from_path)
+                .map(|m| m.len())
+                .map_err(|e| Self::io_err(from, e))?;
+            self.device.charge_read(size, class);
+            self.device.charge_write(size, class);
+            fs::copy(&from_path, &to_path).map_err(|e| Self::io_err(from, e))?;
+        }
+        Ok(())
+    }
+
     fn list(&self) -> Vec<String> {
         let mut names: Vec<String> = fs::read_dir(&self.root)
             .map(|dir| {
@@ -290,6 +316,29 @@ mod tests {
         s.truncate("wal", 100).unwrap();
         assert_eq!(s.size("wal").unwrap(), 9);
         assert!(s.truncate("missing", 0).is_err());
+    }
+
+    #[test]
+    fn link_file_survives_source_delete() {
+        let root = TempRoot::new();
+        let s = storage(&root);
+        s.write_file("000003.sst", b"frozen bytes", IoClass::FlushWrite)
+            .unwrap();
+        s.link_file("000003.sst", "ckpt-a@000003.sst", IoClass::Other)
+            .unwrap();
+        s.delete("000003.sst").unwrap();
+        assert_eq!(
+            s.read_all("ckpt-a@000003.sst", IoClass::Other)
+                .unwrap()
+                .as_ref(),
+            b"frozen bytes"
+        );
+        assert!(s.link_file("missing", "ckpt-a@x", IoClass::Other).is_err());
+        s.write_file("other", b"y", IoClass::Other).unwrap();
+        assert!(s
+            .link_file("other", "ckpt-a@000003.sst", IoClass::Other)
+            .is_err());
+        assert_eq!(s.list_dir("ckpt-a@"), vec!["ckpt-a@000003.sst"]);
     }
 
     #[test]

@@ -85,6 +85,30 @@ pub trait StorageBackend: Send + Sync {
             "backend does not support truncate".to_string(),
         ))
     }
+    /// Makes `to` an independent sealed copy of `from`'s current contents
+    /// (checkpoint path). Backends with cheap links (a host file system)
+    /// may hard-link instead of copying; either way `to` must survive a
+    /// later delete or rewrite of `from`. The default reads `from` in full
+    /// and writes it back out, so every backend gets a gated,
+    /// device-charged implementation for free. Fails if `to` exists.
+    fn link_file(&self, from: &str, to: &str, class: IoClass) -> SsdResult<()> {
+        if self.exists(to) {
+            return Err(SsdError::InvalidArgument(format!(
+                "link_file: destination {to:?} already exists"
+            )));
+        }
+        let data = self.read_all(from, class)?;
+        self.write_file(to, &data, class)
+    }
+    /// Sorted list of file names starting with `prefix` — the flat
+    /// namespace's stand-in for a directory listing (checkpoints and
+    /// backups group their files under a name prefix).
+    fn list_dir(&self, prefix: &str) -> Vec<String> {
+        self.list()
+            .into_iter()
+            .filter(|name| name.starts_with(prefix))
+            .collect()
+    }
     /// Sorted list of all file names.
     fn list(&self) -> Vec<String>;
     /// The device this backend charges.
@@ -574,6 +598,50 @@ mod tests {
         s.sync("wal").unwrap();
         assert_eq!(s.size("wal").unwrap(), cut + 20);
         assert_eq!(s.synced_len("wal").unwrap(), cut + 20);
+    }
+
+    #[test]
+    fn link_file_copies_and_detaches() {
+        let s = storage();
+        s.write_file("000007.sst", b"table bytes", IoClass::FlushWrite)
+            .unwrap();
+        s.link_file("000007.sst", "ckpt-a@000007.sst", IoClass::Other)
+            .unwrap();
+        // The link is an independent sealed copy: deleting the source
+        // leaves it readable, and it is durable in full.
+        s.delete("000007.sst").unwrap();
+        assert_eq!(
+            s.read_all("ckpt-a@000007.sst", IoClass::Other)
+                .unwrap()
+                .as_ref(),
+            b"table bytes"
+        );
+        assert_eq!(s.synced_len("ckpt-a@000007.sst").unwrap(), 11);
+        // Existing destinations are refused; missing sources error.
+        s.write_file("x", b"x", IoClass::Other).unwrap();
+        assert!(s
+            .link_file("x", "ckpt-a@000007.sst", IoClass::Other)
+            .is_err());
+        assert!(s.link_file("missing", "y", IoClass::Other).is_err());
+    }
+
+    #[test]
+    fn list_dir_filters_by_prefix() {
+        let s = storage();
+        for name in [
+            "ckpt-a@CURRENT",
+            "ckpt-a@000001.sst",
+            "ckpt-b@CURRENT",
+            "000001.sst",
+        ] {
+            s.write_file(name, b"x", IoClass::Other).unwrap();
+        }
+        assert_eq!(
+            s.list_dir("ckpt-a@"),
+            vec!["ckpt-a@000001.sst", "ckpt-a@CURRENT"]
+        );
+        assert_eq!(s.list_dir("ckpt-b@"), vec!["ckpt-b@CURRENT"]);
+        assert!(s.list_dir("ckpt-z@").is_empty());
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!
 //! plus the network tier (DESIGN.md §13): [`client`] (wire protocol and
 //! TCP clients) and [`server`] (multi-shard hosting with admission
-//! control).
+//! control), and the replication tier (DESIGN.md §14): [`sync`] (a
+//! read-only follower bootstrapped from an online checkpoint that tails
+//! the primary's incremental backup stream).
 //!
 //! ```
 //! use ldc::LdcDb;
@@ -34,6 +36,7 @@ pub use ldc_lsm as lsm;
 pub use ldc_obs as obs;
 pub use ldc_server as server;
 pub use ldc_ssd as ssd;
+pub use ldc_sync as sync;
 pub use ldc_workload as workload;
 
 pub use ldc_core::{AdaptiveThreshold, CompactionMode, LdcConfig, LdcDb, LdcDbBuilder, LdcPolicy};
