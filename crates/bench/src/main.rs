@@ -46,7 +46,14 @@ fn usage() -> ! {
     eprintln!("  backup            checkpoint -> incremental stream -> crash -> restore ->");
     eprintln!("                    verify, plus follower apply-crash recovery, UDC and LDC");
     eprintln!("  readwhilewriting  1 writer + N readers on a shared handle, UDC vs LDC");
-    eprintln!("                    [--readers N] [--quick] [--out PATH] + common flags");
+    eprintln!("                    [--readers N] [--workers N] [--quick] [--out PATH]");
+    eprintln!("                    + common flags; --workers N also runs both modes with");
+    eprintln!("                    N background workers next to the inline baseline");
+    eprintln!("  compaction-backlog  burst-load a flush/compaction backlog, then measure");
+    eprintln!("                    drain time + foreground read p50/p99/p999 during the");
+    eprintln!("                    drain, UDC vs LDC -> BENCH_backlog.json");
+    eprintln!("                    [--readers N] [--workers N] [--quick] [--out PATH]");
+    eprintln!("                    [--det-out PATH  deterministic single-threaded replay]");
     eprintln!("  tail              deterministic mixed load, UDC vs LDC: P50..P99.99 +");
     eprintln!("                    per-blame breakdown -> BENCH_tail.json");
     eprintln!("                    [--k N] [--quick] [--out PATH] + common flags");
@@ -210,6 +217,7 @@ fn run_backup(args: CommonArgs) -> Result<(), String> {
 /// One mode's results from the read-while-writing race.
 struct RwwResult {
     mode: &'static str,
+    background_workers: usize,
     wall_secs: f64,
     writes: u64,
     reads: u64,
@@ -231,7 +239,8 @@ impl RwwResult {
     fn json(&self) -> String {
         format!(
             concat!(
-                "{{\"mode\":\"{}\",\"wall_secs\":{:.3},\"writes\":{},",
+                "{{\"mode\":\"{}\",\"background_workers\":{},",
+                "\"wall_secs\":{:.3},\"writes\":{},",
                 "\"writes_per_sec\":{:.0},\"reads\":{},\"reads_per_sec\":{:.0},",
                 "\"read_p50_us\":{:.1},\"read_p99_us\":{:.1},\"read_p999_us\":{:.1},",
                 "\"read_mean_us\":{:.1},\"read_max_us\":{:.1},",
@@ -240,6 +249,7 @@ impl RwwResult {
                 "\"flushes\":{},\"compactions\":{}}}"
             ),
             self.mode,
+            self.background_workers,
             self.wall_secs,
             self.writes,
             self.writes as f64 / self.wall_secs,
@@ -279,6 +289,7 @@ fn xorshift(state: &mut u64) -> u64 {
 #[allow(clippy::disallowed_methods)]
 fn run_rww_mode(
     mode: &'static str,
+    background_workers: usize,
     db: LdcDb,
     args: &CommonArgs,
     readers: u64,
@@ -362,6 +373,7 @@ fn run_rww_mode(
     let stats = db.stats();
     Ok(RwwResult {
         mode,
+        background_workers,
         wall_secs,
         writes: args.ops,
         reads: reads.load(Ordering::Relaxed),
@@ -502,22 +514,51 @@ fn run_trace_report(args: CommonArgs, worst_k: usize) -> Result<(), String> {
     Ok(())
 }
 
-fn run_read_while_writing(args: CommonArgs, readers: u64, out: &str) -> Result<(), String> {
-    let open = |udc: bool| -> Result<LdcDb, String> {
-        let mut b = LdcDb::builder().options(paper_scaled_options());
+fn run_read_while_writing(
+    args: CommonArgs,
+    readers: u64,
+    workers: usize,
+    out: &str,
+) -> Result<(), String> {
+    let open = |udc: bool, bg: usize| -> Result<LdcDb, String> {
+        let mut b = LdcDb::builder()
+            .options(paper_scaled_options())
+            .background_workers(bg)
+            .max_subcompactions(4);
         if udc {
             b = b.udc_baseline();
         }
         b.build().map_err(|e| e.to_string())
     };
-    let udc = run_rww_mode("UDC", open(true)?, &args, readers)?;
-    let ldc = run_rww_mode("LDC", open(false)?, &args, readers)?;
+    // With `--workers N` the inline runs stay in as the baseline, so one
+    // JSON records the threaded-vs-inline read-tail difference directly.
+    let mut results = vec![
+        run_rww_mode("UDC", 0, open(true, 0)?, &args, readers)?,
+        run_rww_mode("LDC", 0, open(false, 0)?, &args, readers)?,
+    ];
+    if workers > 0 {
+        results.push(run_rww_mode(
+            "UDC",
+            workers,
+            open(true, workers)?,
+            &args,
+            readers,
+        )?);
+        results.push(run_rww_mode(
+            "LDC",
+            workers,
+            open(false, workers)?,
+            &args,
+            readers,
+        )?);
+    }
 
-    let rows: Vec<Vec<String>> = [&udc, &ldc]
+    let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
             vec![
                 r.mode.to_string(),
+                format!("{}", r.background_workers),
                 format!("{:.0}", r.writes as f64 / r.wall_secs),
                 format!("{:.0}", r.reads as f64 / r.wall_secs),
                 format!("{:.1}", r.p_us(50.0)),
@@ -539,6 +580,7 @@ fn run_read_while_writing(args: CommonArgs, readers: u64, out: &str) -> Result<(
         ),
         &[
             "system",
+            "bg workers",
             "writes/s",
             "reads/s",
             "read p50 (us)",
@@ -553,20 +595,291 @@ fn run_read_while_writing(args: CommonArgs, readers: u64, out: &str) -> Result<(
         &rows,
     );
 
+    let modes_json: Vec<String> = results.iter().map(|r| r.json()).collect();
     let json = format!(
         concat!(
             "{{\"bench\":\"readwhilewriting\",\"ops\":{},\"readers\":{},",
-            "\"value_bytes\":{},\"seed\":{},\"modes\":[{},{}]}}\n"
+            "\"value_bytes\":{},\"seed\":{},\"background_workers\":{},",
+            "\"modes\":[{}]}}\n"
         ),
         args.ops,
         readers,
         args.value_bytes,
         args.seed,
+        workers,
+        modes_json.join(",")
+    );
+    std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
+/// One mode's results from the backlog burst-and-drain measurement.
+struct BacklogResult {
+    mode: &'static str,
+    background_workers: usize,
+    burst_wall_secs: f64,
+    backlog_l0_files: usize,
+    drain_wall_secs: f64,
+    reads: u64,
+    read_latency_ns: Histogram,
+    flushes: u64,
+    compactions: u64,
+}
+
+impl BacklogResult {
+    fn p_us(&self, p: f64) -> f64 {
+        self.read_latency_ns.percentile(p) as f64 / 1e3
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"mode\":\"{}\",\"background_workers\":{},",
+                "\"burst_wall_secs\":{:.3},\"backlog_l0_files\":{},",
+                "\"drain_wall_secs\":{:.3},\"reads\":{},",
+                "\"read_p50_us\":{:.1},\"read_p99_us\":{:.1},\"read_p999_us\":{:.1},",
+                "\"flushes\":{},\"compactions\":{}}}"
+            ),
+            self.mode,
+            self.background_workers,
+            self.burst_wall_secs,
+            self.backlog_l0_files,
+            self.drain_wall_secs,
+            self.reads,
+            self.p_us(50.0),
+            self.p_us(99.0),
+            self.p_us(99.9),
+            self.flushes,
+            self.compactions
+        )
+    }
+}
+
+/// Burst-loads a compaction backlog, then measures how long the pool takes
+/// to drain it and what foreground point reads experience meanwhile.
+// Host wall-clock again: the drain races real reader threads.
+#[allow(clippy::disallowed_methods)]
+fn run_backlog_mode(
+    mode: &'static str,
+    udc: bool,
+    args: &CommonArgs,
+    workers: usize,
+    readers: u64,
+) -> Result<BacklogResult, String> {
+    let mut b = LdcDb::builder()
+        .options(paper_scaled_options())
+        .background_workers(workers)
+        .max_subcompactions(4);
+    if udc {
+        b = b.udc_baseline();
+    }
+    let db = b.build().map_err(|e| e.to_string())?;
+    let codec = args.codec();
+    let preload = args.ops.max(1);
+    for i in 0..preload {
+        db.put(&codec.key(i), &codec.value(i, 0))
+            .map_err(|e| format!("{mode} preload: {e}"))?;
+    }
+    db.drain_background();
+    let s0 = db.stats();
+
+    // Burst: overwrite the keyspace as fast as the write gates allow, so
+    // flush/compaction debt piles up faster than the pool retires it.
+    let t0 = Instant::now();
+    for i in 0..args.ops {
+        let idx = i % preload;
+        db.put(&codec.key(idx), &codec.value(idx, 1 + i / preload))
+            .map_err(|e| format!("{mode} burst: {e}"))?;
+    }
+    let burst_wall_secs = t0.elapsed().as_secs_f64();
+    let backlog_l0_files = db.engine_ref().version().levels[0].len();
+
+    // Drain while foreground readers measure what the backlog costs them.
+    let stop = AtomicBool::new(false);
+    let failed = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let mut merged = Histogram::new();
+    let mut drain_wall_secs = 0.0f64;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for r in 0..readers {
+            let db = &db;
+            let codec = &codec;
+            let (stop, failed, reads) = (&stop, &failed, &reads);
+            let seed = args.seed;
+            handles.push(s.spawn(move || {
+                let mut hist = Histogram::new();
+                let mut rng = seed ^ (r + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                while !stop.load(Ordering::Relaxed) {
+                    let key = codec.key(xorshift(&mut rng) % preload);
+                    let t0 = Instant::now();
+                    let got = db.get_pinned(&key);
+                    hist.record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                    match got {
+                        Ok(Some(_)) => {}
+                        Ok(None) => {
+                            eprintln!("{mode}: reader {r} lost a preloaded key");
+                            failed.store(true, Ordering::Relaxed);
+                            return hist;
+                        }
+                        Err(e) => {
+                            eprintln!("{mode}: reader {r} error: {e}");
+                            failed.store(true, Ordering::Relaxed);
+                            return hist;
+                        }
+                    }
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+                hist
+            }));
+        }
+        let t1 = Instant::now();
+        db.drain_background();
+        drain_wall_secs = t1.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            merged.merge(&h.join().expect("reader thread panicked"));
+        }
+    });
+    if failed.load(Ordering::Relaxed) {
+        return Err(format!("{mode}: backlog drain race failed"));
+    }
+    let stats = db.stats();
+    Ok(BacklogResult {
+        mode,
+        background_workers: workers,
+        burst_wall_secs,
+        backlog_l0_files,
+        drain_wall_secs,
+        reads: reads.load(Ordering::Relaxed),
+        read_latency_ns: merged,
+        flushes: stats.flushes - s0.flushes,
+        compactions: (stats.merges + stats.trivial_moves + stats.links + stats.ldc_merges)
+            - (s0.merges + s0.trivial_moves + s0.links + s0.ldc_merges),
+    })
+}
+
+/// Single-threaded deterministic replay of the backlog shape: no reader
+/// threads, `background_workers == 0`, everything stamped off the virtual
+/// clock — two same-seed runs must emit byte-identical JSON.
+fn backlog_det_json(udc: bool, args: &CommonArgs) -> Result<String, String> {
+    let mode = if udc { "UDC" } else { "LDC" };
+    let mut b = LdcDb::builder()
+        .options(paper_scaled_options())
+        .background_workers(0)
+        .max_subcompactions(4);
+    if udc {
+        b = b.udc_baseline();
+    }
+    let db = b.build().map_err(|e| e.to_string())?;
+    let codec = args.codec();
+    let preload = args.ops.max(1);
+    for i in 0..preload {
+        db.put(&codec.key(i), &codec.value(i, 0))
+            .map_err(|e| format!("{mode} det preload: {e}"))?;
+    }
+    db.drain_background();
+    let s0 = db.stats();
+    for i in 0..args.ops {
+        let idx = i % preload;
+        db.put(&codec.key(idx), &codec.value(idx, 1 + i / preload))
+            .map_err(|e| format!("{mode} det burst: {e}"))?;
+    }
+    let backlog_l0_files = db.engine_ref().version().levels[0].len();
+    let drain_virtual_nanos = db.drain_background();
+    let stats = db.stats();
+    Ok(format!(
+        concat!(
+            "{{\"mode\":\"{}\",\"backlog_l0_files\":{},",
+            "\"drain_virtual_nanos\":{},\"flushes\":{},\"compactions\":{}}}"
+        ),
+        mode,
+        backlog_l0_files,
+        drain_virtual_nanos,
+        stats.flushes - s0.flushes,
+        (stats.merges + stats.trivial_moves + stats.links + stats.ldc_merges)
+            - (s0.merges + s0.trivial_moves + s0.links + s0.ldc_merges),
+    ))
+}
+
+fn run_backlog(
+    args: CommonArgs,
+    workers: usize,
+    readers: u64,
+    out: &str,
+    det_out: Option<&str>,
+) -> Result<(), String> {
+    let udc = run_backlog_mode("UDC", true, &args, workers, readers)?;
+    let ldc = run_backlog_mode("LDC", false, &args, workers, readers)?;
+
+    let rows: Vec<Vec<String>> = [&udc, &ldc]
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                format!("{}", r.background_workers),
+                format!("{:.3}", r.burst_wall_secs),
+                format!("{}", r.backlog_l0_files),
+                format!("{:.3}", r.drain_wall_secs),
+                format!("{:.1}", r.p_us(50.0)),
+                format!("{:.1}", r.p_us(99.0)),
+                format!("{:.1}", r.p_us(99.9)),
+                format!("{}", r.flushes),
+                format!("{}", r.compactions),
+            ]
+        })
+        .collect();
+    print_table(
+        args.csv,
+        &format!(
+            "compaction-backlog: {} burst writes, {} readers during drain ({}-byte values, host time)",
+            args.ops, readers, args.value_bytes
+        ),
+        &[
+            "system",
+            "bg workers",
+            "burst (s)",
+            "L0 backlog",
+            "drain (s)",
+            "read p50 (us)",
+            "read p99 (us)",
+            "read p99.9 (us)",
+            "flushes",
+            "compactions",
+        ],
+        &rows,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"compaction-backlog\",\"ops\":{},\"readers\":{},",
+            "\"value_bytes\":{},\"seed\":{},\"background_workers\":{},",
+            "\"modes\":[{},{}]}}\n"
+        ),
+        args.ops,
+        readers,
+        args.value_bytes,
+        args.seed,
+        workers,
         udc.json(),
         ldc.json()
     );
     std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
     println!("\nwrote {out}");
+
+    if let Some(det_path) = det_out {
+        let det = format!(
+            "{{\"bench\":\"compaction-backlog-det\",\"ops\":{},\"value_bytes\":{},\"seed\":{},\"modes\":[{},{}]}}\n",
+            args.ops,
+            args.value_bytes,
+            args.seed,
+            backlog_det_json(true, &args)?,
+            backlog_det_json(false, &args)?
+        );
+        std::fs::write(det_path, &det).map_err(|e| format!("writing {det_path}: {e}"))?;
+        println!("wrote {det_path} (single-threaded, virtual clock)");
+    }
     Ok(())
 }
 
@@ -595,6 +908,7 @@ fn main() {
             // Pull out the flags CommonArgs doesn't know before delegating
             // (its parser treats unknown flags as fatal).
             let mut readers = 4u64;
+            let mut workers = 0usize;
             let mut quick = false;
             let mut out = "BENCH_readwhilewriting.json".to_string();
             let mut rest = Vec::new();
@@ -607,6 +921,12 @@ fn main() {
                             .and_then(|v| v.parse().ok())
                             .unwrap_or_else(|| panic!("--readers: integer"))
                     }
+                    "--workers" => {
+                        workers = iter
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--workers: integer"))
+                    }
                     "--quick" => quick = true,
                     "--out" => out = iter.next().unwrap_or_else(|| panic!("--out needs a value")),
                     _ => rest.push(arg),
@@ -614,8 +934,50 @@ fn main() {
             }
             let default_ops = if quick { 2_000 } else { 20_000 };
             let common = CommonArgs::from_iter(default_ops, rest);
-            if let Err(detail) = run_read_while_writing(common, readers.max(1), &out) {
+            if let Err(detail) = run_read_while_writing(common, readers.max(1), workers, &out) {
                 eprintln!("readwhilewriting FAILED: {detail}");
+                std::process::exit(1);
+            }
+        }
+        "compaction-backlog" => {
+            let mut readers = 4u64;
+            let mut workers = 2usize;
+            let mut quick = false;
+            let mut out = "BENCH_backlog.json".to_string();
+            let mut det_out: Option<String> = None;
+            let mut rest = Vec::new();
+            let mut iter = args.peekable();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--readers" => {
+                        readers = iter
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--readers: integer"))
+                    }
+                    "--workers" => {
+                        workers = iter
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--workers: integer"))
+                    }
+                    "--quick" => quick = true,
+                    "--out" => out = iter.next().unwrap_or_else(|| panic!("--out needs a value")),
+                    "--det-out" => {
+                        det_out = Some(
+                            iter.next()
+                                .unwrap_or_else(|| panic!("--det-out needs a value")),
+                        )
+                    }
+                    _ => rest.push(arg),
+                }
+            }
+            let default_ops = if quick { 2_000 } else { 20_000 };
+            let common = CommonArgs::from_iter(default_ops, rest);
+            if let Err(detail) =
+                run_backlog(common, workers, readers.max(1), &out, det_out.as_deref())
+            {
+                eprintln!("compaction-backlog FAILED: {detail}");
                 std::process::exit(1);
             }
         }

@@ -79,6 +79,22 @@ impl LdcDbBuilder {
         self
     }
 
+    /// Background worker threads for flush/compaction. `0` (the default)
+    /// keeps the deterministic inline path; `>= 1` moves background work
+    /// onto a dedicated scheduler pool (linearizable, not
+    /// timing-reproducible).
+    pub fn background_workers(mut self, workers: usize) -> Self {
+        self.options.background_workers = workers;
+        self
+    }
+
+    /// Upper bound on range-partitioned subcompactions per picked merge
+    /// when running on the worker pool (`1` disables splitting).
+    pub fn max_subcompactions(mut self, n: usize) -> Self {
+        self.options.max_subcompactions = n;
+        self
+    }
+
     /// Selects the compaction mechanism.
     pub fn mode(mut self, mode: CompactionMode) -> Self {
         self.mode = mode;
@@ -203,15 +219,32 @@ impl LdcDbBuilder {
         if let Some(k) = self.trace_worst_k {
             inner.enable_tracing(k);
         }
+        let inner = Arc::new(inner);
+        // No-op unless `background_workers >= 1`; with workers the engine
+        // runs flushes/compactions on its own threads (linearizable, but
+        // not timing-reproducible — see Options::background_workers).
+        inner.start_workers();
         Ok(LdcDb { inner, storage })
     }
 }
 
 /// An SSD-oriented key-value store running lower-level driven compaction
 /// (or, for comparison, the UDC baseline).
+///
+/// The engine lives behind an `Arc` so the background worker pool (when
+/// `background_workers >= 1`) can share it; dropping the facade stops and
+/// joins the pool.
 pub struct LdcDb {
-    inner: Db,
+    inner: Arc<Db>,
     storage: Arc<dyn StorageBackend>,
+}
+
+impl Drop for LdcDb {
+    fn drop(&mut self) {
+        // Idempotent; joins the background workers so they release their
+        // engine handles (pending work is covered by the WAL / repair).
+        self.inner.shutdown_workers();
+    }
 }
 
 impl LdcDb {
@@ -345,7 +378,18 @@ impl LdcDb {
     /// builder's [`LdcDbBuilder::event_sink`], minus policy adaptation
     /// events, which need the sink at build time).
     pub fn set_event_sink(&mut self, sink: SharedSink) {
-        self.inner.set_event_sink(sink);
+        // The workers each hold an engine handle; park them so the `Arc`
+        // is briefly unique, swap the sink, then restart the pool.
+        let restart = self.inner.workers_active();
+        if restart {
+            self.inner.shutdown_workers();
+        }
+        Arc::get_mut(&mut self.inner)
+            .expect("no outstanding engine handles after worker shutdown")
+            .set_event_sink(sink);
+        if restart {
+            self.inner.start_workers();
+        }
     }
 
     /// The engine's metrics registry (per-level gauges, per-op latency

@@ -41,6 +41,7 @@ pub const TABLE_PATH: &str = "crates/lint/lock_order.toml";
 /// Files whose locks participate in the ordered hierarchy.
 pub const SCOPED_FILES: &[&str] = &[
     "crates/lsm/src/db.rs",
+    "crates/lsm/src/scheduler.rs",
     "crates/lsm/src/commit.rs",
     "crates/lsm/src/memtable.rs",
     "crates/lsm/src/cache.rs",
@@ -205,14 +206,14 @@ pub fn check(files: &[(String, SourceView)], table_text: &str) -> Vec<Diagnostic
         }
     }
 
-    // 3. Per-function acquisition/call extraction.
-    let lock_field_names: BTreeMap<String, String> = locks
-        .keys()
-        .map(|id| {
-            let field = id.rsplit("::").next().unwrap_or(id).to_string();
-            (field, id.clone())
-        })
-        .collect();
+    // 3. Per-function acquisition/call extraction. A field name may be
+    // declared by several files (`state` lives in commit, scheduler, and
+    // server); the resolver disambiguates per use site.
+    let mut lock_field_names: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for id in locks.keys() {
+        let field = id.rsplit("::").next().unwrap_or(id).to_string();
+        lock_field_names.entry(field).or_default().push(id.clone());
+    }
     let mut fns: BTreeMap<String, FnInfo> = BTreeMap::new();
     for (path, view) in &scoped {
         for info in extract_functions(path, view, &lock_field_names) {
@@ -408,7 +409,7 @@ fn ctor_ids(view: &SourceView) -> Vec<(&'static str, usize, Option<String>)> {
 fn extract_functions(
     path: &str,
     view: &SourceView,
-    lock_fields: &BTreeMap<String, String>,
+    lock_fields: &BTreeMap<String, Vec<String>>,
 ) -> Vec<(String, FnInfo)> {
     let code = &view.code;
     let bytes = code.as_bytes();
@@ -463,14 +464,14 @@ fn analyse_body(
     view: &SourceView,
     body_start: usize,
     body: &str,
-    lock_fields: &BTreeMap<String, String>,
+    lock_fields: &BTreeMap<String, Vec<String>>,
 ) -> FnInfo {
     let bytes = body.as_bytes();
     let mut acquisitions: Vec<Acquisition> = Vec::new();
     let mut calls = Vec::new();
 
     // Acquisition sites: `<field> . (lock|read|write) ( )`.
-    for (field, lock_id) in lock_fields {
+    for (field, ids) in lock_fields {
         for at in crate::lexer::token_positions(body, field) {
             let rest = &body[at + field.len()..];
             let trimmed = rest.trim_start();
@@ -486,6 +487,7 @@ fn analyse_body(
             if !m.1.trim_start().starts_with('(') {
                 continue;
             }
+            let lock_id = resolve_lock_id(path, body, at, ids);
             let pos = at;
             // Statement bounds.
             let stmt_start = body[..at].rfind(';').map(|p| p + 1).unwrap_or(0);
@@ -517,7 +519,7 @@ fn analyse_body(
                 live_until
             };
             acquisitions.push(Acquisition {
-                lock: lock_id.clone(),
+                lock: lock_id,
                 pos,
                 live_until,
                 line: view.line_of(body_start + at),
@@ -565,6 +567,49 @@ fn analyse_body(
         acquisitions,
         calls,
     }
+}
+
+/// Picks which declared lock a use of `<field>.lock()` refers to when
+/// several files declare a field of that name. Preference order:
+///
+/// 1. The receiver segment before the field (`self.scheduler.state` →
+///    `scheduler`, `db.tables` → `db`) matched against the ids' file
+///    stems — fields reached through a named component belong to that
+///    component's file.
+/// 2. A lock declared in the *current* file (`self.state` in server.rs
+///    is server's own field).
+/// 3. The lexicographically first candidate (deterministic fallback).
+fn resolve_lock_id(path: &str, body: &str, at: usize, ids: &[String]) -> String {
+    if ids.len() == 1 {
+        return ids[0].clone();
+    }
+    fn stem_of(id: &str) -> Option<&str> {
+        id.split("::").next().and_then(|k| k.split('/').nth(1))
+    }
+    let before = body[..at].trim_end();
+    if let Some(prev) = before.strip_suffix('.') {
+        let owner: String = prev
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if !owner.is_empty() && owner != "self" {
+            if let Some(id) = ids.iter().find(|id| stem_of(id) == Some(owner.as_str())) {
+                return id.clone();
+            }
+        }
+    }
+    let key = lock_file_key(path);
+    if let Some(id) = ids
+        .iter()
+        .find(|id| id.split("::").next() == Some(key.as_str()))
+    {
+        return id.clone();
+    }
+    ids[0].clone()
 }
 
 /// For a `let`-bound guard acquired at `at`, the guard lives until the

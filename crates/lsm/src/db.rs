@@ -57,9 +57,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
-use ldc_obs::lockcheck::{Mutex, RwLock};
+use ldc_obs::lockcheck::{Mutex, MutexGuard, RwLock};
 use ldc_obs::{
     Blame, Event, EventKind, LevelGauge, MetricsRegistry, NoopSink, OpType, SharedSink, Trace,
     TraceCtx, TraceReservoir,
@@ -76,6 +77,7 @@ use crate::iterator::{InternalIterator, MergingIterator};
 use crate::memtable::{LookupResult, MemTable};
 use crate::options::{CorruptionPolicy, Options};
 use crate::retry::RetryStorage;
+use crate::scheduler::{CompactionScheduler, MergeUnitSpec, SubBatch, SubUnit, UnitOutput};
 use crate::table::{Table, TableBuilder};
 use crate::types::{
     encode_internal_key, parse_trailer, user_key, KeyRange, SequenceNumber, ValueType,
@@ -277,7 +279,7 @@ struct DbCore {
 
 /// Decrements the in-flight read counter on drop, so pending physical
 /// file deletes know when no pinned view can reference them.
-struct ReadPin<'a>(&'a AtomicU64);
+pub(crate) struct ReadPin<'a>(&'a AtomicU64);
 
 impl<'a> ReadPin<'a> {
     fn new(counter: &'a AtomicU64) -> Self {
@@ -317,6 +319,10 @@ pub struct Db {
     /// virtual clock, so even enabled runs charge identical time.
     tracer: Option<Arc<TraceReservoir>>,
     core: Mutex<DbCore>,
+    /// Background worker pool; dormant unless `options.background_workers`
+    /// is at least 1 and the owner called [`Db::start_workers`]. While
+    /// active, the write path signals it instead of pumping inline.
+    scheduler: CompactionScheduler,
     /// The state readers pin; republished at every commit boundary.
     view: RwLock<ReadView>,
     /// Leader/follower write grouping.
@@ -504,6 +510,7 @@ impl Db {
             imm: None,
             seq: versions.last_sequence,
         };
+        let scheduler = CompactionScheduler::new(options.background_workers);
         let db = Db {
             options,
             storage,
@@ -530,6 +537,7 @@ impl Db {
                     pending_deletes: Vec::new(),
                 },
             ),
+            scheduler,
             view: RwLock::new("lsm/db::view", view),
             commit: CommitQueue::new(),
             bg_until: AtomicU64::new(0),
@@ -1174,6 +1182,13 @@ impl Db {
             Role::Leader(group) => {
                 let results = {
                     let mut core = self.core.lock();
+                    if self.scheduler.active() {
+                        // Threaded mode: the write gates are condvar waits
+                        // on job completion (they must release the core so
+                        // workers can install), so they run here where the
+                        // guard is owned, before the commit proper.
+                        core = self.threaded_write_gates(core, trace.as_deref_mut());
+                    }
                     let results = self.commit_group(&mut core, group, trace);
                     self.publish_view(&core);
                     if let Err(e) = self.reap_pending_deletes(&mut core) {
@@ -1254,10 +1269,19 @@ impl Db {
                 policy.observe_op(true);
             }
         }
-        self.pump_background(core)?;
+        // Threaded mode: the stall/slowdown gates already ran in
+        // `threaded_write_gates` (they need the core *guard* to wait on);
+        // just make sure the pool knows there is work.
+        let inline = !self.scheduler.active();
+        if !inline {
+            self.scheduler_signal();
+        }
+        if inline {
+            self.pump_background(core)?;
+        }
 
         // LevelDB's write gates, in escalating order of pain.
-        if core.versions.current.level_files(0) >= self.options.l0_stop_threshold {
+        if inline && core.versions.current.level_files(0) >= self.options.l0_stop_threshold {
             // Hard stop: wait for background tasks until L0 drains below
             // the limit.
             let t0 = self.device.clock().now();
@@ -1296,7 +1320,9 @@ impl Db {
                         .record(Event::span(EventKind::Stall, t0, t0 + waited).levels(0, 0));
                 }
             }
-        } else if core.versions.current.level_files(0) >= self.options.l0_slowdown_threshold {
+        } else if inline
+            && core.versions.current.level_files(0) >= self.options.l0_slowdown_threshold
+        {
             let t0 = self.device.clock().now();
             self.device.clock().advance(self.options.slowdown_delay_ns);
             core.stats.slowdowns += 1;
@@ -1439,6 +1465,28 @@ impl Db {
         // memtable is still waiting for (or in) its flush, the writer must
         // wait for the slot — the paper's Eq. 3 tail event.
         if core.mem.approximate_bytes() >= self.options.memtable_bytes {
+            if !inline {
+                // Threaded mode: rotate only if the `imm` slot is free and
+                // hand the flush to the pool. When the slot is still
+                // occupied the memtable simply overshoots its budget for
+                // this commit — the next write's entry gate waits for the
+                // in-flight flush (releasing the core) before proceeding.
+                if core.imm.is_none() {
+                    let new_log_number = core.versions.new_file_number();
+                    let old_log = core.wal.name().to_string();
+                    core.wal = LogWriter::new(
+                        Arc::clone(&self.storage),
+                        log_file_name(new_log_number),
+                        IoClass::WalWrite,
+                    );
+                    let seed = self.options.seed ^ core.versions.next_file_number;
+                    let full = std::mem::replace(&mut core.mem, Arc::new(MemTable::new(seed)));
+                    core.imm = Some(full);
+                    core.imm_wal_to_delete = Some(old_log);
+                }
+                self.scheduler_signal();
+                return Ok(());
+            }
             if core.imm.is_some() {
                 let t0 = self.device.clock().now();
                 // Let the lane finish its current task, then force the
@@ -1621,6 +1669,9 @@ impl Db {
     /// the total wait. Harnesses call this at measurement boundaries so
     /// compaction debt is not silently dropped from throughput accounting.
     pub fn drain_background(&self) -> Nanos {
+        if self.scheduler.active() {
+            return self.drain_background_threaded();
+        }
         let t0 = self.device.clock().now();
         let mut core = self.core.lock();
         loop {
@@ -1650,6 +1701,944 @@ impl Db {
             self.device.clock().advance(bg - now);
         }
         self.device.clock().now().saturating_sub(t0)
+    }
+
+    // ------------------------------------------------------------------
+    // Background worker pool (threaded mode)
+    // ------------------------------------------------------------------
+
+    /// Spawns the `options.background_workers` worker threads. A no-op if
+    /// the option is 0 or the pool already runs. While active, the write
+    /// path signals the pool instead of pumping inline; runs are
+    /// linearizable but not timing-reproducible. Call
+    /// [`Db::shutdown_workers`] before dropping the last handle you plan
+    /// to reopen from quickly — otherwise parked threads keep the `Arc`
+    /// (and the store) alive until process exit.
+    pub fn start_workers(self: &Arc<Self>) {
+        if self.scheduler.workers == 0 || self.scheduler.active() {
+            return;
+        }
+        let mut threads = self.scheduler.threads.lock();
+        if !threads.is_empty() {
+            return;
+        }
+        for i in 0..self.scheduler.workers {
+            let db = Arc::clone(self);
+            let handle = std::thread::Builder::new()
+                .name(format!("ldc-bg-{i}"))
+                .spawn(move || db.worker_main())
+                // ldc-lint: allow(panic_safety) — spawn failing at startup has no degraded mode; an "active" pool with zero workers would deadlock the write gates
+                .expect("spawn background worker");
+            threads.push(handle);
+        }
+        self.scheduler.started.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops and joins the worker pool. Idempotent. Pending background
+    /// work is simply dropped — an unflushed memtable is still covered by
+    /// its WAL, and uninstalled compaction outputs are orphans reclaimed
+    /// by `repair_db`; nothing acknowledged is lost.
+    pub fn shutdown_workers(&self) {
+        if self.scheduler.active() {
+            self.scheduler.stop();
+        }
+    }
+
+    /// Whether the background worker pool is running.
+    pub fn workers_active(&self) -> bool {
+        self.scheduler.active()
+    }
+
+    /// Marks work pending and wakes one worker. Called with the core lock
+    /// held (rank 60 → state's rank 65 is a legal forward acquisition).
+    fn scheduler_signal(&self) {
+        let mut st = self.scheduler.state.lock();
+        st.work_hint = true;
+        self.scheduler.work_cv.notify_one();
+    }
+
+    /// Threaded-mode write-entry gates: the L0 stop gate and the
+    /// rotation-slot gate become waits on job completion (`done_cv`,
+    /// paired with the core mutex — the wait releases the core so workers
+    /// can install), attributed to [`Blame::WorkerQueue`]. The soft L0
+    /// slowdown brake parks on the same condvar for up to the slowdown
+    /// delay. Mirrors the inline gates' "no progress possible" break via
+    /// the scheduler's `policy_idle` flag.
+    fn threaded_write_gates<'a>(
+        &self,
+        mut core: MutexGuard<'a, DbCore>,
+        mut trace: Option<&mut TraceCtx>,
+    ) -> MutexGuard<'a, DbCore> {
+        let mut stall_t0: Option<Nanos> = None;
+        loop {
+            if core.bg_error.is_some() {
+                break;
+            }
+            let over_stop = core.versions.current.level_files(0) >= self.options.l0_stop_threshold;
+            let rot_blocked =
+                core.imm.is_some() && core.mem.approximate_bytes() >= self.options.memtable_bytes;
+            if !over_stop && !rot_blocked {
+                break;
+            }
+            let stuck = {
+                let mut st = self.scheduler.state.lock();
+                st.work_hint = true;
+                self.scheduler.work_cv.notify_all();
+                // Nothing running, nothing queued, and the policy had no
+                // task for the current version: waiting cannot help.
+                st.policy_idle && !st.busy() && core.imm.is_none()
+            };
+            if stuck {
+                break;
+            }
+            if stall_t0.is_none() {
+                stall_t0 = Some(self.device.clock().now());
+            }
+            // The timeout is a lost-wakeup/progress backstop; installs
+            // notify `done_cv` while holding the core, so the normal path
+            // wakes immediately.
+            let (g, _) = core.wait_timeout(&self.scheduler.done_cv, Duration::from_millis(2));
+            core = g;
+        }
+        if let Some(t0) = stall_t0 {
+            let now = self.device.clock().now();
+            let waited = now.saturating_sub(t0);
+            if waited > 0 {
+                core.stats.stalls += 1;
+                core.stats.stall_nanos += waited;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.span(Blame::WorkerQueue, "worker_queue", t0, now);
+                }
+                if self.sink.enabled() {
+                    self.sink
+                        .record(Event::span(EventKind::Stall, t0, now).levels(0, 0));
+                }
+            }
+        } else if core.bg_error.is_none()
+            && core.versions.current.level_files(0) >= self.options.l0_slowdown_threshold
+        {
+            // Soft brake: a real host-time pause (bounded by the slowdown
+            // delay), released early by any job install. The virtual clock
+            // is advanced by the model delay so event spans stay sane.
+            let t0 = self.device.clock().now();
+            self.scheduler_signal();
+            let dur = Duration::from_nanos(self.options.slowdown_delay_ns.min(1_000_000));
+            let (g, _) = core.wait_timeout(&self.scheduler.done_cv, dur);
+            core = g;
+            self.device.clock().advance(self.options.slowdown_delay_ns);
+            core.stats.slowdowns += 1;
+            let end = self.device.clock().now();
+            if let Some(t) = trace {
+                t.span(Blame::Slowdown, "l0_slowdown", t0, end);
+            }
+            if self.sink.enabled() {
+                self.sink
+                    .record(Event::span(EventKind::Slowdown, t0, end).levels(0, 0));
+            }
+        }
+        core
+    }
+
+    /// Waits out an in-flight worker flush job so the caller can run the
+    /// inline flush path while holding the core continuously (no worker
+    /// can claim `imm` without the core lock). No-op in inline mode.
+    fn wait_flush_job<'a>(&self, mut core: MutexGuard<'a, DbCore>) -> MutexGuard<'a, DbCore> {
+        if !self.scheduler.active() {
+            return core;
+        }
+        loop {
+            let inflight = self.scheduler.state.lock().flush_inflight;
+            if !inflight {
+                return core;
+            }
+            let (g, _) = core.wait_timeout(&self.scheduler.done_cv, Duration::from_millis(2));
+            core = g;
+        }
+    }
+
+    /// Threaded-mode drain: signal the pool and wait until nothing is
+    /// claimed, nothing is queued, the `imm` slot is clear, and the
+    /// policy reported no further work.
+    fn drain_background_threaded(&self) -> Nanos {
+        let t0 = self.device.clock().now();
+        let mut core = self.core.lock();
+        loop {
+            if core.bg_error.is_some() {
+                break;
+            }
+            let idle = {
+                let mut st = self.scheduler.state.lock();
+                st.work_hint = true;
+                self.scheduler.work_cv.notify_all();
+                st.policy_idle && !st.busy()
+            };
+            if idle && core.imm.is_none() {
+                break;
+            }
+            let (g, _) = core.wait_timeout(&self.scheduler.done_cv, Duration::from_millis(2));
+            core = g;
+        }
+        self.publish_view(&core);
+        if let Err(e) = self.reap_pending_deletes(&mut core) {
+            if core.bg_error.is_none() {
+                core.bg_error = Some(e);
+            }
+        }
+        self.device.clock().now().saturating_sub(t0)
+    }
+
+    /// A worker thread's main loop: park on `work_cv`, then either run a
+    /// queued subcompaction unit or plan-run-install one whole job.
+    fn worker_main(&self) {
+        enum Next {
+            Exit,
+            Job,
+            Unit(SubUnit, Arc<MergeUnitSpec>),
+        }
+        loop {
+            let next = {
+                let mut st = self.scheduler.state.lock();
+                loop {
+                    if self.scheduler.shutdown.load(Ordering::SeqCst) {
+                        break Next::Exit;
+                    }
+                    if let Some(u) = st.subqueue.pop_front() {
+                        match st.sub.as_ref().map(|b| Arc::clone(&b.spec)) {
+                            Some(spec) => break Next::Unit(u, spec),
+                            None => continue, // stale unit of a torn-down batch
+                        }
+                    }
+                    if st.work_hint {
+                        st.work_hint = false;
+                        break Next::Job;
+                    }
+                    st = st.wait(&self.scheduler.work_cv);
+                }
+            };
+            match next {
+                Next::Exit => return,
+                Next::Job => self.run_one_job(),
+                Next::Unit(unit, spec) => self.run_queued_unit(unit, &spec),
+            }
+            // One scheduling point per job keeps a busy pool from
+            // monopolizing a small machine between back-to-back picks.
+            std::thread::yield_now();
+        }
+    }
+
+    /// Plan one job under the core lock, then run and install it.
+    fn run_one_job(&self) {
+        let job = {
+            let mut core = self.core.lock();
+            if core.bg_error.is_some() {
+                return;
+            }
+            self.plan_job(&mut core)
+        };
+        match job {
+            Some(BgJob::Flush { imm, wal }) => self.run_flush_job(imm, wal),
+            Some(BgJob::Compact {
+                job,
+                t0,
+                desc,
+                inputs,
+                plan,
+            }) => self.run_compact_job(job, t0, desc, inputs, plan),
+            None => {}
+        }
+    }
+
+    /// Claims the next unit of work. Flush has priority (mirroring the
+    /// inline pump); metadata-only tasks (trivial move, link) execute
+    /// right here under the core lock; merges are claimed with conflict
+    /// tracking and returned for the lock-free run phase.
+    fn plan_job(&self, core: &mut DbCore) -> Option<BgJob> {
+        if let Some(imm) = core.imm.as_ref() {
+            let mut st = self.scheduler.state.lock();
+            if !st.flush_inflight {
+                st.flush_inflight = true;
+                st.policy_idle = false;
+                return Some(BgJob::Flush {
+                    imm: Arc::clone(imm),
+                    wal: core.imm_wal_to_delete.clone(),
+                });
+            }
+        }
+        let gen = {
+            let st = self.scheduler.state.lock();
+            st.completed
+        };
+        let task = {
+            let ctx = PickContext {
+                version: &core.versions.current,
+                options: &self.options,
+                compact_pointers: &core.versions.compact_pointers,
+            };
+            self.policy.lock().pick(&ctx)
+        };
+        let Some(task) = task else {
+            {
+                let mut st = self.scheduler.state.lock();
+                // Only latch idle if no job installed since the pick —
+                // an install changes the version the policy judged.
+                if st.completed == gen {
+                    st.policy_idle = true;
+                }
+            }
+            // Stalled writers re-check `policy_idle` under the core lock
+            // (which we hold), so this wake cannot be lost.
+            self.scheduler.done_cv.notify_all();
+            return None;
+        };
+        let desc = if self.sink.enabled() {
+            Some(self.describe_task(&core.versions.current, &task))
+        } else {
+            None
+        };
+        let t0 = self.device.clock().now();
+        let smallest_snapshot = snapshot_floor(core);
+        match task {
+            CompactionTask::TrivialMove { level, file } | CompactionTask::Link { level, file } => {
+                // Stale pick (input vanished via quarantine) — drop it.
+                if core.versions.current.find_file(file).map(|(l, _)| l) != Some(level) {
+                    return None;
+                }
+                let conflict = {
+                    let st = self.scheduler.state.lock();
+                    // Coarse but safe: a move/link rewires metadata at
+                    // `level`/`level+1`; defer while any job claims
+                    // ranges there (its outputs could interleave).
+                    st.inflight_inputs.contains(&file)
+                        || st
+                            .claims
+                            .iter()
+                            .any(|c| c.level == level || c.level == level + 1)
+                };
+                if conflict {
+                    return None;
+                }
+                if let Err(e) = self.execute(core, task) {
+                    self.fail_planned(core, e);
+                } else {
+                    self.publish_view(core);
+                    if let Err(e) = self.reap_pending_deletes(core) {
+                        if core.bg_error.is_none() {
+                            core.bg_error = Some(e);
+                        }
+                    }
+                    self.complete_job(core, None, &[], false);
+                }
+                None
+            }
+            CompactionTask::Merge {
+                level,
+                upper,
+                lower,
+            } => {
+                let upper_m = resolve_metas(core, &upper)?;
+                let lower_m = resolve_metas(core, &lower)?;
+                if upper_m.iter().chain(&lower_m).any(|m| !m.slices.is_empty()) {
+                    return None; // slice-carrying files merge via LdcMerge
+                }
+                let inputs: Vec<u64> = upper.iter().chain(&lower).copied().collect();
+                let (lo, hi) = key_span(upper_m.iter().chain(&lower_m))?;
+                let ranges = vec![(level, lo.clone(), hi.clone()), (level + 1, lo, hi)];
+                let job = {
+                    let mut st = self.scheduler.state.lock();
+                    if st.conflicts(&inputs, &ranges) {
+                        return None;
+                    }
+                    st.policy_idle = false;
+                    st.claim(&inputs, ranges)
+                };
+                let spec = Arc::new(MergeUnitSpec {
+                    inputs: inputs.clone(),
+                    drop_tombstones: level + 1 == self.options.max_levels - 1,
+                    split_outputs: true,
+                    smallest_snapshot,
+                });
+                Some(BgJob::Compact {
+                    job,
+                    t0,
+                    desc,
+                    inputs,
+                    plan: PlannedCompaction::Merge {
+                        level,
+                        upper: upper_m,
+                        lower: lower_m,
+                        spec,
+                    },
+                })
+            }
+            CompactionTask::LdcMerge { level, file } => {
+                let meta = match core.versions.current.find_file(file) {
+                    Some((l, m)) if l == level && !m.slices.is_empty() => m.clone(),
+                    _ => return None, // stale pick
+                };
+                let mut inputs: Vec<u64> = vec![file];
+                inputs.extend(meta.slices.iter().map(|s| s.source_file));
+                inputs.sort_unstable();
+                inputs.dedup();
+                // Outputs replace `file` within its responsible range, so
+                // claiming the file's own span excludes same-level writers;
+                // shared frozen sources are excluded via `inputs`.
+                let ranges = vec![(
+                    level,
+                    meta.smallest_ukey().to_vec(),
+                    meta.largest_ukey().to_vec(),
+                )];
+                let job = {
+                    let mut st = self.scheduler.state.lock();
+                    if st.conflicts(&inputs, &ranges) {
+                        return None;
+                    }
+                    st.policy_idle = false;
+                    st.claim(&inputs, ranges)
+                };
+                Some(BgJob::Compact {
+                    job,
+                    t0,
+                    desc,
+                    inputs,
+                    plan: PlannedCompaction::Ldc {
+                        level,
+                        meta,
+                        drop_tombstones: level == self.options.max_levels - 1,
+                        smallest_snapshot,
+                    },
+                })
+            }
+            CompactionTask::TieredMerge { files } => {
+                let metas = resolve_metas(core, &files)?;
+                if metas.iter().any(|m| !m.slices.is_empty()) {
+                    return None;
+                }
+                let (lo, hi) = key_span(metas.iter())?;
+                let ranges = vec![(0usize, lo, hi)];
+                let job = {
+                    let mut st = self.scheduler.state.lock();
+                    if st.conflicts(&files, &ranges) {
+                        return None;
+                    }
+                    st.policy_idle = false;
+                    st.claim(&files, ranges)
+                };
+                let spec = Arc::new(MergeUnitSpec {
+                    inputs: files.clone(),
+                    drop_tombstones: false,
+                    split_outputs: false,
+                    smallest_snapshot,
+                });
+                Some(BgJob::Compact {
+                    job,
+                    t0,
+                    desc,
+                    inputs: files,
+                    plan: PlannedCompaction::Tiered { metas, spec },
+                })
+            }
+        }
+    }
+
+    /// Flush job: build and stream the L0 table with no engine lock held,
+    /// then install under the core lock.
+    fn run_flush_job(&self, imm: Arc<MemTable>, wal: Option<String>) {
+        let t0 = self.device.clock().now();
+        let input_bytes = imm.approximate_bytes() as u64;
+        let built = (|| -> Result<(FileMeta, Nanos)> {
+            let mut builder = TableBuilder::new(
+                self.options.block_bytes,
+                self.options.block_restart_interval,
+                self.options.bloom_bits_per_key,
+            );
+            let mut it = imm.iter();
+            it.seek_to_first();
+            while it.valid() {
+                builder.add(it.key(), it.value());
+                it.next();
+            }
+            // The iterator pins the memtable's list lock (rank 90); release
+            // it before taking core (rank 60) for the file number.
+            drop(it);
+            let finished = builder.finish();
+            let number = self.core.lock().versions.new_file_number();
+            let w0 = self.device.clock().now();
+            self.write_table_chunked(
+                &table_file_name(number),
+                &finished.bytes,
+                IoClass::FlushWrite,
+            )?;
+            Ok((
+                FileMeta {
+                    number,
+                    size: finished.bytes.len() as u64,
+                    smallest: finished.smallest,
+                    largest: finished.largest,
+                    slices: Vec::new(),
+                },
+                self.device.clock().now().saturating_sub(w0),
+            ))
+        })();
+        let (meta, write_nanos) = match built {
+            Ok(b) => b,
+            Err(e) => {
+                self.fail_job(e, None, &[], true);
+                return;
+            }
+        };
+        let mut core = self.core.lock();
+        let installed = (|| -> Result<()> {
+            core.versions.log_and_apply(VersionEdit {
+                new_files: vec![(0, meta.clone())],
+                ..Default::default()
+            })?;
+            core.imm = None;
+            core.imm_wal_to_delete = None;
+            core.stats.flushes += 1;
+            if let Some(wal) = &wal {
+                if self.storage.exists(wal) {
+                    self.storage.delete(wal)?;
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = installed {
+            if core.bg_error.is_none() {
+                core.bg_error = Some(e);
+            }
+        } else {
+            self.publish_view(&core);
+            if let Err(e) = self.reap_pending_deletes(&mut core) {
+                if core.bg_error.is_none() {
+                    core.bg_error = Some(e);
+                }
+            }
+            self.refresh_level_gauges(&core.versions.current);
+            if self.sink.enabled() {
+                let end = self.device.clock().now();
+                let mut ev = Event::span(EventKind::Flush, t0, end)
+                    .files(0, 1)
+                    .bytes(input_bytes, meta.size)
+                    .phases(0, 0, write_nanos);
+                ev.output_level = Some(0);
+                self.sink.record(ev);
+            }
+        }
+        self.complete_job(&core, None, &[], true);
+    }
+
+    /// Run phase + install for a claimed compaction job.
+    fn run_compact_job(
+        &self,
+        job: u64,
+        t0: Nanos,
+        desc: Option<TaskDescriptor>,
+        inputs: Vec<u64>,
+        plan: PlannedCompaction,
+    ) {
+        let result: Result<(Vec<UnitOutput>, CompactInstall)> = match plan {
+            PlannedCompaction::Merge {
+                level,
+                upper,
+                lower,
+                spec,
+            } => {
+                let ranges = split_merge_ranges(&upper, &lower, self.options.max_subcompactions);
+                self.run_split_merge(&spec, ranges).map(|outs| {
+                    (
+                        outs,
+                        CompactInstall::Merge {
+                            level,
+                            upper,
+                            lower,
+                        },
+                    )
+                })
+            }
+            PlannedCompaction::Ldc {
+                level,
+                meta,
+                drop_tombstones,
+                smallest_snapshot,
+            } => self
+                .run_ldc_merge(&meta, drop_tombstones, smallest_snapshot)
+                .map(|out| (vec![out], CompactInstall::Ldc { level, meta })),
+            PlannedCompaction::Tiered { metas, spec } => self
+                .run_merge_unit(&spec, None)
+                .map(|out| (vec![out], CompactInstall::Tiered { metas })),
+        };
+        match result {
+            Ok((outs, install)) => self.install_compaction(job, t0, desc, &inputs, outs, install),
+            Err(e) => self.fail_job(e, Some(job), &inputs, false),
+        }
+    }
+
+    /// Installs a finished compaction as one atomic `VersionEdit`. If an
+    /// input vanished mid-run (quarantine), the job aborts and its outputs
+    /// stay as orphans for `repair_db`.
+    fn install_compaction(
+        &self,
+        job: u64,
+        t0: Nanos,
+        desc: Option<TaskDescriptor>,
+        inputs: &[u64],
+        outs: Vec<UnitOutput>,
+        install: CompactInstall,
+    ) {
+        let mut core = self.core.lock();
+        let live = |core: &DbCore, n: u64| core.versions.current.find_file(n).is_some();
+        let mut edit = VersionEdit::default();
+        let mut dropped: Vec<u64> = Vec::new();
+        let mut stat: Option<&'static str> = None;
+        let ok = match &install {
+            CompactInstall::Merge {
+                level,
+                upper,
+                lower,
+            } => {
+                if upper.iter().chain(lower).all(|m| live(&core, m.number)) {
+                    for m in upper {
+                        edit.deleted_files.push((*level as u32, m.number));
+                    }
+                    for m in lower {
+                        edit.deleted_files.push(((*level + 1) as u32, m.number));
+                    }
+                    for u in &outs {
+                        for m in &u.metas {
+                            edit.new_files.push(((*level + 1) as u32, m.clone()));
+                        }
+                    }
+                    if *level >= 1 {
+                        if let Some(hi) = upper.iter().map(|m| m.largest_ukey().to_vec()).max() {
+                            edit.compact_pointers.push((*level as u32, hi));
+                        }
+                    }
+                    dropped.extend(upper.iter().chain(lower).map(|m| m.number));
+                    stat = Some("merges");
+                    true
+                } else {
+                    false
+                }
+            }
+            CompactInstall::Ldc { level, meta } => {
+                if live(&core, meta.number) {
+                    edit.deleted_files.push((*level as u32, meta.number));
+                    for u in &outs {
+                        for m in &u.metas {
+                            edit.new_files.push((*level as u32, m.clone()));
+                        }
+                    }
+                    // Reference counting against the refcounts current at
+                    // install time (Algorithm 1, lines 18-22).
+                    let mut remaining: HashMap<u64, u32> = HashMap::new();
+                    for (number, frozen) in &core.versions.current.frozen {
+                        remaining.insert(*number, frozen.refcount);
+                    }
+                    let mut reclaimed: Vec<u64> = Vec::new();
+                    for slice in &meta.slices {
+                        if let Some(count) = remaining.get_mut(&slice.source_file) {
+                            *count = count.saturating_sub(1);
+                            if *count == 0 {
+                                reclaimed.push(slice.source_file);
+                            }
+                        }
+                    }
+                    reclaimed.sort_unstable();
+                    reclaimed.dedup();
+                    edit.deleted_frozen.clone_from(&reclaimed);
+                    dropped.push(meta.number);
+                    dropped.extend(reclaimed);
+                    stat = Some("ldc_merges");
+                    true
+                } else {
+                    false
+                }
+            }
+            CompactInstall::Tiered { metas } => {
+                if metas.iter().all(|m| live(&core, m.number)) {
+                    for m in metas {
+                        edit.deleted_files.push((0, m.number));
+                    }
+                    for u in &outs {
+                        for m in &u.metas {
+                            edit.new_files.push((0, m.clone()));
+                        }
+                    }
+                    dropped.extend(metas.iter().map(|m| m.number));
+                    stat = Some("merges");
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if ok {
+            match core.versions.log_and_apply(edit) {
+                Ok(()) => {
+                    for n in dropped {
+                        self.drop_table_file(&mut core, n);
+                    }
+                    match stat {
+                        Some("ldc_merges") => core.stats.ldc_merges += 1,
+                        _ => core.stats.merges += 1,
+                    }
+                    self.publish_view(&core);
+                    if let Err(e) = self.reap_pending_deletes(&mut core) {
+                        if core.bg_error.is_none() {
+                            core.bg_error = Some(e);
+                        }
+                    }
+                    self.refresh_level_gauges(&core.versions.current);
+                    if let Some(desc) = desc {
+                        let end = self.device.clock().now();
+                        let elapsed = end.saturating_sub(t0);
+                        let write: u64 =
+                            outs.iter().map(|u| u.write_nanos).sum::<u64>().min(elapsed);
+                        let (files, bytes) = outs.iter().fold((0u32, 0u64), |(f, b), u| {
+                            (f + u.output_files, b + u.output_bytes)
+                        });
+                        self.sink.record(
+                            Event::span(desc.kind, t0, end)
+                                .levels(desc.level, desc.output_level)
+                                .files(desc.input_files, files)
+                                .bytes(desc.input_bytes, bytes)
+                                .phases(elapsed - write, 0, write),
+                        );
+                    }
+                }
+                Err(e) => {
+                    if core.bg_error.is_none() {
+                        core.bg_error = Some(e);
+                    }
+                }
+            }
+        }
+        self.complete_job(&core, Some(job), inputs, false);
+    }
+
+    /// Runs a split merge: queue units 1.. for idle workers (when the
+    /// single split slot is free), run unit 0 ourselves, then help drain
+    /// the queue until every unit posted. Results come back in unit order
+    /// so the installed file sequence matches an unsplit merge's.
+    fn run_split_merge(
+        &self,
+        spec: &Arc<MergeUnitSpec>,
+        ranges: Vec<Option<KeyRange>>,
+    ) -> Result<Vec<UnitOutput>> {
+        let k = ranges.len();
+        let first = ranges.first().and_then(|r| r.as_ref());
+        if k == 1 {
+            return Ok(vec![self.run_merge_unit(spec, first)?]);
+        }
+        let queued = {
+            let mut st = self.scheduler.state.lock();
+            if st.sub.is_none() {
+                st.sub = Some(SubBatch {
+                    spec: Arc::clone(spec),
+                    remaining: k,
+                    results: Vec::new(),
+                });
+                for (i, r) in ranges.iter().enumerate().skip(1) {
+                    st.subqueue.push_back(SubUnit {
+                        idx: i,
+                        range: r.clone(),
+                    });
+                }
+                self.scheduler.work_cv.notify_all();
+                true
+            } else {
+                false
+            }
+        };
+        if !queued {
+            // Another split merge holds the slot; run sequentially.
+            let mut outs = Vec::with_capacity(k);
+            for r in &ranges {
+                outs.push(self.run_merge_unit(spec, r.as_ref())?);
+            }
+            return Ok(outs);
+        }
+        let r0 = self.run_merge_unit(spec, first);
+        let mut st = self.scheduler.state.lock();
+        if let Some(b) = st.sub.as_mut() {
+            b.remaining -= 1;
+            b.results.push((0, r0));
+        }
+        loop {
+            if st.sub.as_ref().is_none_or(|b| b.remaining == 0) {
+                break;
+            }
+            if let Some(u) = st.subqueue.pop_front() {
+                drop(st);
+                let r = self.run_merge_unit(spec, u.range.as_ref());
+                st = self.scheduler.state.lock();
+                if let Some(b) = st.sub.as_mut() {
+                    b.remaining -= 1;
+                    b.results.push((u.idx, r));
+                }
+            } else {
+                st = st.wait(&self.scheduler.subs_cv);
+            }
+        }
+        let Some(batch) = st.sub.take() else {
+            drop(st);
+            return Err(Error::InvalidState(
+                "split-merge batch vanished before its coordinator collected it".to_string(),
+            ));
+        };
+        drop(st);
+        let mut results = batch.results;
+        results.sort_by_key(|(i, _)| *i);
+        let mut outs = Vec::with_capacity(k);
+        for (_, r) in results {
+            outs.push(r?);
+        }
+        Ok(outs)
+    }
+
+    /// Executes one queued subcompaction unit and posts its result to the
+    /// coordinator.
+    fn run_queued_unit(&self, unit: SubUnit, spec: &Arc<MergeUnitSpec>) {
+        let r = self.run_merge_unit(spec, unit.range.as_ref());
+        let mut st = self.scheduler.state.lock();
+        if let Some(b) = st.sub.as_mut() {
+            b.remaining -= 1;
+            b.results.push((unit.idx, r));
+        }
+        self.scheduler.subs_cv.notify_all();
+    }
+
+    /// One subcompaction unit: merge the job's inputs restricted to
+    /// `range` (None = everything) into output tables.
+    fn run_merge_unit(&self, spec: &MergeUnitSpec, range: Option<&KeyRange>) -> Result<UnitOutput> {
+        let mut inputs: Vec<Box<dyn InternalIterator>> = Vec::new();
+        for &n in &spec.inputs {
+            let table = self.table(n)?;
+            match range {
+                Some(r) => inputs.push(Box::new(
+                    table.range_iter(r.clone(), IoClass::CompactionRead),
+                )),
+                None => inputs.push(Box::new(table.iter(IoClass::CompactionRead))),
+            }
+        }
+        self.merge_stream_detached(
+            inputs,
+            spec.drop_tombstones,
+            spec.split_outputs,
+            spec.smallest_snapshot,
+        )
+    }
+
+    /// The LDC merge run phase (file + its slices; never split — each
+    /// LdcMerge already covers exactly one responsible range).
+    fn run_ldc_merge(
+        &self,
+        meta: &FileMeta,
+        drop_tombstones: bool,
+        smallest_snapshot: SequenceNumber,
+    ) -> Result<UnitOutput> {
+        let mut inputs: Vec<Box<dyn InternalIterator>> = Vec::new();
+        let table = self.table(meta.number)?;
+        inputs.push(Box::new(table.iter(IoClass::CompactionRead)));
+        for slice in &meta.slices {
+            let frozen = self.table(slice.source_file)?;
+            inputs.push(Box::new(
+                frozen.range_iter(slice.range.clone(), IoClass::CompactionRead),
+            ));
+        }
+        self.merge_stream_detached(inputs, drop_tombstones, true, smallest_snapshot)
+    }
+
+    /// Job failure: quarantine a corrupt input when the policy allows
+    /// (the policy then re-plans against the surviving version), latch
+    /// `bg_error` otherwise, and release the job's claims either way.
+    fn fail_job(&self, err: Error, job: Option<u64>, inputs: &[u64], flush: bool) {
+        let mut core = self.core.lock();
+        self.latch_or_quarantine(&mut core, err);
+        self.publish_view(&core);
+        self.complete_job(&core, job, inputs, flush);
+    }
+
+    /// Like [`Db::fail_job`] for errors hit while still holding the core
+    /// during planning (metadata-only tasks).
+    fn fail_planned(&self, core: &mut DbCore, err: Error) {
+        self.latch_or_quarantine(core, err);
+        self.publish_view(core);
+        self.complete_job(core, None, &[], false);
+    }
+
+    fn latch_or_quarantine(&self, core: &mut DbCore, err: Error) {
+        match err {
+            Error::Corruption(ref info) => match self.try_quarantine(core, info) {
+                Ok(true) => {}
+                Ok(false) => {
+                    if core.bg_error.is_none() {
+                        core.bg_error = Some(err.clone());
+                    }
+                }
+                Err(e2) => {
+                    if core.bg_error.is_none() {
+                        core.bg_error = Some(e2);
+                    }
+                }
+            },
+            e => {
+                if core.bg_error.is_none() {
+                    core.bg_error = Some(e);
+                }
+            }
+        }
+    }
+
+    /// Completion bookkeeping: release claims, bump `completed`, re-arm
+    /// the work hint, and wake both the pool and any stalled writers.
+    /// Must be called while holding the core lock (`_core` witnesses it):
+    /// `done_cv` waiters check their predicates under the core, so
+    /// notifying while holding it cannot lose a wakeup.
+    fn complete_job(&self, _core: &DbCore, job: Option<u64>, inputs: &[u64], flush: bool) {
+        {
+            let mut st = self.scheduler.state.lock();
+            if flush {
+                st.flush_inflight = false;
+            }
+            if let Some(j) = job {
+                st.release(j, inputs);
+            }
+            st.completed += 1;
+            st.policy_idle = false;
+            st.work_hint = true;
+            self.scheduler.work_cv.notify_all();
+        }
+        self.scheduler.done_cv.notify_all();
+    }
+
+    /// Streams a sealed table out in bounded `append` chunks followed by
+    /// one `sync`, instead of a single monolithic `write_file`. Each
+    /// chunk holds the storage map's write lock only briefly, so
+    /// concurrent foreground reads interleave with flush/compaction
+    /// output — the pipelined write stage of a background job, and the
+    /// main reason worker mode improves the foreground read tail. Only
+    /// used off the foreground thread: the inline path keeps its single
+    /// atomic write so deterministic runs stay byte-identical. The file
+    /// is garbage until the final sync *and* the version edit that links
+    /// it; a torn prefix is an orphan, reclaimed by `repair_db`.
+    fn write_table_chunked(&self, name: &str, bytes: &[u8], class: IoClass) -> Result<()> {
+        const CHUNK: usize = 256 << 10;
+        // A crashed predecessor may have left an orphan at a re-allocated
+        // number; appending to it would interleave two tables.
+        if self.storage.exists(name) {
+            self.storage.delete(name)?;
+        }
+        for chunk in bytes.chunks(CHUNK) {
+            self.storage.append(name, chunk, class)?;
+            // Hand the CPU to any foreground thread parked on the storage
+            // lock (or starved for a core) between chunks: on oversubscribed
+            // hosts the reader tail is bounded by how long a worker runs
+            // uninterrupted, not by the chunk size alone.
+            std::thread::yield_now();
+        }
+        self.storage.sync(name)?;
+        Ok(())
     }
 
     /// Pins the current state for repeatable reads. The snapshot must be
@@ -2008,6 +2997,14 @@ impl Db {
     }
 
     /// Opens (or fetches from cache) the table for `file_number`.
+    /// Pins physical file deletion for the returned guard's lifetime
+    /// (reap defers while any pin is held). For crate-internal scans that
+    /// walk the published version without the core lock — the scrubber's
+    /// verify pass races background installs otherwise.
+    pub(crate) fn pin_reads(&self) -> ReadPin<'_> {
+        ReadPin::new(&self.read_pins)
+    }
+
     pub(crate) fn table(&self, file_number: u64) -> Result<Arc<Table>> {
         self.tables.get_or_open(file_number, || {
             // Opening a handle reads the footer/index/filter — charge a
@@ -2041,7 +3038,7 @@ impl Db {
     /// harnesses can force a durable cut; checkpoint creation uses it as
     /// its phase 1.
     pub fn flush(&self) -> Result<()> {
-        let mut core = self.core.lock();
+        let mut core = self.wait_flush_job(self.core.lock());
         if let Some(e) = &core.bg_error {
             return Err(e.clone());
         }
@@ -2167,7 +3164,7 @@ impl Db {
         }
         let t0 = self.device.clock().now();
         let (version, next_file_number, last_sequence, compact_pointers, _pin) = {
-            let mut core = self.core.lock();
+            let mut core = self.wait_flush_job(self.core.lock());
             if let Some(e) = &core.bg_error {
                 return Err(e.clone());
             }
@@ -2771,18 +3768,81 @@ impl Db {
         drop_tombstones: bool,
         split_outputs: bool,
     ) -> Result<Vec<FileMeta>> {
-        // Versions above this sequence are never dropped: the oldest live
-        // snapshot (or the current sequence when none is held) can still
-        // observe them.
-        let smallest_snapshot = core
-            .snapshots
-            .keys()
-            .next()
-            .copied()
-            .unwrap_or(core.versions.last_sequence);
+        let smallest_snapshot = snapshot_floor(core);
+        let mut outputs = Vec::new();
+        self.merge_entries(
+            inputs,
+            drop_tombstones,
+            split_outputs,
+            smallest_snapshot,
+            &mut |finished| {
+                let meta = self.write_output_table(core, finished)?;
+                outputs.push(meta);
+                Ok(())
+            },
+        )?;
+        Ok(outputs)
+    }
+
+    /// [`Db::merge_stream`] for background workers: no core lock is held
+    /// across the merge; output tables go through a brief core lock for
+    /// the file number, then [`Db::write_table_chunked`].
+    fn merge_stream_detached(
+        &self,
+        inputs: Vec<Box<dyn InternalIterator>>,
+        drop_tombstones: bool,
+        split_outputs: bool,
+        smallest_snapshot: SequenceNumber,
+    ) -> Result<UnitOutput> {
+        let mut out = UnitOutput::default();
+        self.merge_entries(
+            inputs,
+            drop_tombstones,
+            split_outputs,
+            smallest_snapshot,
+            &mut |finished| {
+                let number = self.core.lock().versions.new_file_number();
+                let t0 = self.device.clock().now();
+                self.write_table_chunked(
+                    &table_file_name(number),
+                    &finished.bytes,
+                    IoClass::CompactionWrite,
+                )?;
+                out.write_nanos += self.device.clock().now().saturating_sub(t0);
+                out.output_files += 1;
+                out.output_bytes += finished.bytes.len() as u64;
+                out.metas.push(FileMeta {
+                    number,
+                    size: finished.bytes.len() as u64,
+                    smallest: finished.smallest,
+                    largest: finished.largest,
+                    slices: Vec::new(),
+                });
+                Ok(())
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// The merge loop proper, independent of where outputs land. Within
+    /// one key range the kept-entry decisions depend only on the input
+    /// stream and `smallest_snapshot` (the shadowing state `last_kept_seq`
+    /// resets at every user-key boundary and file cuts happen only there),
+    /// which is what makes per-range subcompactions exactly equivalent to
+    /// an unsplit merge.
+    fn merge_entries(
+        &self,
+        inputs: Vec<Box<dyn InternalIterator>>,
+        drop_tombstones: bool,
+        split_outputs: bool,
+        smallest_snapshot: SequenceNumber,
+        emit: &mut dyn FnMut(crate::table::FinishedTable) -> Result<()>,
+    ) -> Result<()> {
+        // Versions above `smallest_snapshot` are never dropped: the oldest
+        // live snapshot (or the sequence current at planning time when
+        // none is held) can still observe them.
         let mut merge = MergingIterator::new(inputs);
         merge.seek_to_first();
-        let mut outputs = Vec::new();
         let mut builder: Option<TableBuilder> = None;
         let mut last_ukey: Option<Vec<u8>> = None;
         // Sequence of the last kept entry for the current user key; MAX
@@ -2798,7 +3858,7 @@ impl Db {
                 // Cut the output file at user-key boundaries.
                 if let Some(b) = builder.take() {
                     if split_outputs && b.estimated_file_bytes() >= self.options.sstable_bytes {
-                        outputs.push(self.write_output_table(core, b.finish())?);
+                        emit(b.finish())?;
                     } else {
                         builder = Some(b);
                     }
@@ -2830,11 +3890,10 @@ impl Db {
         merge.status()?;
         if let Some(b) = builder {
             if !b.is_empty() {
-                let finished = b.finish();
-                outputs.push(self.write_output_table(core, finished)?);
+                emit(b.finish())?;
             }
         }
-        Ok(outputs)
+        Ok(())
     }
 
     fn write_output_table(
@@ -2860,6 +3919,145 @@ impl Db {
             slices: Vec::new(),
         })
     }
+}
+
+/// A unit of background work claimed by [`Db::plan_job`] under the core
+/// lock and executed without it.
+enum BgJob {
+    /// Flush the immutable memtable. The memtable stays in `core.imm`
+    /// (readers keep seeing it) until the L0 table installs.
+    Flush {
+        imm: Arc<MemTable>,
+        wal: Option<String>,
+    },
+    /// A claimed compaction with conflict-tracked key ranges.
+    Compact {
+        job: u64,
+        t0: Nanos,
+        desc: Option<TaskDescriptor>,
+        inputs: Vec<u64>,
+        plan: PlannedCompaction,
+    },
+}
+
+/// The run-phase recipe for a claimed compaction: input metadata snapshot
+/// plus the merge spec, fixed at plan time.
+enum PlannedCompaction {
+    Merge {
+        level: usize,
+        upper: Vec<FileMeta>,
+        lower: Vec<FileMeta>,
+        spec: Arc<MergeUnitSpec>,
+    },
+    Ldc {
+        level: usize,
+        meta: FileMeta,
+        drop_tombstones: bool,
+        smallest_snapshot: SequenceNumber,
+    },
+    Tiered {
+        metas: Vec<FileMeta>,
+        spec: Arc<MergeUnitSpec>,
+    },
+}
+
+/// What [`Db::install_compaction`] needs to build the atomic
+/// `VersionEdit` once the run phase produced its outputs.
+enum CompactInstall {
+    Merge {
+        level: usize,
+        upper: Vec<FileMeta>,
+        lower: Vec<FileMeta>,
+    },
+    Ldc {
+        level: usize,
+        meta: FileMeta,
+    },
+    Tiered {
+        metas: Vec<FileMeta>,
+    },
+}
+
+/// Clones the metadata for `numbers` out of the current version; `None`
+/// if any has vanished (a stale pick racing a concurrent install).
+fn resolve_metas(core: &DbCore, numbers: &[u64]) -> Option<Vec<FileMeta>> {
+    numbers
+        .iter()
+        .map(|&n| core.versions.current.find_file(n).map(|(_, m)| m.clone()))
+        .collect()
+}
+
+/// The closed user-key span covered by `metas`.
+fn key_span<'a>(metas: impl Iterator<Item = &'a FileMeta>) -> Option<(Vec<u8>, Vec<u8>)> {
+    let mut span: Option<(Vec<u8>, Vec<u8>)> = None;
+    for m in metas {
+        let (lo, hi) =
+            span.get_or_insert_with(|| (m.smallest_ukey().to_vec(), m.largest_ukey().to_vec()));
+        if m.smallest_ukey() < lo.as_slice() {
+            *lo = m.smallest_ukey().to_vec();
+        }
+        if m.largest_ukey() > hi.as_slice() {
+            *hi = m.largest_ukey().to_vec();
+        }
+    }
+    span
+}
+
+/// The oldest sequence any live snapshot can observe (or the current
+/// sequence when none is held). Captured at plan time, this stays a safe
+/// lower bound for the whole job: new snapshots always pin a sequence
+/// `>=` the one current when they were taken.
+fn snapshot_floor(core: &DbCore) -> SequenceNumber {
+    core.snapshots
+        .keys()
+        .next()
+        .copied()
+        .unwrap_or(core.versions.last_sequence)
+}
+
+/// Carves a merge's key space into up to `max` disjoint subcompaction
+/// ranges, cutting only at input-table smallest-key boundaries. Every
+/// input entry falls in exactly one range, and because the merge loop's
+/// shadowing state resets at user-key boundaries (and smallest keys *are*
+/// user-key boundaries), merging the ranges independently keeps exactly
+/// the entries an unsplit merge would. Returns `vec![None]` (one
+/// unrestricted unit) when there is nothing to split on.
+fn split_merge_ranges(upper: &[FileMeta], lower: &[FileMeta], max: usize) -> Vec<Option<KeyRange>> {
+    let mut bounds: Vec<Vec<u8>> = upper
+        .iter()
+        .chain(lower)
+        .map(|m| m.smallest_ukey().to_vec())
+        .collect();
+    bounds.sort();
+    bounds.dedup();
+    // The global minimum is not a cut — everything below the first cut
+    // already belongs to unit 0.
+    if !bounds.is_empty() {
+        bounds.remove(0);
+    }
+    let units = max.min(bounds.len() + 1);
+    if units <= 1 {
+        return vec![None];
+    }
+    let mut cuts: Vec<Vec<u8>> = Vec::with_capacity(units - 1);
+    for i in 1..units {
+        // Evenly spread, strictly increasing because `bounds` is strictly
+        // sorted and `i * len / units` is strictly monotone for len >= units-1.
+        if let Some(cut) = bounds.get(i * bounds.len() / units) {
+            cuts.push(cut.clone());
+        }
+    }
+    let mut ranges = Vec::with_capacity(units);
+    let mut lo: Vec<u8> = Vec::new(); // empty = -inf
+    for cut in &cuts {
+        ranges.push(Some(KeyRange {
+            lo: std::mem::take(&mut lo),
+            hi: Some(cut.clone()),
+        }));
+        lo = cut.clone();
+    }
+    ranges.push(Some(KeyRange { lo, hi: None }));
+    ranges
 }
 
 /// A pinned read point; obtain via [`Db::snapshot`] and return via

@@ -34,6 +34,7 @@ pub mod memtable;
 pub mod options;
 pub mod repair;
 pub mod retry;
+pub mod scheduler;
 pub mod scrub;
 pub mod skiplist;
 pub mod table;

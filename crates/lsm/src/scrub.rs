@@ -61,6 +61,10 @@ impl Db {
     /// non-corruption errors — a device failure that survives the retry
     /// budget — abort the pass.
     pub fn scrub(&self) -> Result<ScrubReport> {
+        // Defer physical deletion of compacted-away tables for the whole
+        // pass: with background workers, an install could otherwise reap a
+        // file between target collection and its verify.
+        let _pin = self.pin_reads();
         let mut targets: Vec<(Option<u32>, u64)> = Vec::new();
         for (level, files) in self.version().levels.iter().enumerate() {
             for f in files {

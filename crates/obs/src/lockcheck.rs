@@ -492,6 +492,30 @@ impl<'a, T> MutexGuard<'a, T> {
         self.inner = Some(inner);
         self
     }
+
+    /// Like [`MutexGuard::wait`] but gives up after `dur`; the second
+    /// return value is `true` when the wait timed out. Used by stall
+    /// loops that re-check progress conditions as a lost-wakeup backstop.
+    pub fn wait_timeout(
+        mut self,
+        cv: &Condvar,
+        dur: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let inner = self.inner.take().expect("guard holds the mutex");
+        #[cfg(debug_assertions)]
+        self.witness.disarm();
+        let (inner, timed_out) = match cv.inner.wait_timeout(inner, dur) {
+            Ok((g, r)) => (g, r.timed_out()),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r.timed_out())
+            }
+        };
+        #[cfg(debug_assertions)]
+        self.witness.rearm();
+        self.inner = Some(inner);
+        (self, timed_out)
+    }
 }
 
 impl<T> Deref for MutexGuard<'_, T> {

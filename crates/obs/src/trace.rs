@@ -63,6 +63,12 @@ pub enum Blame {
     /// Network service overhead outside the engine and the admission
     /// queue: framing, routing, response dispatch (ldc-server).
     Net,
+    /// Waiting on the background worker pool: time a write spends parked
+    /// on a stall gate while a queued/running scheduler job (flush or
+    /// compaction) must complete before the gate opens. Distinct from
+    /// [`Blame::Stall`], which covers the inline-pump path where the
+    /// stalled op executes the background work itself.
+    WorkerQueue,
     /// Everything else: engine CPU, filesystem metadata, seeks. The root
     /// span's catch-all — its self time is the op's unattributed residue.
     Engine,
@@ -70,7 +76,7 @@ pub enum Blame {
 
 impl Blame {
     /// Number of blame buckets.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Every bucket, in stable report order.
     pub const ALL: [Blame; Blame::COUNT] = [
@@ -86,6 +92,7 @@ impl Blame {
         Blame::SsdGc,
         Blame::Admission,
         Blame::Net,
+        Blame::WorkerQueue,
         Blame::Engine,
     ];
 
@@ -104,6 +111,7 @@ impl Blame {
             Blame::SsdGc => "ssd_gc",
             Blame::Admission => "admission",
             Blame::Net => "net",
+            Blame::WorkerQueue => "worker_queue",
             Blame::Engine => "engine",
         }
     }
@@ -123,7 +131,8 @@ impl Blame {
             Blame::SsdGc => 9,
             Blame::Admission => 10,
             Blame::Net => 11,
-            Blame::Engine => 12,
+            Blame::WorkerQueue => 12,
+            Blame::Engine => 13,
         }
     }
 }

@@ -219,3 +219,57 @@ fn reset_traces_clears_reservoir_and_restarts_op_indices() {
     assert_eq!(worst.len(), 1);
     assert_eq!(worst[0].op_index, 0, "arrival counters must restart");
 }
+
+/// Threaded-mode writes: stall time spent parked on the worker pool's
+/// gates lands in the `worker_queue` blame bucket, and the exact-sum
+/// invariant holds for traces produced by the threaded write path too.
+#[test]
+fn threaded_writes_attribute_stalls_to_worker_queue() {
+    let db = LdcDb::builder()
+        .options(Options {
+            memtable_bytes: 4 << 10,
+            sstable_bytes: 4 << 10,
+            l1_capacity_bytes: 16 << 10,
+            block_bytes: 1 << 10,
+            ..Options::small_for_tests()
+        })
+        .background_workers(1)
+        .trace_worst_k(8)
+        .build()
+        .expect("open");
+
+    // Hammer one lagging worker until a write actually parks on a gate
+    // (bounded so a fast machine can't spin forever).
+    let value = vec![b'w'; 512];
+    let mut stalled = false;
+    for i in 0..40_000u64 {
+        db.put(format!("key{i:08}").as_bytes(), &value).unwrap();
+        if i % 256 == 0 && db.stats().stalls > 0 {
+            stalled = true;
+            break;
+        }
+    }
+    db.drain_background();
+
+    let worst = db.worst_traces();
+    assert!(!worst.is_empty(), "reservoir captured nothing");
+    for trace in &worst {
+        let sum: u64 = trace.blame_breakdown().iter().sum();
+        assert_eq!(
+            sum, trace.total,
+            "threaded trace lost nanoseconds in attribution"
+        );
+    }
+    assert!(
+        stalled,
+        "one lagging worker never forced a gate stall in 40k writes"
+    );
+    if stalled {
+        let totals = db.metrics().blame_totals(OpType::Put);
+        assert!(
+            totals[Blame::WorkerQueue.index()] > 0,
+            "stalls recorded ({}) but no worker_queue blame: {totals:?}",
+            db.stats().stalls
+        );
+    }
+}
